@@ -1,0 +1,52 @@
+// Shared helpers for the benchmark/reproduction binaries: filter-set
+// construction, field-search building, and wall-clock timing.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/field_search.hpp"
+#include "flow/flow_entry.hpp"
+#include "stats/report.hpp"
+#include "workload/stanford_synth.hpp"
+
+namespace ofmtl::bench {
+
+/// Build the single-field search machinery (tries / LUT / ranges) for one
+/// field of a filter set — the unit the memory figures are measured on.
+inline FieldSearch build_field_search(const FilterSet& set, FieldId field,
+                                      FieldSearchConfig config = {}) {
+  FieldSearch search(field, std::move(config));
+  for (const auto& entry : set.entries) {
+    (void)search.add_rule(entry.match.get(field));
+  }
+  search.seal();
+  return search;
+}
+
+/// Wall-clock helper returning milliseconds.
+template <typename Fn>
+[[nodiscard]] double time_ms(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Average nanoseconds per call over `iterations` invocations.
+template <typename Fn>
+[[nodiscard]] double time_per_call_ns(std::size_t iterations, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iterations; ++i) fn(i);
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count() /
+         static_cast<double>(iterations);
+}
+
+inline void print_heading(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace ofmtl::bench

@@ -1,0 +1,77 @@
+// Fig. 2 reproduction: total stored multi-bit-trie nodes per filter.
+//   (a) Ethernet address fields  — three 16-bit tries (hi/mid/lo), MAC sets
+//   (b) IPv4 address fields      — two 16-bit tries (hi/lo), routing sets
+// Reported under both storage policies: sparse (non-empty entries — the
+// "stored nodes" series) and array-block (every allocated slot).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "workload/calibration.hpp"
+
+namespace {
+
+using namespace ofmtl;
+
+void ethernet_series() {
+  bench::print_heading(
+      "Fig. 2(a) - Total stored nodes, Ethernet address fields (MAC filters)");
+  stats::Table table({"Flow Filter", "Hi trie", "Mid trie", "Lo trie",
+                      "Total (sparse)", "Total (array-block)"});
+  std::size_t worst_total = 0;
+  std::string worst_name;
+  for (const auto& target : workload::kMacTargets) {
+    const auto set = workload::generate_mac_filterset(target);
+    const auto search = bench::build_field_search(set, FieldId::kEthDst);
+    const auto& tries = search.tries();
+    const auto sparse = [&](std::size_t p) {
+      return tries[p].stored_nodes(TrieStorage::kSparse);
+    };
+    std::size_t total_sparse = sparse(0) + sparse(1) + sparse(2);
+    std::size_t total_array = 0;
+    for (const auto& trie : tries) {
+      total_array += trie.stored_nodes(TrieStorage::kArrayBlock);
+    }
+    if (total_sparse > worst_total) {
+      worst_total = total_sparse;
+      worst_name = std::string(target.name);
+    }
+    table.add(std::string(target.name), sparse(0), sparse(1), sparse(2),
+              total_sparse, total_array);
+  }
+  table.print(std::cout);
+  std::cout << "\nWorst case: " << worst_name << " stores " << worst_total
+            << " nodes (paper: gozb, 54010 nodes on the real traces).\n";
+}
+
+void ipv4_series() {
+  bench::print_heading(
+      "Fig. 2(b) - Total stored nodes, IPv4 address fields (Routing filters)");
+  stats::Table table({"Flow Filter", "Hi trie", "Lo trie", "Total (sparse)",
+                      "Total (array-block)", "lo>hi"});
+  for (const auto& target : workload::kRoutingTargets) {
+    const auto set = workload::generate_routing_filterset(target);
+    const auto search = bench::build_field_search(set, FieldId::kIpv4Dst);
+    const auto& tries = search.tries();
+    const auto hi = tries[0].stored_nodes(TrieStorage::kSparse);
+    const auto lo = tries[1].stored_nodes(TrieStorage::kSparse);
+    std::size_t total_array = 0;
+    for (const auto& trie : tries) {
+      total_array += trie.stored_nodes(TrieStorage::kArrayBlock);
+    }
+    table.add(std::string(target.name), hi, lo, hi + lo, total_array,
+              lo >= hi ? std::string("yes") : std::string("NO (anomaly)"));
+  }
+  table.print(std::cout);
+  std::cout << "\nLower tries dominate except coza/cozb/soza/sozb, whose "
+               "higher tries invert (cf. Table IV); IP tries stay below the "
+               "Ethernet worst case because routing prefixes share networks "
+               "while MAC filters are all-exact (paper Section V.A).\n";
+}
+
+}  // namespace
+
+int main() {
+  ethernet_series();
+  ipv4_series();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Lookup-throughput benchmark (google-benchmark): the decomposed multi-table
+// pipeline against the single-table linear baseline and the TCAM model, on
+// the paper's two applications. Not a paper artifact per se — the paper
+// reports FPGA clock-rate lookups — but the software analogue of its
+// "classification performance" motivation, and the regression guard for the
+// library's hot path.
+#include <benchmark/benchmark.h>
+
+#include "classifier/tcam.hpp"
+#include "core/builder.hpp"
+#include "flow/flow_table.hpp"
+#include "workload/stanford_synth.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace {
+
+using namespace ofmtl;
+
+struct Fixture {
+  FilterSet set;
+  AppSpec single;
+  AppSpec split;
+  MultiTableLookup accelerated;
+  std::vector<PacketHeader> trace;
+
+  static const Fixture& get(workload::FilterApp app, const char* name) {
+    static std::map<std::string, Fixture> cache;
+    const std::string key = std::string(to_string(app)) + "/" + name;
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      Fixture f;
+      f.set = workload::generate_filterset(app, name);
+      f.single = build_app(f.set, TableLayout::kSingleTable);
+      f.split = build_app(f.set, TableLayout::kPerFieldTables);
+      f.accelerated = compile_app(f.split);
+      f.trace = workload::generate_trace(
+          f.set, {.packets = 4096, .hit_ratio = 0.9, .seed = 77});
+      it = cache.emplace(key, std::move(f)).first;
+    }
+    return it->second;
+  }
+};
+
+void BM_SingleTableLinear(benchmark::State& state, workload::FilterApp app,
+                          const char* name) {
+  const auto& f = Fixture::get(app, name);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto result = f.single.reference.execute(f.trace[i++ & 4095]);
+    benchmark::DoNotOptimize(result.verdict);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Decomposed(benchmark::State& state, workload::FilterApp app,
+                   const char* name) {
+  const auto& f = Fixture::get(app, name);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto result = f.accelerated.execute(f.trace[i++ & 4095]);
+    benchmark::DoNotOptimize(result.verdict);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Tcam(benchmark::State& state, workload::FilterApp app,
+             const char* name) {
+  const auto& f = Fixture::get(app, name);
+  static std::map<std::string, TcamModel> cache;
+  const std::string key = std::string(to_string(app)) + "/" + name;
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    TcamModel tcam(f.set.fields);
+    FlowTable sorted(f.set.entries);
+    for (std::uint32_t i = 0; i < sorted.entries().size(); ++i) {
+      tcam.add_rule(sorted.entries()[i].match, sorted.entries()[i].priority, i);
+    }
+    it = cache.emplace(key, std::move(tcam)).first;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(it->second.lookup(f.trace[i++ & 4095]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SingleTableLinear, mac_bbra,
+                  workload::FilterApp::kMacLearning, "bbra");
+BENCHMARK_CAPTURE(BM_Decomposed, mac_bbra, workload::FilterApp::kMacLearning,
+                  "bbra");
+BENCHMARK_CAPTURE(BM_Tcam, mac_bbra, workload::FilterApp::kMacLearning, "bbra");
+BENCHMARK_CAPTURE(BM_SingleTableLinear, mac_gozb,
+                  workload::FilterApp::kMacLearning, "gozb");
+BENCHMARK_CAPTURE(BM_Decomposed, mac_gozb, workload::FilterApp::kMacLearning,
+                  "gozb");
+BENCHMARK_CAPTURE(BM_SingleTableLinear, routing_yoza,
+                  workload::FilterApp::kRouting, "yoza");
+BENCHMARK_CAPTURE(BM_Decomposed, routing_yoza, workload::FilterApp::kRouting,
+                  "yoza");
+BENCHMARK_CAPTURE(BM_Tcam, routing_yoza, workload::FilterApp::kRouting, "yoza");
+
+BENCHMARK_MAIN();

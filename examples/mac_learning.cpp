@@ -1,0 +1,103 @@
+// MAC-learning switch: the paper's first use case, run as a live system.
+// Packets whose destination is unknown go to the controller (table miss);
+// the simulated controller learns source addresses and installs flow
+// entries, periodically recompiling the decomposed tables and accounting
+// update cycles with and without the label method.
+//
+//   $ ./mac_learning [packets]
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "core/builder.hpp"
+#include "core/update_engine.hpp"
+#include "workload/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ofmtl;
+  const std::size_t packet_count =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 2000;
+
+  // A small campus of stations across 4 VLANs.
+  workload::Rng rng(2024);
+  struct Station {
+    std::uint16_t vlan;
+    std::uint64_t mac;
+    std::uint32_t port;
+  };
+  std::vector<Station> stations;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    stations.push_back({static_cast<std::uint16_t>(10 * (1 + i % 4)),
+                        0x020000000000ULL | (rng.next() & 0xFFFFFF),
+                        1 + i % 16});
+  }
+
+  // The switch state: learned (vlan, mac) -> port, as a filter set.
+  FilterSet learned;
+  learned.name = "mac_learning";
+  learned.fields = {FieldId::kVlanId, FieldId::kEthDst};
+  std::map<std::pair<std::uint16_t, std::uint64_t>, std::uint32_t> known;
+
+  std::size_t to_controller = 0, forwarded = 0, flooded = 0, installs = 0;
+  std::uint64_t label_cycles = 0, original_cycles = 0;
+
+  MultiTableLookup pipeline;  // empty until first install
+  bool dirty = true;
+
+  for (std::size_t n = 0; n < packet_count; ++n) {
+    const auto& src = stations[rng.below(stations.size())];
+    const auto& dst = stations[rng.below(stations.size())];
+    if (src.vlan != dst.vlan) continue;  // stations talk within their VLAN
+
+    if (dirty && !learned.entries.empty()) {
+      const auto spec = build_app(learned, TableLayout::kPerFieldTables);
+      pipeline = compile_app(spec);
+      const auto cost = update_cost(pipeline, UpdateScope::kAll);
+      label_cycles = cost.optimized_cycles();
+      original_cycles = cost.original_cycles();
+      dirty = false;
+    }
+
+    PacketHeader header;
+    header.set_in_port(src.port);
+    header.set_vlan_id(src.vlan);
+    header.set_eth_src(MacAddress{src.mac});
+    header.set_eth_dst(MacAddress{dst.mac});
+
+    const bool known_dst =
+        !learned.entries.empty() &&
+        pipeline.execute(header).verdict == Verdict::kForwarded;
+    if (known_dst) {
+      ++forwarded;
+    } else {
+      // Table miss -> send to controller (Section IV.C). The controller
+      // floods the frame and learns the *source*.
+      ++to_controller;
+      ++flooded;
+    }
+    if (!known.contains({src.vlan, src.mac})) {
+      known[{src.vlan, src.mac}] = src.port;
+      FlowEntry entry;
+      entry.id = static_cast<FlowEntryId>(learned.entries.size());
+      entry.priority = 1;
+      entry.match.set(FieldId::kVlanId, FieldMatch::exact(std::uint64_t{src.vlan}));
+      entry.match.set(FieldId::kEthDst, FieldMatch::exact(src.mac));
+      entry.instructions = output_instruction(src.port);
+      learned.entries.push_back(std::move(entry));
+      ++installs;
+      dirty = true;
+    }
+  }
+
+  std::cout << "MAC learning over " << packet_count << " frames:\n";
+  std::cout << "  forwarded by the pipeline : " << forwarded << "\n";
+  std::cout << "  misses -> controller      : " << to_controller
+            << " (flooded " << flooded << ")\n";
+  std::cout << "  flow entries installed    : " << installs << "\n\n";
+  std::cout << "Final table update cost (2 cycles/word, Section V.B):\n";
+  std::cout << "  label method   : " << label_cycles << " cycles\n";
+  std::cout << "  original files : " << original_cycles << " cycles\n\n";
+  std::cout << "Final memory report:\n";
+  pipeline.memory_report("switch").print(std::cout);
+  return 0;
+}

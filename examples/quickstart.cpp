@@ -1,0 +1,80 @@
+// Quickstart: build a two-table OpenFlow pipeline from a handful of flow
+// entries, compile it into the decomposed lookup architecture, classify a
+// few packets (from raw bytes), and print the memory report.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/builder.hpp"
+#include "core/pipeline.hpp"
+#include "net/packet.hpp"
+
+int main() {
+  using namespace ofmtl;
+
+  // 1. Describe a tiny MAC-learning filter set: (VLAN, dst MAC) -> port.
+  FilterSet set;
+  set.name = "quickstart";
+  set.fields = {FieldId::kVlanId, FieldId::kEthDst};
+  const struct {
+    std::uint16_t vlan;
+    const char* mac;
+    std::uint32_t port;
+  } rules[] = {
+      {10, "02:00:00:00:00:01", 1},
+      {10, "02:00:00:00:00:02", 2},
+      {20, "02:00:00:00:00:01", 3},  // same MAC, different VLAN
+      {20, "02:00:00:00:00:03", 4},
+  };
+  for (const auto& rule : rules) {
+    FlowEntry entry;
+    entry.id = static_cast<FlowEntryId>(set.entries.size());
+    entry.priority = 1;
+    entry.match.set(FieldId::kVlanId, FieldMatch::exact(std::uint64_t{rule.vlan}));
+    entry.match.set(FieldId::kEthDst,
+                    FieldMatch::exact(MacAddress::parse(rule.mac).value()));
+    entry.instructions = output_instruction(rule.port);
+    set.entries.push_back(std::move(entry));
+  }
+
+  // 2. Distribute the two fields over two tables (the paper's layout) and
+  //    compile into the decomposed architecture: a VLAN hash LUT feeding,
+  //    via Goto-Table + metadata, three 16-bit multi-bit tries over the MAC.
+  const AppSpec spec = build_app(set, TableLayout::kPerFieldTables);
+  const MultiTableLookup pipeline = compile_app(spec);
+  std::cout << "Compiled " << pipeline.table_count() << " lookup tables from "
+            << set.entries.size() << " flow entries.\n\n";
+
+  // 3. Classify real packet bytes.
+  PacketSpec packet;
+  packet.eth_src = MacAddress::parse("02:00:00:00:00:99");
+  packet.eth_dst = MacAddress::parse("02:00:00:00:00:01");
+  packet.vlan_id = 20;
+  packet.eth_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+  packet.ipv4_src = Ipv4Address::parse("10.0.0.1");
+  packet.ipv4_dst = Ipv4Address::parse("10.0.0.2");
+  packet.ip_proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  packet.src_port = 5000;
+  packet.dst_port = 5001;
+
+  const auto bytes = serialize_packet(packet);
+  const auto parsed = parse_packet(bytes, /*in_port=*/7);
+  const auto result = pipeline.execute(parsed.header);
+  std::cout << "Packet " << parsed.header.to_string() << "\n  -> "
+            << to_string(result.verdict);
+  for (const auto port : result.output_ports) std::cout << " port " << port;
+  std::cout << "  (matched entries:";
+  for (const auto id : result.matched_entries) std::cout << " " << id;
+  std::cout << ")\n";
+
+  // An unknown MAC misses and goes to the controller.
+  packet.eth_dst = MacAddress::parse("02:00:00:00:00:77");
+  const auto miss =
+      pipeline.execute(parse_packet(serialize_packet(packet), 7).header);
+  std::cout << "Unknown destination -> " << to_string(miss.verdict) << "\n\n";
+
+  // 4. The memory-cost surface the paper analyses.
+  std::cout << "Memory report:\n";
+  pipeline.memory_report("quickstart").print(std::cout);
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "classifier/range_matcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ofmtl {
+
+const std::vector<std::uint32_t> RangeMatcher::kEmpty{};
+
+std::uint32_t RangeMatcher::add(const ValueRange& range) {
+  if (range.lo > range.hi || range.hi > low_mask(width_)) {
+    throw std::invalid_argument("bad range");
+  }
+  for (std::uint32_t label = 0; label < ranges_.size(); ++label) {
+    if (ranges_[label] == range) {
+      if (refs_[label]++ == 0) sealed_ = false;  // revival
+      return label;
+    }
+  }
+  ranges_.push_back(range);
+  refs_.push_back(1);
+  sealed_ = false;
+  return static_cast<std::uint32_t>(ranges_.size() - 1);
+}
+
+bool RangeMatcher::remove(const ValueRange& range) {
+  for (std::uint32_t label = 0; label < ranges_.size(); ++label) {
+    if (ranges_[label] == range && refs_[label] > 0) {
+      if (--refs_[label] == 0) sealed_ = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::uint32_t> RangeMatcher::find(const ValueRange& range) const {
+  for (std::uint32_t label = 0; label < ranges_.size(); ++label) {
+    if (ranges_[label] == range && refs_[label] > 0) return label;
+  }
+  return std::nullopt;
+}
+
+std::size_t RangeMatcher::unique_ranges() const {
+  std::size_t live = 0;
+  for (const auto refs : refs_) {
+    if (refs > 0) ++live;
+  }
+  return live;
+}
+
+void RangeMatcher::seal() {
+  if (sealed_) return;  // alive set unchanged since the last build
+  boundaries_.clear();
+  interval_labels_.clear();
+  // Elementary interval starts: each range contributes lo and hi+1.
+  boundaries_.push_back(0);
+  for (std::uint32_t label = 0; label < ranges_.size(); ++label) {
+    if (refs_[label] == 0) continue;
+    boundaries_.push_back(ranges_[label].lo);
+    if (ranges_[label].hi < low_mask(width_)) {
+      boundaries_.push_back(ranges_[label].hi + 1);
+    }
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                    boundaries_.end());
+
+  interval_labels_.resize(boundaries_.size());
+  for (std::size_t i = 0; i < boundaries_.size(); ++i) {
+    const std::uint64_t point = boundaries_[i];
+    auto& labels = interval_labels_[i];
+    for (std::uint32_t label = 0; label < ranges_.size(); ++label) {
+      if (refs_[label] > 0 && ranges_[label].contains(point)) {
+        labels.push_back(label);
+      }
+    }
+    std::sort(labels.begin(), labels.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                if (ranges_[a].span() != ranges_[b].span()) {
+                  return ranges_[a].span() < ranges_[b].span();
+                }
+                return a < b;
+              });
+  }
+  sealed_ = true;
+}
+
+const std::vector<std::uint32_t>& RangeMatcher::lookup(std::uint64_t key) const {
+  if (!sealed_) throw std::logic_error("RangeMatcher::seal() not called");
+  if (key > low_mask(width_)) throw std::invalid_argument("key out of field range");
+  // Last boundary <= key.
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), key) - 1;
+  const auto index = static_cast<std::size_t>(it - boundaries_.begin());
+  return interval_labels_.empty() ? kEmpty : interval_labels_[index];
+}
+
+std::optional<std::uint32_t> RangeMatcher::lookup_narrowest(
+    std::uint64_t key) const {
+  const auto& labels = lookup(key);
+  if (labels.empty()) return std::nullopt;
+  return labels.front();
+}
+
+std::uint64_t RangeMatcher::storage_bits(unsigned label_bits) const {
+  std::uint64_t bits = boundaries_.size() * static_cast<std::uint64_t>(width_);
+  for (const auto& labels : interval_labels_) {
+    bits += labels.size() * static_cast<std::uint64_t>(label_bits);
+  }
+  return bits;
+}
+
+}  // namespace ofmtl

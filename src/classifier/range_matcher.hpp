@@ -1,0 +1,66 @@
+// Range matcher for the RM fields (transport ports, Table II). Stores unique
+// ranges with labels; lookup returns all ranges containing a key, narrowest
+// first ("the narrowest range is selected", Section III.A).
+//
+// Implementation: project the unique ranges onto elementary intervals over
+// the sorted endpoint list; each elementary interval precomputes its matching
+// label list. Lookup is a binary search — the hardware analogue is a small
+// range-tree stage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace ofmtl {
+
+class RangeMatcher {
+ public:
+  explicit RangeMatcher(unsigned width) : width_(width) {}
+
+  /// Register a range, returning its label (existing label if seen before).
+  /// Ranges are reference-counted: adding the same range twice requires two
+  /// removes to drop it.
+  std::uint32_t add(const ValueRange& range);
+
+  /// Drop one reference to a range; at zero references the range stops
+  /// matching. Returns whether the range was present. Call seal() before
+  /// the next lookup.
+  bool remove(const ValueRange& range);
+
+  /// Label of a live range, if registered.
+  [[nodiscard]] std::optional<std::uint32_t> find(const ValueRange& range) const;
+
+  /// Finish construction: build the elementary-interval index.
+  void seal();
+
+  /// Labels of all ranges containing `key`, narrowest first. seal() first.
+  [[nodiscard]] const std::vector<std::uint32_t>& lookup(std::uint64_t key) const;
+
+  /// Narrowest matching range label (RM semantics).
+  [[nodiscard]] std::optional<std::uint32_t> lookup_narrowest(std::uint64_t key) const;
+
+  /// Live (reference-held) unique ranges.
+  [[nodiscard]] std::size_t unique_ranges() const;
+  [[nodiscard]] const ValueRange& range_of(std::uint32_t label) const {
+    return ranges_.at(label);
+  }
+  [[nodiscard]] unsigned width() const { return width_; }
+
+  /// Memory cost: interval boundaries (width bits each) plus per-interval
+  /// label lists (label_bits per stored label).
+  [[nodiscard]] std::uint64_t storage_bits(unsigned label_bits) const;
+
+ private:
+  unsigned width_;
+  std::vector<ValueRange> ranges_;            // label -> range (labels persist)
+  std::vector<std::uint32_t> refs_;           // label -> reference count
+  std::vector<std::uint64_t> boundaries_;     // sorted interval starts
+  std::vector<std::vector<std::uint32_t>> interval_labels_;
+  bool sealed_ = false;
+  static const std::vector<std::uint32_t> kEmpty;
+};
+
+}  // namespace ofmtl

@@ -1,0 +1,100 @@
+#include "classifier/tcam.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ofmtl {
+
+TcamModel::TcamModel(std::vector<FieldId> fields) : fields_(std::move(fields)) {
+  for (const auto id : fields_) word_bits_ += field_bits(id);
+  if (word_bits_ == 0 || word_bits_ > 128) {
+    throw std::invalid_argument("TCAM word must be 1..128 bits");
+  }
+}
+
+U128 TcamModel::concatenate_key(const PacketHeader& header) const {
+  U128 key{};
+  for (const auto id : fields_) {
+    const unsigned bits = field_bits(id);
+    key = (key << bits) | (header.get(id) & ((~U128{}) >> (128 - bits)));
+  }
+  return key;
+}
+
+std::size_t TcamModel::add_rule(const FlowMatch& match, std::uint16_t priority,
+                                std::uint32_t rule_index) {
+  // Per-field (value, mask) alternatives; ranges expand into several.
+  struct Alternative {
+    U128 value{};
+    U128 mask{};
+  };
+  std::vector<TernaryEntry> expanded;
+  expanded.push_back(TernaryEntry{U128{}, U128{}, rule_index, priority});
+
+  for (const auto id : fields_) {
+    const unsigned bits = field_bits(id);
+    const auto& fm = match.get(id);
+    std::vector<Alternative> alternatives;
+    const U128 full = (~U128{}) >> (128 - bits);
+    switch (fm.kind) {
+      case MatchKind::kAny:
+        alternatives.push_back({U128{}, U128{}});
+        break;
+      case MatchKind::kExact:
+        alternatives.push_back({fm.value & full, full});
+        break;
+      case MatchKind::kMasked:
+        alternatives.push_back({fm.value & full, fm.mask & full});
+        break;
+      case MatchKind::kPrefix: {
+        const unsigned len = fm.prefix.length();
+        const U128 mask = len == 0 ? U128{} : (full << (bits - len)) & full;
+        alternatives.push_back({fm.prefix.value() & mask, mask});
+        break;
+      }
+      case MatchKind::kRange: {
+        for (const auto& prefix : range_to_prefixes(fm.range, bits)) {
+          const unsigned len = prefix.length();
+          const U128 mask = len == 0 ? U128{} : (full << (bits - len)) & full;
+          alternatives.push_back({prefix.value() & mask, mask});
+        }
+        break;
+      }
+    }
+    std::vector<TernaryEntry> next;
+    next.reserve(expanded.size() * alternatives.size());
+    for (const auto& entry : expanded) {
+      for (const auto& alt : alternatives) {
+        TernaryEntry combined = entry;
+        combined.value = (combined.value << bits) | alt.value;
+        combined.mask = (combined.mask << bits) | alt.mask;
+        next.push_back(combined);
+      }
+    }
+    expanded = std::move(next);
+  }
+
+  for (auto& entry : expanded) {
+    const auto pos = std::find_if(
+        entries_.begin(), entries_.end(),
+        [&entry](const TernaryEntry& e) { return e.priority < entry.priority; });
+    entries_.insert(pos, entry);
+  }
+  return expanded.size();
+}
+
+std::optional<std::uint32_t> TcamModel::lookup(const PacketHeader& header) const {
+  const U128 key = concatenate_key(header);
+  for (const auto& entry : entries_) {
+    if (entry.matches(key)) return entry.rule;
+  }
+  return std::nullopt;
+}
+
+mem::MemoryReport TcamModel::memory_report() const {
+  mem::MemoryReport report;
+  report.add("tcam.cells", entries_.size(), 2 * word_bits_);
+  return report;
+}
+
+}  // namespace ofmtl

@@ -1,0 +1,65 @@
+// TCAM model — the hardware-based baseline of Table I and the structure the
+// paper's architecture is designed to replace. Functionally a priority-
+// ordered ternary match; the model also accounts the memory and search-energy
+// costs that motivate the replacement (Section II: "high power consumption,
+// storage limitation and the difficulty of rule ternary conversion").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "flow/flow_entry.hpp"
+#include "mem/memory_model.hpp"
+
+namespace ofmtl {
+
+/// One ternary word: bit i matches when (key & mask) == value.
+struct TernaryEntry {
+  U128 value{};
+  U128 mask{};
+  std::uint32_t rule = 0;       ///< rule index the entry belongs to
+  std::uint16_t priority = 0;
+
+  [[nodiscard]] bool matches(const U128& key) const {
+    return (key & mask) == value;
+  }
+};
+
+/// A TCAM over a fixed field list. Rules are converted to ternary entries;
+/// range fields expand into multiple entries (range-to-prefix conversion) —
+/// the "rule ternary conversion" cost the paper cites.
+class TcamModel {
+ public:
+  explicit TcamModel(std::vector<FieldId> fields);
+
+  /// Add one rule; returns the number of ternary entries it expanded into.
+  std::size_t add_rule(const FlowMatch& match, std::uint16_t priority,
+                       std::uint32_t rule_index);
+
+  /// Highest-priority matching rule index.
+  [[nodiscard]] std::optional<std::uint32_t> lookup(const PacketHeader& header) const;
+
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+  [[nodiscard]] unsigned word_bits() const { return word_bits_; }
+
+  /// TCAM storage: every entry holds value+mask (2 bits of cell per key bit).
+  [[nodiscard]] std::uint64_t storage_bits() const {
+    return entries_.size() * 2ULL * word_bits_;
+  }
+  /// Search-energy proxy: a TCAM activates every cell on every lookup.
+  [[nodiscard]] std::uint64_t cells_searched_per_lookup() const {
+    return entries_.size() * static_cast<std::uint64_t>(word_bits_);
+  }
+
+  [[nodiscard]] mem::MemoryReport memory_report() const;
+
+ private:
+  [[nodiscard]] U128 concatenate_key(const PacketHeader& header) const;
+
+  std::vector<FieldId> fields_;
+  unsigned word_bits_ = 0;
+  std::vector<TernaryEntry> entries_;  // kept sorted by descending priority
+};
+
+}  // namespace ofmtl

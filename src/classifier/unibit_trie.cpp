@@ -1,0 +1,69 @@
+#include "classifier/unibit_trie.hpp"
+
+#include <stdexcept>
+
+namespace ofmtl {
+
+UnibitTrie::UnibitTrie(unsigned width) : width_(width) {
+  if (width == 0 || width > 64) throw std::invalid_argument("bad trie width");
+  nodes_.emplace_back();  // root
+}
+
+void UnibitTrie::insert(const Prefix& prefix, std::uint32_t value) {
+  if (prefix.width() != width_) throw std::invalid_argument("prefix width mismatch");
+  std::size_t node = 0;
+  for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+    const unsigned bit =
+        static_cast<unsigned>((prefix.value64() >> (width_ - 1 - depth)) & 1);
+    if (nodes_[node].child[bit] < 0) {
+      nodes_[node].child[bit] = static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    node = static_cast<std::size_t>(nodes_[node].child[bit]);
+  }
+  if (!nodes_[node].value) ++prefix_count_;
+  nodes_[node].value = value;
+}
+
+bool UnibitTrie::remove(const Prefix& prefix) {
+  if (prefix.width() != width_) throw std::invalid_argument("prefix width mismatch");
+  std::size_t node = 0;
+  for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+    const unsigned bit =
+        static_cast<unsigned>((prefix.value64() >> (width_ - 1 - depth)) & 1);
+    if (nodes_[node].child[bit] < 0) return false;
+    node = static_cast<std::size_t>(nodes_[node].child[bit]);
+  }
+  if (!nodes_[node].value) return false;
+  nodes_[node].value.reset();
+  --prefix_count_;
+  return true;
+}
+
+std::optional<std::uint32_t> UnibitTrie::lookup(std::uint64_t key) const {
+  std::optional<std::uint32_t> best;
+  std::size_t node = 0;
+  for (unsigned depth = 0;; ++depth) {
+    if (nodes_[node].value) best = nodes_[node].value;
+    if (depth == width_) break;
+    const unsigned bit = static_cast<unsigned>((key >> (width_ - 1 - depth)) & 1);
+    if (nodes_[node].child[bit] < 0) break;
+    node = static_cast<std::size_t>(nodes_[node].child[bit]);
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> UnibitTrie::lookup_all(std::uint64_t key) const {
+  std::vector<std::uint32_t> matches;
+  std::size_t node = 0;
+  for (unsigned depth = 0;; ++depth) {
+    if (nodes_[node].value) matches.push_back(*nodes_[node].value);
+    if (depth == width_) break;
+    const unsigned bit = static_cast<unsigned>((key >> (width_ - 1 - depth)) & 1);
+    if (nodes_[node].child[bit] < 0) break;
+    node = static_cast<std::size_t>(nodes_[node].child[bit]);
+  }
+  return matches;
+}
+
+}  // namespace ofmtl

@@ -1,0 +1,47 @@
+// Unibit (binary) trie for longest-prefix matching — the textbook LPM
+// structure. Serves as the correctness oracle for the multi-bit trie and as
+// the 1-bit-stride end of the stride ablation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace ofmtl {
+
+class UnibitTrie {
+ public:
+  /// `width` is the key width in bits (<= 64).
+  explicit UnibitTrie(unsigned width);
+
+  /// Insert (or overwrite) a prefix with an associated value.
+  void insert(const Prefix& prefix, std::uint32_t value);
+
+  /// Remove a prefix; returns whether it was present.
+  bool remove(const Prefix& prefix);
+
+  /// Longest-prefix match; nullopt when nothing (not even /0) matches.
+  [[nodiscard]] std::optional<std::uint32_t> lookup(std::uint64_t key) const;
+
+  /// Values of every prefix matching `key`, shortest first.
+  [[nodiscard]] std::vector<std::uint32_t> lookup_all(std::uint64_t key) const;
+
+  [[nodiscard]] unsigned width() const { return width_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t prefix_count() const { return prefix_count_; }
+
+ private:
+  struct Node {
+    std::int32_t child[2] = {-1, -1};
+    std::optional<std::uint32_t> value;
+  };
+
+  std::vector<Node> nodes_;
+  unsigned width_;
+  std::size_t prefix_count_ = 0;
+};
+
+}  // namespace ofmtl

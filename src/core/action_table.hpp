@@ -1,0 +1,42 @@
+// Action tables (Fig. 1, Section IV.C): the instruction storage addressed by
+// the final index. Matched entries carry Goto-Table / Write-Actions; a miss
+// is "send to controller".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/instruction.hpp"
+#include "mem/memory_model.hpp"
+
+namespace ofmtl {
+
+class ActionTable {
+ public:
+  /// Append instructions (next sequential index).
+  void add(const InstructionSet& instructions);
+
+  /// Write instructions at an arbitrary slot (grows the table as needed) —
+  /// used by incremental entry insertion with slot reuse.
+  void set(std::uint32_t rule_index, const InstructionSet& instructions);
+
+  /// Reset a slot to the empty instruction set (removed entry).
+  void clear(std::uint32_t rule_index);
+
+  [[nodiscard]] const InstructionSet& get(std::uint32_t rule_index) const {
+    return instructions_.at(rule_index);
+  }
+  [[nodiscard]] std::size_t size() const { return instructions_.size(); }
+
+  /// Fixed-width words: every entry padded to the widest instruction set.
+  [[nodiscard]] unsigned word_bits() const { return max_entry_bits_; }
+  [[nodiscard]] mem::MemoryReport memory_report(const std::string& name) const;
+  [[nodiscard]] std::uint64_t update_words() const { return instructions_.size(); }
+
+ private:
+  std::vector<InstructionSet> instructions_;
+  unsigned max_entry_bits_ = 0;
+};
+
+}  // namespace ofmtl

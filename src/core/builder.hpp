@@ -1,0 +1,59 @@
+// Application builders: compile a filter set into the paper's multiple-table
+// layouts (Section IV.C / V.A). "There are two fields that can be
+// distributed into two tables": table 0 matches the application's EM field
+// and forwards with Goto-Table + Write-Metadata (the field's label); table 1
+// matches metadata + the wide address field and writes the final actions.
+//
+// The Section V.A prototype is both applications side by side: 4 OpenFlow
+// lookup tables, two MBT structures (Ethernet, IPv4) and two EM LUTs
+// (VLAN ID, ingress port).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "flow/flow_entry.hpp"
+#include "flow/pipeline_ref.hpp"
+
+namespace ofmtl {
+
+/// How a two-field filter set maps onto OpenFlow tables.
+enum class TableLayout : std::uint8_t {
+  kSingleTable,     ///< one table matching both fields (v1.0-style baseline)
+  kPerFieldTables,  ///< the paper's layout: one field per table, metadata-chained
+};
+
+/// The flow-entry specification of one application, realizable by both the
+/// reference executor and the accelerated pipeline.
+struct AppSpec {
+  std::string name;
+  ReferencePipeline reference;  ///< linear-search oracle
+};
+
+/// Build the flow tables for a two-field filter set under `layout`.
+/// For kPerFieldTables the first listed field goes to table 0 (EM LUT side),
+/// the second to table 1 (address side), as in the paper's two use cases.
+[[nodiscard]] AppSpec build_app(const FilterSet& set, TableLayout layout);
+
+/// Compile an AppSpec into the decomposed architecture.
+[[nodiscard]] MultiTableLookup compile_app(const AppSpec& spec,
+                                           FieldSearchConfig config = {});
+
+/// The Section V.A prototype: both applications on one device.
+struct SwitchPrototype {
+  AppSpec mac;            ///< tables 0-1
+  AppSpec routing;        ///< tables 0-1 of the routing chain
+  MultiTableLookup mac_lookup;
+  MultiTableLookup routing_lookup;
+
+  /// Combined memory of the 4 lookup tables (the "5 Mb total" figure).
+  [[nodiscard]] mem::MemoryReport memory_report() const;
+};
+
+[[nodiscard]] SwitchPrototype build_prototype(const FilterSet& mac_set,
+                                              const FilterSet& routing_set,
+                                              FieldSearchConfig config = {});
+
+}  // namespace ofmtl

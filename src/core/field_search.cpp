@@ -1,0 +1,303 @@
+#include "core/field_search.hpp"
+
+#include <stdexcept>
+
+namespace ofmtl {
+
+namespace {
+
+/// Encodes a (partition-length, partition-value) pair as the key of a trie's
+/// label encoder.
+[[nodiscard]] U128 partition_key(unsigned length, std::uint64_t value) {
+  return U128{(std::uint64_t{length} << 16) | value};
+}
+
+}  // namespace
+
+FieldSearch::FieldSearch(FieldId field, FieldSearchConfig config)
+    : field_(field), config_(std::move(config)) {
+  const auto& info = field_info(field);
+  switch (info.method) {
+    case MatchMethod::kExact:
+      lut_ = std::make_unique<ExactMatchLut>(info.bits);
+      label_refs_.resize(1);
+      break;
+    case MatchMethod::kLongestPrefix: {
+      const unsigned partitions = partition_count(info.bits);
+      tries_.reserve(partitions);
+      trie_encoders_.resize(partitions);
+      label_refs_.resize(partitions);
+      for (unsigned p = 0; p < partitions; ++p) {
+        tries_.emplace_back(16, config_.strides);
+      }
+      break;
+    }
+    case MatchMethod::kRange:
+      ranges_ = std::make_unique<RangeMatcher>(info.bits);
+      label_refs_.resize(1);
+      break;
+  }
+}
+
+std::size_t FieldSearch::algorithm_count() const {
+  return tries_.empty() ? 1 : tries_.size();
+}
+
+FieldSearch::RuleElements FieldSearch::decompose(const FieldMatch& match) const {
+  const auto& info = field_info(field_);
+  RuleElements elements;
+  switch (info.method) {
+    case MatchMethod::kExact:
+      switch (match.kind) {
+        case MatchKind::kAny:
+          break;  // exact_value stays empty -> wildcard
+        case MatchKind::kExact:
+          elements.exact_value = match.value;
+          break;
+        default:
+          throw std::invalid_argument(
+              std::string("EM field ") + std::string(field_name(field_)) +
+              " requires exact or any match");
+      }
+      return elements;
+    case MatchMethod::kLongestPrefix: {
+      Prefix prefix;
+      switch (match.kind) {
+        case MatchKind::kAny:
+          prefix = Prefix{U128{}, 0, info.bits};
+          break;
+        case MatchKind::kExact:
+          prefix = Prefix{match.value, info.bits, info.bits};
+          break;
+        case MatchKind::kPrefix:
+          if (match.prefix.width() != info.bits) {
+            throw std::invalid_argument("prefix width mismatch for field");
+          }
+          prefix = match.prefix;
+          break;
+        default:
+          throw std::invalid_argument("LPM field requires prefix/exact/any");
+      }
+      for (std::size_t p = 0; p < tries_.size(); ++p) {
+        const unsigned plen = prefix.partition16_length(static_cast<unsigned>(p));
+        elements.partitions.push_back(Prefix::from_value(
+            prefix.partition16(static_cast<unsigned>(p)), plen, 16));
+      }
+      return elements;
+    }
+    case MatchMethod::kRange:
+      switch (match.kind) {
+        case MatchKind::kAny:
+          elements.range = ValueRange{0, low_mask(info.bits)};
+          break;
+        case MatchKind::kExact:
+          elements.range = ValueRange{match.value.lo, match.value.lo};
+          break;
+        case MatchKind::kRange:
+          elements.range = match.range;
+          break;
+        default:
+          throw std::invalid_argument("RM field requires range/exact/any");
+      }
+      return elements;
+  }
+  throw std::logic_error("unknown match method");
+}
+
+std::vector<Label> FieldSearch::add_rule(const FieldMatch& match) {
+  const auto elements = decompose(match);
+  switch (method()) {
+    case MatchMethod::kExact: {
+      if (!elements.exact_value) {
+        if (!em_any_label_) {
+          // Reserve a label outside the value space: the LUT never returns
+          // it, the index table recognises it from the candidate list.
+          em_any_label_ = static_cast<Label>(0x80000000U);
+        }
+        ++em_any_refs_;
+        return {*em_any_label_};
+      }
+      const Label label = lut_->insert(*elements.exact_value);
+      ++label_refs_[0][label];
+      return {label};
+    }
+    case MatchMethod::kLongestPrefix: {
+      std::vector<Label> labels;
+      labels.reserve(tries_.size());
+      for (std::size_t p = 0; p < tries_.size(); ++p) {
+        const auto& prefix = elements.partitions[p];
+        const Label label = trie_encoders_[p].encode(
+            partition_key(prefix.length(), prefix.value64()));
+        tries_[p].insert(prefix, label);
+        ++label_refs_[p][label];
+        labels.push_back(label);
+      }
+      return labels;
+    }
+    case MatchMethod::kRange: {
+      const Label label = ranges_->add(*elements.range);
+      ++label_refs_[0][label];
+      return {label};
+    }
+  }
+  throw std::logic_error("unknown match method");
+}
+
+std::vector<Label> FieldSearch::remove_rule(const FieldMatch& match) {
+  const auto elements = decompose(match);
+  const auto drop_ref = [this](std::size_t algorithm, Label label) {
+    const auto it = label_refs_[algorithm].find(label);
+    if (it == label_refs_[algorithm].end()) {
+      throw std::invalid_argument("remove_rule: label not registered");
+    }
+    if (--it->second != 0) return false;
+    label_refs_[algorithm].erase(it);
+    return true;  // last reference gone
+  };
+
+  switch (method()) {
+    case MatchMethod::kExact: {
+      if (!elements.exact_value) {
+        if (em_any_refs_ == 0) {
+          throw std::invalid_argument("remove_rule: wildcard not registered");
+        }
+        --em_any_refs_;
+        return {*em_any_label_};
+      }
+      const auto label = lut_->lookup(*elements.exact_value);
+      if (!label) throw std::invalid_argument("remove_rule: value not present");
+      if (drop_ref(0, *label)) lut_->remove(*elements.exact_value);
+      return {*label};
+    }
+    case MatchMethod::kLongestPrefix: {
+      std::vector<Label> labels;
+      for (std::size_t p = 0; p < tries_.size(); ++p) {
+        const auto& prefix = elements.partitions[p];
+        const auto label = trie_encoders_[p].find(
+            partition_key(prefix.length(), prefix.value64()));
+        if (!label) {
+          throw std::invalid_argument("remove_rule: prefix not present");
+        }
+        if (drop_ref(p, *label)) tries_[p].remove(prefix);
+        labels.push_back(*label);
+      }
+      return labels;
+    }
+    case MatchMethod::kRange: {
+      const auto label = ranges_->find(*elements.range);
+      if (!label) throw std::invalid_argument("remove_rule: range not present");
+      // RangeMatcher holds one reference per registered rule; release ours
+      // and rebuild the interval index when the range actually dies.
+      (void)drop_ref(0, *label);
+      ranges_->remove(*elements.range);
+      if (!ranges_->find(*elements.range)) ranges_->seal();
+      return {*label};
+    }
+  }
+  throw std::logic_error("unknown match method");
+}
+
+void FieldSearch::seal() {
+  if (ranges_) ranges_->seal();
+}
+
+void FieldSearch::search(const PacketHeader& header,
+                         std::vector<LabelList>& out) const {
+  switch (method()) {
+    case MatchMethod::kExact: {
+      LabelList list;
+      if (const auto label = lut_->lookup(header.get(field_))) {
+        list.push_back(*label);
+      }
+      if (em_any_label_ && em_any_refs_ > 0) list.push_back(*em_any_label_);
+      out.push_back(std::move(list));
+      return;
+    }
+    case MatchMethod::kLongestPrefix: {
+      for (std::size_t p = 0; p < tries_.size(); ++p) {
+        LabelList list;
+        tries_[p].lookup_all(header.partition16(field_, static_cast<unsigned>(p)),
+                             list);
+        out.push_back(std::move(list));
+      }
+      return;
+    }
+    case MatchMethod::kRange: {
+      out.push_back(ranges_->lookup(header.get64(field_)));
+      return;
+    }
+  }
+}
+
+std::vector<std::size_t> FieldSearch::unique_values() const {
+  std::vector<std::size_t> counts;
+  switch (method()) {
+    case MatchMethod::kExact:
+      counts.push_back(lut_->unique_values());
+      break;
+    case MatchMethod::kLongestPrefix:
+      for (const auto& trie : tries_) counts.push_back(trie.prefix_count());
+      break;
+    case MatchMethod::kRange:
+      counts.push_back(ranges_->unique_ranges());
+      break;
+  }
+  return counts;
+}
+
+mem::MemoryReport FieldSearch::memory_report(const std::string& prefix) const {
+  mem::MemoryReport report;
+  switch (method()) {
+    case MatchMethod::kExact:
+      report.merge(lut_->memory_report(prefix + ".lut"), "");
+      break;
+    case MatchMethod::kLongestPrefix: {
+      // Worst-case-shared label width across the partitions, as the paper
+      // sizes node fields by the worst case.
+      std::size_t max_labels = 1;
+      for (const auto& encoder : trie_encoders_) {
+        max_labels = std::max(max_labels, encoder.size());
+      }
+      const unsigned label_bits =
+          max_labels <= 1 ? 1 : ceil_log2(max_labels);
+      static const char* const kPartNames[] = {"hi", "mid", "lo", "p3",
+                                               "p4", "p5",  "p6", "p7"};
+      for (std::size_t p = 0; p < tries_.size(); ++p) {
+        const std::string part =
+            p < 8 ? kPartNames[tries_.size() == 2 && p == 1 ? 2 : p]
+                  : std::to_string(p);
+        report.merge(tries_[p].memory_report(prefix + ".trie." + part,
+                                             config_.storage, label_bits),
+                     "");
+      }
+      break;
+    }
+    case MatchMethod::kRange: {
+      const unsigned label_bits =
+          ranges_->unique_ranges() <= 1
+              ? 1
+              : ceil_log2(ranges_->unique_ranges());
+      // storage_bits already aggregates boundaries + label lists.
+      report.add(prefix + ".range_index", ranges_->storage_bits(label_bits), 1);
+      break;
+    }
+  }
+  return report;
+}
+
+std::uint64_t FieldSearch::update_words() const {
+  switch (method()) {
+    case MatchMethod::kExact:
+      return lut_->update_words();
+    case MatchMethod::kLongestPrefix: {
+      std::uint64_t words = 0;
+      for (const auto& trie : tries_) words += trie.write_count();
+      return words;
+    }
+    case MatchMethod::kRange:
+      return ranges_->unique_ranges();
+  }
+  return 0;
+}
+
+}  // namespace ofmtl

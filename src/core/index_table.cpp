@@ -1,0 +1,121 @@
+#include "core/index_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ofmtl {
+
+IndexCalculator::IndexCalculator(std::size_t algorithm_count)
+    : stage_count_(algorithm_count == 0 ? 0 : algorithm_count - 1) {
+  if (algorithm_count == 0) {
+    throw std::invalid_argument("index calculator needs >= 1 algorithm");
+  }
+  stages_.resize(stage_count_);
+  next_intermediate_.assign(stage_count_, 0);
+}
+
+void IndexCalculator::add_rule(const std::vector<Label>& signature,
+                               std::uint32_t rule_index) {
+  if (signature.size() != stage_count_ + 1) {
+    throw std::invalid_argument("signature arity mismatch");
+  }
+  Label accumulated = signature[0];
+  for (std::size_t stage = 0; stage < stage_count_; ++stage) {
+    const PairKey key = pair_key(accumulated, signature[stage + 1]);
+    const auto [it, inserted] = stages_[stage].try_emplace(
+        key, PairEntry{next_intermediate_[stage], 0});
+    if (inserted) ++next_intermediate_[stage];
+    ++it->second.refs;
+    accumulated = it->second.label;
+  }
+  rules_[accumulated].push_back(rule_index);
+}
+
+void IndexCalculator::remove_rule(const std::vector<Label>& signature,
+                                  std::uint32_t rule_index) {
+  if (signature.size() != stage_count_ + 1) {
+    throw std::invalid_argument("signature arity mismatch");
+  }
+  // First walk: collect the pair entries along the signature's path.
+  std::vector<std::unordered_map<PairKey, PairEntry>::iterator> path;
+  Label accumulated = signature[0];
+  for (std::size_t stage = 0; stage < stage_count_; ++stage) {
+    const auto it =
+        stages_[stage].find(pair_key(accumulated, signature[stage + 1]));
+    if (it == stages_[stage].end()) {
+      throw std::invalid_argument("remove_rule: signature not registered");
+    }
+    path.push_back(it);
+    accumulated = it->second.label;
+  }
+  const auto rules_it = rules_.find(accumulated);
+  if (rules_it == rules_.end()) {
+    throw std::invalid_argument("remove_rule: signature not registered");
+  }
+  auto& indices = rules_it->second;
+  const auto pos = std::find(indices.begin(), indices.end(), rule_index);
+  if (pos == indices.end()) {
+    throw std::invalid_argument("remove_rule: rule not registered");
+  }
+  indices.erase(pos);
+  if (indices.empty()) rules_.erase(rules_it);
+  // Second walk: release references (reverse order so upstream pairs are
+  // still intact while downstream ones are dropped).
+  for (std::size_t stage = stage_count_; stage-- > 0;) {
+    if (--path[stage]->second.refs == 0) stages_[stage].erase(path[stage]);
+  }
+}
+
+void IndexCalculator::query(const std::vector<LabelList>& candidates,
+                            std::vector<std::uint32_t>& out) const {
+  if (candidates.size() != stage_count_ + 1) {
+    throw std::invalid_argument("candidate arity mismatch");
+  }
+  // Progressive combination; the working set stays bounded by the number of
+  // distinct rule signatures compatible with the packet so far.
+  std::vector<Label> current(candidates[0].begin(), candidates[0].end());
+  std::vector<Label> next;
+  for (std::size_t stage = 0; stage < stage_count_; ++stage) {
+    next.clear();
+    for (const Label accumulated : current) {
+      for (const Label candidate : candidates[stage + 1]) {
+        const auto it = stages_[stage].find(pair_key(accumulated, candidate));
+        if (it != stages_[stage].end()) next.push_back(it->second.label);
+      }
+    }
+    current.swap(next);
+    if (current.empty()) return;
+  }
+  for (const Label final_label : current) {
+    const auto it = rules_.find(final_label);
+    if (it == rules_.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+}
+
+mem::MemoryReport IndexCalculator::memory_report(const std::string& prefix) const {
+  mem::MemoryReport report;
+  for (std::size_t stage = 0; stage < stage_count_; ++stage) {
+    // One word per valid pair: two input labels + the combined label.
+    const std::size_t pairs = stages_[stage].size();
+    const unsigned in_bits =
+        2 * (next_intermediate_[stage] <= 1
+                 ? 1
+                 : bits_for_max_value(next_intermediate_[stage]));
+    const unsigned out_bits =
+        next_intermediate_[stage] <= 1 ? 1 : ceil_log2(next_intermediate_[stage]);
+    report.add(prefix + ".stage" + std::to_string(stage), pairs,
+               in_bits + out_bits);
+  }
+  report.add(prefix + ".final", rules_.size(), 32);
+  return report;
+}
+
+std::uint64_t IndexCalculator::update_words() const {
+  std::uint64_t words = 0;
+  for (const auto& stage : stages_) words += stage.size();
+  for (const auto& [label, indices] : rules_) words += indices.size();
+  return words;
+}
+
+}  // namespace ofmtl

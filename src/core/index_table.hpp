@@ -1,0 +1,64 @@
+// Index calculation (Fig. 1, Section IV.C): combines the labels returned by
+// the parallel single-field algorithms into the index of the matching flow
+// entry. Implemented as progressive pairwise combination — the Distributed
+// Crossproducting of Field Labels scheme ([11], DCFL) the paper's label
+// method derives from: stage i holds the valid (accumulated-label, next-
+// algorithm-label) pairs, so only label combinations some rule actually uses
+// are ever materialized (no crossproduct explosion).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/field_search.hpp"
+#include "mem/memory_model.hpp"
+
+namespace ofmtl {
+
+class IndexCalculator {
+ public:
+  /// `algorithm_count` = total algorithms across the table's fields.
+  explicit IndexCalculator(std::size_t algorithm_count);
+
+  /// Register a rule's signature (one label per algorithm, in order).
+  /// `rule_index` is the position in the table's entry array.
+  void add_rule(const std::vector<Label>& signature, std::uint32_t rule_index);
+
+  /// Unregister a rule. Pair entries are reference-counted across rules and
+  /// vanish when the last sharing rule leaves — the incremental-update
+  /// counterpart of add_rule. Throws if the signature was never registered.
+  void remove_rule(const std::vector<Label>& signature, std::uint32_t rule_index);
+
+  /// Query with per-algorithm candidate lists (most specific first). Appends
+  /// the indices of every rule whose signature is covered; order unspecified.
+  void query(const std::vector<LabelList>& candidates,
+             std::vector<std::uint32_t>& out) const;
+
+  [[nodiscard]] std::size_t algorithm_count() const { return stage_count_ + 1; }
+
+  /// Memory model: each stage is a hash table of (label,label)->label words.
+  [[nodiscard]] mem::MemoryReport memory_report(const std::string& prefix) const;
+  [[nodiscard]] std::uint64_t update_words() const;
+
+ private:
+  using PairKey = std::uint64_t;
+  [[nodiscard]] static PairKey pair_key(Label a, Label b) {
+    return (std::uint64_t{a} << 32) | b;
+  }
+
+  struct PairEntry {
+    Label label = 0;
+    std::uint32_t refs = 0;
+  };
+
+  std::size_t stage_count_;  // = algorithm_count - 1
+  std::vector<std::unordered_map<PairKey, PairEntry>> stages_;
+  std::vector<Label> next_intermediate_;  // per stage
+  // Final combined label -> rule indices (several rules may share a match
+  // signature at different priorities).
+  std::unordered_map<Label, std::vector<std::uint32_t>> rules_;
+  Label next_final_ = 0;
+};
+
+}  // namespace ofmtl

@@ -1,0 +1,70 @@
+// The label method (Section IV.B, after DCFL [11]): each *unique* field value
+// is stored once and assigned a dense label; rules reference labels instead
+// of replicating values. LabelEncoder is the bookkeeping for one field (or
+// one 16-bit field partition).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace ofmtl {
+
+/// Dense label assigned to a unique field value.
+using Label = std::uint32_t;
+
+/// Sentinel for "no label" in packed structures.
+inline constexpr Label kNoLabel = 0xFFFFFFFF;
+
+namespace detail {
+struct U128Hash {
+  [[nodiscard]] std::size_t operator()(const U128& v) const noexcept {
+    // Simple 128->64 mix (splitmix-style) — adequate for table balancing.
+    std::uint64_t h = v.hi * 0x9E3779B97F4A7C15ULL ^ v.lo;
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 27;
+    return static_cast<std::size_t>(h);
+  }
+};
+}  // namespace detail
+
+/// Bijection between unique values and dense labels [0, size).
+template <typename Value, typename Hash = std::hash<Value>>
+class LabelEncoder {
+ public:
+  /// Label for `value`, assigning the next free label on first sight.
+  Label encode(const Value& value) {
+    const auto [it, inserted] =
+        labels_.try_emplace(value, static_cast<Label>(values_.size()));
+    if (inserted) values_.push_back(value);
+    return it->second;
+  }
+
+  /// Label if the value has been seen, else nullopt.
+  [[nodiscard]] std::optional<Label> find(const Value& value) const {
+    const auto it = labels_.find(value);
+    if (it == labels_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] const Value& decode(Label label) const { return values_.at(label); }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] const std::vector<Value>& values() const { return values_; }
+
+  /// Bits needed to store one label of this encoder (>= 1).
+  [[nodiscard]] unsigned label_bits() const {
+    return size() <= 1 ? 1 : ceil_log2(size());
+  }
+
+ private:
+  std::unordered_map<Value, Label, Hash> labels_;
+  std::vector<Value> values_;
+};
+
+using ValueLabelEncoder = LabelEncoder<U128, detail::U128Hash>;
+
+}  // namespace ofmtl

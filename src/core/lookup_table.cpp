@@ -1,0 +1,140 @@
+#include "core/lookup_table.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace ofmtl {
+
+LookupTable::LookupTable(std::vector<FieldId> fields,
+                         std::vector<FlowEntry> entries,
+                         FieldSearchConfig config)
+    : fields_(std::move(fields)) {
+  if (fields_.empty()) {
+    throw std::invalid_argument("lookup table needs at least one field");
+  }
+  searches_.reserve(fields_.size());
+  std::size_t algorithms = 0;
+  for (const auto id : fields_) {
+    searches_.emplace_back(id, config);
+    algorithms += searches_.back().algorithm_count();
+  }
+  index_.emplace(algorithms);
+  for (auto& entry : entries) {
+    (void)insert_entry_impl(std::move(entry), /*seal_after=*/false);
+  }
+  for (auto& search : searches_) search.seal();
+}
+
+LookupTable LookupTable::compile(const FlowTable& table, FieldSearchConfig config) {
+  std::set<FieldId> used;
+  for (const auto& entry : table.entries()) {
+    for (const auto id : entry.match.constrained_fields()) used.insert(id);
+  }
+  if (used.empty()) used.insert(FieldId::kInPort);  // all-wildcard table
+  return LookupTable{{used.begin(), used.end()}, table.entries(), config};
+}
+
+std::uint32_t LookupTable::insert_entry(FlowEntry entry) {
+  return insert_entry_impl(std::move(entry), /*seal_after=*/true);
+}
+
+std::uint32_t LookupTable::insert_entry_impl(FlowEntry entry, bool seal_after) {
+  if (id_to_slot_.contains(entry.id)) {
+    throw std::invalid_argument("insert_entry: duplicate entry id");
+  }
+  std::vector<Label> signature;
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    const auto labels = searches_[f].add_rule(entry.match.get(fields_[f]));
+    signature.insert(signature.end(), labels.begin(), labels.end());
+  }
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  index_->add_rule(signature, slot);
+  actions_.set(slot, entry.instructions);
+  id_to_slot_.emplace(entry.id, slot);
+  slots_[slot].signature = std::move(signature);
+  slots_[slot].seq = next_seq_++;
+  slots_[slot].entry = std::move(entry);
+  ++live_entries_;
+  // Newly built range indexes need sealing before the next lookup; batch
+  // construction seals once at the end, incremental callers pay it here.
+  if (seal_after) {
+    for (auto& search : searches_) search.seal();
+  }
+  return slot;
+}
+
+bool LookupTable::remove_entry(FlowEntryId id) {
+  const auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) return false;
+  const std::uint32_t slot = it->second;
+  Slot& s = slots_[slot];
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    (void)searches_[f].remove_rule(s.entry->match.get(fields_[f]));
+  }
+  index_->remove_rule(s.signature, slot);
+  actions_.clear(slot);
+  id_to_slot_.erase(it);
+  s.entry.reset();
+  s.signature.clear();
+  free_slots_.push_back(slot);
+  --live_entries_;
+  return true;
+}
+
+std::vector<FlowEntry> LookupTable::entries() const {
+  std::vector<FlowEntry> result;
+  result.reserve(live_entries_);
+  for (const auto& slot : slots_) {
+    if (slot.entry) result.push_back(*slot.entry);
+  }
+  return result;
+}
+
+const FlowEntry* LookupTable::lookup(const PacketHeader& header) const {
+  std::vector<LabelList> candidates;
+  candidates.reserve(index_->algorithm_count());
+  for (const auto& search : searches_) search.search(header, candidates);
+
+  std::vector<std::uint32_t> matches;
+  index_->query(candidates, matches);
+  const Slot* best = nullptr;
+  for (const auto slot : matches) {
+    const Slot& candidate = slots_[slot];
+    if (best == nullptr ||
+        candidate.entry->priority > best->entry->priority ||
+        (candidate.entry->priority == best->entry->priority &&
+         candidate.seq < best->seq)) {
+      best = &candidate;
+    }
+  }
+  return best == nullptr ? nullptr : &*best->entry;
+}
+
+mem::MemoryReport LookupTable::memory_report(const std::string& prefix) const {
+  mem::MemoryReport report;
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    report.merge(searches_[f].memory_report(
+                     prefix + "." + std::string(field_name(fields_[f]))),
+                 "");
+  }
+  report.merge(index_->memory_report(prefix + ".index"), "");
+  report.merge(actions_.memory_report(prefix + ".actions"), "");
+  return report;
+}
+
+std::uint64_t LookupTable::update_words() const {
+  std::uint64_t words = 0;
+  for (const auto& search : searches_) words += search.update_words();
+  words += index_->update_words();
+  words += actions_.update_words();
+  return words;
+}
+
+}  // namespace ofmtl

@@ -1,0 +1,87 @@
+// One OpenFlow lookup table of the proposed architecture: the parallel
+// per-field searches, the index calculation, and the action table, built
+// from the table's flow entries (Fig. 1 end-to-end for a single table).
+//
+// Entries can be added and removed incrementally: unique field values are
+// reference-counted by the field searches, index pairs by the index
+// calculator, so an insert/remove touches only the structures the entry's
+// values live in — the "incremental update ability" requirement of the
+// paper's introduction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/action_table.hpp"
+#include "core/field_search.hpp"
+#include "core/index_table.hpp"
+#include "flow/flow_table.hpp"
+#include "mem/memory_model.hpp"
+
+namespace ofmtl {
+
+class LookupTable {
+ public:
+  /// Compile `entries` matching on `fields` (order fixes the algorithm
+  /// order). Fields the entries never constrain may still be listed.
+  LookupTable(std::vector<FieldId> fields, std::vector<FlowEntry> entries,
+              FieldSearchConfig config = {});
+
+  /// Convenience: compile a reference table, deriving the field list from
+  /// the fields its entries constrain.
+  [[nodiscard]] static LookupTable compile(const FlowTable& table,
+                                           FieldSearchConfig config = {});
+
+  /// Add one entry to the live table; returns its slot. The entry id must
+  /// not already be present. Fields outside the table's field list must be
+  /// unconstrained.
+  std::uint32_t insert_entry(FlowEntry entry);
+
+  /// Remove the entry with this id; returns whether it existed. Unique
+  /// values drop out of the structures when their last entry leaves.
+  bool remove_entry(FlowEntryId id);
+
+  /// Highest-priority matching entry, or nullptr on miss (-> controller).
+  /// Equal priorities tie-break to the earlier-inserted entry, matching
+  /// FlowTable's stable order.
+  [[nodiscard]] const FlowEntry* lookup(const PacketHeader& header) const;
+
+  [[nodiscard]] const std::vector<FieldId>& fields() const { return fields_; }
+  [[nodiscard]] std::size_t entry_count() const { return live_entries_; }
+  /// Snapshot of the live entries (slot order).
+  [[nodiscard]] std::vector<FlowEntry> entries() const;
+  [[nodiscard]] const std::vector<FieldSearch>& field_searches() const {
+    return searches_;
+  }
+  [[nodiscard]] const IndexCalculator& index() const { return *index_; }
+  [[nodiscard]] const ActionTable& actions() const { return actions_; }
+
+  [[nodiscard]] mem::MemoryReport memory_report(const std::string& prefix) const;
+
+  /// Update words written while building (label method).
+  [[nodiscard]] std::uint64_t update_words() const;
+
+ private:
+  std::uint32_t insert_entry_impl(FlowEntry entry, bool seal_after);
+
+  struct Slot {
+    std::optional<FlowEntry> entry;
+    std::vector<Label> signature;
+    std::uint64_t seq = 0;  // insertion order, for stable tie-breaks
+  };
+
+  std::vector<FieldId> fields_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<FlowEntryId, std::uint32_t> id_to_slot_;
+  std::size_t live_entries_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::vector<FieldSearch> searches_;
+  std::optional<IndexCalculator> index_;
+  ActionTable actions_;
+};
+
+}  // namespace ofmtl

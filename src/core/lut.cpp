@@ -1,0 +1,100 @@
+#include "core/lut.hpp"
+
+#include <stdexcept>
+
+namespace ofmtl {
+
+namespace {
+constexpr std::size_t kInitialSlots = 16;
+constexpr double kMaxLoad = 0.7;
+}  // namespace
+
+ExactMatchLut::ExactMatchLut(unsigned key_bits) : key_bits_(key_bits) {
+  if (key_bits == 0 || key_bits > 128) throw std::invalid_argument("bad key width");
+  slots_.resize(kInitialSlots);
+  slot_labels_.resize(kInitialSlots, kNoLabel);
+  states_.resize(kInitialSlots, SlotState::kEmpty);
+}
+
+std::size_t ExactMatchLut::probe(const U128& value) const {
+  // Linear probing with tombstones: a lookup must skip tombstones, an insert
+  // may reuse the first tombstone on its probe path.
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t index = detail::U128Hash{}(value)&mask;
+  std::size_t first_tombstone = slots_.size();
+  while (states_[index] != SlotState::kEmpty) {
+    if (states_[index] == SlotState::kLive && *slots_[index] == value) {
+      return index;
+    }
+    if (states_[index] == SlotState::kTombstone &&
+        first_tombstone == slots_.size()) {
+      first_tombstone = index;
+    }
+    index = (index + 1) & mask;
+  }
+  return first_tombstone != slots_.size() ? first_tombstone : index;
+}
+
+void ExactMatchLut::rehash(std::size_t new_slot_count) {
+  std::vector<std::optional<U128>> old_slots = std::move(slots_);
+  std::vector<Label> old_labels = std::move(slot_labels_);
+  std::vector<SlotState> old_states = std::move(states_);
+  slots_.assign(new_slot_count, std::nullopt);
+  slot_labels_.assign(new_slot_count, kNoLabel);
+  states_.assign(new_slot_count, SlotState::kEmpty);
+  tombstone_count_ = 0;  // rehash purges tombstones
+  for (std::size_t i = 0; i < old_slots.size(); ++i) {
+    if (old_states[i] != SlotState::kLive) continue;
+    const std::size_t index = probe(*old_slots[i]);
+    slots_[index] = old_slots[i];
+    slot_labels_[index] = old_labels[i];
+    states_[index] = SlotState::kLive;
+  }
+}
+
+Label ExactMatchLut::insert(const U128& value) {
+  const Label label = encoder_.encode(value);
+  if (static_cast<double>(live_count_ + 1) >
+      kMaxLoad * static_cast<double>(slots_.size())) {
+    rehash(slots_.size() * 2);
+  } else if (static_cast<double>(live_count_ + tombstone_count_ + 1) >
+             kMaxLoad * static_cast<double>(slots_.size())) {
+    // Same-size rehash purging tombstones, so probe chains always hit an
+    // empty terminator (otherwise a full-of-tombstones table loops forever).
+    rehash(slots_.size());
+  }
+  const std::size_t index = probe(value);
+  if (states_[index] == SlotState::kTombstone) --tombstone_count_;
+  if (states_[index] != SlotState::kLive) ++live_count_;
+  slots_[index] = value;
+  slot_labels_[index] = label;
+  states_[index] = SlotState::kLive;
+  return label;
+}
+
+bool ExactMatchLut::remove(const U128& value) {
+  const std::size_t index = probe(value);
+  if (states_[index] != SlotState::kLive || *slots_[index] != value) {
+    return false;
+  }
+  states_[index] = SlotState::kTombstone;
+  slots_[index].reset();
+  slot_labels_[index] = kNoLabel;
+  --live_count_;
+  ++tombstone_count_;
+  return true;
+}
+
+std::optional<Label> ExactMatchLut::lookup(const U128& value) const {
+  const std::size_t index = probe(value);
+  if (states_[index] != SlotState::kLive) return std::nullopt;
+  return slot_labels_[index];
+}
+
+mem::MemoryReport ExactMatchLut::memory_report(const std::string& name) const {
+  mem::MemoryReport report;
+  report.add(name, slots_.size(), slot_bits());
+  return report;
+}
+
+}  // namespace ofmtl

@@ -1,0 +1,64 @@
+// Hash-based exact-match lookup table (LUT) — the paper's structure for EM
+// fields (VLAN ID, ingress port, EtherType, ...). Open-addressing with linear
+// probing over a power-of-two slot array, mirroring a hardware hash LUT in a
+// dedicated memory block; the slot array size drives the memory cost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/label.hpp"
+#include "mem/memory_model.hpp"
+#include "net/types.hpp"
+
+namespace ofmtl {
+
+class ExactMatchLut {
+ public:
+  /// `key_bits` is the field width (drives stored-tag size).
+  explicit ExactMatchLut(unsigned key_bits);
+
+  /// Insert a unique value, returning its label (stable across re-inserts,
+  /// including re-insert after removal).
+  Label insert(const U128& value);
+
+  /// Remove a value (tombstone deletion); returns whether it was present.
+  /// The label stays reserved for a possible re-insert.
+  bool remove(const U128& value);
+
+  /// Label of `value`, or nullopt (field miss).
+  [[nodiscard]] std::optional<Label> lookup(const U128& value) const;
+
+  [[nodiscard]] std::size_t unique_values() const { return live_count_; }
+  [[nodiscard]] const ValueLabelEncoder& encoder() const { return encoder_; }
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+  [[nodiscard]] unsigned key_bits() const { return key_bits_; }
+
+  /// Per-slot layout: valid flag + key tag + label.
+  [[nodiscard]] unsigned slot_bits() const {
+    return 1 + key_bits_ + encoder_.label_bits();
+  }
+  [[nodiscard]] std::uint64_t storage_bits() const {
+    return slots_.size() * static_cast<std::uint64_t>(slot_bits());
+  }
+  [[nodiscard]] mem::MemoryReport memory_report(const std::string& name) const;
+
+  /// Update-word count for the update-cost model: one word per occupied slot.
+  [[nodiscard]] std::uint64_t update_words() const { return live_count_; }
+
+ private:
+  enum class SlotState : std::uint8_t { kEmpty, kLive, kTombstone };
+  void rehash(std::size_t new_slot_count);
+  [[nodiscard]] std::size_t probe(const U128& value) const;
+
+  unsigned key_bits_;
+  ValueLabelEncoder encoder_;
+  std::vector<std::optional<U128>> slots_;  // slot -> value
+  std::vector<Label> slot_labels_;
+  std::vector<SlotState> states_;
+  std::size_t live_count_ = 0;
+  std::size_t tombstone_count_ = 0;
+};
+
+}  // namespace ofmtl

@@ -1,0 +1,323 @@
+#include "core/multibit_trie.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ofmtl {
+
+std::string_view to_string(TrieStorage policy) {
+  switch (policy) {
+    case TrieStorage::kSparse: return "sparse";
+    case TrieStorage::kArrayBlock: return "array-block";
+  }
+  throw std::logic_error("unknown TrieStorage");
+}
+
+std::vector<unsigned> default_strides16() { return {5, 5, 6}; }
+
+MultibitTrie::MultibitTrie(unsigned width, std::vector<unsigned> strides)
+    : width_(width), strides_(std::move(strides)) {
+  if (width == 0 || width > 64) throw std::invalid_argument("bad trie width");
+  const unsigned total = std::accumulate(strides_.begin(), strides_.end(), 0U);
+  if (strides_.empty() || total != width_) {
+    throw std::invalid_argument("strides must sum to key width");
+  }
+  for (const unsigned s : strides_) {
+    if (s == 0 || s > 24) throw std::invalid_argument("stride out of range");
+  }
+  levels_.resize(strides_.size());
+  unsigned cum = 0;
+  for (std::size_t i = 0; i < strides_.size(); ++i) {
+    levels_[i].stride = strides_[i];
+    levels_[i].cum_before = cum;
+    cum += strides_[i];
+  }
+  allocate_block(0);  // root block always exists
+}
+
+std::int32_t MultibitTrie::allocate_block(std::size_t level_index) {
+  Level& level = levels_[level_index];
+  const auto block = static_cast<std::int32_t>(level.blocks);
+  level.entries.resize(level.entries.size() + (std::size_t{1} << level.stride));
+  ++level.blocks;
+  return block;
+}
+
+void MultibitTrie::check_prefix(const Prefix& prefix) const {
+  if (prefix.width() != width_) {
+    throw std::invalid_argument("prefix width mismatch");
+  }
+}
+
+void MultibitTrie::insert(const Prefix& prefix, Label label) {
+  check_prefix(prefix);
+  prefixes_[{prefix.length(), prefix.value64()}] = label;
+
+  std::size_t block = 0;
+  for (std::size_t li = 0; li < levels_.size(); ++li) {
+    Level& level = levels_[li];
+    const unsigned cum_after = level.cum_before + level.stride;
+    if (prefix.length() > cum_after) {
+      // Descend: this level's chunk is fully specified by the prefix.
+      const std::uint64_t chunk = prefix.slice(level.cum_before, level.stride);
+      const std::size_t index = entry_index(level, block, chunk);
+      if (level.entries[index].child < 0) {
+        level.entries[index].child = allocate_block(li + 1);
+        ++writes_;  // pointer store
+      }
+      block = static_cast<std::size_t>(level.entries[index].child);
+      continue;
+    }
+    // The prefix ends within this level: controlled prefix expansion over
+    // the remaining stride bits.
+    const unsigned bits_here = prefix.length() - level.cum_before;
+    const std::uint64_t base =
+        bits_here == 0 ? 0
+                       : prefix.slice(level.cum_before, bits_here)
+                             << (level.stride - bits_here);
+    const std::size_t fan = std::size_t{1} << (level.stride - bits_here);
+    for (std::size_t j = 0; j < fan; ++j) {
+      Entry& entry = level.entries[entry_index(level, block, base + j)];
+      const bool overwrite =
+          entry.label == kNoLabel || entry.plen <= prefix.length();
+      if (overwrite &&
+          (entry.label != label ||
+           entry.plen != static_cast<std::uint8_t>(prefix.length()))) {
+        entry.label = label;
+        entry.plen = static_cast<std::uint8_t>(prefix.length());
+        ++writes_;
+      }
+    }
+    return;
+  }
+  throw std::logic_error("prefix length exceeded stride coverage");
+}
+
+std::uint64_t MultibitTrie::insert_cost(const Prefix& prefix) const {
+  check_prefix(prefix);
+  std::uint64_t cost = 0;
+  std::size_t block = 0;
+  for (std::size_t li = 0; li < levels_.size(); ++li) {
+    const Level& level = levels_[li];
+    const unsigned cum_after = level.cum_before + level.stride;
+    if (prefix.length() > cum_after) {
+      const std::uint64_t chunk = prefix.slice(level.cum_before, level.stride);
+      const std::size_t index = entry_index(level, block, chunk);
+      if (level.entries[index].child < 0) {
+        // A fresh insert would write this pointer, one pointer per new block
+        // below, and the expansion fan at the level the prefix ends in.
+        cost += 1;
+        unsigned cum = cum_after;
+        for (std::size_t lj = li + 1; lj < levels_.size(); ++lj) {
+          const unsigned s = levels_[lj].stride;
+          if (prefix.length() > cum + s) {
+            cost += 1;
+            cum += s;
+            continue;
+          }
+          cost += std::uint64_t{1} << (s - (prefix.length() - cum));
+          return cost;
+        }
+        return cost;
+      }
+      block = static_cast<std::size_t>(level.entries[index].child);
+      continue;
+    }
+    const unsigned bits_here = prefix.length() - level.cum_before;
+    cost += std::uint64_t{1} << (level.stride - bits_here);
+    return cost;
+  }
+  return cost;
+}
+
+bool MultibitTrie::remove(const Prefix& prefix) {
+  check_prefix(prefix);
+  const auto it = prefixes_.find({prefix.length(), prefix.value64()});
+  if (it == prefixes_.end()) return false;
+  prefixes_.erase(it);
+
+  // Walk to the expansion block, then recompute every entry the removed
+  // prefix owned from the remaining prefixes ending at the same level.
+  std::size_t block = 0;
+  for (std::size_t li = 0; li < levels_.size(); ++li) {
+    Level& level = levels_[li];
+    const unsigned cum_after = level.cum_before + level.stride;
+    if (prefix.length() > cum_after) {
+      const std::uint64_t chunk = prefix.slice(level.cum_before, level.stride);
+      const std::size_t index = entry_index(level, block, chunk);
+      if (level.entries[index].child < 0) return true;  // nothing expanded
+      block = static_cast<std::size_t>(level.entries[index].child);
+      continue;
+    }
+    const unsigned bits_here = prefix.length() - level.cum_before;
+    const std::uint64_t base =
+        bits_here == 0 ? 0
+                       : prefix.slice(level.cum_before, bits_here)
+                             << (level.stride - bits_here);
+    const std::size_t fan = std::size_t{1} << (level.stride - bits_here);
+    const std::uint64_t path_high =
+        level.cum_before == 0
+            ? 0
+            : (prefix.value64() >> (width_ - level.cum_before))
+                  << (width_ - level.cum_before);
+    for (std::size_t j = 0; j < fan; ++j) {
+      Entry& entry = level.entries[entry_index(level, block, base + j)];
+      if (entry.plen != prefix.length() || entry.label == kNoLabel) continue;
+      const std::uint64_t path =
+          path_high | ((base + j) << (width_ - cum_after));
+      entry.label = kNoLabel;
+      entry.plen = 0;
+      ++writes_;
+      // Fallback: longest remaining prefix ending at this same level
+      // (shorter ones live at earlier levels and stay on the lookup path).
+      for (unsigned len = prefix.length(); len > level.cum_before; --len) {
+        if (len == prefix.length()) continue;  // the removed one
+        const std::uint64_t truncated = (path >> (width_ - len)) << (width_ - len);
+        const auto fallback = prefixes_.find({len, truncated});
+        if (fallback != prefixes_.end()) {
+          entry.label = fallback->second;
+          entry.plen = static_cast<std::uint8_t>(len);
+          break;
+        }
+      }
+    }
+    return true;
+  }
+  return true;
+}
+
+std::optional<Label> MultibitTrie::lookup(std::uint64_t key) const {
+  std::optional<Label> best;
+  std::size_t block = 0;
+  for (const Level& level : levels_) {
+    const std::uint64_t chunk =
+        (key >> (width_ - level.cum_before - level.stride)) &
+        low_mask(level.stride);
+    const Entry& entry = level.entries[entry_index(level, block, chunk)];
+    if (entry.label != kNoLabel) best = entry.label;
+    if (entry.child < 0) break;
+    block = static_cast<std::size_t>(entry.child);
+  }
+  return best;
+}
+
+void MultibitTrie::lookup_all(std::uint64_t key, std::vector<Label>& out) const {
+  out.clear();
+  // Traverse to find the deepest visited level, then report every stored
+  // prefix of the key whose length falls within a visited level's range.
+  // (Entry labels alone under-report when two prefixes end in the same
+  // level: controlled prefix expansion keeps only the longest. Hardware
+  // stores a per-node ancestor bitmap; the prefix map plays that role here.)
+  unsigned deepest_cum_after = 0;
+  std::size_t block = 0;
+  for (const Level& level : levels_) {
+    deepest_cum_after = level.cum_before + level.stride;
+    const std::uint64_t chunk =
+        (key >> (width_ - deepest_cum_after)) & low_mask(level.stride);
+    const Entry& entry = level.entries[entry_index(level, block, chunk)];
+    if (entry.child < 0) break;
+    block = static_cast<std::size_t>(entry.child);
+  }
+  for (unsigned len = deepest_cum_after + 1; len-- > 0;) {
+    const std::uint64_t truncated =
+        len == 0 ? 0 : (key >> (width_ - len)) << (width_ - len);
+    const auto it = prefixes_.find({len, truncated});
+    if (it != prefixes_.end()) out.push_back(it->second);
+  }
+}
+
+TrieLevelStats MultibitTrie::level_stats(std::size_t level_index) const {
+  const Level& level = levels_.at(level_index);
+  TrieLevelStats stats;
+  stats.blocks = level.blocks;
+  stats.allocated_entries = level.entries.size();
+  for (const Entry& entry : level.entries) {
+    if (entry.label != kNoLabel || entry.child >= 0) ++stats.stored_nodes;
+    if (entry.label != kNoLabel) ++stats.labelled_nodes;
+  }
+  return stats;
+}
+
+std::size_t MultibitTrie::stored_nodes(std::size_t level,
+                                       TrieStorage policy) const {
+  const auto stats = level_stats(level);
+  return policy == TrieStorage::kSparse ? stats.stored_nodes
+                                        : stats.allocated_entries;
+}
+
+std::size_t MultibitTrie::stored_nodes(TrieStorage policy) const {
+  std::size_t total = 0;
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    total += stored_nodes(level, policy);
+  }
+  return total;
+}
+
+std::vector<TrieNodeLayout> MultibitTrie::layouts(
+    unsigned label_bits, std::size_t pointer_capacity_blocks) const {
+  std::vector<TrieNodeLayout> result(levels_.size());
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    TrieNodeLayout& layout = result[i];
+    layout.label_bits = label_bits;
+    layout.flag_bits = 1;
+    if (i + 1 < levels_.size()) {
+      const std::size_t capacity =
+          pointer_capacity_blocks != 0
+              ? pointer_capacity_blocks
+              : std::max<std::size_t>(levels_[i + 1].blocks, 1);
+      // +1 reserves a null-pointer encoding.
+      layout.pointer_bits = std::max(1U, ceil_log2(capacity + 1));
+    }
+  }
+  return result;
+}
+
+std::uint64_t MultibitTrie::level_bits(std::size_t level, TrieStorage policy,
+                                       unsigned label_bits) const {
+  const auto layout = layouts(label_bits)[level];
+  return stored_nodes(level, policy) *
+         static_cast<std::uint64_t>(layout.node_bits());
+}
+
+std::uint64_t MultibitTrie::total_bits(TrieStorage policy,
+                                       unsigned label_bits) const {
+  std::uint64_t total = 0;
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    total += level_bits(level, policy, label_bits);
+  }
+  return total;
+}
+
+mem::MemoryReport MultibitTrie::memory_report(const std::string& name,
+                                              TrieStorage policy,
+                                              unsigned label_bits) const {
+  mem::MemoryReport report;
+  const auto layout = layouts(label_bits);
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    report.add(name + ".L" + std::to_string(level + 1),
+               stored_nodes(level, policy), layout[level].node_bits());
+  }
+  return report;
+}
+
+std::vector<TrieNodeLayout> uniform_layouts(
+    const std::vector<const MultibitTrie*>& tries, unsigned label_bits) {
+  if (tries.empty()) return {};
+  std::vector<TrieNodeLayout> worst = tries.front()->layouts(label_bits);
+  for (const MultibitTrie* trie : tries) {
+    const auto layouts_i = trie->layouts(label_bits);
+    if (layouts_i.size() != worst.size()) {
+      throw std::invalid_argument("uniform_layouts: level-count mismatch");
+    }
+    for (std::size_t level = 0; level < worst.size(); ++level) {
+      worst[level].pointer_bits =
+          std::max(worst[level].pointer_bits, layouts_i[level].pointer_bits);
+      worst[level].label_bits =
+          std::max(worst[level].label_bits, layouts_i[level].label_bits);
+    }
+  }
+  return worst;
+}
+
+}  // namespace ofmtl

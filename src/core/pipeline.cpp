@@ -1,0 +1,28 @@
+#include "core/pipeline.hpp"
+
+namespace ofmtl {
+
+MultiTableLookup MultiTableLookup::compile(const ReferencePipeline& reference,
+                                           FieldSearchConfig config) {
+  MultiTableLookup pipeline;
+  for (std::size_t t = 0; t < reference.table_count(); ++t) {
+    pipeline.add_table(LookupTable::compile(reference.table(t), config));
+  }
+  return pipeline;
+}
+
+mem::MemoryReport MultiTableLookup::memory_report(const std::string& prefix) const {
+  mem::MemoryReport report;
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    report.merge(tables_[t].memory_report(prefix + ".t" + std::to_string(t)), "");
+  }
+  return report;
+}
+
+std::uint64_t MultiTableLookup::update_words() const {
+  std::uint64_t words = 0;
+  for (const auto& table : tables_) words += table.update_words();
+  return words;
+}
+
+}  // namespace ofmtl

@@ -1,0 +1,73 @@
+// The proposed Multiple Table Lookup architecture end to end (Fig. 1): a
+// chain of decomposed lookup tables executed under OpenFlow multi-table
+// semantics. Drop-in equivalent of ReferencePipeline — same ExecutionResult,
+// same Goto-Table/metadata/action-set behaviour — but each table lookup runs
+// parallel single-field searches + index calculation instead of linear
+// search.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/lookup_table.hpp"
+#include "flow/pipeline_ref.hpp"
+#include "mem/memory_model.hpp"
+
+namespace ofmtl {
+
+class MultiTableLookup : public TableLookupSource {
+ public:
+  MultiTableLookup() = default;
+  explicit MultiTableLookup(std::vector<LookupTable> tables)
+      : tables_(std::move(tables)) {}
+
+  /// Compile every table of a reference pipeline (the equivalence target).
+  [[nodiscard]] static MultiTableLookup compile(const ReferencePipeline& reference,
+                                                FieldSearchConfig config = {});
+
+  void add_table(LookupTable table) { tables_.push_back(std::move(table)); }
+  [[nodiscard]] std::size_t table_count() const { return tables_.size(); }
+  [[nodiscard]] const LookupTable& table(std::size_t index) const {
+    return tables_.at(index);
+  }
+
+  /// Incremental flow-mod interface: add/remove one entry of one table on
+  /// the live pipeline (the controller channel of Section V.B).
+  void insert_entry(std::size_t table, FlowEntry entry) {
+    (void)tables_.at(table).insert_entry(std::move(entry));
+  }
+  bool remove_entry(std::size_t table, FlowEntryId id) {
+    return tables_.at(table).remove_entry(id);
+  }
+
+  /// Process one packet starting at table 0.
+  [[nodiscard]] ExecutionResult execute(const PacketHeader& header) const {
+    return execute_tables(*this, header);
+  }
+
+  [[nodiscard]] std::size_t source_table_count() const override {
+    return tables_.size();
+  }
+  [[nodiscard]] const FlowEntry* source_lookup(
+      std::size_t table, const PacketHeader& header) const override {
+    return tables_[table].lookup(header);
+  }
+  [[nodiscard]] const GroupTable* source_groups() const override {
+    return groups_;
+  }
+
+  /// Attach a group table (not owned) for resolving Group actions.
+  void set_group_table(const GroupTable* groups) { groups_ = groups; }
+
+  /// Aggregate memory report across tables (the Section V.A total).
+  [[nodiscard]] mem::MemoryReport memory_report(const std::string& prefix) const;
+
+  /// Total update words written while building (label method).
+  [[nodiscard]] std::uint64_t update_words() const;
+
+ private:
+  std::vector<LookupTable> tables_;
+  const GroupTable* groups_ = nullptr;
+};
+
+}  // namespace ofmtl

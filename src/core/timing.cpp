@@ -1,0 +1,50 @@
+#include "core/timing.hpp"
+
+#include <algorithm>
+
+#include "net/types.hpp"
+
+namespace ofmtl {
+
+unsigned TimingModel::field_search_stages(const FieldSearch& search) const {
+  switch (search.method()) {
+    case MatchMethod::kExact:
+      return 2;  // hash computation + slot read
+    case MatchMethod::kLongestPrefix: {
+      unsigned deepest = 0;
+      for (const auto& trie : search.tries()) {
+        deepest = std::max(deepest,
+                           static_cast<unsigned>(trie.level_count()));
+      }
+      return deepest;  // partitions run in parallel; one stage per level
+    }
+    case MatchMethod::kRange: {
+      const auto* ranges = search.ranges();
+      if (ranges == nullptr || ranges->unique_ranges() <= 1) return 1;
+      // Binary search over interval boundaries + label read.
+      return ceil_log2(2 * ranges->unique_ranges()) + 1;
+    }
+  }
+  return 1;
+}
+
+TableStages TimingModel::table_stages(const LookupTable& table) const {
+  TableStages stages;
+  for (const auto& search : table.field_searches()) {
+    stages.field_stages =
+        std::max(stages.field_stages, field_search_stages(search));
+  }
+  stages.index_stages =
+      static_cast<unsigned>(table.index().algorithm_count()) - 1;
+  return stages;
+}
+
+unsigned TimingModel::pipeline_latency(const MultiTableLookup& pipeline) const {
+  unsigned latency = 0;
+  for (std::size_t t = 0; t < pipeline.table_count(); ++t) {
+    latency += table_stages(pipeline.table(t)).total();
+  }
+  return latency;
+}
+
+}  // namespace ofmtl

@@ -1,0 +1,58 @@
+// Hardware timing model for the decomposed architecture. The paper pipelines
+// every structure — "each lookup algorithm is implemented in a separate
+// memory block, and each node level of the multi-bit trie is searched in a
+// different pipeline stage" (Section V.A) — so the design sustains one
+// lookup per clock (initiation interval 1) and its latency is the stage
+// count along the deepest path. This model turns a built pipeline into
+// stage counts, latency and line-rate estimates, connecting the memory
+// study to the paper's 40-100 Gbps motivation.
+#pragma once
+
+#include <cstdint>
+
+#include "core/lookup_table.hpp"
+#include "core/pipeline.hpp"
+
+namespace ofmtl {
+
+/// Stage breakdown of one lookup table.
+struct TableStages {
+  unsigned field_stages = 0;   ///< deepest parallel single-field search
+  unsigned index_stages = 0;   ///< progressive label-combination stages
+  unsigned action_stages = 1;  ///< action-table read
+  [[nodiscard]] unsigned total() const {
+    return field_stages + index_stages + action_stages;
+  }
+};
+
+struct TimingModel {
+  /// Fabric clock. 200 MHz is a conservative Stratix V figure for block-RAM
+  /// pipelines of this shape.
+  double clock_mhz = 200.0;
+
+  /// Stage depth of a single-field search: trie = one stage per level,
+  /// hash LUT = hash + read, range matcher = binary-search depth + read.
+  [[nodiscard]] unsigned field_search_stages(const FieldSearch& search) const;
+
+  [[nodiscard]] TableStages table_stages(const LookupTable& table) const;
+
+  /// Latency in cycles of one packet through the whole pipeline (sum of the
+  /// visited tables; all tables counted, the worst-case path).
+  [[nodiscard]] unsigned pipeline_latency(const MultiTableLookup& pipeline) const;
+
+  /// Sustained throughput: the pipeline accepts a new header every cycle.
+  [[nodiscard]] double lookups_per_second() const { return clock_mhz * 1e6; }
+
+  /// Line rate supported at a given packet size (bits/s of minimum-size
+  /// packets the lookup engine can keep up with).
+  [[nodiscard]] double line_rate_gbps(unsigned packet_bytes) const {
+    return lookups_per_second() * packet_bytes * 8.0 / 1e9;
+  }
+
+  /// Minimum packet size sustainable at a target line rate.
+  [[nodiscard]] double min_packet_bytes(double target_gbps) const {
+    return target_gbps * 1e9 / 8.0 / lookups_per_second();
+  }
+};
+
+}  // namespace ofmtl

@@ -1,0 +1,118 @@
+// Update-process simulation (Section V.B). The software controller generates
+// two files — an *algorithm file* characterizing each lookup-algorithm
+// structure and an *action file* for the action tables. The hardware update
+// engine consumes them at two clock cycles per update word: cycle 1 computes
+// the memory index, cycle 2 stores the data.
+//
+// Fig. 5 compares the cycles needed with the optimized (label-method) files
+// against the initial files without labelling, where every rule re-writes
+// its field values even when already stored.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/lookup_table.hpp"
+#include "core/pipeline.hpp"
+
+namespace ofmtl {
+
+inline constexpr std::uint64_t kCyclesPerUpdateWord = 2;
+
+/// One update word destined for a structure's memory block.
+struct UpdateWord {
+  std::string target;      ///< e.g. "t1.Destination Ethernet.trie.lo.L2"
+  std::uint64_t address;   ///< word address within the block
+  std::uint64_t payload;   ///< encoded node/slot/entry data
+};
+
+/// A generated update file plus its cost.
+struct UpdateScript {
+  std::vector<UpdateWord> words;
+  [[nodiscard]] std::uint64_t word_count() const { return words.size(); }
+  [[nodiscard]] std::uint64_t cycles() const {
+    return kCyclesPerUpdateWord * words.size();
+  }
+  void write(std::ostream& out) const;
+  /// Inverse of write(); throws std::invalid_argument on malformed lines.
+  [[nodiscard]] static UpdateScript parse(std::istream& in);
+};
+
+/// The hardware update engine consuming an update file: each word costs one
+/// index-calculation cycle and one store cycle (Section V.B), writing into
+/// named memory blocks. The replayed image is the test surface for the
+/// file-generation path.
+class UpdateReplayer {
+ public:
+  /// Apply a script; returns total clock cycles consumed.
+  std::uint64_t replay(const UpdateScript& script);
+
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  /// Words stored in one block (by target name); 0 if absent.
+  [[nodiscard]] std::size_t block_words(const std::string& target) const;
+  /// Payload at (target, address); nullopt if never written.
+  [[nodiscard]] std::optional<std::uint64_t> word_at(const std::string& target,
+                                                     std::uint64_t address) const;
+
+ private:
+  std::map<std::string, std::map<std::uint64_t, std::uint64_t>> blocks_;
+  std::uint64_t cycles_ = 0;
+};
+
+/// What the script covers: the lookup algorithms only (Fig. 5's comparison)
+/// or algorithms + index stages + action tables.
+enum class UpdateScope : std::uint8_t { kAlgorithms, kAll };
+
+/// Cycle accounting for one table or pipeline build.
+struct UpdateCost {
+  std::uint64_t optimized_words = 0;  ///< with the label method
+  std::uint64_t original_words = 0;   ///< per-rule duplicated writes
+
+  [[nodiscard]] std::uint64_t optimized_cycles() const {
+    return kCyclesPerUpdateWord * optimized_words;
+  }
+  [[nodiscard]] std::uint64_t original_cycles() const {
+    return kCyclesPerUpdateWord * original_words;
+  }
+  /// Fig. 5's headline: percentage of cycles saved by the label method.
+  [[nodiscard]] double reduction_percent() const {
+    if (original_words == 0) return 0.0;
+    return 100.0 *
+           (static_cast<double>(original_words - optimized_words) /
+            static_cast<double>(original_words));
+  }
+  UpdateCost& operator+=(const UpdateCost& other) {
+    optimized_words += other.optimized_words;
+    original_words += other.original_words;
+    return *this;
+  }
+};
+
+/// Generate the optimized (label-method) update script for a built table:
+/// one word per stored structure element.
+[[nodiscard]] UpdateScript optimized_script(const LookupTable& table,
+                                            UpdateScope scope);
+
+/// Count the words the *original* (label-less) files would contain: every
+/// rule writes its full field data — trie path pointers and expansion fan,
+/// one LUT slot, one range entry — regardless of repetition.
+[[nodiscard]] std::uint64_t original_words(const LookupTable& table,
+                                           UpdateScope scope);
+
+/// Both costs for a table / a whole pipeline.
+[[nodiscard]] UpdateCost update_cost(const LookupTable& table, UpdateScope scope);
+[[nodiscard]] UpdateCost update_cost(const MultiTableLookup& pipeline,
+                                     UpdateScope scope);
+
+/// Words a fresh insert of `prefix` writes into an empty trie with these
+/// strides: one pointer per descended level + the expansion fan. This is the
+/// per-rule cost model for label-less updates.
+[[nodiscard]] std::uint64_t fresh_insert_words(const Prefix& prefix,
+                                               const std::vector<unsigned>& strides);
+
+}  // namespace ofmtl

@@ -1,0 +1,50 @@
+#include "flow/action.hpp"
+
+#include <sstream>
+
+namespace ofmtl {
+
+std::string to_string(const Action& action) {
+  std::ostringstream out;
+  std::visit(
+      [&out](const auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, OutputAction>) {
+          out << "output:" << a.port;
+        } else if constexpr (std::is_same_v<T, SetFieldAction>) {
+          out << "set_field:" << field_name(a.field) << "=" << a.value.lo;
+        } else if constexpr (std::is_same_v<T, PushVlanAction>) {
+          out << "push_vlan:" << a.vlan_id;
+        } else if constexpr (std::is_same_v<T, PopVlanAction>) {
+          out << "pop_vlan";
+        } else if constexpr (std::is_same_v<T, GroupAction>) {
+          out << "group:" << a.group_id;
+        } else {
+          out << "drop";
+        }
+      },
+      action);
+  return out.str();
+}
+
+unsigned action_bits(const Action& action) {
+  constexpr unsigned kOpcodeBits = 16;
+  return kOpcodeBits + std::visit(
+                           [](const auto& a) -> unsigned {
+                             using T = std::decay_t<decltype(a)>;
+                             if constexpr (std::is_same_v<T, OutputAction>) {
+                               return 32;
+                             } else if constexpr (std::is_same_v<T, SetFieldAction>) {
+                               return 8 + field_bits(a.field);
+                             } else if constexpr (std::is_same_v<T, PushVlanAction>) {
+                               return 16;
+                             } else if constexpr (std::is_same_v<T, GroupAction>) {
+                               return 32;
+                             } else {
+                               return 0;
+                             }
+                           },
+                           action);
+}
+
+}  // namespace ofmtl

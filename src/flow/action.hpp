@@ -1,0 +1,66 @@
+// OpenFlow v1.3 actions applied to matched packets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/fields.hpp"
+#include "net/types.hpp"
+
+namespace ofmtl {
+
+/// Reserved OpenFlow port numbers used by Output actions.
+enum class ReservedPort : std::uint32_t {
+  kController = 0xFFFFFFFD,
+  kFlood = 0xFFFFFFFB,
+  kAll = 0xFFFFFFFC,
+  kInPort = 0xFFFFFFF8,
+};
+
+/// Forward the packet out of a switch port (possibly reserved).
+struct OutputAction {
+  std::uint32_t port = 0;
+  friend bool operator==(const OutputAction&, const OutputAction&) = default;
+};
+
+/// Rewrite one header field.
+struct SetFieldAction {
+  FieldId field = FieldId::kEthDst;
+  U128 value{};
+  friend bool operator==(const SetFieldAction&, const SetFieldAction&) = default;
+};
+
+/// Push an 802.1Q tag.
+struct PushVlanAction {
+  std::uint16_t vlan_id = 0;
+  friend bool operator==(const PushVlanAction&, const PushVlanAction&) = default;
+};
+
+/// Pop the outermost 802.1Q tag.
+struct PopVlanAction {
+  friend bool operator==(const PopVlanAction&, const PopVlanAction&) = default;
+};
+
+/// Explicit drop (empty action set also drops; this makes intent visible).
+struct DropAction {
+  friend bool operator==(const DropAction&, const DropAction&) = default;
+};
+
+/// Hand the packet to a group-table group (flood/multipath/indirection).
+struct GroupAction {
+  std::uint32_t group_id = 0;
+  friend bool operator==(const GroupAction&, const GroupAction&) = default;
+};
+
+using Action = std::variant<OutputAction, SetFieldAction, PushVlanAction,
+                            PopVlanAction, DropAction, GroupAction>;
+
+[[nodiscard]] std::string to_string(const Action& action);
+
+/// Approximate encoded size of one action in bits, used by the action-table
+/// memory model: 16-bit opcode plus the operand width.
+[[nodiscard]] unsigned action_bits(const Action& action);
+
+}  // namespace ofmtl

@@ -1,0 +1,35 @@
+// Text serialization for filter sets. Two formats:
+//  * the native "ofmtl" line format (any subset of fields), used by the
+//    update-engine's algorithm/action files and for persisting generated sets;
+//  * the ClassBench 5-tuple format ("@srcpfx dstpfx sport : sport dport :
+//    dport proto/mask") used by the ACL baselines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "flow/flow_entry.hpp"
+
+namespace ofmtl {
+
+/// Write a filter set in the native line format:
+///   # name: <name>
+///   # fields: <field name>;<field name>...
+///   <priority> <field spec> ... -> <instruction summary>
+/// Field spec is one of  *, =HEX, HEX/LEN, [LO-HI].
+void write_filterset(std::ostream& out, const FilterSet& set);
+[[nodiscard]] std::string filterset_to_string(const FilterSet& set);
+
+/// Parse the native line format (inverse of write_filterset). Instruction
+/// summaries are restored for the output/goto patterns the writer emits.
+[[nodiscard]] FilterSet parse_filterset(std::istream& in);
+[[nodiscard]] FilterSet parse_filterset_string(const std::string& text);
+
+/// Parse one ClassBench-style 5-tuple line into a FlowMatch (fields
+/// kIpv4Src, kIpv4Dst, kSrcPort, kDstPort, kIpProto).
+[[nodiscard]] FlowMatch parse_classbench_rule(const std::string& line);
+
+/// Write one FlowMatch as a ClassBench 5-tuple line.
+[[nodiscard]] std::string to_classbench_rule(const FlowMatch& match);
+
+}  // namespace ofmtl

@@ -1,0 +1,38 @@
+#include "flow/flow_entry.hpp"
+
+#include <sstream>
+
+namespace ofmtl {
+
+std::string FlowMatch::to_string() const {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    const auto& fm = fields_[i];
+    if (fm.kind == MatchKind::kAny) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << field_name(static_cast<FieldId>(i)) << " ";
+    switch (fm.kind) {
+      case MatchKind::kExact:
+        out << "== " << fm.value.lo;
+        break;
+      case MatchKind::kPrefix:
+        out << "in " << fm.prefix.to_string();
+        break;
+      case MatchKind::kRange:
+        out << "in [" << fm.range.lo << "," << fm.range.hi << "]";
+        break;
+      case MatchKind::kMasked:
+        out << "&" << fm.mask.lo << " == " << fm.value.lo;
+        break;
+      case MatchKind::kAny:
+        break;
+    }
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace ofmtl

@@ -1,0 +1,145 @@
+// Flow entries: a match over OpenFlow fields + priority + instructions.
+// FlowMatch is also the generic "filter"/"rule" representation used by the
+// classification algorithms (the paper uses filter and rule interchangeably).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/instruction.hpp"
+#include "net/fields.hpp"
+#include "net/header.hpp"
+#include "net/prefix.hpp"
+
+namespace ofmtl {
+
+/// How one field of a rule constrains packets.
+enum class MatchKind : std::uint8_t {
+  kAny,     ///< field not matched (wildcard)
+  kExact,   ///< all bits compared
+  kPrefix,  ///< high `length` bits compared (LPM syntax)
+  kRange,   ///< inclusive [lo, hi] (RM syntax)
+  kMasked,  ///< arbitrary bitmask (metadata matches)
+};
+
+/// Constraint on a single field. A small tagged struct rather than a variant:
+/// the hot matching loop reads it linearly.
+struct FieldMatch {
+  MatchKind kind = MatchKind::kAny;
+  U128 value{};             // kExact / kMasked
+  U128 mask{};              // kMasked
+  Prefix prefix{};          // kPrefix
+  ValueRange range{};       // kRange
+
+  [[nodiscard]] static FieldMatch any() { return {}; }
+  [[nodiscard]] static FieldMatch exact(U128 value) {
+    FieldMatch m;
+    m.kind = MatchKind::kExact;
+    m.value = value;
+    return m;
+  }
+  [[nodiscard]] static FieldMatch exact(std::uint64_t value) {
+    return exact(U128{value});
+  }
+  [[nodiscard]] static FieldMatch of_prefix(const Prefix& prefix) {
+    FieldMatch m;
+    m.kind = MatchKind::kPrefix;
+    m.prefix = prefix;
+    return m;
+  }
+  [[nodiscard]] static FieldMatch of_range(std::uint64_t lo, std::uint64_t hi) {
+    FieldMatch m;
+    m.kind = MatchKind::kRange;
+    m.range = ValueRange{lo, hi};
+    return m;
+  }
+  [[nodiscard]] static FieldMatch masked(U128 value, U128 mask) {
+    FieldMatch m;
+    m.kind = MatchKind::kMasked;
+    m.value = value & mask;
+    m.mask = mask;
+    return m;
+  }
+
+  [[nodiscard]] bool matches(const U128& key) const {
+    switch (kind) {
+      case MatchKind::kAny: return true;
+      case MatchKind::kExact: return key == value;
+      case MatchKind::kPrefix: return prefix.matches(key);
+      case MatchKind::kRange: return key.hi == 0 && range.contains(key.lo);
+      case MatchKind::kMasked: return (key & mask) == value;
+    }
+    return false;
+  }
+
+  friend bool operator==(const FieldMatch&, const FieldMatch&) = default;
+};
+
+/// A match across all OpenFlow fields. Fields default to kAny.
+class FlowMatch {
+ public:
+  FlowMatch() = default;
+
+  void set(FieldId id, FieldMatch match) {
+    fields_[static_cast<std::size_t>(id)] = std::move(match);
+  }
+  [[nodiscard]] const FieldMatch& get(FieldId id) const {
+    return fields_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] bool constrains(FieldId id) const {
+    return get(id).kind != MatchKind::kAny;
+  }
+
+  [[nodiscard]] bool matches(const PacketHeader& header) const {
+    for (std::size_t i = 0; i < kFieldCount; ++i) {
+      const auto& fm = fields_[i];
+      if (fm.kind == MatchKind::kAny) continue;
+      if (!fm.matches(header.get(static_cast<FieldId>(i)))) return false;
+    }
+    return true;
+  }
+
+  /// Fields this match constrains, in FieldId order.
+  [[nodiscard]] std::vector<FieldId> constrained_fields() const {
+    std::vector<FieldId> ids;
+    for (std::size_t i = 0; i < kFieldCount; ++i) {
+      if (fields_[i].kind != MatchKind::kAny) ids.push_back(static_cast<FieldId>(i));
+    }
+    return ids;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const FlowMatch&, const FlowMatch&) = default;
+
+ private:
+  std::array<FieldMatch, kFieldCount> fields_{};
+};
+
+/// Identifier of a flow entry within its filter set (stable across rebuilds).
+using FlowEntryId = std::uint32_t;
+
+/// One OpenFlow flow entry.
+struct FlowEntry {
+  FlowEntryId id = 0;
+  std::uint16_t priority = 0;  // higher wins
+  FlowMatch match;
+  InstructionSet instructions;
+
+  friend bool operator==(const FlowEntry&, const FlowEntry&) = default;
+};
+
+/// A filter set: the rules of one application's flow table(s) plus the list
+/// of fields the application matches on (e.g. MAC learning: VLAN ID +
+/// destination Ethernet; routing: ingress port + destination IPv4).
+struct FilterSet {
+  std::string name;
+  std::vector<FieldId> fields;
+  std::vector<FlowEntry> entries;
+
+  [[nodiscard]] std::size_t size() const { return entries.size(); }
+};
+
+}  // namespace ofmtl

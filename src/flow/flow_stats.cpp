@@ -1,0 +1,38 @@
+#include "flow/flow_stats.hpp"
+
+namespace ofmtl {
+
+void FlowStatsTracker::install(FlowEntryId id, TimeoutConfig timeouts,
+                               std::uint64_t now) {
+  FlowStats stats;
+  stats.installed_at = now;
+  stats.last_used = now;
+  stats_[id] = stats;
+  timeouts_[id] = timeouts;
+}
+
+void FlowStatsTracker::record(const ExecutionResult& result,
+                              std::uint64_t bytes, std::uint64_t now) {
+  for (const auto id : result.matched_entries) {
+    const auto it = stats_.find(id);
+    if (it == stats_.end()) continue;  // untracked (e.g. static) entry
+    it->second.packets += 1;
+    it->second.bytes += bytes;
+    it->second.last_used = now;
+  }
+}
+
+std::vector<FlowEntryId> FlowStatsTracker::expired(std::uint64_t now) const {
+  std::vector<FlowEntryId> result;
+  for (const auto& [id, stats] : stats_) {
+    const auto config = timeouts_.at(id);
+    const bool hard =
+        config.hard_timeout != 0 && now >= stats.installed_at + config.hard_timeout;
+    const bool idle =
+        config.idle_timeout != 0 && now >= stats.last_used + config.idle_timeout;
+    if (hard || idle) result.push_back(id);
+  }
+  return result;
+}
+
+}  // namespace ofmtl

@@ -1,0 +1,61 @@
+// Per-flow counters and timeout expiry — the OpenFlow flow-entry statistics
+// substrate (packet/byte counters, idle and hard timeouts) driven by
+// ExecutionResults, so it works identically over the reference pipeline and
+// the accelerated one. Time is a caller-supplied virtual clock (ticks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/pipeline_ref.hpp"
+
+namespace ofmtl {
+
+struct FlowStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t installed_at = 0;
+  std::uint64_t last_used = 0;
+};
+
+struct TimeoutConfig {
+  std::uint32_t idle_timeout = 0;  ///< 0 = never idle-expires
+  std::uint32_t hard_timeout = 0;  ///< 0 = never hard-expires
+  friend bool operator==(const TimeoutConfig&, const TimeoutConfig&) = default;
+};
+
+class FlowStatsTracker {
+ public:
+  /// Register an installed entry at virtual time `now`.
+  void install(FlowEntryId id, TimeoutConfig timeouts, std::uint64_t now);
+
+  /// Forget an entry (after eviction/deletion).
+  void erase(FlowEntryId id) {
+    stats_.erase(id);
+    timeouts_.erase(id);
+  }
+
+  /// Account one processed packet: every matched entry on the execution
+  /// path counts the packet and refreshes its idle timer.
+  void record(const ExecutionResult& result, std::uint64_t bytes,
+              std::uint64_t now);
+
+  [[nodiscard]] const FlowStats* find(FlowEntryId id) const {
+    const auto it = stats_.find(id);
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+
+  /// Entries whose idle or hard timeout has fired by `now` (the controller
+  /// removes them from the tables and calls erase()).
+  [[nodiscard]] std::vector<FlowEntryId> expired(std::uint64_t now) const;
+
+  [[nodiscard]] std::size_t tracked() const { return stats_.size(); }
+
+ private:
+  std::unordered_map<FlowEntryId, FlowStats> stats_;
+  std::unordered_map<FlowEntryId, TimeoutConfig> timeouts_;
+};
+
+}  // namespace ofmtl

@@ -1,0 +1,40 @@
+#include "flow/flow_table.hpp"
+
+#include <algorithm>
+
+namespace ofmtl {
+
+void FlowTable::insert(FlowEntry entry) {
+  // First position with strictly lower priority keeps insertion stable among
+  // equal-priority entries.
+  const auto pos = std::find_if(entries_.begin(), entries_.end(),
+                                [&entry](const FlowEntry& existing) {
+                                  return existing.priority < entry.priority;
+                                });
+  entries_.insert(pos, std::move(entry));
+}
+
+void FlowTable::replace(std::vector<FlowEntry> entries) {
+  entries_ = std::move(entries);
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const FlowEntry& a, const FlowEntry& b) {
+                     return a.priority > b.priority;
+                   });
+}
+
+bool FlowTable::remove(FlowEntryId id) {
+  const auto pos = std::find_if(entries_.begin(), entries_.end(),
+                                [id](const FlowEntry& e) { return e.id == id; });
+  if (pos == entries_.end()) return false;
+  entries_.erase(pos);
+  return true;
+}
+
+const FlowEntry* FlowTable::lookup(const PacketHeader& header) const {
+  for (const auto& entry : entries_) {
+    if (entry.match.matches(header)) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace ofmtl

@@ -1,0 +1,39 @@
+// Reference flow table: linear search in priority order. This is the
+// correctness oracle every accelerated structure is tested against, and the
+// "single table lookup" baseline of OpenFlow v1.0 the paper motivates against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "flow/flow_entry.hpp"
+
+namespace ofmtl {
+
+class FlowTable {
+ public:
+  FlowTable() = default;
+  explicit FlowTable(std::vector<FlowEntry> entries) { replace(std::move(entries)); }
+
+  /// Insert one entry, keeping priority order (stable for equal priorities:
+  /// earlier-inserted entries win, mirroring controller insertion order).
+  void insert(FlowEntry entry);
+
+  /// Replace all entries at once.
+  void replace(std::vector<FlowEntry> entries);
+
+  /// Remove the entry with the given id; returns whether it existed.
+  bool remove(FlowEntryId id);
+
+  /// Highest-priority matching entry, or nullptr on table miss.
+  [[nodiscard]] const FlowEntry* lookup(const PacketHeader& header) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<FlowEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<FlowEntry> entries_;  // sorted by descending priority
+};
+
+}  // namespace ofmtl

@@ -1,0 +1,74 @@
+#include "flow/group_table.hpp"
+
+#include <stdexcept>
+
+namespace ofmtl {
+
+void GroupTable::validate(const Group& group) {
+  if (group.buckets.empty()) {
+    throw std::invalid_argument("group needs at least one bucket");
+  }
+  if (group.type == GroupType::kIndirect && group.buckets.size() != 1) {
+    throw std::invalid_argument("indirect group holds exactly one bucket");
+  }
+  for (const auto& bucket : group.buckets) {
+    if (group.type == GroupType::kSelect && bucket.weight == 0) {
+      throw std::invalid_argument("select bucket weight must be nonzero");
+    }
+  }
+}
+
+void GroupTable::add(Group group) {
+  validate(group);
+  const auto id = group.id;
+  if (!groups_.try_emplace(id, std::move(group)).second) {
+    throw std::invalid_argument("duplicate group id");
+  }
+}
+
+void GroupTable::modify(Group group) {
+  validate(group);
+  const auto it = groups_.find(group.id);
+  if (it == groups_.end()) {
+    throw std::invalid_argument("modify of unknown group");
+  }
+  it->second = std::move(group);
+}
+
+bool GroupTable::remove(GroupId id) { return groups_.erase(id) > 0; }
+
+const Group* GroupTable::find(GroupId id) const {
+  const auto it = groups_.find(id);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+const GroupBucket& GroupTable::select_bucket(const Group& group,
+                                             std::uint64_t hash) {
+  std::uint64_t total_weight = 0;
+  for (const auto& bucket : group.buckets) total_weight += bucket.weight;
+  std::uint64_t point = hash % total_weight;
+  for (const auto& bucket : group.buckets) {
+    if (point < bucket.weight) return bucket;
+    point -= bucket.weight;
+  }
+  return group.buckets.back();
+}
+
+mem::MemoryReport GroupTable::memory_report(const std::string& name) const {
+  mem::MemoryReport report;
+  std::size_t buckets = 0;
+  unsigned widest = 1;
+  for (const auto& [id, group] : groups_) {
+    buckets += group.buckets.size();
+    for (const auto& bucket : group.buckets) {
+      unsigned bits = 16;  // weight
+      for (const auto& action : bucket.actions) bits += action_bits(action);
+      widest = std::max(widest, bits);
+    }
+  }
+  report.add(name + ".groups", groups_.size(), 32 + 8 /*id + type*/);
+  report.add(name + ".buckets", buckets, widest);
+  return report;
+}
+
+}  // namespace ofmtl

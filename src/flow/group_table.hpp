@@ -1,0 +1,61 @@
+// OpenFlow group table (v1.1+): groups of action buckets referenced from
+// flow entries via the Group action. ALL replicates the packet through every
+// bucket (flood/multicast), SELECT picks one bucket by a packet hash
+// (multipath/ECMP), INDIRECT holds a single shared bucket (next-hop
+// indirection).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/action.hpp"
+#include "mem/memory_model.hpp"
+
+namespace ofmtl {
+
+using GroupId = std::uint32_t;
+
+enum class GroupType : std::uint8_t { kAll = 0, kSelect = 1, kIndirect = 2 };
+
+struct GroupBucket {
+  std::uint16_t weight = 1;  ///< SELECT weighting
+  std::vector<Action> actions;
+  friend bool operator==(const GroupBucket&, const GroupBucket&) = default;
+};
+
+struct Group {
+  GroupId id = 0;
+  GroupType type = GroupType::kAll;
+  std::vector<GroupBucket> buckets;
+  friend bool operator==(const Group&, const Group&) = default;
+};
+
+class GroupTable {
+ public:
+  /// Insert a group; throws std::invalid_argument on duplicate id, empty
+  /// buckets, or an INDIRECT group with more than one bucket.
+  void add(Group group);
+
+  /// Replace an existing group (same validation); throws if absent.
+  void modify(Group group);
+
+  /// Remove a group; returns whether it existed.
+  bool remove(GroupId id);
+
+  [[nodiscard]] const Group* find(GroupId id) const;
+  [[nodiscard]] std::size_t size() const { return groups_.size(); }
+
+  /// SELECT bucket choice for a given packet hash: weighted, deterministic.
+  [[nodiscard]] static const GroupBucket& select_bucket(const Group& group,
+                                                        std::uint64_t hash);
+
+  [[nodiscard]] mem::MemoryReport memory_report(const std::string& name) const;
+
+ private:
+  static void validate(const Group& group);
+  std::unordered_map<GroupId, Group> groups_;
+};
+
+}  // namespace ofmtl

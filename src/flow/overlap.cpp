@@ -1,0 +1,98 @@
+#include "flow/overlap.hpp"
+
+namespace ofmtl {
+
+namespace {
+
+/// The value interval a prefix covers (prefixes over <= 64-bit fields).
+[[nodiscard]] ValueRange prefix_interval(const Prefix& prefix, unsigned bits) {
+  const std::uint64_t lo = prefix.value64();
+  return {lo, lo | low_mask(bits - prefix.length())};
+}
+
+[[nodiscard]] bool intervals_intersect(const ValueRange& a, const ValueRange& b) {
+  return a.lo <= b.hi && b.lo <= a.hi;
+}
+
+/// Intersection when at least one side is interval-shaped and fields are
+/// <= 64 bits. Wide fields (IPv6) are handled prefix/exact-only.
+[[nodiscard]] bool narrow_intersect(const FieldMatch& a, const FieldMatch& b,
+                                    unsigned bits) {
+  const auto interval_of = [bits](const FieldMatch& fm) -> ValueRange {
+    switch (fm.kind) {
+      case MatchKind::kExact: return {fm.value.lo, fm.value.lo};
+      case MatchKind::kPrefix: return prefix_interval(fm.prefix, bits);
+      case MatchKind::kRange: return fm.range;
+      default: return {0, low_mask(bits)};
+    }
+  };
+  // Masked constraints are not intervals: handle pairs involving masks via
+  // the bit test below; everything else via intervals.
+  if (a.kind != MatchKind::kMasked && b.kind != MatchKind::kMasked) {
+    return intervals_intersect(interval_of(a), interval_of(b));
+  }
+  // mask/mask: compatible iff agreeing on the shared mask bits.
+  if (a.kind == MatchKind::kMasked && b.kind == MatchKind::kMasked) {
+    const U128 shared = a.mask & b.mask;
+    return (a.value & shared) == (b.value & shared);
+  }
+  // mask vs exact: the exact value must satisfy the mask.
+  const FieldMatch& masked = a.kind == MatchKind::kMasked ? a : b;
+  const FieldMatch& other = a.kind == MatchKind::kMasked ? b : a;
+  if (other.kind == MatchKind::kExact) {
+    return (other.value & masked.mask) == masked.value;
+  }
+  // mask vs prefix/range: conservative (sound for overlap *checking*:
+  // reporting a possible overlap is safe, missing one is not).
+  return true;
+}
+
+}  // namespace
+
+bool field_constraints_intersect(const FieldMatch& a, const FieldMatch& b,
+                                 unsigned bits) {
+  if (a.kind == MatchKind::kAny || b.kind == MatchKind::kAny) return true;
+  if (bits <= 64) return narrow_intersect(a, b, bits);
+
+  // Wide fields: exact / prefix / masked only.
+  const auto as_prefix = [bits](const FieldMatch& fm) -> std::optional<Prefix> {
+    if (fm.kind == MatchKind::kPrefix) return fm.prefix;
+    if (fm.kind == MatchKind::kExact) return Prefix{fm.value, bits, bits};
+    return std::nullopt;
+  };
+  const auto pa = as_prefix(a);
+  const auto pb = as_prefix(b);
+  if (pa && pb) return pa->covers(*pb) || pb->covers(*pa);
+  if (a.kind == MatchKind::kMasked && b.kind == MatchKind::kMasked) {
+    const U128 shared = a.mask & b.mask;
+    return (a.value & shared) == (b.value & shared);
+  }
+  const FieldMatch& masked = a.kind == MatchKind::kMasked ? a : b;
+  const auto& prefix = pa ? *pa : *pb;
+  // prefix vs mask: check agreement on bits constrained by both.
+  const U128 prefix_mask = high_mask128(prefix.length()) >> (128 - bits);
+  const U128 shared = prefix_mask & masked.mask;
+  return (prefix.value() & shared) == (masked.value & shared);
+}
+
+bool matches_overlap(const FlowMatch& a, const FlowMatch& b) {
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    const auto id = static_cast<FieldId>(i);
+    if (!field_constraints_intersect(a.get(id), b.get(id), field_bits(id))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const FlowEntry* find_overlap(const std::vector<FlowEntry>& entries,
+                              const FlowEntry& candidate) {
+  for (const auto& entry : entries) {
+    if (entry.priority != candidate.priority) continue;
+    if (entry.id == candidate.id) continue;
+    if (matches_overlap(entry.match, candidate.match)) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace ofmtl

@@ -1,0 +1,24 @@
+// Match-overlap detection — OpenFlow's OFPFF_CHECK_OVERLAP: refuse to add a
+// flow entry when an existing entry at the same priority can match the same
+// packet. Needs per-field constraint intersection: two matches overlap iff
+// every field's constraint pair admits a common value.
+#pragma once
+
+#include "flow/flow_entry.hpp"
+
+namespace ofmtl {
+
+/// True if some value satisfies both constraints on a `bits`-wide field.
+[[nodiscard]] bool field_constraints_intersect(const FieldMatch& a,
+                                               const FieldMatch& b,
+                                               unsigned bits);
+
+/// True if some packet matches both (the OpenFlow overlap condition).
+[[nodiscard]] bool matches_overlap(const FlowMatch& a, const FlowMatch& b);
+
+/// First entry in `entries` overlapping `candidate` at equal priority, or
+/// nullptr. Linear scan — overlap checking is a control-plane operation.
+[[nodiscard]] const FlowEntry* find_overlap(const std::vector<FlowEntry>& entries,
+                                            const FlowEntry& candidate);
+
+}  // namespace ofmtl

@@ -1,0 +1,154 @@
+#include "flow/pipeline_ref.hpp"
+
+#include <stdexcept>
+
+namespace ofmtl {
+
+std::string to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kForwarded: return "forwarded";
+    case Verdict::kDropped: return "dropped";
+    case Verdict::kToController: return "to-controller";
+  }
+  throw std::logic_error("unknown Verdict");
+}
+
+namespace {
+
+/// The per-packet action set accumulated by Write-Actions and executed when
+/// the pipeline ends (OpenFlow 5.10). Later writes of the same action type
+/// overwrite earlier ones; we keep the simplified rule "one Output, the last
+/// one written", plus ordered Set-Field rewrites.
+struct ActionSet {
+  std::optional<std::uint32_t> output;
+  std::optional<GroupId> group;
+  std::vector<SetFieldAction> set_fields;
+  bool dropped = false;
+
+  void write(const Action& action) {
+    if (std::holds_alternative<OutputAction>(action)) {
+      output = std::get<OutputAction>(action).port;
+    } else if (std::holds_alternative<GroupAction>(action)) {
+      group = std::get<GroupAction>(action).group_id;
+    } else if (std::holds_alternative<SetFieldAction>(action)) {
+      set_fields.push_back(std::get<SetFieldAction>(action));
+    } else if (std::holds_alternative<DropAction>(action)) {
+      dropped = true;
+    }
+    // Push/Pop VLAN only affect the byte codec, not the match-field view the
+    // simulator tracks beyond vlan id removal; treated as Set-Field by users.
+  }
+  void clear() { *this = {}; }
+};
+
+/// Deterministic per-packet hash for SELECT bucket choice (the ECMP flow
+/// hash: addresses + ports + protocol).
+[[nodiscard]] std::uint64_t packet_hash(const PacketHeader& header) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h = (h ^ v) * 0x100000001B3ULL;
+  };
+  mix(header.get64(FieldId::kEthSrc));
+  mix(header.get64(FieldId::kEthDst));
+  mix(header.get64(FieldId::kIpv4Src));
+  mix(header.get64(FieldId::kIpv4Dst));
+  mix(header.get(FieldId::kIpv6Src).lo);
+  mix(header.get(FieldId::kIpv6Dst).lo);
+  mix(header.get64(FieldId::kSrcPort));
+  mix(header.get64(FieldId::kDstPort));
+  mix(header.get64(FieldId::kIpProto));
+  return h;
+}
+
+/// Collect the Output ports of one bucket into the result.
+void execute_bucket(const GroupBucket& bucket, ExecutionResult& result) {
+  for (const auto& action : bucket.actions) {
+    if (const auto* out = std::get_if<OutputAction>(&action)) {
+      result.output_ports.push_back(out->port);
+    }
+  }
+}
+
+}  // namespace
+
+ExecutionResult execute_tables(const TableLookupSource& source,
+                               const PacketHeader& header) {
+  ExecutionResult result;
+  result.final_header = header;
+  ActionSet action_set;
+
+  std::size_t table_index = 0;
+  while (table_index < source.source_table_count()) {
+    result.visited_tables.push_back(static_cast<std::uint8_t>(table_index));
+    const FlowEntry* entry = source.source_lookup(table_index, result.final_header);
+    if (entry == nullptr) {
+      // Table miss: the paper's architecture sends the packet to the
+      // controller (Section IV.C).
+      result.verdict = Verdict::kToController;
+      return result;
+    }
+    result.matched_entries.push_back(entry->id);
+
+    const InstructionSet& ins = entry->instructions;
+    for (const auto& action : ins.apply_actions) {
+      if (std::holds_alternative<SetFieldAction>(action)) {
+        const auto& sf = std::get<SetFieldAction>(action);
+        result.final_header.set(sf.field, sf.value);
+      } else if (std::holds_alternative<OutputAction>(action)) {
+        result.output_ports.push_back(std::get<OutputAction>(action).port);
+      }
+    }
+    if (ins.clear_actions) action_set.clear();
+    for (const auto& action : ins.write_actions) action_set.write(action);
+    if (ins.write_metadata) {
+      const auto& wm = *ins.write_metadata;
+      const std::uint64_t old = result.final_header.metadata();
+      result.final_header.set_metadata((old & ~wm.mask) | (wm.value & wm.mask));
+    }
+
+    if (!ins.goto_table) break;  // pipeline ends; execute the action set
+    if (*ins.goto_table <= table_index) {
+      throw std::logic_error("Goto-Table must move forward");
+    }
+    table_index = *ins.goto_table;
+  }
+
+  result.final_metadata = result.final_header.metadata();
+
+  // Execute the accumulated action set. A Group action takes precedence
+  // over Output (OpenFlow 5.10).
+  for (const auto& sf : action_set.set_fields) {
+    result.final_header.set(sf.field, sf.value);
+  }
+  if (!action_set.dropped && action_set.group) {
+    const GroupTable* groups = source.source_groups();
+    const Group* group =
+        groups == nullptr ? nullptr : groups->find(*action_set.group);
+    if (group != nullptr) {
+      switch (group->type) {
+        case GroupType::kAll:
+          for (const auto& bucket : group->buckets) {
+            execute_bucket(bucket, result);
+          }
+          break;
+        case GroupType::kSelect:
+          execute_bucket(
+              GroupTable::select_bucket(*group, packet_hash(result.final_header)),
+              result);
+          break;
+        case GroupType::kIndirect:
+          execute_bucket(group->buckets.front(), result);
+          break;
+      }
+    }
+    // A dangling group reference drops the packet (no ports collected).
+  } else if (!action_set.dropped && action_set.output) {
+    result.output_ports.push_back(*action_set.output);
+  }
+  result.verdict =
+      result.output_ports.empty() ? Verdict::kDropped : Verdict::kForwarded;
+  if (action_set.dropped) result.verdict = Verdict::kDropped;
+  return result;
+}
+
+}  // namespace ofmtl

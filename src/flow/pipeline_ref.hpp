@@ -1,0 +1,101 @@
+// Reference OpenFlow v1.3 multi-table pipeline executor (linear-search
+// tables). Implements the Goto-Table / Write-Metadata / action-set semantics
+// the accelerated architecture must reproduce exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flow/flow_table.hpp"
+#include "flow/group_table.hpp"
+
+namespace ofmtl {
+
+/// Final fate of a processed packet.
+enum class Verdict : std::uint8_t {
+  kForwarded,     ///< at least one Output action executed
+  kDropped,       ///< empty/cleared action set or explicit drop
+  kToController,  ///< table miss — "send to controller" (Section IV.C)
+};
+
+[[nodiscard]] std::string to_string(Verdict verdict);
+
+/// Trace of one packet's trip through the pipeline.
+struct ExecutionResult {
+  Verdict verdict = Verdict::kDropped;
+  std::vector<std::uint32_t> output_ports;       ///< from executed Output actions
+  std::vector<FlowEntryId> matched_entries;      ///< per visited table
+  std::vector<std::uint8_t> visited_tables;
+  std::uint64_t final_metadata = 0;
+  PacketHeader final_header;                     ///< after Set-Field rewrites
+
+  friend bool operator==(const ExecutionResult&, const ExecutionResult&) = default;
+
+  /// Equivalence that ignores the diagnostic trace (used when comparing the
+  /// reference executor with the accelerated pipeline).
+  [[nodiscard]] bool same_forwarding(const ExecutionResult& other) const {
+    return verdict == other.verdict && output_ports == other.output_ports &&
+           matched_entries == other.matched_entries;
+  }
+};
+
+/// Table-walk engine shared by the reference pipeline and the accelerated
+/// decomposition pipeline: both provide per-table lookup and get identical
+/// Goto-Table / action-set / metadata semantics (so equivalence tests compare
+/// only the lookup structures, not two executor implementations).
+class TableLookupSource {
+ public:
+  virtual ~TableLookupSource() = default;
+  [[nodiscard]] virtual std::size_t source_table_count() const = 0;
+  [[nodiscard]] virtual const FlowEntry* source_lookup(
+      std::size_t table, const PacketHeader& header) const = 0;
+  /// Group table for resolving Group actions; nullptr = no groups.
+  [[nodiscard]] virtual const GroupTable* source_groups() const {
+    return nullptr;
+  }
+};
+
+[[nodiscard]] ExecutionResult execute_tables(const TableLookupSource& source,
+                                             const PacketHeader& header);
+
+/// Multi-table pipeline over reference flow tables.
+class ReferencePipeline : public TableLookupSource {
+ public:
+  ReferencePipeline() = default;
+  explicit ReferencePipeline(std::vector<FlowTable> tables)
+      : tables_(std::move(tables)) {}
+
+  [[nodiscard]] std::size_t table_count() const { return tables_.size(); }
+  [[nodiscard]] FlowTable& table(std::size_t index) { return tables_.at(index); }
+  [[nodiscard]] const FlowTable& table(std::size_t index) const {
+    return tables_.at(index);
+  }
+  void add_table(FlowTable table) { tables_.push_back(std::move(table)); }
+
+  /// Process one packet starting at table 0.
+  [[nodiscard]] ExecutionResult execute(const PacketHeader& header) const {
+    return execute_tables(*this, header);
+  }
+
+  [[nodiscard]] std::size_t source_table_count() const override {
+    return tables_.size();
+  }
+  [[nodiscard]] const FlowEntry* source_lookup(
+      std::size_t table, const PacketHeader& header) const override {
+    return tables_[table].lookup(header);
+  }
+  [[nodiscard]] const GroupTable* source_groups() const override {
+    return groups_;
+  }
+
+  /// Attach a group table (not owned) for resolving Group actions.
+  void set_group_table(const GroupTable* groups) { groups_ = groups; }
+
+ private:
+  std::vector<FlowTable> tables_;
+  const GroupTable* groups_ = nullptr;
+};
+
+}  // namespace ofmtl

@@ -1,0 +1,17 @@
+#include "mdclassifier/classifier.hpp"
+
+namespace ofmtl::md {
+
+std::optional<RuleIndex> best_rule(const std::vector<FlowEntry>& entries,
+                                   const std::vector<RuleIndex>& candidates) {
+  std::optional<RuleIndex> best;
+  for (const auto index : candidates) {
+    if (!best || entries[index].priority > entries[*best].priority ||
+        (entries[index].priority == entries[*best].priority && index < *best)) {
+      best = index;
+    }
+  }
+  return best;
+}
+
+}  // namespace ofmtl::md

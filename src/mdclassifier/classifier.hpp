@@ -1,0 +1,62 @@
+// Common interface for the multi-dimensional packet classifiers of Table I.
+// Each category gets a representative implementation used by the Table I
+// quantitative comparison bench and as baselines against the paper's
+// decomposition architecture:
+//   Trie-Geometric  -> HiCutsClassifier, HyperSplitClassifier
+//   Decomposition   -> RfcClassifier (plus the core library itself)
+//   Hashing-based   -> TupleSpaceClassifier
+//   Hardware-based  -> TcamClassifier (wraps classifier/tcam)
+//   (reference)     -> LinearClassifier
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flow/flow_entry.hpp"
+#include "mem/memory_model.hpp"
+#include "net/header.hpp"
+
+namespace ofmtl::md {
+
+/// Result of one classification: index of the winning rule in the input
+/// vector (highest priority, ties to the earlier rule), or miss.
+using RuleIndex = std::uint32_t;
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Best-matching rule for a header, or nullopt.
+  [[nodiscard]] virtual std::optional<RuleIndex> classify(
+      const PacketHeader& header) const = 0;
+
+  /// Memory footprint model of the built structure.
+  [[nodiscard]] virtual mem::MemoryReport memory_report() const = 0;
+
+  /// Memory accesses performed by the last classify() — the lookup-speed
+  /// proxy Table I ranks by (TCAM "searches" every entry in parallel but
+  /// pays for it in cells; see cells_searched in the bench).
+  [[nodiscard]] virtual std::size_t last_access_count() const = 0;
+};
+
+/// Construction input: the rules plus the fields they constrain.
+struct RuleSet {
+  std::vector<FieldId> fields;
+  std::vector<FlowEntry> entries;
+
+  [[nodiscard]] static RuleSet from(const FilterSet& set) {
+    return RuleSet{set.fields, set.entries};
+  }
+};
+
+/// Pick the winner among candidate rule indices (highest priority, then
+/// earliest position) — shared by all decomposed classifiers.
+[[nodiscard]] std::optional<RuleIndex> best_rule(
+    const std::vector<FlowEntry>& entries, const std::vector<RuleIndex>& candidates);
+
+}  // namespace ofmtl::md

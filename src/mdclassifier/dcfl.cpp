@@ -1,0 +1,34 @@
+#include "mdclassifier/dcfl.hpp"
+
+namespace ofmtl::md {
+
+namespace {
+
+/// LookupTable identifies entries by FlowEntryId; classify() must return the
+/// position in the caller's rule vector, so ids are rewritten to positions.
+[[nodiscard]] std::vector<FlowEntry> reindexed(std::vector<FlowEntry> entries) {
+  for (std::uint32_t i = 0; i < entries.size(); ++i) entries[i].id = i;
+  return entries;
+}
+
+}  // namespace
+
+DcflClassifier::DcflClassifier(RuleSet rules, FieldSearchConfig config)
+    : original_(rules.entries),
+      table_(rules.fields, reindexed(std::move(rules.entries)), config) {}
+
+std::optional<RuleIndex> DcflClassifier::classify(
+    const PacketHeader& header) const {
+  // Access model: one probe per parallel algorithm + one per combination
+  // stage + the action read.
+  last_accesses_ = table_.index().algorithm_count() * 2;
+  const FlowEntry* entry = table_.lookup(header);
+  if (entry == nullptr) return std::nullopt;
+  return entry->id;  // == position, by construction
+}
+
+mem::MemoryReport DcflClassifier::memory_report() const {
+  return table_.memory_report("dcfl");
+}
+
+}  // namespace ofmtl::md

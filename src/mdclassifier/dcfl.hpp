@@ -1,0 +1,33 @@
+// DCFL-style decomposed classifier ([11], Taylor & Turner) — the paper's own
+// category, exposed through the common Classifier interface so Table I can
+// rank it alongside the other families. Wraps the core LookupTable: parallel
+// single-field searches with labelled unique values + progressive label
+// combination.
+#pragma once
+
+#include "core/lookup_table.hpp"
+#include "mdclassifier/classifier.hpp"
+
+namespace ofmtl::md {
+
+class DcflClassifier final : public Classifier {
+ public:
+  explicit DcflClassifier(RuleSet rules, FieldSearchConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "dcfl"; }
+  [[nodiscard]] std::optional<RuleIndex> classify(
+      const PacketHeader& header) const override;
+  [[nodiscard]] mem::MemoryReport memory_report() const override;
+  [[nodiscard]] std::size_t last_access_count() const override {
+    return last_accesses_;
+  }
+
+  [[nodiscard]] const LookupTable& table() const { return table_; }
+
+ private:
+  std::vector<FlowEntry> original_;  // classify() reports original indices
+  LookupTable table_;
+  mutable std::size_t last_accesses_ = 0;
+};
+
+}  // namespace ofmtl::md

@@ -1,0 +1,158 @@
+#include "mdclassifier/hicuts.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ofmtl::md {
+
+HiCutsClassifier::HiCutsClassifier(RuleSet rules, HiCutsConfig config)
+    : rules_(std::move(rules)), config_(config) {
+  std::vector<Region> rule_boxes;
+  rule_boxes.reserve(rules_.entries.size());
+  for (const auto& entry : rules_.entries) {
+    Region box;
+    for (const auto id : rules_.fields) {
+      box.ranges.push_back(field_interval(entry.match.get(id), field_bits(id)));
+    }
+    rule_boxes.push_back(std::move(box));
+  }
+  Region universe;
+  for (const auto id : rules_.fields) {
+    universe.ranges.push_back({0, low_mask(field_bits(id))});
+  }
+  std::vector<RuleIndex> all(rules_.entries.size());
+  for (RuleIndex i = 0; i < all.size(); ++i) all[i] = i;
+  if (!all.empty()) build(std::move(all), rule_boxes, universe, 0);
+}
+
+std::int32_t HiCutsClassifier::build(std::vector<RuleIndex> active,
+                                     const std::vector<Region>& rule_boxes,
+                                     Region region, std::size_t depth) {
+  const auto make_leaf = [&](std::vector<RuleIndex> rules) {
+    Node node;
+    node.leaf = true;
+    node.rules = std::move(rules);
+    std::stable_sort(node.rules.begin(), node.rules.end(),
+                     [this](RuleIndex a, RuleIndex b) {
+                       return rules_.entries[a].priority >
+                              rules_.entries[b].priority;
+                     });
+    nodes_.push_back(std::move(node));
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (active.size() <= config_.binth || depth >= config_.max_depth) {
+    return make_leaf(std::move(active));
+  }
+
+  // Cut the dimension with the most distinct rule endpoints in this region.
+  std::size_t best_field = rules_.fields.size();
+  std::size_t best_endpoints = 1;
+  for (std::size_t f = 0; f < rules_.fields.size(); ++f) {
+    if (region.ranges[f].span() == 0) continue;
+    std::set<std::uint64_t> endpoints;
+    for (const auto index : active) {
+      endpoints.insert(rule_boxes[index].ranges[f].lo);
+      endpoints.insert(rule_boxes[index].ranges[f].hi);
+    }
+    if (endpoints.size() > best_endpoints) {
+      best_endpoints = endpoints.size();
+      best_field = f;
+    }
+  }
+  if (best_field == rules_.fields.size()) return make_leaf(std::move(active));
+
+  const ValueRange& cut_range = region.ranges[best_field];
+  const std::uint64_t slices = std::uint64_t{1} << config_.cut_bits;
+  const std::uint64_t slice =
+      std::max<std::uint64_t>(1, (cut_range.span() + 1) / slices);
+
+  // Partition (with replication) into slices.
+  std::vector<std::vector<RuleIndex>> parts(slices);
+  std::size_t replicated = 0;
+  for (const auto index : active) {
+    const auto& rule_range = rule_boxes[index].ranges[best_field];
+    for (std::uint64_t s = 0; s < slices; ++s) {
+      const std::uint64_t lo = cut_range.lo + s * slice;
+      const std::uint64_t hi =
+          s + 1 == slices ? cut_range.hi : lo + slice - 1;
+      if (rule_range.lo <= hi && rule_range.hi >= lo) {
+        parts[s].push_back(index);
+        ++replicated;
+      }
+    }
+  }
+  // The space-factor heuristic: give up cutting if replication explodes or
+  // no slice got smaller.
+  bool progress = false;
+  for (const auto& part : parts) {
+    if (part.size() < active.size()) progress = true;
+  }
+  if (!progress ||
+      static_cast<double>(replicated) >
+          config_.space_factor * static_cast<double>(active.size())) {
+    return make_leaf(std::move(active));
+  }
+
+  const auto node_index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].field = static_cast<std::uint8_t>(best_field);
+  nodes_[node_index].base = cut_range.lo;
+  nodes_[node_index].slice = slice;
+  nodes_[node_index].children.assign(slices, -1);
+  for (std::uint64_t s = 0; s < slices; ++s) {
+    Region child_region = region;
+    const std::uint64_t lo = cut_range.lo + s * slice;
+    child_region.ranges[best_field] = {
+        lo, s + 1 == slices ? cut_range.hi : lo + slice - 1};
+    const auto child = build(std::move(parts[s]), rule_boxes,
+                             std::move(child_region), depth + 1);
+    nodes_[node_index].children[s] = child;
+  }
+  return node_index;
+}
+
+std::optional<RuleIndex> HiCutsClassifier::classify(
+    const PacketHeader& header) const {
+  last_accesses_ = 0;
+  if (nodes_.empty()) return std::nullopt;
+  std::size_t node = 0;
+  while (!nodes_[node].leaf) {
+    ++last_accesses_;
+    const Node& n = nodes_[node];
+    const std::uint64_t value = header.get64(rules_.fields[n.field]);
+    std::uint64_t index = value < n.base ? 0 : (value - n.base) / n.slice;
+    if (index >= n.children.size()) index = n.children.size() - 1;
+    node = static_cast<std::size_t>(n.children[index]);
+  }
+  for (const auto index : nodes_[node].rules) {
+    ++last_accesses_;
+    if (rules_.entries[index].match.matches(header)) return index;
+  }
+  return std::nullopt;
+}
+
+std::size_t HiCutsClassifier::replicated_rule_refs() const {
+  std::size_t refs = 0;
+  for (const auto& node : nodes_) {
+    if (node.leaf) refs += node.rules.size();
+  }
+  return refs;
+}
+
+mem::MemoryReport HiCutsClassifier::memory_report() const {
+  mem::MemoryReport report;
+  std::size_t internal = 0, children = 0;
+  for (const auto& node : nodes_) {
+    if (!node.leaf) {
+      ++internal;
+      children += node.children.size();
+    }
+  }
+  report.add("hicuts.internal", internal, 8 + 64 + 64);
+  report.add("hicuts.child_pointers", children, bits_for_max_value(nodes_.size()));
+  report.add("hicuts.leaf_rule_refs", replicated_rule_refs(), 32);
+  return report;
+}
+
+}  // namespace ofmtl::md

@@ -1,0 +1,60 @@
+// HiCuts-style geometric cutting (Gupta/McKeown; HyperCuts [8] generalizes
+// it to multiple dimensions per node). Each internal node cuts one field's
+// range into 2^k equal slices; rules spanning several slices are *replicated*
+// into each — the rule-replication cost the paper's Section III.B cites as
+// the motivation for per-field label management.
+#pragma once
+
+#include "mdclassifier/classifier.hpp"
+#include "mdclassifier/hypersplit.hpp"  // field_interval
+
+namespace ofmtl::md {
+
+struct HiCutsConfig {
+  std::size_t binth = 8;       ///< max rules per leaf
+  unsigned cut_bits = 2;       ///< 2^cut_bits slices per node
+  std::size_t max_depth = 16;  ///< recursion guard
+  double space_factor = 4.0;   ///< stop cutting when replication exceeds this
+};
+
+class HiCutsClassifier final : public Classifier {
+ public:
+  explicit HiCutsClassifier(RuleSet rules, HiCutsConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "hicuts"; }
+  [[nodiscard]] std::optional<RuleIndex> classify(
+      const PacketHeader& header) const override;
+  [[nodiscard]] mem::MemoryReport memory_report() const override;
+  [[nodiscard]] std::size_t last_access_count() const override {
+    return last_accesses_;
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  /// Total rule references in leaves; the replication factor is this
+  /// divided by the rule count.
+  [[nodiscard]] std::size_t replicated_rule_refs() const;
+
+ private:
+  struct Region {
+    std::vector<ValueRange> ranges;  // current hyper-rectangle, per field
+  };
+  struct Node {
+    bool leaf = false;
+    std::uint8_t field = 0;
+    std::uint64_t base = 0;      // region lower bound on the cut field
+    std::uint64_t slice = 0;     // width of one slice
+    std::vector<std::int32_t> children;
+    std::vector<RuleIndex> rules;
+  };
+
+  std::int32_t build(std::vector<RuleIndex> active,
+                     const std::vector<Region>& rule_boxes, Region region,
+                     std::size_t depth);
+
+  RuleSet rules_;
+  HiCutsConfig config_;
+  std::vector<Node> nodes_;
+  mutable std::size_t last_accesses_ = 0;
+};
+
+}  // namespace ofmtl::md

@@ -1,0 +1,155 @@
+#include "mdclassifier/hypersplit.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace ofmtl::md {
+
+ValueRange field_interval(const FieldMatch& fm, unsigned bits) {
+  if (bits > 64) throw std::invalid_argument("interval fields must be <= 64 bits");
+  const std::uint64_t full = low_mask(bits);
+  switch (fm.kind) {
+    case MatchKind::kAny:
+      return {0, full};
+    case MatchKind::kExact:
+      return {fm.value.lo, fm.value.lo};
+    case MatchKind::kPrefix: {
+      const std::uint64_t lo = fm.prefix.value64();
+      const std::uint64_t span = low_mask(bits - fm.prefix.length());
+      return {lo, lo | span};
+    }
+    case MatchKind::kRange:
+      return fm.range;
+    case MatchKind::kMasked:
+      throw std::invalid_argument("masked matches are not interval-shaped");
+  }
+  throw std::logic_error("unknown MatchKind");
+}
+
+HyperSplitClassifier::HyperSplitClassifier(RuleSet rules, HyperSplitConfig config)
+    : rules_(std::move(rules)), config_(config) {
+  for (const auto id : rules_.fields) {
+    if (field_bits(id) > 64) {
+      throw std::invalid_argument("HyperSplit model supports fields <= 64 bits");
+    }
+  }
+  std::vector<Box> boxes;
+  boxes.reserve(rules_.entries.size());
+  for (const auto& entry : rules_.entries) {
+    Box box;
+    for (const auto id : rules_.fields) {
+      box.ranges.push_back(field_interval(entry.match.get(id), field_bits(id)));
+    }
+    boxes.push_back(std::move(box));
+  }
+  std::vector<RuleIndex> all(rules_.entries.size());
+  for (RuleIndex i = 0; i < all.size(); ++i) all[i] = i;
+  if (!all.empty()) build(std::move(all), boxes, 0);
+}
+
+std::int32_t HyperSplitClassifier::build(std::vector<RuleIndex> active,
+                                         std::vector<Box>& boxes,
+                                         std::size_t depth) {
+  const auto make_leaf = [&](std::vector<RuleIndex> rules) {
+    Node node;
+    node.leaf = true;
+    node.rules = std::move(rules);
+    // Highest priority first so leaf search can stop at the first match.
+    std::stable_sort(node.rules.begin(), node.rules.end(),
+                     [this](RuleIndex a, RuleIndex b) {
+                       return rules_.entries[a].priority >
+                              rules_.entries[b].priority;
+                     });
+    nodes_.push_back(std::move(node));
+    max_leaf_depth_ = std::max(max_leaf_depth_, depth);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (active.size() <= config_.binth || depth >= config_.max_depth) {
+    return make_leaf(std::move(active));
+  }
+
+  // Pick the dimension with the most distinct endpoints among active rules,
+  // split at the median endpoint.
+  std::size_t best_field = 0;
+  std::uint64_t best_threshold = 0;
+  std::size_t best_endpoints = 1;
+  for (std::size_t f = 0; f < rules_.fields.size(); ++f) {
+    std::set<std::uint64_t> endpoints;
+    for (const auto index : active) {
+      endpoints.insert(boxes[index].ranges[f].lo);
+      endpoints.insert(boxes[index].ranges[f].hi);
+    }
+    if (endpoints.size() > best_endpoints) {
+      best_endpoints = endpoints.size();
+      best_field = f;
+      auto it = endpoints.begin();
+      std::advance(it, (endpoints.size() - 1) / 2);
+      best_threshold = *it;
+    }
+  }
+  if (best_endpoints <= 1) return make_leaf(std::move(active));
+
+  std::vector<RuleIndex> left, right;
+  for (const auto index : active) {
+    const auto& range = boxes[index].ranges[best_field];
+    if (range.lo <= best_threshold) left.push_back(index);
+    if (range.hi > best_threshold) right.push_back(index);
+  }
+  if (left.size() == active.size() && right.size() == active.size()) {
+    // Split separates nothing (all rules span the threshold): leaf.
+    return make_leaf(std::move(active));
+  }
+
+  const auto node_index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].field = static_cast<std::uint8_t>(best_field);
+  nodes_[node_index].threshold = best_threshold;
+  const auto left_index = build(std::move(left), boxes, depth + 1);
+  const auto right_index = build(std::move(right), boxes, depth + 1);
+  nodes_[node_index].left = left_index;
+  nodes_[node_index].right = right_index;
+  return node_index;
+}
+
+std::optional<RuleIndex> HyperSplitClassifier::classify(
+    const PacketHeader& header) const {
+  last_accesses_ = 0;
+  if (nodes_.empty()) return std::nullopt;
+  std::size_t node = 0;
+  while (!nodes_[node].leaf) {
+    ++last_accesses_;
+    const std::uint64_t value =
+        header.get64(rules_.fields[nodes_[node].field]);
+    node = static_cast<std::size_t>(value <= nodes_[node].threshold
+                                        ? nodes_[node].left
+                                        : nodes_[node].right);
+  }
+  for (const auto index : nodes_[node].rules) {
+    ++last_accesses_;
+    if (rules_.entries[index].match.matches(header)) return index;
+  }
+  return std::nullopt;
+}
+
+mem::MemoryReport HyperSplitClassifier::memory_report() const {
+  mem::MemoryReport report;
+  std::size_t internal = 0, leaf_refs = 0, leaves = 0;
+  for (const auto& node : nodes_) {
+    if (node.leaf) {
+      ++leaves;
+      leaf_refs += node.rules.size();
+    } else {
+      ++internal;
+    }
+  }
+  // Internal node: field selector + 64-bit threshold + two pointers.
+  report.add("hypersplit.internal", internal,
+             8 + 64 + 2 * bits_for_max_value(nodes_.size()));
+  report.add("hypersplit.leaf_rule_refs", leaf_refs, 32);
+  report.add("hypersplit.leaf_headers", leaves, 16);
+  return report;
+}
+
+}  // namespace ofmtl::md

@@ -1,0 +1,61 @@
+// HyperSplit (Qi et al.) — trie-geometric category of Table I. Binary space
+// partitioning: each internal node splits one field's value range at a
+// threshold; leaves hold at most `binth` rules searched linearly. Efficient
+// memory, moderate lookup, complex updates (any insert may restructure the
+// tree) — exactly the Table I trade-off row.
+#pragma once
+
+#include "mdclassifier/classifier.hpp"
+#include "net/prefix.hpp"
+
+namespace ofmtl::md {
+
+struct HyperSplitConfig {
+  std::size_t binth = 8;      ///< max rules per leaf
+  std::size_t max_depth = 32; ///< recursion guard
+};
+
+class HyperSplitClassifier final : public Classifier {
+ public:
+  explicit HyperSplitClassifier(RuleSet rules, HyperSplitConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "hypersplit"; }
+  [[nodiscard]] std::optional<RuleIndex> classify(
+      const PacketHeader& header) const override;
+  [[nodiscard]] mem::MemoryReport memory_report() const override;
+  [[nodiscard]] std::size_t last_access_count() const override {
+    return last_accesses_;
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t max_leaf_depth() const { return max_leaf_depth_; }
+
+ private:
+  /// Per-field interval of one rule ([lo, hi] over the field's value space).
+  struct Box {
+    std::vector<ValueRange> ranges;  // one per field, rules_.fields order
+  };
+  struct Node {
+    bool leaf = false;
+    std::uint8_t field = 0;        // split dimension (index into fields)
+    std::uint64_t threshold = 0;   // go left if value <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::vector<RuleIndex> rules;  // leaf payload
+  };
+
+  std::int32_t build(std::vector<RuleIndex> active, std::vector<Box>& boxes,
+                     std::size_t depth);
+
+  RuleSet rules_;
+  HyperSplitConfig config_;
+  std::vector<Node> nodes_;
+  std::size_t max_leaf_depth_ = 0;
+  mutable std::size_t last_accesses_ = 0;
+};
+
+/// Convert a rule's FieldMatch to the [lo,hi] interval HyperSplit/HiCuts cut.
+/// Masked matches are not representable as one interval and are rejected.
+[[nodiscard]] ValueRange field_interval(const FieldMatch& fm, unsigned bits);
+
+}  // namespace ofmtl::md

@@ -1,0 +1,35 @@
+#include "mdclassifier/linear.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ofmtl::md {
+
+LinearClassifier::LinearClassifier(RuleSet rules) : rules_(std::move(rules)) {
+  order_.resize(rules_.entries.size());
+  std::iota(order_.begin(), order_.end(), 0U);
+  std::stable_sort(order_.begin(), order_.end(),
+                   [this](RuleIndex a, RuleIndex b) {
+                     return rules_.entries[a].priority > rules_.entries[b].priority;
+                   });
+}
+
+std::optional<RuleIndex> LinearClassifier::classify(
+    const PacketHeader& header) const {
+  last_accesses_ = 0;
+  for (const auto index : order_) {
+    ++last_accesses_;
+    if (rules_.entries[index].match.matches(header)) return index;
+  }
+  return std::nullopt;
+}
+
+mem::MemoryReport LinearClassifier::memory_report() const {
+  mem::MemoryReport report;
+  unsigned rule_bits = 0;
+  for (const auto id : rules_.fields) rule_bits += 2 * field_bits(id) + 2;
+  report.add("linear.rules", rules_.entries.size(), rule_bits + 16 /*priority*/);
+  return report;
+}
+
+}  // namespace ofmtl::md

@@ -1,0 +1,27 @@
+// Linear search over priority-sorted rules — the reference point every
+// category of Table I is measured against.
+#pragma once
+
+#include "mdclassifier/classifier.hpp"
+
+namespace ofmtl::md {
+
+class LinearClassifier final : public Classifier {
+ public:
+  explicit LinearClassifier(RuleSet rules);
+
+  [[nodiscard]] std::string_view name() const override { return "linear"; }
+  [[nodiscard]] std::optional<RuleIndex> classify(
+      const PacketHeader& header) const override;
+  [[nodiscard]] mem::MemoryReport memory_report() const override;
+  [[nodiscard]] std::size_t last_access_count() const override {
+    return last_accesses_;
+  }
+
+ private:
+  RuleSet rules_;
+  std::vector<RuleIndex> order_;  // indices sorted by priority desc
+  mutable std::size_t last_accesses_ = 0;
+};
+
+}  // namespace ofmtl::md

@@ -1,0 +1,216 @@
+#include "mdclassifier/rfc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ofmtl::md {
+
+namespace {
+
+/// The set of chunk values a rule accepts, as an inclusive interval — every
+/// supported constraint projects to one interval per 16-bit partition.
+[[nodiscard]] ValueRange chunk_interval(const FieldMatch& fm, unsigned bits,
+                                        unsigned partition) {
+  const unsigned partitions = (bits + 15) / 16;
+  const unsigned low_shift = 16 * (partitions - 1 - partition);
+  switch (fm.kind) {
+    case MatchKind::kAny:
+      return {0, 0xFFFF};
+    case MatchKind::kExact: {
+      const std::uint64_t value = (fm.value >> low_shift).lo & 0xFFFF;
+      return {value, value};
+    }
+    case MatchKind::kPrefix: {
+      const unsigned plen = fm.prefix.partition16_length(partition);
+      if (plen == 0) return {0, 0xFFFF};
+      const std::uint64_t base = fm.prefix.partition16(partition);
+      return {base, base | low_mask(16 - plen)};
+    }
+    case MatchKind::kRange:
+      // Ranges only appear on 16-bit fields (ports) -> single partition.
+      return fm.range;
+    case MatchKind::kMasked: {
+      const std::uint64_t mask = (fm.mask >> low_shift).lo & 0xFFFF;
+      const std::uint64_t want = (fm.value >> low_shift).lo & 0xFFFF;
+      // Only prefix-shaped masks project to one interval.
+      unsigned len = 16;
+      while (len > 0 && (mask >> (16 - len) << (16 - len)) != mask) --len;
+      if (mask != high_mask(16, len)) {
+        throw std::invalid_argument("RFC: non-prefix mask unsupported");
+      }
+      return {want, want | low_mask(16 - len)};
+    }
+  }
+  throw std::logic_error("unknown MatchKind");
+}
+
+}  // namespace
+
+RfcClassifier::RfcClassifier(RuleSet rules) : rules_(std::move(rules)) {
+  const std::size_t rule_count = rules_.entries.size();
+  const std::size_t mask_words = (rule_count + 63) / 64;
+
+  for (const auto id : rules_.fields) {
+    const unsigned parts = (field_bits(id) + 15) / 16;
+    for (unsigned p = 0; p < parts; ++p) chunk_fields_.push_back({id, p});
+  }
+
+  // Phase 0: per chunk, classify all 2^16 values into equivalence classes
+  // keyed by the set of rules whose chunk constraint accepts the value.
+  // Rule constraints project to intervals, so the mask is constant on
+  // elementary intervals of the rule-endpoint grid — computed per interval,
+  // not per value.
+  std::vector<std::vector<RuleMask>> class_masks_per_table;
+  for (const auto& chunk : chunk_fields_) {
+    Phase0Table table;
+    table.class_of.resize(1U << 16);
+    std::unordered_map<RuleMask, std::uint32_t, MaskHash> classes;
+    std::vector<RuleMask> class_masks;
+    const unsigned bits = field_bits(chunk.field);
+
+    std::vector<ValueRange> intervals(rule_count);
+    std::vector<std::uint32_t> boundaries = {0};
+    for (RuleIndex r = 0; r < rule_count; ++r) {
+      intervals[r] = chunk_interval(rules_.entries[r].match.get(chunk.field),
+                                    bits, chunk.partition);
+      boundaries.push_back(static_cast<std::uint32_t>(intervals[r].lo));
+      if (intervals[r].hi < 0xFFFF) {
+        boundaries.push_back(static_cast<std::uint32_t>(intervals[r].hi) + 1);
+      }
+    }
+    std::sort(boundaries.begin(), boundaries.end());
+    boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                     boundaries.end());
+
+    for (std::size_t b = 0; b < boundaries.size(); ++b) {
+      const std::uint32_t start = boundaries[b];
+      const std::uint32_t end =
+          b + 1 < boundaries.size() ? boundaries[b + 1] : 0x10000;
+      RuleMask mask(mask_words, 0);
+      for (RuleIndex r = 0; r < rule_count; ++r) {
+        if (intervals[r].lo <= start && start <= intervals[r].hi) {
+          mask[r / 64] |= std::uint64_t{1} << (r % 64);
+        }
+      }
+      const auto [it, inserted] =
+          classes.try_emplace(mask, static_cast<std::uint32_t>(classes.size()));
+      if (inserted) class_masks.push_back(std::move(mask));
+      for (std::uint32_t value = start; value < end; ++value) {
+        table.class_of[value] = it->second;
+      }
+    }
+    table.class_count = classes.size();
+    class_masks_per_table.push_back(std::move(class_masks));
+    phase0_.push_back(std::move(table));
+  }
+
+  // Reduction tree: combine tables pairwise left-to-right until one remains.
+  // `active` holds (class-mask list) per live table; phase tables record how
+  // to combine at lookup time.
+  struct Live {
+    std::size_t source;  // phase0 index or (phase0_count + phases_ index)
+    std::vector<RuleMask> masks;
+  };
+  std::vector<Live> active;
+  for (std::size_t i = 0; i < phase0_.size(); ++i) {
+    active.push_back({i, std::move(class_masks_per_table[i])});
+  }
+
+  while (active.size() > 1) {
+    std::vector<Live> next;
+    for (std::size_t i = 0; i + 1 < active.size(); i += 2) {
+      CrossTable cross;
+      cross.left = active[i].source;
+      cross.right = active[i + 1].source;
+      cross.left_classes = active[i].masks.size();
+      cross.right_classes = active[i + 1].masks.size();
+      cross.class_of.resize(cross.left_classes * cross.right_classes);
+      std::unordered_map<RuleMask, std::uint32_t, MaskHash> classes;
+      std::vector<RuleMask> masks;
+      for (std::size_t a = 0; a < cross.left_classes; ++a) {
+        for (std::size_t b = 0; b < cross.right_classes; ++b) {
+          RuleMask mask(mask_words);
+          for (std::size_t w = 0; w < mask_words; ++w) {
+            mask[w] = active[i].masks[a][w] & active[i + 1].masks[b][w];
+          }
+          const auto [it, inserted] = classes.try_emplace(
+              mask, static_cast<std::uint32_t>(classes.size()));
+          if (inserted) masks.push_back(std::move(mask));
+          cross.class_of[a * cross.right_classes + b] = it->second;
+        }
+      }
+      cross.class_count = classes.size();
+      const std::size_t source = phase0_.size() + phases_.size();
+      phases_.push_back(std::move(cross));
+      next.push_back({source, std::move(masks)});
+    }
+    if (active.size() % 2 == 1) next.push_back(std::move(active.back()));
+    active = std::move(next);
+  }
+
+  // Final classes -> best-first rule lists.
+  if (!active.empty()) {
+    final_rules_.resize(active[0].masks.size());
+    for (std::size_t c = 0; c < active[0].masks.size(); ++c) {
+      const RuleMask& mask = active[0].masks[c];
+      for (RuleIndex r = 0; r < rule_count; ++r) {
+        if (mask[r / 64] >> (r % 64) & 1) final_rules_[c].push_back(r);
+      }
+      std::stable_sort(final_rules_[c].begin(), final_rules_[c].end(),
+                       [this](RuleIndex a, RuleIndex b) {
+                         return rules_.entries[a].priority >
+                                rules_.entries[b].priority;
+                       });
+    }
+  }
+}
+
+std::optional<RuleIndex> RfcClassifier::classify(
+    const PacketHeader& header) const {
+  last_accesses_ = 0;
+  if (rules_.entries.empty()) return std::nullopt;
+  // Evaluate the reduction tree bottom-up over class ids.
+  std::vector<std::uint32_t> class_ids(phase0_.size() + phases_.size());
+  for (std::size_t i = 0; i < phase0_.size(); ++i) {
+    const auto& chunk = chunk_fields_[i];
+    const std::uint16_t value = header.partition16(chunk.field, chunk.partition);
+    class_ids[i] = phase0_[i].class_of[value];
+    ++last_accesses_;
+  }
+  for (std::size_t p = 0; p < phases_.size(); ++p) {
+    const CrossTable& cross = phases_[p];
+    class_ids[phase0_.size() + p] =
+        cross.class_of[class_ids[cross.left] * cross.right_classes +
+                       class_ids[cross.right]];
+    ++last_accesses_;
+  }
+  const std::uint32_t final_class = class_ids.back();
+  const auto& candidates = final_rules_[final_class];
+  if (candidates.empty()) return std::nullopt;
+  return candidates.front();
+}
+
+std::size_t RfcClassifier::crossproduct_entries() const {
+  std::size_t entries = 0;
+  for (const auto& cross : phases_) entries += cross.class_of.size();
+  return entries;
+}
+
+mem::MemoryReport RfcClassifier::memory_report() const {
+  mem::MemoryReport report;
+  for (std::size_t i = 0; i < phase0_.size(); ++i) {
+    report.add("rfc.phase0." + std::to_string(i), phase0_[i].class_of.size(),
+               bits_for_max_value(phase0_[i].class_count));
+  }
+  for (std::size_t p = 0; p < phases_.size(); ++p) {
+    report.add("rfc.cross." + std::to_string(p), phases_[p].class_of.size(),
+               bits_for_max_value(phases_[p].class_count));
+  }
+  std::size_t final_refs = 0;
+  for (const auto& rules : final_rules_) final_refs += rules.empty() ? 0 : 1;
+  report.add("rfc.final", final_refs, 32);
+  return report;
+}
+
+}  // namespace ofmtl::md

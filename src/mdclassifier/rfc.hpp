@@ -1,0 +1,66 @@
+// Recursive Flow Classification (Gupta & McKeown, SIGCOMM'99 [10]) — the
+// decomposition category of Table I. Phase 0 maps each 16-bit header chunk
+// through a direct-indexed table to an equivalence-class id; later phases
+// combine pairs of class ids through crossproduct tables until one id
+// identifies the matching-rule set. Constant-time lookup (one memory access
+// per table), at the price of potentially exploding crossproduct tables —
+// Table I's "fast lookup / memory explosion" row.
+#pragma once
+
+#include "mdclassifier/classifier.hpp"
+
+namespace ofmtl::md {
+
+class RfcClassifier final : public Classifier {
+ public:
+  explicit RfcClassifier(RuleSet rules);
+
+  [[nodiscard]] std::string_view name() const override { return "rfc"; }
+  [[nodiscard]] std::optional<RuleIndex> classify(
+      const PacketHeader& header) const override;
+  [[nodiscard]] mem::MemoryReport memory_report() const override;
+  [[nodiscard]] std::size_t last_access_count() const override {
+    return last_accesses_;
+  }
+
+  [[nodiscard]] std::size_t phase0_tables() const { return chunk_fields_.size(); }
+  [[nodiscard]] std::size_t crossproduct_entries() const;
+
+ private:
+  /// Matching-rule bitset, the equivalence-class key.
+  using RuleMask = std::vector<std::uint64_t>;
+  struct MaskHash {
+    std::size_t operator()(const RuleMask& mask) const noexcept {
+      std::size_t h = 0xCBF29CE484222325ULL;
+      for (const auto word : mask) h = (h ^ word) * 0x100000001B3ULL;
+      return h;
+    }
+  };
+
+  struct Phase0Table {
+    std::vector<std::uint32_t> class_of;  // 2^16 entries
+    std::size_t class_count = 0;
+  };
+  struct CrossTable {
+    std::size_t left = 0;     // index of the left input table (phase order)
+    std::size_t right = 0;    // right input
+    std::size_t left_classes = 0;
+    std::size_t right_classes = 0;
+    std::vector<std::uint32_t> class_of;  // left_classes * right_classes
+    std::size_t class_count = 0;
+  };
+
+  RuleSet rules_;
+  struct ChunkRef {
+    FieldId field;
+    unsigned partition;  // 16-bit partition index within the field
+  };
+  std::vector<ChunkRef> chunk_fields_;
+  std::vector<Phase0Table> phase0_;
+  std::vector<CrossTable> phases_;
+  // Final class id -> candidate rules (sorted best-first).
+  std::vector<std::vector<RuleIndex>> final_rules_;
+  mutable std::size_t last_accesses_ = 0;
+};
+
+}  // namespace ofmtl::md

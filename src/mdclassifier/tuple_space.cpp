@@ -1,0 +1,131 @@
+#include "mdclassifier/tuple_space.hpp"
+
+#include <stdexcept>
+
+namespace ofmtl::md {
+
+namespace {
+
+/// Per-field prefix alternatives of one rule (ranges expand to several).
+[[nodiscard]] std::vector<Prefix> field_alternatives(const FieldMatch& fm,
+                                                     unsigned bits) {
+  switch (fm.kind) {
+    case MatchKind::kAny:
+      return {Prefix{U128{}, 0, bits}};
+    case MatchKind::kExact:
+      return {Prefix{fm.value, bits, bits}};
+    case MatchKind::kPrefix:
+      return {fm.prefix};
+    case MatchKind::kRange:
+      return range_to_prefixes(fm.range, bits);
+    case MatchKind::kMasked: {
+      // TSS requires prefix-shaped masks: count leading ones, then verify.
+      const U128 aligned = fm.mask << (128 - bits);
+      unsigned len = 0;
+      while (len < bits && ((aligned << len).hi >> 63) != 0) ++len;
+      if (high_mask128(len) >> (128 - bits) != fm.mask) {
+        throw std::invalid_argument("TSS: non-prefix mask unsupported");
+      }
+      return {Prefix{fm.value, len, bits}};
+    }
+  }
+  throw std::logic_error("unknown MatchKind");
+}
+
+}  // namespace
+
+TupleSpaceClassifier::TupleSpaceClassifier(RuleSet rules)
+    : rules_(std::move(rules)) {
+  unsigned total_bits = 0;
+  for (const auto id : rules_.fields) total_bits += field_bits(id);
+  if (total_bits > 128) {
+    throw std::invalid_argument("TSS model supports keys up to 128 bits");
+  }
+
+  for (RuleIndex index = 0; index < rules_.entries.size(); ++index) {
+    const auto& entry = rules_.entries[index];
+    // Cross product of per-field prefix alternatives.
+    std::vector<std::vector<Prefix>> alternatives;
+    alternatives.reserve(rules_.fields.size());
+    for (const auto id : rules_.fields) {
+      alternatives.push_back(
+          field_alternatives(entry.match.get(id), field_bits(id)));
+    }
+    std::vector<std::size_t> cursor(alternatives.size(), 0);
+    while (true) {
+      std::vector<unsigned> lengths;
+      U128 key{};
+      for (std::size_t f = 0; f < alternatives.size(); ++f) {
+        const Prefix& prefix = alternatives[f][cursor[f]];
+        lengths.push_back(prefix.length());
+        const unsigned bits = field_bits(rules_.fields[f]);
+        const U128 masked =
+            prefix.length() == 0
+                ? U128{}
+                : prefix.value() & (high_mask128(prefix.length()) >> (128 - bits));
+        key = (key << bits) | masked;
+      }
+      auto it = tuple_index_.find(lengths);
+      if (it == tuple_index_.end()) {
+        it = tuple_index_.emplace(lengths, tuples_.size()).first;
+        tuples_.push_back(Tuple{lengths, {}});
+      }
+      tuples_[it->second].table[key].push_back(index);
+
+      // Advance the cross-product cursor.
+      std::size_t f = 0;
+      for (; f < cursor.size(); ++f) {
+        if (++cursor[f] < alternatives[f].size()) break;
+        cursor[f] = 0;
+      }
+      if (f == cursor.size()) break;
+    }
+  }
+}
+
+U128 TupleSpaceClassifier::masked_key(const PacketHeader& header,
+                                      const std::vector<unsigned>& lengths) const {
+  U128 key{};
+  for (std::size_t f = 0; f < rules_.fields.size(); ++f) {
+    const unsigned bits = field_bits(rules_.fields[f]);
+    const unsigned len = lengths[f];
+    const U128 value = header.get(rules_.fields[f]);
+    const U128 masked =
+        len == 0 ? U128{} : value & (high_mask128(len) >> (128 - bits));
+    key = (key << bits) | masked;
+  }
+  return key;
+}
+
+std::optional<RuleIndex> TupleSpaceClassifier::classify(
+    const PacketHeader& header) const {
+  last_accesses_ = 0;
+  std::vector<RuleIndex> candidates;
+  for (const auto& tuple : tuples_) {
+    ++last_accesses_;  // one hash probe per tuple
+    const auto it = tuple.table.find(masked_key(header, tuple.lengths));
+    if (it == tuple.table.end()) continue;
+    candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+  }
+  return best_rule(rules_.entries, candidates);
+}
+
+std::size_t TupleSpaceClassifier::entry_count() const {
+  std::size_t count = 0;
+  for (const auto& tuple : tuples_) {
+    for (const auto& [key, indices] : tuple.table) count += indices.size();
+  }
+  return count;
+}
+
+mem::MemoryReport TupleSpaceClassifier::memory_report() const {
+  mem::MemoryReport report;
+  unsigned key_bits = 0;
+  for (const auto id : rules_.fields) key_bits += field_bits(id);
+  report.add("tss.entries", entry_count(), key_bits + 32 /*rule id*/);
+  report.add("tss.tuple_masks", tuples_.size(),
+             static_cast<unsigned>(rules_.fields.size()) * 8);
+  return report;
+}
+
+}  // namespace ofmtl::md

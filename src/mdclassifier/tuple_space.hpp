@@ -1,0 +1,58 @@
+// Tuple Space Search (Srinivasan et al., SIGCOMM'99) — the hashing-based
+// category of Table I. Rules are grouped by their specificity tuple (the
+// per-field prefix lengths); each tuple is an exact-match hash table over the
+// masked key. Range fields are expanded to prefixes first (nesting them into
+// tuples), which is where the category's "memory explosion" shows up.
+#pragma once
+
+#include <unordered_map>
+
+#include "mdclassifier/classifier.hpp"
+#include "net/prefix.hpp"
+
+namespace ofmtl::md {
+
+class TupleSpaceClassifier final : public Classifier {
+ public:
+  explicit TupleSpaceClassifier(RuleSet rules);
+
+  [[nodiscard]] std::string_view name() const override { return "tss"; }
+  [[nodiscard]] std::optional<RuleIndex> classify(
+      const PacketHeader& header) const override;
+  [[nodiscard]] mem::MemoryReport memory_report() const override;
+  [[nodiscard]] std::size_t last_access_count() const override {
+    return last_accesses_;
+  }
+
+  [[nodiscard]] std::size_t tuple_count() const { return tuples_.size(); }
+  /// Hash entries across tuples (>= rule count due to range expansion).
+  [[nodiscard]] std::size_t entry_count() const;
+
+ private:
+  struct TupleKeyHash {
+    std::size_t operator()(const std::vector<unsigned>& lengths) const noexcept {
+      std::size_t h = 0xCBF29CE484222325ULL;
+      for (const unsigned len : lengths) h = (h ^ len) * 0x100000001B3ULL;
+      return h;
+    }
+  };
+  struct U128Hash {
+    std::size_t operator()(const U128& v) const noexcept {
+      return static_cast<std::size_t>(v.hi * 0x9E3779B97F4A7C15ULL ^ v.lo);
+    }
+  };
+  struct Tuple {
+    std::vector<unsigned> lengths;  // per field, in rules_.fields order
+    std::unordered_map<U128, std::vector<RuleIndex>, U128Hash> table;
+  };
+
+  [[nodiscard]] U128 masked_key(const PacketHeader& header,
+                                const std::vector<unsigned>& lengths) const;
+
+  RuleSet rules_;
+  std::unordered_map<std::vector<unsigned>, std::size_t, TupleKeyHash> tuple_index_;
+  std::vector<Tuple> tuples_;
+  mutable std::size_t last_accesses_ = 0;
+};
+
+}  // namespace ofmtl::md

@@ -1,0 +1,43 @@
+#include "mem/memory_model.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace ofmtl::mem {
+
+void MemoryReport::merge(const MemoryReport& other, const std::string& prefix) {
+  for (const auto& component : other.components_) {
+    components_.push_back(
+        {prefix + component.name, component.words, component.word_bits});
+  }
+}
+
+std::uint64_t MemoryReport::total_bits() const {
+  std::uint64_t total = 0;
+  for (const auto& component : components_) total += component.bits();
+  return total;
+}
+
+std::uint64_t MemoryReport::total_blocks(const BlockRamModel& model) const {
+  std::uint64_t total = 0;
+  for (const auto& component : components_) {
+    total += model.blocks_needed(component.words, component.word_bits);
+  }
+  return total;
+}
+
+void MemoryReport::print(std::ostream& out) const {
+  out << std::left << std::setw(44) << "component" << std::right << std::setw(10)
+      << "words" << std::setw(8) << "w.bits" << std::setw(14) << "Kbits" << "\n";
+  for (const auto& component : components_) {
+    out << std::left << std::setw(44) << component.name << std::right
+        << std::setw(10) << component.words << std::setw(8) << component.word_bits
+        << std::setw(14) << std::fixed << std::setprecision(2)
+        << to_kbits(component.bits()) << "\n";
+  }
+  out << std::left << std::setw(44) << "TOTAL" << std::right << std::setw(10) << ""
+      << std::setw(8) << "" << std::setw(14) << std::fixed << std::setprecision(2)
+      << total_kbits() << "\n";
+}
+
+}  // namespace ofmtl::mem

@@ -1,0 +1,81 @@
+// Bit-accurate memory accounting and an FPGA block-RAM packing model.
+//
+// The paper synthesizes on a Stratix V (5SGXMB6R3F43C4) and reports memory in
+// Kbits per structure and per trie level. Those figures are pure functions of
+// (a) how many nodes/entries a structure stores and (b) the bit layout of one
+// node/entry — which this module models; no gate-level synthesis is needed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace ofmtl::mem {
+
+/// Kbits as the paper reports them (1 Kbit = 1024 bits).
+[[nodiscard]] constexpr double to_kbits(std::uint64_t bits) {
+  return static_cast<double>(bits) / 1024.0;
+}
+[[nodiscard]] constexpr double to_mbits(std::uint64_t bits) {
+  return static_cast<double>(bits) / (1024.0 * 1024.0);
+}
+
+/// Stratix-V-style embedded memory block (M20K: 20 Kbit per block with a set
+/// of width/depth configurations). "Each lookup algorithm is implemented in a
+/// separate memory block" (Section V.A), so structures never share blocks.
+struct BlockRamModel {
+  std::uint64_t block_bits = 20 * 1024;  // M20K
+  unsigned max_word_bits = 40;           // widest M20K port config (512 x 40)
+
+  /// Blocks needed for `words` words of `word_bits` each. Words wider than a
+  /// single port are split across parallel blocks.
+  [[nodiscard]] std::uint64_t blocks_needed(std::uint64_t words,
+                                            unsigned word_bits) const {
+    if (words == 0 || word_bits == 0) return 0;
+    const unsigned lanes = (word_bits + max_word_bits - 1) / max_word_bits;
+    const unsigned lane_bits = (word_bits + lanes - 1) / lanes;
+    // Depth of one block at this lane width, using power-of-two port depths.
+    const std::uint64_t raw_depth = block_bits / lane_bits;
+    std::uint64_t depth = 1;
+    while (depth * 2 <= raw_depth) depth *= 2;
+    const std::uint64_t blocks_per_lane = (words + depth - 1) / depth;
+    return blocks_per_lane * lanes;
+  }
+};
+
+/// One named memory component (a LUT, one trie level, an action table, ...).
+struct MemoryComponent {
+  std::string name;
+  std::uint64_t words = 0;
+  unsigned word_bits = 0;
+
+  [[nodiscard]] std::uint64_t bits() const {
+    return words * static_cast<std::uint64_t>(word_bits);
+  }
+};
+
+/// A hierarchical memory report: components grouped under one structure.
+class MemoryReport {
+ public:
+  void add(std::string name, std::uint64_t words, unsigned word_bits) {
+    components_.push_back({std::move(name), words, word_bits});
+  }
+  void merge(const MemoryReport& other, const std::string& prefix);
+
+  [[nodiscard]] const std::vector<MemoryComponent>& components() const {
+    return components_;
+  }
+  [[nodiscard]] std::uint64_t total_bits() const;
+  [[nodiscard]] double total_kbits() const { return to_kbits(total_bits()); }
+  [[nodiscard]] std::uint64_t total_blocks(const BlockRamModel& model) const;
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<MemoryComponent> components_;
+};
+
+}  // namespace ofmtl::mem

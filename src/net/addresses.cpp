@@ -1,0 +1,87 @@
+#include "net/addresses.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ofmtl {
+
+namespace {
+
+[[nodiscard]] std::uint64_t parse_hex_byte(std::string_view text) {
+  std::uint64_t value = 0;
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), value, 16);
+  if (result.ec != std::errc{} || result.ptr != text.data() + text.size()) {
+    throw std::invalid_argument("bad hex byte: " + std::string(text));
+  }
+  return value;
+}
+
+}  // namespace
+
+MacAddress MacAddress::parse(std::string_view text) {
+  // Accepts "aa:bb:cc:dd:ee:ff".
+  std::uint64_t value = 0;
+  std::size_t start = 0;
+  int bytes = 0;
+  for (; bytes < 6; ++bytes) {
+    const std::size_t end = (bytes == 5) ? text.size() : text.find(':', start);
+    if (end == std::string_view::npos) {
+      throw std::invalid_argument("bad MAC address: " + std::string(text));
+    }
+    value = (value << 8) | parse_hex_byte(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return MacAddress{value};
+}
+
+std::string MacAddress::to_string() const {
+  char buffer[18];
+  std::snprintf(buffer, sizeof buffer, "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((value_ >> 40) & 0xFF),
+                static_cast<unsigned>((value_ >> 32) & 0xFF),
+                static_cast<unsigned>((value_ >> 24) & 0xFF),
+                static_cast<unsigned>((value_ >> 16) & 0xFF),
+                static_cast<unsigned>((value_ >> 8) & 0xFF),
+                static_cast<unsigned>(value_ & 0xFF));
+  return buffer;
+}
+
+Ipv4Address Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  std::size_t start = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    const std::size_t end = (octet == 3) ? text.size() : text.find('.', start);
+    if (end == std::string_view::npos) {
+      throw std::invalid_argument("bad IPv4 address: " + std::string(text));
+    }
+    unsigned part = 0;
+    const auto piece = text.substr(start, end - start);
+    const auto result =
+        std::from_chars(piece.data(), piece.data() + piece.size(), part, 10);
+    if (result.ec != std::errc{} || result.ptr != piece.data() + piece.size() ||
+        part > 255) {
+      throw std::invalid_argument("bad IPv4 octet: " + std::string(piece));
+    }
+    value = (value << 8) | part;
+    start = end + 1;
+  }
+  return Ipv4Address{value};
+}
+
+std::string Ipv4Address::to_string() const {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "%u.%u.%u.%u", (value_ >> 24) & 0xFF,
+                (value_ >> 16) & 0xFF, (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return buffer;
+}
+
+std::string Ipv6Address::to_string() const {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%x:%x:%x:%x:%x:%x:%x:%x", partition16(0),
+                partition16(1), partition16(2), partition16(3), partition16(4),
+                partition16(5), partition16(6), partition16(7));
+  return buffer;
+}
+
+}  // namespace ofmtl

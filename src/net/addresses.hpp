@@ -1,0 +1,94 @@
+// Strongly typed network addresses: MAC (48-bit), IPv4 (32-bit), IPv6 (128-bit).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/types.hpp"
+
+namespace ofmtl {
+
+/// 48-bit IEEE 802 MAC address. The top 24 bits are the Organizationally
+/// Unique Identifier (OUI), the bottom 24 bits are NIC specific — a structure
+/// the paper's filter analysis (Section III.C) relies on.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::uint64_t value) : value_(value & low_mask(48)) {}
+
+  [[nodiscard]] static MacAddress parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr std::uint32_t oui() const {
+    return static_cast<std::uint32_t>(value_ >> 24);
+  }
+  [[nodiscard]] constexpr std::uint32_t nic() const {
+    return static_cast<std::uint32_t>(value_ & low_mask(24));
+  }
+
+  /// 16-bit partition as used throughout the paper: index 0 is the highest
+  /// 16 bits, index 2 the lowest.
+  [[nodiscard]] constexpr std::uint16_t partition16(unsigned index) const {
+    return static_cast<std::uint16_t>((value_ >> (32 - 16 * index)) & 0xFFFF);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// 32-bit IPv4 address in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  [[nodiscard]] static Ipv4Address parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// 16-bit partition: index 0 is the high half (network side), index 1 the
+  /// low half (host side) — matching Table IV's column split.
+  [[nodiscard]] constexpr std::uint16_t partition16(unsigned index) const {
+    return static_cast<std::uint16_t>((value_ >> (16 - 16 * index)) & 0xFFFF);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Address&, const Ipv4Address&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// 128-bit IPv6 address.
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() = default;
+  explicit constexpr Ipv6Address(U128 value) : value_(value) {}
+
+  [[nodiscard]] constexpr const U128& value() const { return value_; }
+
+  /// One of the eight 16-bit partitions; index 0 is the highest.
+  [[nodiscard]] constexpr std::uint16_t partition16(unsigned index) const {
+    return static_cast<std::uint16_t>(value_.bits_from_top(16 * index, 16));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv6Address&, const Ipv6Address&) = default;
+
+ private:
+  U128 value_{};
+};
+
+}  // namespace ofmtl

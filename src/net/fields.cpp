@@ -1,0 +1,50 @@
+#include "net/fields.hpp"
+
+#include <stdexcept>
+
+namespace ofmtl {
+
+std::string_view to_string(MatchMethod method) {
+  switch (method) {
+    case MatchMethod::kExact: return "Exact Matching (EM)";
+    case MatchMethod::kLongestPrefix: return "Wildcard matching (LPM)";
+    case MatchMethod::kRange: return "Wildcard matching (RM)";
+  }
+  throw std::logic_error("unknown MatchMethod");
+}
+
+const std::array<FieldInfo, kFieldCount>& field_registry() {
+  // Widths and methods exactly as in Table II of the paper.
+  static const std::array<FieldInfo, kFieldCount> registry = {{
+      {FieldId::kInPort, "Ingress Port", 32, MatchMethod::kExact},
+      {FieldId::kEthSrc, "Source Ethernet", 48, MatchMethod::kLongestPrefix},
+      {FieldId::kEthDst, "Destination Ethernet", 48, MatchMethod::kLongestPrefix},
+      {FieldId::kEthType, "Ethernet Type", 16, MatchMethod::kExact},
+      {FieldId::kVlanId, "VLAN ID", 13, MatchMethod::kExact},
+      {FieldId::kVlanPcp, "VLAN Priority", 3, MatchMethod::kExact},
+      {FieldId::kMplsLabel, "MPLS Label", 20, MatchMethod::kExact},
+      {FieldId::kIpv4Src, "Source IPv4", 32, MatchMethod::kLongestPrefix},
+      {FieldId::kIpv4Dst, "Destination IPv4", 32, MatchMethod::kLongestPrefix},
+      {FieldId::kIpv6Src, "Source IPv6", 128, MatchMethod::kLongestPrefix},
+      {FieldId::kIpv6Dst, "Destination IPv6", 128, MatchMethod::kLongestPrefix},
+      {FieldId::kIpProto, "IPv4 Protocol", 8, MatchMethod::kExact},
+      {FieldId::kIpTos, "IPv4 ToS", 6, MatchMethod::kExact},
+      {FieldId::kSrcPort, "Source Port", 16, MatchMethod::kRange},
+      {FieldId::kDstPort, "Destination Port", 16, MatchMethod::kRange},
+      {FieldId::kMetadata, "Metadata", 64, MatchMethod::kExact},
+  }};
+  return registry;
+}
+
+const FieldInfo& field_info(FieldId id) {
+  return field_registry().at(static_cast<std::size_t>(id));
+}
+
+std::optional<FieldId> field_from_name(std::string_view name) {
+  for (const auto& info : field_registry()) {
+    if (info.name == name) return info.id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ofmtl

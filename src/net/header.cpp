@@ -1,0 +1,26 @@
+#include "net/header.hpp"
+
+#include <sstream>
+
+namespace ofmtl {
+
+std::string PacketHeader::to_string() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& info : field_registry()) {
+    if (!has(info.id)) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << info.name << "=";
+    if (info.bits > 64) {
+      out << std::hex << get(info.id).hi << get(info.id).lo << std::dec;
+    } else {
+      out << get64(info.id);
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace ofmtl

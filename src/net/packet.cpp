@@ -1,0 +1,218 @@
+#include "net/packet.hpp"
+
+#include <stdexcept>
+
+namespace ofmtl {
+
+namespace {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u48(std::uint64_t v) {
+    u16(static_cast<std::uint16_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void u128(const U128& v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v.hi >> (56 - 8 * i)));
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v.lo >> (56 - 8 * i)));
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    require(1);
+    return bytes_[pos_++];
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    const auto hi = u8();
+    return static_cast<std::uint16_t>((hi << 8) | u8());
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    const auto hi = u16();
+    return (std::uint32_t{hi} << 16) | u16();
+  }
+  [[nodiscard]] std::uint64_t u48() {
+    const auto hi = u16();
+    return (std::uint64_t{hi} << 32) | u32();
+  }
+  [[nodiscard]] U128 u128() {
+    std::uint64_t hi = 0, lo = 0;
+    for (int i = 0; i < 8; ++i) hi = (hi << 8) | u8();
+    for (int i = 0; i < 8; ++i) lo = (lo << 8) | u8();
+    return {hi, lo};
+  }
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  [[nodiscard]] std::span<const std::uint8_t> rest() const {
+    return bytes_.subspan(pos_);
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) {
+      throw std::invalid_argument("truncated packet");
+    }
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] bool has_l4_ports(std::uint8_t proto) {
+  return proto == static_cast<std::uint8_t>(IpProto::kTcp) ||
+         proto == static_cast<std::uint8_t>(IpProto::kUdp);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_packet(const PacketSpec& spec) {
+  std::vector<std::uint8_t> bytes;
+  ByteWriter w{bytes};
+  w.u48(spec.eth_dst.value());
+  w.u48(spec.eth_src.value());
+  if (spec.vlan_id) {
+    w.u16(static_cast<std::uint16_t>(EtherType::kVlan));
+    const std::uint16_t pcp = spec.vlan_pcp.value_or(0) & 0x7;
+    w.u16(static_cast<std::uint16_t>((pcp << 13) | (*spec.vlan_id & 0x0FFF)));
+  }
+  if (spec.mpls_label) {
+    w.u16(static_cast<std::uint16_t>(EtherType::kMplsUnicast));
+    // Label(20) | TC(3) | S(1)=1 | TTL(8)
+    w.u32(((*spec.mpls_label & 0xFFFFF) << 12) | (1U << 8) | 64U);
+  } else {
+    w.u16(spec.eth_type);
+  }
+  if (spec.ipv4_src && spec.ipv4_dst) {
+    const std::uint16_t l4 = has_l4_ports(spec.ip_proto) ? 8 : 0;
+    const auto total =
+        static_cast<std::uint16_t>(20 + l4 + spec.payload.size());
+    w.u8(0x45);  // version 4, IHL 5
+    w.u8(spec.ip_tos);
+    w.u16(total);
+    w.u16(0);          // identification
+    w.u16(0x4000);     // flags: DF
+    w.u8(64);          // TTL
+    w.u8(spec.ip_proto);
+    w.u16(0);          // checksum (not modelled)
+    w.u32(spec.ipv4_src->value());
+    w.u32(spec.ipv4_dst->value());
+  } else if (spec.ipv6_src && spec.ipv6_dst) {
+    const std::uint16_t l4 = has_l4_ports(spec.ip_proto) ? 8 : 0;
+    w.u32((6U << 28) | (std::uint32_t{spec.ip_tos} << 20));
+    w.u16(static_cast<std::uint16_t>(l4 + spec.payload.size()));
+    w.u8(spec.ip_proto);  // next header
+    w.u8(64);             // hop limit
+    w.u128(spec.ipv6_src->value());
+    w.u128(spec.ipv6_dst->value());
+  }
+  if (has_l4_ports(spec.ip_proto) && spec.src_port && spec.dst_port) {
+    w.u16(*spec.src_port);
+    w.u16(*spec.dst_port);
+    w.u16(0);  // UDP length / TCP seq stub
+    w.u16(0);
+  }
+  bytes.insert(bytes.end(), spec.payload.begin(), spec.payload.end());
+  return bytes;
+}
+
+PacketHeader header_from_spec(const PacketSpec& spec, std::uint32_t in_port) {
+  PacketHeader h;
+  h.set_in_port(in_port);
+  h.set_eth_src(spec.eth_src);
+  h.set_eth_dst(spec.eth_dst);
+  h.set_eth_type(spec.eth_type);
+  if (spec.vlan_id) h.set_vlan_id(*spec.vlan_id);
+  if (spec.vlan_pcp) h.set_vlan_pcp(*spec.vlan_pcp);
+  if (spec.mpls_label) h.set_mpls_label(*spec.mpls_label);
+  if (spec.ipv4_src) h.set_ipv4_src(*spec.ipv4_src);
+  if (spec.ipv4_dst) h.set_ipv4_dst(*spec.ipv4_dst);
+  if (spec.ipv6_src) h.set_ipv6_src(*spec.ipv6_src);
+  if (spec.ipv6_dst) h.set_ipv6_dst(*spec.ipv6_dst);
+  if (spec.ipv4_src || spec.ipv6_src) {
+    h.set_ip_proto(spec.ip_proto);
+    h.set_ip_tos(spec.ip_tos);
+  }
+  if (spec.src_port) h.set_src_port(*spec.src_port);
+  if (spec.dst_port) h.set_dst_port(*spec.dst_port);
+  return h;
+}
+
+ParsedPacket parse_packet(std::span<const std::uint8_t> bytes,
+                          std::uint32_t in_port) {
+  ByteReader r{bytes};
+  PacketSpec spec;
+  spec.eth_dst = MacAddress{r.u48()};
+  spec.eth_src = MacAddress{r.u48()};
+  std::uint16_t ether_type = r.u16();
+  if (ether_type == static_cast<std::uint16_t>(EtherType::kVlan)) {
+    const std::uint16_t tci = r.u16();
+    spec.vlan_id = tci & 0x0FFF;
+    spec.vlan_pcp = static_cast<std::uint8_t>(tci >> 13);
+    ether_type = r.u16();
+  }
+  if (ether_type == static_cast<std::uint16_t>(EtherType::kMplsUnicast)) {
+    const std::uint32_t shim = r.u32();
+    spec.mpls_label = shim >> 12;
+    // The codec emits bottom-of-stack IPv4 under MPLS; the inner EtherType
+    // is implicit, so the spec's eth_type stays 0 (matches the serializer).
+    ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+    spec.eth_type = 0;
+  } else {
+    spec.eth_type = ether_type;
+  }
+  if (ether_type == static_cast<std::uint16_t>(EtherType::kIpv4) &&
+      r.remaining() >= 20) {
+    const std::uint8_t version_ihl = r.u8();
+    if ((version_ihl >> 4) != 4) throw std::invalid_argument("bad IPv4 version");
+    spec.ip_tos = r.u8();
+    (void)r.u16();  // total length
+    (void)r.u16();  // identification
+    (void)r.u16();  // flags/fragment
+    (void)r.u8();   // TTL
+    spec.ip_proto = r.u8();
+    (void)r.u16();  // checksum
+    spec.ipv4_src = Ipv4Address{r.u32()};
+    spec.ipv4_dst = Ipv4Address{r.u32()};
+    const unsigned ihl = (version_ihl & 0xF) * 4U;
+    if (ihl > 20) r.skip(ihl - 20);
+  } else if (ether_type == static_cast<std::uint16_t>(EtherType::kIpv6) &&
+             r.remaining() >= 40) {
+    const std::uint32_t vtf = r.u32();
+    if ((vtf >> 28) != 6) throw std::invalid_argument("bad IPv6 version");
+    spec.ip_tos = static_cast<std::uint8_t>((vtf >> 20) & 0xFF);
+    (void)r.u16();  // payload length
+    spec.ip_proto = r.u8();
+    (void)r.u8();   // hop limit
+    spec.ipv6_src = Ipv6Address{r.u128()};
+    spec.ipv6_dst = Ipv6Address{r.u128()};
+  }
+  if (has_l4_ports(spec.ip_proto) && r.remaining() >= 8) {
+    spec.src_port = r.u16();
+    spec.dst_port = r.u16();
+    r.skip(4);
+  }
+  const auto rest = r.rest();
+  spec.payload.assign(rest.begin(), rest.end());
+  return ParsedPacket{spec, header_from_spec(spec, in_port)};
+}
+
+}  // namespace ofmtl

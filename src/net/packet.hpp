@@ -1,0 +1,73 @@
+// Raw packet codec: builds and parses the byte-level header stacks the
+// OpenFlow fields are extracted from (Ethernet, 802.1Q VLAN, MPLS, IPv4,
+// IPv6, TCP/UDP). This is the "Packet Header" input of Fig. 1 — the
+// Partition/Selector operates on the PacketHeader produced here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/header.hpp"
+
+namespace ofmtl {
+
+/// Well-known EtherType values used by the codec.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kVlan = 0x8100,
+  kIpv6 = 0x86DD,
+  kMplsUnicast = 0x8847,
+};
+
+/// IP protocol numbers used by the codec.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// Description of a packet to synthesize; optional layers are emitted only
+/// when set. This is also what parsing returns (plus the flattened
+/// PacketHeader).
+struct PacketSpec {
+  MacAddress eth_src;
+  MacAddress eth_dst;
+  std::optional<std::uint16_t> vlan_id;     // 12-bit VID on the wire
+  std::optional<std::uint8_t> vlan_pcp;
+  std::optional<std::uint32_t> mpls_label;  // 20-bit
+  std::uint16_t eth_type = 0;               // innermost EtherType
+  std::optional<Ipv4Address> ipv4_src;
+  std::optional<Ipv4Address> ipv4_dst;
+  std::optional<Ipv6Address> ipv6_src;
+  std::optional<Ipv6Address> ipv6_dst;
+  std::uint8_t ip_proto = 0;
+  std::uint8_t ip_tos = 0;
+  std::optional<std::uint16_t> src_port;
+  std::optional<std::uint16_t> dst_port;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize a PacketSpec into wire bytes.
+[[nodiscard]] std::vector<std::uint8_t> serialize_packet(const PacketSpec& spec);
+
+/// Result of parsing a raw packet.
+struct ParsedPacket {
+  PacketSpec spec;
+  PacketHeader header;  ///< flattened OpenFlow match-field view
+};
+
+/// Parse wire bytes back into a spec + flattened header. `in_port` seeds the
+/// kInPort field, which is metadata of the receiving switch rather than a
+/// packet byte. Throws std::invalid_argument on truncated/unknown packets.
+[[nodiscard]] ParsedPacket parse_packet(std::span<const std::uint8_t> bytes,
+                                        std::uint32_t in_port);
+
+/// Flatten a spec directly into the match-field view without a byte
+/// round-trip (used by trace generators for speed).
+[[nodiscard]] PacketHeader header_from_spec(const PacketSpec& spec,
+                                            std::uint32_t in_port);
+
+}  // namespace ofmtl

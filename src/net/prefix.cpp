@@ -1,0 +1,48 @@
+#include "net/prefix.hpp"
+
+#include <cstdio>
+
+namespace ofmtl {
+
+std::string Prefix::to_string() const {
+  char buffer[64];
+  if (width_ > 64) {
+    const U128 v = value();
+    std::snprintf(buffer, sizeof buffer, "%016llx%016llx/%u",
+                  static_cast<unsigned long long>(v.hi),
+                  static_cast<unsigned long long>(v.lo), length_);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%llx/%u",
+                  static_cast<unsigned long long>(value64()), length_);
+  }
+  return buffer;
+}
+
+std::vector<Prefix> range_to_prefixes(const ValueRange& range, unsigned width) {
+  if (width > 63) throw std::invalid_argument("range_to_prefixes: width > 63");
+  if (range.lo > range.hi || range.hi > low_mask(width)) {
+    throw std::invalid_argument("range_to_prefixes: bad range");
+  }
+  std::vector<Prefix> prefixes;
+  std::uint64_t lo = range.lo;
+  const std::uint64_t hi = range.hi;
+  // Greedy: at each step emit the largest aligned power-of-two block starting
+  // at `lo` that does not overshoot `hi`.
+  while (true) {
+    unsigned block_bits = 0;
+    while (block_bits < width) {
+      const std::uint64_t size = std::uint64_t{1} << (block_bits + 1);
+      const bool aligned = (lo & (size - 1)) == 0;
+      const bool fits = lo + size - 1 <= hi;
+      if (!aligned || !fits) break;
+      ++block_bits;
+    }
+    prefixes.push_back(Prefix::from_value(lo, width - block_bits, width));
+    const std::uint64_t block = std::uint64_t{1} << block_bits;
+    if (hi - lo < block) break;  // consumed [lo, lo+block-1] == tail
+    lo += block;
+  }
+  return prefixes;
+}
+
+}  // namespace ofmtl

@@ -1,0 +1,104 @@
+// Basic value types and bit utilities shared across the library.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace ofmtl {
+
+/// Number of bits in one byte; used when sizing field layouts.
+inline constexpr std::size_t kBitsPerByte = 8;
+
+/// Ceiling of log2(n) for n >= 1: the number of bits needed to address n
+/// distinct slots. ceil_log2(1) == 0.
+[[nodiscard]] constexpr unsigned ceil_log2(std::uint64_t n) {
+  if (n <= 1) return 0;
+  unsigned bits = 0;
+  std::uint64_t capacity = 1;
+  while (capacity < n) {
+    capacity <<= 1U;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Bit width needed to store values in [0, max_value].
+[[nodiscard]] constexpr unsigned bits_for_max_value(std::uint64_t max_value) {
+  unsigned bits = 1;
+  while (max_value >> bits != 0) ++bits;
+  return bits;
+}
+
+/// Mask with the lowest `bits` bits set (bits <= 64).
+[[nodiscard]] constexpr std::uint64_t low_mask(unsigned bits) {
+  if (bits >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bits) - 1;
+}
+
+/// 128-bit unsigned integer built from two 64-bit halves. Only the operations
+/// the lookup structures need are provided (comparison, shifting, masking).
+/// Written in ISO C++ rather than relying on the non-standard __int128.
+struct U128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  constexpr U128() = default;
+  constexpr U128(std::uint64_t high, std::uint64_t low) : hi(high), lo(low) {}
+  explicit constexpr U128(std::uint64_t low) : hi(0), lo(low) {}
+
+  friend constexpr auto operator<=>(const U128&, const U128&) = default;
+
+  [[nodiscard]] constexpr U128 operator&(const U128& other) const {
+    return {hi & other.hi, lo & other.lo};
+  }
+  [[nodiscard]] constexpr U128 operator|(const U128& other) const {
+    return {hi | other.hi, lo | other.lo};
+  }
+  [[nodiscard]] constexpr U128 operator^(const U128& other) const {
+    return {hi ^ other.hi, lo ^ other.lo};
+  }
+  [[nodiscard]] constexpr U128 operator~() const { return {~hi, ~lo}; }
+
+  [[nodiscard]] constexpr U128 operator<<(unsigned n) const {
+    if (n == 0) return *this;
+    if (n >= 128) return {};
+    if (n >= 64) return {lo << (n - 64), 0};
+    return {(hi << n) | (lo >> (64 - n)), lo << n};
+  }
+  [[nodiscard]] constexpr U128 operator>>(unsigned n) const {
+    if (n == 0) return *this;
+    if (n >= 128) return {};
+    if (n >= 64) return {0, hi >> (n - 64)};
+    return {hi >> n, (lo >> n) | (hi << (64 - n))};
+  }
+
+  /// Extract `width` bits starting at bit position `msb_offset` from the most
+  /// significant end (offset 0 = top bit). width <= 64.
+  [[nodiscard]] constexpr std::uint64_t bits_from_top(unsigned msb_offset,
+                                                      unsigned width) const {
+    const unsigned shift = 128 - msb_offset - width;
+    return ((*this >> shift).lo) & low_mask(width);
+  }
+};
+
+/// Mask whose highest `length` bits (of a 128-bit value) are set.
+[[nodiscard]] constexpr U128 high_mask128(unsigned length) {
+  if (length == 0) return {};
+  if (length >= 128) return {~std::uint64_t{0}, ~std::uint64_t{0}};
+  return (~U128{}) << (128 - length);
+}
+
+/// Mask whose highest `length` bits of a `width`-bit value are set, expressed
+/// in the low `width` bits of the result.
+[[nodiscard]] constexpr std::uint64_t high_mask(unsigned width, unsigned length) {
+  if (length == 0) return 0;
+  if (length > width) throw std::invalid_argument("prefix longer than field");
+  return (low_mask(length) << (width - length)) & low_mask(width);
+}
+
+}  // namespace ofmtl

@@ -1,0 +1,104 @@
+#include "ofp/agent.hpp"
+
+#include <stdexcept>
+
+namespace ofmtl::ofp {
+
+SwitchAgent::SwitchAgent(std::vector<std::vector<FieldId>> table_fields,
+                         FieldSearchConfig config)
+    : model_(std::move(table_fields), std::move(config)) {}
+
+std::vector<std::vector<std::uint8_t>> SwitchAgent::handle_control(
+    const std::vector<std::uint8_t>& bytes, std::uint64_t now) {
+  const Envelope envelope = decode(bytes);
+  std::vector<std::vector<std::uint8_t>> responses;
+
+  if (std::holds_alternative<Hello>(envelope.message)) {
+    responses.push_back(encode({envelope.xid, Hello{}}));
+    return responses;
+  }
+  if (const auto* echo = std::get_if<EchoRequest>(&envelope.message)) {
+    responses.push_back(encode({envelope.xid, EchoReply{echo->payload}}));
+    return responses;
+  }
+  if (const auto* mod = std::get_if<FlowModMsg>(&envelope.message)) {
+    FlowMod flow_mod;
+    flow_mod.command = mod->command;
+    flow_mod.table = mod->table_id;
+    flow_mod.entry = mod->entry;
+    flow_mod.timeouts = mod->timeouts;
+    if (mod->command == FlowModCommand::kDelete &&
+        notify_removed_.contains(mod->entry.id)) {
+      // Controller-initiated delete with notification requested.
+      FlowRemovedMsg removed;
+      removed.entry_id = mod->entry.id;
+      removed.table_id = mod->table_id;
+      removed.reason = FlowRemovedReason::kDelete;
+      if (const auto* stats = model_.stats().find(mod->entry.id)) {
+        removed.packets = stats->packets;
+        removed.bytes = stats->bytes;
+      }
+      responses.push_back(encode({next_xid(), removed}));
+      notify_removed_.erase(mod->entry.id);
+    }
+    model_.apply(flow_mod, now);
+    if (mod->command != FlowModCommand::kDelete && mod->send_flow_removed) {
+      notify_removed_[mod->entry.id] = mod->table_id;
+    }
+    return responses;
+  }
+  if (const auto* out = std::get_if<PacketOut>(&envelope.message)) {
+    // The agent's data plane executes the given actions directly; the only
+    // observable here is that the frame parses.
+    (void)parse_packet(out->frame, out->in_port);
+    return responses;
+  }
+  throw std::invalid_argument("ofp: unexpected controller->switch type");
+}
+
+SwitchAgent::DataResult SwitchAgent::handle_frame(
+    const std::vector<std::uint8_t>& frame, std::uint32_t in_port,
+    std::uint64_t now) {
+  const auto parsed = parse_packet(frame, in_port);
+  DataResult result{model_.process(parsed.header, frame.size(), now), {}};
+  if (result.execution.verdict == Verdict::kToController) {
+    PacketIn packet_in;
+    packet_in.table_id = result.execution.visited_tables.empty()
+                             ? 0
+                             : result.execution.visited_tables.back();
+    packet_in.reason = PacketInReason::kNoMatch;
+    packet_in.in_port = in_port;
+    packet_in.frame = frame;
+    result.packet_in = encode({next_xid(), packet_in});
+  }
+  return result;
+}
+
+std::vector<std::vector<std::uint8_t>> SwitchAgent::sweep(std::uint64_t now) {
+  std::vector<std::vector<std::uint8_t>> notifications;
+  // Stats snapshots must be taken before the sweep erases them.
+  const auto expired = model_.stats().expired(now);
+  std::vector<std::pair<FlowRemovedMsg, bool>> pending;
+  for (const auto id : expired) {
+    const auto notify = notify_removed_.find(id);
+    FlowRemovedMsg removed;
+    removed.entry_id = id;
+    removed.reason = FlowRemovedReason::kIdleTimeout;
+    if (const auto* stats = model_.stats().find(id)) {
+      removed.packets = stats->packets;
+      removed.bytes = stats->bytes;
+    }
+    if (notify != notify_removed_.end()) {
+      removed.table_id = notify->second;
+      pending.emplace_back(removed, true);
+      notify_removed_.erase(notify);
+    }
+  }
+  (void)model_.sweep_timeouts(now);
+  for (const auto& [removed, notify] : pending) {
+    if (notify) notifications.push_back(encode({next_xid(), removed}));
+  }
+  return notifications;
+}
+
+}  // namespace ofmtl::ofp

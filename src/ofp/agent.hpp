@@ -1,0 +1,52 @@
+// The switch-side protocol endpoint: terminates the control channel on a
+// SwitchModel. Flow-mods mutate the decomposed tables, table misses on the
+// data path surface as PACKET_IN, timeout sweeps emit FLOW_REMOVED (when the
+// flow asked for it), ECHO keeps the session alive — the complete
+// controller/switch loop the paper's update evaluation simulates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "ofp/messages.hpp"
+
+namespace ofmtl::ofp {
+
+class SwitchAgent {
+ public:
+  explicit SwitchAgent(std::vector<std::vector<FieldId>> table_fields,
+                       FieldSearchConfig config = {});
+
+  /// Handle one control message (wire bytes); returns response messages
+  /// (wire bytes). Malformed input raises std::invalid_argument.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> handle_control(
+      const std::vector<std::uint8_t>& bytes, std::uint64_t now = 0);
+
+  /// Result of pushing one data-plane frame through the switch.
+  struct DataResult {
+    ExecutionResult execution;
+    /// PACKET_IN bytes when the pipeline missed (send to controller).
+    std::optional<std::vector<std::uint8_t>> packet_in;
+  };
+
+  /// Process a raw frame received on `in_port` at virtual time `now`.
+  [[nodiscard]] DataResult handle_frame(const std::vector<std::uint8_t>& frame,
+                                        std::uint32_t in_port,
+                                        std::uint64_t now = 0);
+
+  /// Expire flows; returns FLOW_REMOVED wire messages for flows that set
+  /// send_flow_removed.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> sweep(std::uint64_t now);
+
+  [[nodiscard]] const SwitchModel& model() const { return model_; }
+  [[nodiscard]] std::uint32_t next_xid() { return next_xid_++; }
+
+ private:
+  SwitchModel model_;
+  std::uint32_t next_xid_ = 1;
+  // Flows that requested FLOW_REMOVED notification: id -> table.
+  std::unordered_map<FlowEntryId, std::uint8_t> notify_removed_;
+};
+
+}  // namespace ofmtl::ofp

@@ -1,0 +1,108 @@
+// OpenFlow-style control-channel messages with a binary wire codec — the
+// controller/switch protocol substrate the update evaluation (Section V.B)
+// assumes. The format follows OpenFlow v1.3's message taxonomy (HELLO, ECHO,
+// FLOW_MOD, PACKET_IN, PACKET_OUT, FLOW_REMOVED) with a simplified TLV body
+// encoding; it is this library's own concrete format, not the IANA one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/switch_model.hpp"
+#include "flow/flow_entry.hpp"
+
+namespace ofmtl::ofp {
+
+inline constexpr std::uint8_t kProtocolVersion = 4;  // OpenFlow 1.3 numbering
+
+enum class MsgType : std::uint8_t {
+  kHello = 0,
+  kEchoRequest = 2,
+  kEchoReply = 3,
+  kPacketIn = 10,
+  kFlowRemoved = 11,
+  kPacketOut = 13,
+  kFlowMod = 14,
+};
+
+struct Hello {
+  friend bool operator==(const Hello&, const Hello&) = default;
+};
+
+struct EchoRequest {
+  std::vector<std::uint8_t> payload;
+  friend bool operator==(const EchoRequest&, const EchoRequest&) = default;
+};
+
+struct EchoReply {
+  std::vector<std::uint8_t> payload;
+  friend bool operator==(const EchoReply&, const EchoReply&) = default;
+};
+
+/// Why a packet was punted to the controller.
+enum class PacketInReason : std::uint8_t { kNoMatch = 0, kAction = 1 };
+
+struct PacketIn {
+  std::uint32_t buffer_id = 0xFFFFFFFF;  // OFP_NO_BUFFER: full frame inline
+  std::uint8_t table_id = 0;
+  PacketInReason reason = PacketInReason::kNoMatch;
+  std::uint32_t in_port = 0;
+  std::vector<std::uint8_t> frame;
+  friend bool operator==(const PacketIn&, const PacketIn&) = default;
+};
+
+struct PacketOut {
+  std::uint32_t buffer_id = 0xFFFFFFFF;
+  std::uint32_t in_port = 0;
+  std::vector<Action> actions;
+  std::vector<std::uint8_t> frame;
+  friend bool operator==(const PacketOut&, const PacketOut&) = default;
+};
+
+enum class FlowRemovedReason : std::uint8_t {
+  kIdleTimeout = 0,
+  kHardTimeout = 1,
+  kDelete = 2,
+};
+
+struct FlowRemovedMsg {
+  FlowEntryId entry_id = 0;
+  std::uint8_t table_id = 0;
+  FlowRemovedReason reason = FlowRemovedReason::kIdleTimeout;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  friend bool operator==(const FlowRemovedMsg&, const FlowRemovedMsg&) = default;
+};
+
+struct FlowModMsg {
+  FlowModCommand command = FlowModCommand::kAdd;
+  std::uint8_t table_id = 0;
+  FlowEntry entry;
+  TimeoutConfig timeouts{};
+  bool send_flow_removed = false;  ///< OFPFF_SEND_FLOW_REM
+  friend bool operator==(const FlowModMsg&, const FlowModMsg&) = default;
+};
+
+using Message = std::variant<Hello, EchoRequest, EchoReply, PacketIn, PacketOut,
+                             FlowRemovedMsg, FlowModMsg>;
+
+/// Envelope: version, type, length, transaction id.
+struct Envelope {
+  std::uint32_t xid = 0;
+  Message message;
+  friend bool operator==(const Envelope&, const Envelope&) = default;
+};
+
+/// Encode one message with its header.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Envelope& envelope);
+
+/// Decode one message. Throws std::invalid_argument on malformed input
+/// (wrong version, truncated body, unknown type/tag).
+[[nodiscard]] Envelope decode(const std::vector<std::uint8_t>& bytes);
+
+[[nodiscard]] std::string to_string(MsgType type);
+
+}  // namespace ofmtl::ofp

@@ -1,0 +1,91 @@
+#include "stats/filter_analysis.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace ofmtl::stats {
+
+const FieldStats& FilterAnalysis::of(FieldId id) const {
+  for (const auto& stats : fields) {
+    if (stats.field == id) return stats;
+  }
+  throw std::invalid_argument("field not analyzed");
+}
+
+FilterAnalysis analyze(const FilterSet& set) {
+  FilterAnalysis analysis;
+  analysis.name = set.name;
+  analysis.rule_count = set.entries.size();
+
+  for (const auto id : set.fields) {
+    FieldStats stats;
+    stats.field = id;
+    const unsigned bits = field_bits(id);
+    const unsigned partitions =
+        field_method(id) == MatchMethod::kLongestPrefix ? partition_count(bits) : 1;
+    std::vector<std::set<std::uint64_t>> unique(partitions);
+    std::set<std::string> whole;
+
+    for (const auto& entry : set.entries) {
+      const auto& fm = entry.match.get(id);
+      if (fm.kind == MatchKind::kAny) {
+        ++stats.wildcard_rules;
+        continue;
+      }
+      switch (field_method(id)) {
+        case MatchMethod::kExact:
+          whole.insert(std::to_string(fm.value.hi) + ":" +
+                       std::to_string(fm.value.lo));
+          unique[0].insert(fm.value.lo ^ fm.value.hi * 0x9E3779B9ULL);
+          break;
+        case MatchMethod::kRange: {
+          whole.insert(std::to_string(fm.range.lo) + "-" +
+                       std::to_string(fm.range.hi));
+          unique[0].insert((fm.range.lo << 16) | fm.range.hi);
+          break;
+        }
+        case MatchMethod::kLongestPrefix: {
+          Prefix prefix;
+          if (fm.kind == MatchKind::kPrefix) {
+            prefix = fm.prefix;
+          } else if (fm.kind == MatchKind::kExact) {
+            prefix = Prefix{fm.value, bits, bits};
+          } else {
+            throw std::invalid_argument("unsupported match kind on LPM field");
+          }
+          whole.insert(prefix.to_string());
+          for (unsigned p = 0; p < partitions; ++p) {
+            const unsigned plen = prefix.partition16_length(p);
+            if (plen == 0) continue;  // wildcard partition: no stored value
+            const std::uint64_t pvalue = prefix.partition16(p);
+            unique[p].insert((std::uint64_t{plen} << 16) | pvalue);
+          }
+          break;
+        }
+      }
+    }
+    stats.unique_whole = whole.size();
+    for (const auto& values : unique) {
+      stats.unique_per_partition.push_back(values.size());
+    }
+    analysis.fields.push_back(std::move(stats));
+  }
+  return analysis;
+}
+
+std::vector<std::size_t> prefix_length_histogram(const FilterSet& set,
+                                                 FieldId field) {
+  const unsigned bits = field_bits(field);
+  std::vector<std::size_t> histogram(bits + 1, 0);
+  for (const auto& entry : set.entries) {
+    const auto& fm = entry.match.get(field);
+    if (fm.kind == MatchKind::kPrefix) {
+      ++histogram[fm.prefix.length()];
+    } else if (fm.kind == MatchKind::kExact) {
+      ++histogram[bits];
+    }
+  }
+  return histogram;
+}
+
+}  // namespace ofmtl::stats

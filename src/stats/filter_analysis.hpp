@@ -1,0 +1,41 @@
+// Filter analysis (Section III): the unique-field-value survey behind the
+// paper's design choices and Tables III/IV. Counts unique values per field
+// and per 16-bit partition of LPM fields (non-wildcard partition prefixes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "flow/flow_entry.hpp"
+
+namespace ofmtl::stats {
+
+/// Unique-value survey of one field within a filter set.
+struct FieldStats {
+  FieldId field;
+  std::size_t unique_whole = 0;  ///< unique whole-field constraints
+  /// Per 16-bit partition (index 0 = highest bits): unique non-wildcard
+  /// partition prefixes — the Table III/IV columns. EM/RM fields have one
+  /// entry equal to unique_whole.
+  std::vector<std::size_t> unique_per_partition;
+  std::size_t wildcard_rules = 0;  ///< rules not constraining the field
+};
+
+struct FilterAnalysis {
+  std::string name;
+  std::size_t rule_count = 0;
+  std::vector<FieldStats> fields;
+
+  [[nodiscard]] const FieldStats& of(FieldId id) const;
+};
+
+[[nodiscard]] FilterAnalysis analyze(const FilterSet& set);
+
+/// Prefix-length histogram of one LPM field ([0..width] buckets) — used for
+/// the update-cost discussion and workload validation.
+[[nodiscard]] std::vector<std::size_t> prefix_length_histogram(
+    const FilterSet& set, FieldId field);
+
+}  // namespace ofmtl::stats

@@ -1,0 +1,48 @@
+// Fixed-width table printing and CSV export used by the benchmark binaries
+// to render the paper's tables and figure series.
+#pragma once
+
+#include <cstdio>
+#include <iosfwd>
+#include <string_view>
+#include <type_traits>
+#include <string>
+#include <vector>
+
+namespace ofmtl::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: converts arithmetic cells via to_string.
+  template <typename... Cells>
+  Table& add(const Cells&... cells) {
+    return row({cell_to_string(cells)...});
+  }
+
+  void print(std::ostream& out) const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  template <typename T>
+  [[nodiscard]] static std::string cell_to_string(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string> ||
+                  std::is_convertible_v<T, std::string_view>) {
+      return std::string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%.2f", static_cast<double>(value));
+      return buffer;
+    } else {
+      return std::to_string(value);
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ofmtl::stats

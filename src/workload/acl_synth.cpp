@@ -1,0 +1,81 @@
+#include "workload/acl_synth.hpp"
+
+#include "workload/rng.hpp"
+
+namespace ofmtl::workload {
+
+FilterSet generate_acl(const AclConfig& config) {
+  Rng rng(config.seed);
+
+  std::vector<std::uint32_t> networks;  // /16 bases
+  networks.reserve(config.network_pools);
+  for (std::size_t i = 0; i < config.network_pools; ++i) {
+    networks.push_back(static_cast<std::uint32_t>(rng.between(0x0A00, 0xDFFF))
+                       << 16);
+  }
+  const std::uint16_t well_known_ports[] = {22, 25, 53, 80, 123, 443, 8080};
+
+  const auto random_prefix = [&](bool allow_wildcard) -> Prefix {
+    if (allow_wildcard && rng.chance(config.wildcard_src_share)) {
+      return Prefix::from_value(0, 0, 32);
+    }
+    const std::uint32_t base = networks[rng.skewed_below(networks.size())];
+    const double u = rng.uniform();
+    unsigned length;
+    if (u < 0.35) {
+      length = 24;
+    } else if (u < 0.6) {
+      length = 32;
+    } else if (u < 0.8) {
+      length = static_cast<unsigned>(rng.between(25, 31));
+    } else {
+      length = static_cast<unsigned>(rng.between(17, 23));
+    }
+    const std::uint32_t host = static_cast<std::uint32_t>(rng.next());
+    const std::uint32_t address = base | (host & 0xFFFF);
+    return Prefix::from_value(address, length, 32);
+  };
+
+  const auto random_ports = [&]() -> ValueRange {
+    const double u = rng.uniform();
+    if (u < config.exact_port_share) {
+      const std::uint16_t port =
+          rng.chance(0.7)
+              ? well_known_ports[rng.below(std::size(well_known_ports))]
+              : static_cast<std::uint16_t>(rng.between(1024, 65535));
+      return {port, port};
+    }
+    if (u < config.exact_port_share + 0.3) return {0, 65535};       // any
+    if (u < config.exact_port_share + 0.45) return {1024, 65535};   // ephemeral
+    if (u < config.exact_port_share + 0.6) return {0, 1023};        // privileged
+    const std::uint16_t lo = static_cast<std::uint16_t>(rng.between(0, 65000));
+    return {lo, static_cast<std::uint16_t>(lo + rng.between(1, 500))};
+  };
+
+  FilterSet set;
+  set.name = "acl_synth_" + std::to_string(config.rules);
+  set.fields = {FieldId::kIpv4Src, FieldId::kIpv4Dst, FieldId::kSrcPort,
+                FieldId::kDstPort, FieldId::kIpProto};
+
+  while (set.entries.size() < config.rules) {
+    FlowEntry entry;
+    entry.id = static_cast<FlowEntryId>(set.entries.size());
+    entry.priority =
+        static_cast<std::uint16_t>(config.rules - set.entries.size());
+    entry.match.set(FieldId::kIpv4Src, FieldMatch::of_prefix(random_prefix(true)));
+    entry.match.set(FieldId::kIpv4Dst, FieldMatch::of_prefix(random_prefix(false)));
+    const auto sports = random_ports();
+    const auto dports = random_ports();
+    entry.match.set(FieldId::kSrcPort, FieldMatch::of_range(sports.lo, sports.hi));
+    entry.match.set(FieldId::kDstPort, FieldMatch::of_range(dports.lo, dports.hi));
+    const std::uint8_t proto = rng.chance(0.8) ? (rng.chance(0.6) ? 6 : 17)
+                                               : static_cast<std::uint8_t>(1);
+    entry.match.set(FieldId::kIpProto, FieldMatch::exact(std::uint64_t{proto}));
+    entry.instructions = output_instruction(
+        rng.chance(0.5) ? 0U : 1 + static_cast<std::uint32_t>(rng.below(16)));
+    set.entries.push_back(std::move(entry));
+  }
+  return set;
+}
+
+}  // namespace ofmtl::workload

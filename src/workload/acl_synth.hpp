@@ -1,0 +1,24 @@
+// ClassBench-style 5-tuple ACL generator for the Table I algorithm
+// comparison and the multi-dimensional baselines. Produces rules over
+// (src IPv4 prefix, dst IPv4 prefix, src port range, dst port range,
+// protocol) with the characteristic structure of access-control lists.
+#pragma once
+
+#include <cstdint>
+
+#include "flow/flow_entry.hpp"
+
+namespace ofmtl::workload {
+
+struct AclConfig {
+  std::size_t rules = 1000;
+  std::uint64_t seed = 7;
+  double wildcard_src_share = 0.2;   ///< rules with src = */0
+  double exact_port_share = 0.4;     ///< ranges collapsed to one port
+  std::size_t network_pools = 64;    ///< distinct /16 networks drawn from
+};
+
+/// Fields: kIpv4Src, kIpv4Dst, kSrcPort, kDstPort, kIpProto.
+[[nodiscard]] FilterSet generate_acl(const AclConfig& config);
+
+}  // namespace ofmtl::workload

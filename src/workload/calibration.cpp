@@ -1,0 +1,22 @@
+#include "workload/calibration.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ofmtl::workload {
+
+const MacFilterTarget& mac_target(std::string_view name) {
+  for (const auto& target : kMacTargets) {
+    if (target.name == name) return target;
+  }
+  throw std::invalid_argument("unknown MAC filter: " + std::string(name));
+}
+
+const RoutingFilterTarget& routing_target(std::string_view name) {
+  for (const auto& target : kRoutingTargets) {
+    if (target.name == name) return target;
+  }
+  throw std::invalid_argument("unknown routing filter: " + std::string(name));
+}
+
+}  // namespace ofmtl::workload

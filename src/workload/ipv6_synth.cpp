@@ -1,0 +1,66 @@
+#include "workload/ipv6_synth.hpp"
+
+#include <unordered_set>
+
+#include "workload/rng.hpp"
+
+namespace ofmtl::workload {
+
+FilterSet generate_ipv6_routing(const Ipv6RoutingConfig& config) {
+  Rng rng(config.seed * 0x9E3779B97F4A7C15ULL ^ config.routes);
+
+  // Global-unicast /32 allocations (2000::/3 space) the routes cluster in.
+  std::vector<std::uint32_t> allocations;  // top 32 bits
+  allocations.reserve(config.network_pools);
+  for (std::size_t i = 0; i < config.network_pools; ++i) {
+    allocations.push_back(0x20010000U | static_cast<std::uint32_t>(rng.below(0xFFFF)));
+  }
+
+  FilterSet set;
+  set.name = "ipv6_routing_" + std::to_string(config.routes);
+  set.fields = {FieldId::kInPort, FieldId::kIpv6Dst};
+  set.entries.reserve(config.routes);
+
+  const auto add_route = [&](const Prefix& prefix) {
+    FlowEntry entry;
+    entry.id = static_cast<FlowEntryId>(set.entries.size());
+    entry.priority = static_cast<std::uint16_t>(prefix.length());
+    entry.match.set(FieldId::kInPort,
+                    FieldMatch::exact(1 + rng.below(config.unique_ports)));
+    entry.match.set(FieldId::kIpv6Dst, FieldMatch::of_prefix(prefix));
+    entry.instructions = output_instruction(
+        1 + static_cast<std::uint32_t>(rng.below(64)));
+    set.entries.push_back(std::move(entry));
+  };
+
+  add_route(Prefix{U128{}, 0, 128});  // ::/0 default route
+
+  std::unordered_set<std::uint64_t> seen;  // hash of (len, value)
+  while (set.entries.size() < config.routes) {
+    unsigned length;
+    const double u = rng.uniform();
+    if (u < 0.20) {
+      length = 32;
+    } else if (u < 0.50) {
+      length = 48;
+    } else if (u < 0.85) {
+      length = 64;
+    } else if (u < 0.95) {
+      length = 33 + static_cast<unsigned>(rng.below(31));
+    } else {
+      length = 128;  // host route
+    }
+    const std::uint32_t alloc = allocations[rng.skewed_below(allocations.size())];
+    const U128 address{(std::uint64_t{alloc} << 32) | (rng.next() & 0xFFFFFFFF),
+                       rng.next()};
+    const Prefix prefix{address, length, 128};
+    const std::uint64_t key =
+        (std::uint64_t{length} << 56) ^ prefix.value().hi ^
+        (prefix.value().lo * 0x9E3779B97F4A7C15ULL);
+    if (!seen.insert(key).second) continue;
+    add_route(prefix);
+  }
+  return set;
+}
+
+}  // namespace ofmtl::workload

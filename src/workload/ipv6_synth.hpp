@@ -1,0 +1,25 @@
+// IPv6 routing filter-set generator — extension beyond the paper's IPv4
+// evaluation. OpenFlow v1.3 lists the 128-bit IPv6 pair among its LPM match
+// fields (Table II), so the architecture must scale to eight 16-bit
+// partition tries per address; this workload exercises that path.
+#pragma once
+
+#include <cstdint>
+
+#include "flow/flow_entry.hpp"
+
+namespace ofmtl::workload {
+
+struct Ipv6RoutingConfig {
+  std::size_t routes = 1000;
+  std::size_t unique_ports = 32;
+  std::uint64_t seed = 3;
+  std::size_t network_pools = 48;  ///< distinct /32 allocations drawn from
+};
+
+/// Fields: kInPort (exact) + kIpv6Dst (prefix). Realistic length mix
+/// (/32 allocations, /48 sites, /64 subnets, /128 hosts, ::/0 default);
+/// priorities follow prefix length (LPM semantics).
+[[nodiscard]] FilterSet generate_ipv6_routing(const Ipv6RoutingConfig& config);
+
+}  // namespace ofmtl::workload

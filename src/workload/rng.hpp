@@ -1,0 +1,64 @@
+// Deterministic RNG for workload generation. Own implementation (splitmix64 /
+// xoshiro256**) so generated filter sets are bit-identical across standard
+// libraries and platforms — results in EXPERIMENTS.md stay reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace ofmtl::workload {
+
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;
+  }
+  /// Uniform in [lo, hi].
+  constexpr std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+  /// Skewed index in [0, n): quadratic bias toward low indices, giving the
+  /// heavy value-repetition real filter sets show.
+  constexpr std::uint64_t skewed_below(std::uint64_t n) {
+    const double u = uniform();
+    return static_cast<std::uint64_t>(u * u * static_cast<double>(n));
+  }
+  constexpr bool chance(double p) { return uniform() < p; }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace ofmtl::workload

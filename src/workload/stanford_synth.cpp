@@ -1,0 +1,259 @@
+#include "workload/stanford_synth.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "net/addresses.hpp"
+#include "workload/rng.hpp"
+
+namespace ofmtl::workload {
+
+namespace {
+
+/// `count` distinct values in [lo, hi], drawn with cluster locality: values
+/// concentrate around a handful of anchors, as real assignments (OUIs,
+/// subnet blocks) do.
+[[nodiscard]] std::vector<std::uint64_t> distinct_values(Rng& rng,
+                                                         std::size_t count,
+                                                         std::uint64_t lo,
+                                                         std::uint64_t hi) {
+  if (hi - lo + 1 < count) throw std::invalid_argument("pool range too small");
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::uint64_t> values;
+  values.reserve(count);
+  const std::size_t anchor_count = std::max<std::size_t>(1, count / 24);
+  std::vector<std::uint64_t> anchors;
+  for (std::size_t i = 0; i < anchor_count; ++i) {
+    anchors.push_back(rng.between(lo, hi));
+  }
+  while (values.size() < count) {
+    std::uint64_t value;
+    if (rng.chance(0.7)) {
+      // Cluster member: anchor plus a small offset.
+      const std::uint64_t anchor = anchors[rng.below(anchors.size())];
+      const std::uint64_t offset = rng.below(256);
+      value = anchor + offset <= hi ? anchor + offset : anchor - offset % (anchor - lo + 1);
+    } else {
+      value = rng.between(lo, hi);
+    }
+    if (seen.insert(value).second) values.push_back(value);
+  }
+  return values;
+}
+
+[[nodiscard]] InstructionSet forward_to(std::uint32_t port) {
+  return output_instruction(port);
+}
+
+}  // namespace
+
+std::string_view to_string(FilterApp app) {
+  switch (app) {
+    case FilterApp::kMacLearning: return "mac";
+    case FilterApp::kRouting: return "routing";
+  }
+  throw std::logic_error("unknown FilterApp");
+}
+
+FilterSet generate_mac_filterset(const MacFilterTarget& target,
+                                 std::uint64_t seed) {
+  Rng rng(seed * 0x100001B3ULL ^ target.rules * 0x9E37ULL ^ target.unique_eth_lo);
+  const std::size_t max_pool = std::max(
+      {target.unique_eth_hi, target.unique_eth_mid, target.unique_eth_lo});
+  if (target.rules < max_pool || target.rules < target.unique_vlan) {
+    throw std::invalid_argument("calibration target infeasible");
+  }
+
+  const auto vlan_pool = distinct_values(rng, target.unique_vlan, 1, 4094);
+  const auto hi_pool = distinct_values(rng, target.unique_eth_hi, 0, 0xFFFF);
+  const auto mid_pool = distinct_values(rng, target.unique_eth_mid, 0, 0xFFFF);
+  const auto lo_pool = distinct_values(rng, target.unique_eth_lo, 0, 0xFFFF);
+
+  std::unordered_set<std::uint64_t> macs_seen;
+  FilterSet set;
+  set.name = std::string(target.name) + "_mac";
+  set.fields = {FieldId::kVlanId, FieldId::kEthDst};
+  set.entries.reserve(target.rules);
+
+  const auto add_rule = [&](std::uint64_t mac_value, std::uint64_t vlan) {
+    FlowEntry entry;
+    entry.id = static_cast<FlowEntryId>(set.entries.size());
+    entry.priority = 1;  // exact disjoint rules: flat priority
+    entry.match.set(FieldId::kVlanId, FieldMatch::exact(vlan));
+    entry.match.set(FieldId::kEthDst, FieldMatch::exact(mac_value));
+    entry.instructions = forward_to(1 + static_cast<std::uint32_t>(rng.below(48)));
+    set.entries.push_back(std::move(entry));
+  };
+
+  // Phase 1 — pool coverage: component i % pool_size; the largest pool's
+  // component is distinct for i < max_pool, so the MAC triples are distinct.
+  for (std::size_t i = 0; i < max_pool; ++i) {
+    const std::uint64_t mac = (hi_pool[i % hi_pool.size()] << 32) |
+                              (mid_pool[i % mid_pool.size()] << 16) |
+                              lo_pool[i % lo_pool.size()];
+    macs_seen.insert(mac);
+    add_rule(mac, vlan_pool[i % vlan_pool.size()]);
+  }
+  // Phase 2 — fill to the rule count with skewed reuse of pool values.
+  while (set.entries.size() < target.rules) {
+    const std::uint64_t mac = (hi_pool[rng.skewed_below(hi_pool.size())] << 32) |
+                              (mid_pool[rng.skewed_below(mid_pool.size())] << 16) |
+                              lo_pool[rng.skewed_below(lo_pool.size())];
+    if (!macs_seen.insert(mac).second) continue;
+    add_rule(mac, vlan_pool[set.entries.size() % vlan_pool.size()]);
+  }
+  return set;
+}
+
+FilterSet generate_routing_filterset(const RoutingFilterTarget& target,
+                                     std::uint64_t seed) {
+  Rng rng(seed * 0x100001B3ULL ^ target.rules * 0x9E37ULL ^ target.unique_ip_hi);
+
+  // High-partition pool: (value, length) partition prefixes. A small share
+  // are short prefixes (len < 16) modelling /8../15 routes; the rest pin all
+  // 16 network bits. The default route /0 is added separately and does not
+  // count as a unique partition value.
+  struct PartItem {
+    std::uint16_t value;
+    std::uint8_t length;
+  };
+  const std::size_t short_hi =
+      std::min<std::size_t>(target.unique_ip_hi / 12 + 1, 48);
+  std::vector<PartItem> hi_pool;
+  hi_pool.reserve(target.unique_ip_hi);
+  {
+    std::unordered_set<std::uint32_t> seen;  // (len << 16) | value
+    // Short prefixes first.
+    while (hi_pool.size() < short_hi) {
+      const auto length = static_cast<std::uint8_t>(rng.between(8, 15));
+      const auto value = static_cast<std::uint16_t>(
+          (rng.below(1ULL << length)) << (16 - length));
+      if (seen.insert((std::uint32_t{length} << 16) | value).second) {
+        hi_pool.push_back({value, length});
+      }
+    }
+    const auto values =
+        distinct_values(rng, target.unique_ip_hi - short_hi, 0x0100, 0xDFFF);
+    for (const auto v : values) {
+      hi_pool.push_back({static_cast<std::uint16_t>(v), 16});
+    }
+  }
+
+  // Low-partition pool: CIDR-shaped lengths (peak at 8, i.e. /24 routes).
+  // Anomaly filters (unique_ip_hi > unique_ip_lo: coza/cozb/soza/sozb) are
+  // backbone tables dominated by long, specific routes — their low items
+  // skew to longer partition lengths, which is what makes the *higher* trie
+  // the memory bottleneck in the paper's Fig. 4(b).
+  const bool wide_network_profile = target.unique_ip_hi > target.unique_ip_lo;
+  std::vector<PartItem> lo_pool;
+  lo_pool.reserve(target.unique_ip_lo);
+  {
+    std::unordered_set<std::uint32_t> seen;
+    while (lo_pool.size() < target.unique_ip_lo) {
+      std::uint8_t length;
+      const double u = rng.uniform();
+      if (wide_network_profile) {
+        length = u < 0.7 ? 16 : static_cast<std::uint8_t>(rng.between(10, 16));
+      } else if (u < 0.45) {
+        length = 8;  // /24
+      } else if (u < 0.65) {
+        length = 16;  // /32 host routes
+      } else {
+        length = static_cast<std::uint8_t>(rng.between(1, 16));
+      }
+      const auto value = static_cast<std::uint16_t>((rng.below(1ULL << length))
+                                                    << (16 - length));
+      if (seen.insert((std::uint32_t{length} << 16) | value).second) {
+        lo_pool.push_back({value, length});
+      }
+    }
+  }
+
+  const auto port_pool = distinct_values(rng, target.unique_ports, 1, 256);
+
+  FilterSet set;
+  set.name = std::string(target.name) + "_routing";
+  set.fields = {FieldId::kInPort, FieldId::kIpv4Dst};
+  set.entries.reserve(target.rules);
+
+  const auto add_rule = [&](const Prefix& prefix, std::uint64_t port) {
+    FlowEntry entry;
+    entry.id = static_cast<FlowEntryId>(set.entries.size());
+    entry.priority = static_cast<std::uint16_t>(prefix.length());
+    entry.match.set(FieldId::kInPort, FieldMatch::exact(port));
+    entry.match.set(FieldId::kIpv4Dst, FieldMatch::of_prefix(prefix));
+    entry.instructions = forward_to(1 + static_cast<std::uint32_t>(rng.below(48)));
+    set.entries.push_back(std::move(entry));
+  };
+
+  // Default route (the paper: routing filters "require larger prefix
+  // lookups (e.g. 0.0.0.0/0)").
+  add_rule(Prefix::from_value(0, 0, 32), port_pool[0]);
+
+  // Phase 0 — short high prefixes: one rule each, low partition wildcard.
+  std::size_t port_cursor = 0;
+  std::vector<PartItem> full_hi;
+  for (const auto& item : hi_pool) {
+    if (item.length < 16) {
+      add_rule(Prefix::from_value(std::uint64_t{item.value} << 16, item.length, 32),
+               port_pool[port_cursor++ % port_pool.size()]);
+    } else {
+      full_hi.push_back(item);
+    }
+  }
+
+  // Phase 1 — pool coverage over (full-high, low) pairs.
+  const std::size_t coverage = std::max(full_hi.size(), lo_pool.size());
+  std::unordered_set<std::uint64_t> pairs_seen;  // (hi_idx << 32) | lo_idx
+  for (std::size_t i = 0; i < coverage && set.entries.size() < target.rules; ++i) {
+    const std::size_t hi_idx = i % full_hi.size();
+    const std::size_t lo_idx = i % lo_pool.size();
+    pairs_seen.insert((std::uint64_t{hi_idx} << 32) | lo_idx);
+    const auto& hi = full_hi[hi_idx];
+    const auto& lo = lo_pool[lo_idx];
+    const std::uint32_t address =
+        (std::uint32_t{hi.value} << 16) | lo.value;
+    add_rule(Prefix::from_value(address, 16U + lo.length, 32),
+             port_pool[port_cursor++ % port_pool.size()]);
+  }
+
+  // Phase 2 — fill with skewed reuse.
+  while (set.entries.size() < target.rules) {
+    const std::size_t hi_idx = rng.skewed_below(full_hi.size());
+    const std::size_t lo_idx = rng.skewed_below(lo_pool.size());
+    if (!pairs_seen.insert((std::uint64_t{hi_idx} << 32) | lo_idx).second) {
+      continue;
+    }
+    const auto& hi = full_hi[hi_idx];
+    const auto& lo = lo_pool[lo_idx];
+    const std::uint32_t address = (std::uint32_t{hi.value} << 16) | lo.value;
+    add_rule(Prefix::from_value(address, 16U + lo.length, 32),
+             port_pool[port_cursor++ % port_pool.size()]);
+  }
+  return set;
+}
+
+FilterSet generate_filterset(FilterApp app, std::string_view name,
+                             std::uint64_t seed) {
+  switch (app) {
+    case FilterApp::kMacLearning:
+      return generate_mac_filterset(mac_target(name), seed);
+    case FilterApp::kRouting:
+      return generate_routing_filterset(routing_target(name), seed);
+  }
+  throw std::logic_error("unknown FilterApp");
+}
+
+std::vector<FilterSet> generate_all(FilterApp app, std::uint64_t seed) {
+  std::vector<FilterSet> sets;
+  sets.reserve(kFilterCount);
+  for (std::size_t i = 0; i < kFilterCount; ++i) {
+    const auto name = app == FilterApp::kMacLearning ? kMacTargets[i].name
+                                                     : kRoutingTargets[i].name;
+    sets.push_back(generate_filterset(app, name, seed));
+  }
+  return sets;
+}
+
+}  // namespace ofmtl::workload

@@ -1,0 +1,44 @@
+// Synthetic Stanford-backbone filter sets, calibrated to Tables III and IV.
+//
+// For each of the 16 router filters the generator reproduces *exactly* the
+// statistics the paper's memory analysis depends on: the rule count and the
+// number of unique values per field / 16-bit partition. Value structure is
+// realistic (OUI locality for MAC addresses, CIDR structure and wildcard
+// share for routes) but synthetic; DESIGN.md §4 records the substitution.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "flow/flow_entry.hpp"
+#include "workload/calibration.hpp"
+
+namespace ofmtl::workload {
+
+/// The two applications of the paper's evaluation (Section III.C).
+enum class FilterApp : std::uint8_t { kMacLearning, kRouting };
+
+[[nodiscard]] std::string_view to_string(FilterApp app);
+
+/// Generate the MAC-learning filter set for one calibration row.
+/// Fields: VLAN ID (exact) + destination Ethernet (exact 48-bit).
+[[nodiscard]] FilterSet generate_mac_filterset(const MacFilterTarget& target,
+                                               std::uint64_t seed = 0);
+
+/// Generate the routing filter set for one calibration row.
+/// Fields: ingress port (exact) + destination IPv4 (prefix). Includes the
+/// 0.0.0.0/0 default route the paper calls out; priorities follow prefix
+/// length (LPM semantics).
+[[nodiscard]] FilterSet generate_routing_filterset(
+    const RoutingFilterTarget& target, std::uint64_t seed = 0);
+
+/// Generate by router name ("bbra" ... "yozb").
+[[nodiscard]] FilterSet generate_filterset(FilterApp app, std::string_view name,
+                                           std::uint64_t seed = 0);
+
+/// All 16 filter sets of one application.
+[[nodiscard]] std::vector<FilterSet> generate_all(FilterApp app,
+                                                  std::uint64_t seed = 0);
+
+}  // namespace ofmtl::workload

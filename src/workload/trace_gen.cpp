@@ -1,0 +1,80 @@
+#include "workload/trace_gen.hpp"
+
+#include "workload/rng.hpp"
+
+namespace ofmtl::workload {
+
+namespace {
+
+[[nodiscard]] U128 random_field_value(Rng& rng, unsigned bits) {
+  if (bits > 64) return U128{rng.next(), rng.next()};
+  return U128{rng.next() & low_mask(bits)};
+}
+
+}  // namespace
+
+PacketHeader header_matching(const FlowMatch& match,
+                             const std::vector<FieldId>& fields,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  PacketHeader header;
+  for (const auto id : fields) {
+    const auto& fm = match.get(id);
+    const unsigned bits = field_bits(id);
+    switch (fm.kind) {
+      case MatchKind::kAny:
+        header.set(id, random_field_value(rng, bits));
+        break;
+      case MatchKind::kExact:
+        header.set(id, fm.value);
+        break;
+      case MatchKind::kPrefix: {
+        // Prefix bits fixed, suffix randomized.
+        const unsigned free_bits = bits - fm.prefix.length();
+        const U128 suffix =
+            free_bits == 0 ? U128{}
+                           : (random_field_value(rng, bits) &
+                              ((~U128{}) >> (128 - free_bits)));
+        header.set(id, fm.prefix.value() | suffix);
+        break;
+      }
+      case MatchKind::kRange:
+        header.set(id, fm.range.lo + rng.below(fm.range.span() + 1));
+        break;
+      case MatchKind::kMasked: {
+        const U128 noise = random_field_value(rng, bits);
+        header.set(id, fm.value | (noise & ~fm.mask));
+        break;
+      }
+    }
+  }
+  return header;
+}
+
+PacketHeader random_header(const std::vector<FieldId>& fields,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  PacketHeader header;
+  for (const auto id : fields) {
+    header.set(id, random_field_value(rng, field_bits(id)));
+  }
+  return header;
+}
+
+std::vector<PacketHeader> generate_trace(const FilterSet& set,
+                                         const TraceConfig& config) {
+  Rng rng(config.seed);
+  std::vector<PacketHeader> trace;
+  trace.reserve(config.packets);
+  for (std::size_t i = 0; i < config.packets; ++i) {
+    if (!set.entries.empty() && rng.chance(config.hit_ratio)) {
+      const auto& entry = set.entries[rng.below(set.entries.size())];
+      trace.push_back(header_matching(entry.match, set.fields, rng.next()));
+    } else {
+      trace.push_back(random_header(set.fields, rng.next()));
+    }
+  }
+  return trace;
+}
+
+}  // namespace ofmtl::workload

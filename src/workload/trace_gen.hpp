@@ -1,0 +1,35 @@
+// Packet-trace generation: header streams that exercise a filter set with a
+// controllable hit ratio, used by the lookup-throughput benches and the
+// pipeline equivalence tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/flow_entry.hpp"
+#include "net/header.hpp"
+
+namespace ofmtl::workload {
+
+struct TraceConfig {
+  std::size_t packets = 1000;
+  double hit_ratio = 0.9;    ///< share of packets built from some rule
+  std::uint64_t seed = 1;
+};
+
+/// Build headers from a filter set: hit packets instantiate a random rule
+/// (wildcard bits randomized), miss packets are uniformly random over the
+/// constrained fields.
+[[nodiscard]] std::vector<PacketHeader> generate_trace(const FilterSet& set,
+                                                       const TraceConfig& config);
+
+/// A header satisfying `match` with wildcarded bits drawn from `seed`.
+[[nodiscard]] PacketHeader header_matching(const FlowMatch& match,
+                                           const std::vector<FieldId>& fields,
+                                           std::uint64_t seed);
+
+/// A uniformly random header over `fields`.
+[[nodiscard]] PacketHeader random_header(const std::vector<FieldId>& fields,
+                                         std::uint64_t seed);
+
+}  // namespace ofmtl::workload

@@ -1,0 +1,84 @@
+// The flagship invariant, swept across every calibrated router of both
+// applications (all 32 filter sets, including the 180k-rule coza/cozb/
+// soza/sozb): the compiled decomposed pipeline executes bit-for-bit like
+// the reference pipeline, and the DCFL classifier agrees with linear search.
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "mdclassifier/dcfl.hpp"
+#include "mdclassifier/linear.hpp"
+#include "workload/calibration.hpp"
+#include "workload/stanford_synth.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace ofmtl {
+namespace {
+
+struct SweepCase {
+  workload::FilterApp app;
+  std::size_t index;
+};
+
+class FullSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(FullSweep, AcceleratedPipelineMatchesReferenceExactly) {
+  const auto [app, index] = GetParam();
+  const auto name = app == workload::FilterApp::kMacLearning
+                        ? workload::kMacTargets[index].name
+                        : workload::kRoutingTargets[index].name;
+  const auto set = workload::generate_filterset(app, name);
+  const auto spec = build_app(set, TableLayout::kPerFieldTables);
+  const auto accelerated = compile_app(spec);
+
+  // Keep the trace modest: the sweep covers breadth, the dedicated tests
+  // cover depth.
+  const auto trace = workload::generate_trace(
+      set, {.packets = 200, .hit_ratio = 0.85, .seed = 97 + index});
+  for (const auto& header : trace) {
+    ASSERT_EQ(accelerated.execute(header), spec.reference.execute(header))
+        << set.name << " " << header.to_string();
+  }
+}
+
+std::vector<SweepCase> all_cases() {
+  std::vector<SweepCase> cases;
+  for (std::size_t i = 0; i < workload::kFilterCount; ++i) {
+    cases.push_back({workload::FilterApp::kMacLearning, i});
+    cases.push_back({workload::FilterApp::kRouting, i});
+  }
+  return cases;
+}
+
+std::string sweep_case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const auto app = info.param.app;
+  const auto index = info.param.index;
+  return std::string(to_string(app)) + "_" +
+         std::string(app == workload::FilterApp::kMacLearning
+                         ? workload::kMacTargets[index].name
+                         : workload::kRoutingTargets[index].name);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRouters, FullSweep,
+                         ::testing::ValuesIn(all_cases()), sweep_case_name);
+
+TEST(DcflClassifier, AgreesWithLinearOnBothApps) {
+  for (const auto app :
+       {workload::FilterApp::kMacLearning, workload::FilterApp::kRouting}) {
+    const auto set = workload::generate_filterset(app, "bozb");
+    const auto rules = md::RuleSet::from(set);
+    md::LinearClassifier oracle{rules};
+    md::DcflClassifier dcfl{rules};
+    const auto trace = workload::generate_trace(
+        set, {.packets = 800, .hit_ratio = 0.8, .seed = 55});
+    for (const auto& header : trace) {
+      EXPECT_EQ(dcfl.classify(header), oracle.classify(header))
+          << to_string(app);
+    }
+    EXPECT_GT(dcfl.memory_report().total_bits(), 0U);
+    (void)dcfl.classify(trace.front());
+    EXPECT_GT(dcfl.last_access_count(), 0U);
+  }
+}
+
+}  // namespace
+}  // namespace ofmtl

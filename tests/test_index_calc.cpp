@@ -1,0 +1,101 @@
+// IndexCalculator: progressive label combination (DCFL-style) — the stage
+// that turns per-algorithm labels into flow-entry indices.
+#include <gtest/gtest.h>
+
+#include "core/index_table.hpp"
+
+namespace ofmtl {
+namespace {
+
+TEST(IndexCalculator, SingleAlgorithmDegeneratesToDirectMap) {
+  IndexCalculator calc(1);
+  calc.add_rule({7}, 0);
+  calc.add_rule({9}, 1);
+  std::vector<std::uint32_t> out;
+  calc.query({{7}}, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0}));
+  out.clear();
+  calc.query({{8}}, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IndexCalculator, TwoAlgorithmPairs) {
+  IndexCalculator calc(2);
+  calc.add_rule({1, 10}, 0);
+  calc.add_rule({1, 11}, 1);
+  calc.add_rule({2, 10}, 2);
+  std::vector<std::uint32_t> out;
+  calc.query({{1}, {10}}, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0}));
+  out.clear();
+  calc.query({{2}, {11}}, out);  // valid labels, invalid combination
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IndexCalculator, MultipleCandidatesPerAlgorithm) {
+  // Mimics LPM: the address algorithm returns nested matches, the wildcard
+  // rule and the specific rule must both surface.
+  IndexCalculator calc(2);
+  calc.add_rule({0, 5}, 0);   // specific
+  calc.add_rule({0, 3}, 1);   // shorter prefix
+  std::vector<std::uint32_t> out;
+  calc.query({{0}, {5, 3}}, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(IndexCalculator, SharedSignatureReturnsAllRules) {
+  IndexCalculator calc(2);
+  calc.add_rule({4, 4}, 0);
+  calc.add_rule({4, 4}, 5);  // same match at a different priority
+  std::vector<std::uint32_t> out;
+  calc.query({{4}, {4}}, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 5}));
+}
+
+TEST(IndexCalculator, FiveAlgorithmChain) {
+  IndexCalculator calc(5);
+  calc.add_rule({1, 2, 3, 4, 5}, 0);
+  calc.add_rule({1, 2, 3, 4, 6}, 1);
+  calc.add_rule({9, 2, 3, 4, 5}, 2);
+  std::vector<std::uint32_t> out;
+  calc.query({{1}, {2}, {3}, {4}, {5, 6}}, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1}));
+  out.clear();
+  calc.query({{1, 9}, {2}, {3}, {4}, {5}}, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(IndexCalculator, EmptyCandidateListShortCircuits) {
+  IndexCalculator calc(3);
+  calc.add_rule({1, 2, 3}, 0);
+  std::vector<std::uint32_t> out;
+  calc.query({{1}, {}, {3}}, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IndexCalculator, ArityMismatchThrows) {
+  IndexCalculator calc(2);
+  EXPECT_THROW(calc.add_rule({1}, 0), std::invalid_argument);
+  std::vector<std::uint32_t> out;
+  EXPECT_THROW(calc.query({{1}}, out), std::invalid_argument);
+}
+
+TEST(IndexCalculator, MemoryReportCountsPairs) {
+  IndexCalculator calc(2);
+  calc.add_rule({1, 10}, 0);
+  calc.add_rule({1, 11}, 1);
+  calc.add_rule({2, 10}, 2);
+  const auto report = calc.memory_report("idx");
+  // 3 distinct pairs in stage 0, 3 final labels.
+  ASSERT_EQ(report.components().size(), 2U);
+  EXPECT_EQ(report.components()[0].words, 3U);
+  EXPECT_EQ(report.components()[1].words, 3U);
+  EXPECT_EQ(calc.update_words(), 6U);
+}
+
+}  // namespace
+}  // namespace ofmtl

@@ -1,0 +1,140 @@
+// IPv6 LPM end-to-end: the 128-bit address field decomposes into eight
+// 16-bit partition tries; the decomposed table must agree with linear
+// search, and the trie set must respect the partition structure.
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/lookup_table.hpp"
+#include "flow/flow_table.hpp"
+#include "workload/ipv6_synth.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace ofmtl {
+namespace {
+
+FlowEntry v6_entry(FlowEntryId id, const Prefix& prefix, std::uint32_t port) {
+  FlowEntry entry;
+  entry.id = id;
+  entry.priority = static_cast<std::uint16_t>(prefix.length());
+  entry.match.set(FieldId::kIpv6Dst, FieldMatch::of_prefix(prefix));
+  entry.instructions = output_instruction(port);
+  return entry;
+}
+
+TEST(Ipv6Lookup, EightPartitionTries) {
+  LookupTable table({FieldId::kIpv6Dst}, {});
+  EXPECT_EQ(table.field_searches()[0].tries().size(), 8U);
+  EXPECT_EQ(table.index().algorithm_count(), 8U);
+}
+
+TEST(Ipv6Lookup, NestedPrefixesLpm) {
+  const Prefix p32{U128{0x20010DB800000000ULL, 0}, 32, 128};
+  const Prefix p48{U128{0x20010DB8AAAA0000ULL, 0}, 48, 128};
+  const Prefix p128{U128{0x20010DB8AAAA0001ULL, 0x42}, 128, 128};
+  LookupTable table({FieldId::kIpv6Dst},
+                    {v6_entry(0, p32, 1), v6_entry(1, p48, 2), v6_entry(2, p128, 3)});
+
+  PacketHeader h;
+  h.set_ipv6_dst(Ipv6Address{U128{0x20010DB8AAAA0001ULL, 0x42}});
+  ASSERT_NE(table.lookup(h), nullptr);
+  EXPECT_EQ(table.lookup(h)->id, 2U);  // /128 wins
+
+  h.set_ipv6_dst(Ipv6Address{U128{0x20010DB8AAAA0001ULL, 0x43}});
+  EXPECT_EQ(table.lookup(h)->id, 1U);  // /48
+
+  h.set_ipv6_dst(Ipv6Address{U128{0x20010DB8BBBB0000ULL, 0}});
+  EXPECT_EQ(table.lookup(h)->id, 0U);  // /32
+
+  h.set_ipv6_dst(Ipv6Address{U128{0x2001000000000000ULL, 0}});
+  EXPECT_EQ(table.lookup(h), nullptr);
+}
+
+TEST(Ipv6Lookup, DefaultRouteCatchesAll) {
+  LookupTable table({FieldId::kIpv6Dst},
+                    {v6_entry(0, Prefix{U128{}, 0, 128}, 9)});
+  PacketHeader h;
+  h.set_ipv6_dst(Ipv6Address{U128{0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL}});
+  ASSERT_NE(table.lookup(h), nullptr);
+  EXPECT_EQ(table.lookup(h)->id, 0U);
+}
+
+class Ipv6Oracle : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Ipv6Oracle, AgreesWithLinearSearch) {
+  workload::Ipv6RoutingConfig config;
+  config.routes = GetParam();
+  config.seed = 11 + GetParam();
+  const auto set = workload::generate_ipv6_routing(config);
+
+  FlowTable oracle(set.entries);
+  const auto table = LookupTable::compile(oracle);
+
+  const auto trace = workload::generate_trace(
+      set, {.packets = 1500, .hit_ratio = 0.85, .seed = 19});
+  std::size_t hits = 0;
+  for (const auto& header : trace) {
+    const FlowEntry* expected = oracle.lookup(header);
+    const FlowEntry* actual = table.lookup(header);
+    ASSERT_EQ(actual == nullptr, expected == nullptr) << header.to_string();
+    if (expected != nullptr) {
+      ++hits;
+      EXPECT_EQ(actual->id, expected->id) << header.to_string();
+    }
+  }
+  EXPECT_GT(hits, trace.size() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Ipv6Oracle, ::testing::Values(64, 512, 2000));
+
+TEST(Ipv6Pipeline, TwoTableAppEquivalence) {
+  workload::Ipv6RoutingConfig config;
+  config.routes = 400;
+  const auto set = workload::generate_ipv6_routing(config);
+  const auto spec = build_app(set, TableLayout::kPerFieldTables);
+  const auto accelerated = compile_app(spec);
+
+  const auto trace = workload::generate_trace(
+      set, {.packets = 800, .hit_ratio = 0.85, .seed = 23});
+  for (const auto& header : trace) {
+    EXPECT_EQ(accelerated.execute(header), spec.reference.execute(header))
+        << header.to_string();
+  }
+}
+
+TEST(Ipv6Workload, LengthMixAndDefaultRoute) {
+  workload::Ipv6RoutingConfig config;
+  config.routes = 1000;
+  const auto set = workload::generate_ipv6_routing(config);
+  ASSERT_EQ(set.entries.size(), 1000U);
+  std::size_t host_routes = 0, defaults = 0;
+  for (const auto& entry : set.entries) {
+    const auto& prefix = entry.match.get(FieldId::kIpv6Dst).prefix;
+    if (prefix.length() == 128) ++host_routes;
+    if (prefix.length() == 0) ++defaults;
+    EXPECT_EQ(entry.priority, prefix.length());
+  }
+  EXPECT_EQ(defaults, 1U);
+  EXPECT_GT(host_routes, 0U);
+}
+
+TEST(Ipv6Lookup, IncrementalChurn) {
+  LookupTable table({FieldId::kIpv6Dst}, {});
+  const Prefix p48{U128{0x20010DB8AAAA0000ULL, 0}, 48, 128};
+  const Prefix p64{U128{0x20010DB8AAAABBBBULL, 0}, 64, 128};
+  table.insert_entry(v6_entry(0, p48, 1));
+  table.insert_entry(v6_entry(1, p64, 2));
+
+  PacketHeader h;
+  h.set_ipv6_dst(Ipv6Address{U128{0x20010DB8AAAABBBBULL, 7}});
+  EXPECT_EQ(table.lookup(h)->id, 1U);
+  table.remove_entry(1);
+  EXPECT_EQ(table.lookup(h)->id, 0U);
+  table.remove_entry(0);
+  EXPECT_EQ(table.lookup(h), nullptr);
+  for (const auto& trie : table.field_searches()[0].tries()) {
+    EXPECT_EQ(trie.prefix_count(), 0U);
+  }
+}
+
+}  // namespace
+}  // namespace ofmtl

@@ -1,0 +1,96 @@
+// LabelEncoder bijection properties and ExactMatchLut behaviour (hash LUT
+// with rehash under load, memory accounting).
+#include <gtest/gtest.h>
+
+#include "core/label.hpp"
+#include "core/lut.hpp"
+#include "workload/rng.hpp"
+
+namespace ofmtl {
+namespace {
+
+TEST(LabelEncoder, DenseAndStable) {
+  ValueLabelEncoder encoder;
+  EXPECT_EQ(encoder.encode(U128{5}), 0U);
+  EXPECT_EQ(encoder.encode(U128{9}), 1U);
+  EXPECT_EQ(encoder.encode(U128{5}), 0U);  // idempotent
+  EXPECT_EQ(encoder.size(), 2U);
+  EXPECT_TRUE(encoder.decode(1) == U128{9});
+  EXPECT_EQ(encoder.find(U128{9}), 1U);
+  EXPECT_EQ(encoder.find(U128{77}), std::nullopt);
+}
+
+TEST(LabelEncoder, BijectionUnderRandomLoad) {
+  ValueLabelEncoder encoder;
+  workload::Rng rng(21);
+  std::vector<U128> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.emplace_back(rng.below(64), rng.below(1024));
+  }
+  for (const auto& value : values) (void)encoder.encode(value);
+  for (const auto& value : values) {
+    const auto label = encoder.find(value);
+    ASSERT_TRUE(label.has_value());
+    EXPECT_TRUE(encoder.decode(*label) == value);
+  }
+}
+
+TEST(LabelEncoder, LabelBits) {
+  ValueLabelEncoder encoder;
+  EXPECT_EQ(encoder.label_bits(), 1U);
+  for (std::uint64_t i = 0; i < 9; ++i) (void)encoder.encode(U128{i});
+  EXPECT_EQ(encoder.label_bits(), 4U);  // 9 labels -> 4 bits
+}
+
+TEST(ExactMatchLut, InsertLookupMiss) {
+  ExactMatchLut lut(13);  // VLAN ID width
+  const auto a = lut.insert(U128{100});
+  const auto b = lut.insert(U128{200});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(lut.insert(U128{100}), a);  // stable
+  EXPECT_EQ(lut.lookup(U128{100}), a);
+  EXPECT_EQ(lut.lookup(U128{300}), std::nullopt);
+  EXPECT_EQ(lut.unique_values(), 2U);
+}
+
+TEST(ExactMatchLut, SurvivesRehash) {
+  ExactMatchLut lut(32);
+  workload::Rng rng(33);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 2000; ++i) values.push_back(rng.next() & 0xFFFFFFFFU);
+  std::vector<Label> labels;
+  for (const auto v : values) labels.push_back(lut.insert(U128{v}));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(lut.lookup(U128{values[i]}), labels[i]) << i;
+  }
+  // Load factor maintained.
+  EXPECT_GE(lut.slot_count(), lut.unique_values());
+}
+
+TEST(ExactMatchLut, MemoryModel) {
+  ExactMatchLut lut(13);
+  lut.insert(U128{1});
+  lut.insert(U128{2});
+  // valid flag + 13-bit tag + label bits.
+  EXPECT_EQ(lut.slot_bits(), 1U + 13U + lut.encoder().label_bits());
+  EXPECT_EQ(lut.storage_bits(),
+            lut.slot_count() * static_cast<std::uint64_t>(lut.slot_bits()));
+  const auto report = lut.memory_report("vlan");
+  EXPECT_EQ(report.total_bits(), lut.storage_bits());
+}
+
+TEST(ExactMatchLut, UpdateWordsTracksUniqueValues) {
+  ExactMatchLut lut(32);
+  lut.insert(U128{1});
+  lut.insert(U128{1});
+  lut.insert(U128{2});
+  EXPECT_EQ(lut.update_words(), 2U);
+}
+
+TEST(ExactMatchLut, RejectsBadWidth) {
+  EXPECT_THROW(ExactMatchLut(0), std::invalid_argument);
+  EXPECT_THROW(ExactMatchLut(129), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ofmtl

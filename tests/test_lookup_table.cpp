@@ -1,0 +1,200 @@
+// LookupTable: the decomposed single-table engine must agree with the
+// linear-search FlowTable on every packet, across match-method mixes.
+#include <gtest/gtest.h>
+
+#include "core/lookup_table.hpp"
+#include "flow/flow_table.hpp"
+#include "workload/acl_synth.hpp"
+#include "workload/stanford_synth.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace ofmtl {
+namespace {
+
+using workload::AclConfig;
+using workload::generate_acl;
+using workload::generate_trace;
+using workload::TraceConfig;
+
+FlowEntry make_entry(FlowEntryId id, std::uint16_t priority, FlowMatch match,
+                     std::uint32_t port) {
+  FlowEntry entry;
+  entry.id = id;
+  entry.priority = priority;
+  entry.match = std::move(match);
+  entry.instructions = output_instruction(port);
+  return entry;
+}
+
+TEST(LookupTable, ExactFieldBasics) {
+  FlowMatch m1;
+  m1.set(FieldId::kVlanId, FieldMatch::exact(std::uint64_t{100}));
+  FlowMatch m2;
+  m2.set(FieldId::kVlanId, FieldMatch::exact(std::uint64_t{200}));
+  LookupTable table({FieldId::kVlanId},
+                    {make_entry(0, 1, m1, 1), make_entry(1, 1, m2, 2)});
+
+  PacketHeader h;
+  h.set_vlan_id(100);
+  ASSERT_NE(table.lookup(h), nullptr);
+  EXPECT_EQ(table.lookup(h)->id, 0U);
+  h.set_vlan_id(300);
+  EXPECT_EQ(table.lookup(h), nullptr);  // miss -> controller
+}
+
+TEST(LookupTable, WildcardEmFieldMatchesEverything) {
+  FlowMatch specific;
+  specific.set(FieldId::kVlanId, FieldMatch::exact(std::uint64_t{100}));
+  FlowMatch any;  // does not constrain the field
+  LookupTable table({FieldId::kVlanId},
+                    {make_entry(0, 10, specific, 1), make_entry(1, 1, any, 2)});
+
+  PacketHeader h;
+  h.set_vlan_id(100);
+  EXPECT_EQ(table.lookup(h)->id, 0U);  // higher priority specific rule
+  h.set_vlan_id(999);
+  EXPECT_EQ(table.lookup(h)->id, 1U);  // falls back to the wildcard rule
+}
+
+TEST(LookupTable, LpmPriorityAcrossPartitions) {
+  // Prefixes of 8, 20 and 32 bits over IPv4: the 20-bit one spans into the
+  // second 16-bit partition trie.
+  FlowMatch short_p, mid_p, exact_p;
+  short_p.set(FieldId::kIpv4Dst,
+              FieldMatch::of_prefix(Prefix::from_value(0x0A000000, 8, 32)));
+  mid_p.set(FieldId::kIpv4Dst,
+            FieldMatch::of_prefix(Prefix::from_value(0x0A001000, 20, 32)));
+  exact_p.set(FieldId::kIpv4Dst,
+              FieldMatch::of_prefix(Prefix::from_value(0x0A001234, 32, 32)));
+  LookupTable table({FieldId::kIpv4Dst},
+                    {make_entry(0, 8, short_p, 1), make_entry(1, 20, mid_p, 2),
+                     make_entry(2, 32, exact_p, 3)});
+
+  PacketHeader h;
+  h.set_ipv4_dst(Ipv4Address{0x0A001234});
+  EXPECT_EQ(table.lookup(h)->id, 2U);
+  h.set_ipv4_dst(Ipv4Address{0x0A001FFF});
+  EXPECT_EQ(table.lookup(h)->id, 1U);
+  h.set_ipv4_dst(Ipv4Address{0x0AFFFFFF});
+  EXPECT_EQ(table.lookup(h)->id, 0U);
+  h.set_ipv4_dst(Ipv4Address{0x0B000000});
+  EXPECT_EQ(table.lookup(h), nullptr);
+}
+
+TEST(LookupTable, RangeFieldNarrowestSemanticsViaPriority) {
+  FlowMatch narrow, wide;
+  narrow.set(FieldId::kDstPort, FieldMatch::of_range(80, 80));
+  wide.set(FieldId::kDstPort, FieldMatch::of_range(0, 1023));
+  LookupTable table({FieldId::kDstPort},
+                    {make_entry(0, 10, narrow, 1), make_entry(1, 1, wide, 2)});
+  PacketHeader h;
+  h.set_dst_port(80);
+  EXPECT_EQ(table.lookup(h)->id, 0U);
+  h.set_dst_port(443);
+  EXPECT_EQ(table.lookup(h)->id, 1U);
+  h.set_dst_port(2000);
+  EXPECT_EQ(table.lookup(h), nullptr);
+}
+
+TEST(LookupTable, EqualPriorityTieBreaksByInsertionOrder) {
+  FlowMatch m;
+  m.set(FieldId::kVlanId, FieldMatch::exact(std::uint64_t{5}));
+  LookupTable table({FieldId::kVlanId},
+                    {make_entry(10, 3, m, 1), make_entry(11, 3, m, 2)});
+  PacketHeader h;
+  h.set_vlan_id(5);
+  EXPECT_EQ(table.lookup(h)->id, 10U);
+}
+
+TEST(LookupTable, RejectsEmptyFieldList) {
+  EXPECT_THROW(LookupTable({}, {}), std::invalid_argument);
+}
+
+// ---- randomized equivalence with the linear-search oracle ----
+
+class LookupTableOracle : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LookupTableOracle, AgreesWithFlowTableOnAclSets) {
+  AclConfig config;
+  config.rules = GetParam();
+  config.seed = 40 + GetParam();
+  const auto set = generate_acl(config);
+
+  FlowTable oracle(set.entries);
+  const auto table = LookupTable::compile(oracle);
+
+  TraceConfig trace_config;
+  trace_config.packets = 3000;
+  trace_config.seed = GetParam();
+  const auto trace = generate_trace(set, trace_config);
+
+  std::size_t hits = 0;
+  for (const auto& header : trace) {
+    const FlowEntry* expected = oracle.lookup(header);
+    const FlowEntry* actual = table.lookup(header);
+    if (expected == nullptr) {
+      EXPECT_EQ(actual, nullptr);
+      continue;
+    }
+    ++hits;
+    ASSERT_NE(actual, nullptr) << header.to_string();
+    EXPECT_EQ(actual->id, expected->id) << header.to_string();
+  }
+  EXPECT_GT(hits, trace.size() / 2);  // the trace exercises real matches
+}
+
+INSTANTIATE_TEST_SUITE_P(RuleCounts, LookupTableOracle,
+                         ::testing::Values(16, 128, 1024));
+
+TEST(LookupTable, AgreesOnMacFilterSet) {
+  const auto set = workload::generate_mac_filterset(workload::mac_target("bbrb"));
+  FlowTable oracle(set.entries);
+  const auto table = LookupTable::compile(oracle);
+  const auto trace = generate_trace(set, {.packets = 2000, .hit_ratio = 0.8, .seed = 3});
+  for (const auto& header : trace) {
+    const FlowEntry* expected = oracle.lookup(header);
+    const FlowEntry* actual = table.lookup(header);
+    EXPECT_EQ(actual == nullptr, expected == nullptr);
+    if (expected != nullptr && actual != nullptr) {
+      EXPECT_EQ(actual->id, expected->id);
+    }
+  }
+}
+
+TEST(LookupTable, AgreesOnRoutingFilterSet) {
+  const auto set =
+      workload::generate_routing_filterset(workload::routing_target("poza"));
+  FlowTable oracle(set.entries);
+  const auto table = LookupTable::compile(oracle);
+  const auto trace = generate_trace(set, {.packets = 2000, .hit_ratio = 0.8, .seed = 4});
+  for (const auto& header : trace) {
+    const FlowEntry* expected = oracle.lookup(header);
+    const FlowEntry* actual = table.lookup(header);
+    EXPECT_EQ(actual == nullptr, expected == nullptr);
+    if (expected != nullptr && actual != nullptr) {
+      EXPECT_EQ(actual->id, expected->id) << header.to_string();
+    }
+  }
+}
+
+TEST(LookupTable, MemoryReportCoversAllStages) {
+  const auto set = workload::generate_mac_filterset(workload::mac_target("bbrb"));
+  FlowTable oracle(set.entries);
+  const auto table = LookupTable::compile(oracle);
+  const auto report = table.memory_report("t0");
+  EXPECT_GT(report.total_bits(), 0U);
+  bool has_trie = false, has_lut = false, has_index = false, has_actions = false;
+  for (const auto& component : report.components()) {
+    if (component.name.find(".trie.") != std::string::npos) has_trie = true;
+    if (component.name.find(".lut") != std::string::npos) has_lut = true;
+    if (component.name.find(".index") != std::string::npos) has_index = true;
+    if (component.name.find(".actions") != std::string::npos) has_actions = true;
+  }
+  EXPECT_TRUE(has_trie);
+  EXPECT_TRUE(has_lut);
+  EXPECT_TRUE(has_index);
+  EXPECT_TRUE(has_actions);
+}
+
+}  // namespace
+}  // namespace ofmtl

@@ -1,0 +1,190 @@
+// The four Table I baseline categories must classify identically to linear
+// search on randomized ACL, MAC and routing rule sets; category-specific
+// structural properties (TSS tuples, HiCuts replication, RFC table shape)
+// are checked alongside.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mdclassifier/hicuts.hpp"
+#include "mdclassifier/hypersplit.hpp"
+#include "mdclassifier/linear.hpp"
+#include "mdclassifier/rfc.hpp"
+#include "mdclassifier/tuple_space.hpp"
+#include "workload/acl_synth.hpp"
+#include "workload/stanford_synth.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace ofmtl::md {
+namespace {
+
+enum class Algo { kTss, kHyperSplit, kHiCuts, kRfc };
+
+std::unique_ptr<Classifier> make(Algo algo, RuleSet rules) {
+  switch (algo) {
+    case Algo::kTss: return std::make_unique<TupleSpaceClassifier>(std::move(rules));
+    case Algo::kHyperSplit:
+      return std::make_unique<HyperSplitClassifier>(std::move(rules));
+    case Algo::kHiCuts: return std::make_unique<HiCutsClassifier>(std::move(rules));
+    case Algo::kRfc: return std::make_unique<RfcClassifier>(std::move(rules));
+  }
+  throw std::logic_error("unknown algo");
+}
+
+struct Case {
+  const char* name;
+  Algo algo;
+  std::size_t rules;
+};
+
+class AlgoEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AlgoEquivalence, MatchesLinearOnAcl) {
+  workload::AclConfig config;
+  config.rules = GetParam().rules;
+  config.seed = 17 + GetParam().rules;
+  const auto set = workload::generate_acl(config);
+  const auto rules = RuleSet::from(set);
+
+  LinearClassifier oracle{rules};
+  const auto classifier = make(GetParam().algo, rules);
+
+  const auto trace =
+      workload::generate_trace(set, {.packets = 1500, .hit_ratio = 0.8, .seed = 5});
+  for (const auto& header : trace) {
+    const auto expected = oracle.classify(header);
+    const auto actual = classifier->classify(header);
+    ASSERT_EQ(actual.has_value(), expected.has_value()) << header.to_string();
+    if (expected) {
+      // Same winning rule id (priority ties broken identically).
+      EXPECT_EQ(set.entries[*actual].id, set.entries[*expected].id)
+          << header.to_string();
+    }
+  }
+  EXPECT_GT(classifier->memory_report().total_bits(), 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, AlgoEquivalence,
+    ::testing::Values(Case{"tss_small", Algo::kTss, 64},
+                      Case{"tss_large", Algo::kTss, 512},
+                      Case{"hypersplit_small", Algo::kHyperSplit, 64},
+                      Case{"hypersplit_large", Algo::kHyperSplit, 512},
+                      Case{"hicuts_small", Algo::kHiCuts, 64},
+                      Case{"hicuts_large", Algo::kHiCuts, 512},
+                      Case{"rfc_small", Algo::kRfc, 64},
+                      Case{"rfc_large", Algo::kRfc, 256}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(AlgoEquivalence, MacFilterAllAlgorithms) {
+  const auto set = workload::generate_mac_filterset(workload::mac_target("bbrb"));
+  const auto rules = RuleSet::from(set);
+  LinearClassifier oracle{rules};
+  const auto trace =
+      workload::generate_trace(set, {.packets = 600, .hit_ratio = 0.7, .seed = 2});
+  for (const auto algo : {Algo::kTss, Algo::kHyperSplit, Algo::kHiCuts, Algo::kRfc}) {
+    const auto classifier = make(algo, rules);
+    for (const auto& header : trace) {
+      EXPECT_EQ(classifier->classify(header), oracle.classify(header))
+          << classifier->name();
+    }
+  }
+}
+
+TEST(AlgoEquivalence, RoutingFilterAllAlgorithms) {
+  const auto set =
+      workload::generate_routing_filterset(workload::routing_target("rozb"));
+  const auto rules = RuleSet::from(set);
+  LinearClassifier oracle{rules};
+  const auto trace =
+      workload::generate_trace(set, {.packets = 600, .hit_ratio = 0.7, .seed = 8});
+  for (const auto algo : {Algo::kTss, Algo::kHyperSplit, Algo::kHiCuts, Algo::kRfc}) {
+    const auto classifier = make(algo, rules);
+    for (const auto& header : trace) {
+      const auto expected = oracle.classify(header);
+      const auto actual = classifier->classify(header);
+      ASSERT_EQ(actual.has_value(), expected.has_value()) << classifier->name();
+      if (expected) {
+        EXPECT_EQ(set.entries[*actual].priority, set.entries[*expected].priority)
+            << classifier->name();
+      }
+    }
+  }
+}
+
+TEST(TupleSpace, TupleCountBoundedByDistinctLengthCombos) {
+  workload::AclConfig config;
+  config.rules = 300;
+  const auto set = workload::generate_acl(config);
+  TupleSpaceClassifier tss{RuleSet::from(set)};
+  EXPECT_GT(tss.tuple_count(), 1U);
+  // Range expansion inflates both tuples and entries beyond the rule count —
+  // the hashing category's memory-explosion trait from Table I.
+  EXPECT_GE(tss.entry_count(), set.entries.size());
+  EXPECT_LE(tss.tuple_count(), tss.entry_count());
+}
+
+TEST(HiCuts, ReplicationObserved) {
+  // Wide overlapping ranges force rule replication across cuts — the
+  // Section III.B motivation for the label method.
+  workload::AclConfig config;
+  config.rules = 400;
+  config.exact_port_share = 0.1;  // more ranges -> more overlap
+  const auto set = workload::generate_acl(config);
+  HiCutsClassifier hicuts{RuleSet::from(set)};
+  EXPECT_GT(hicuts.node_count(), 1U);
+  EXPECT_GT(hicuts.replicated_rule_refs(), set.entries.size());
+}
+
+TEST(HyperSplit, RespectsBinth) {
+  workload::AclConfig config;
+  config.rules = 300;
+  const auto set = workload::generate_acl(config);
+  HyperSplitConfig hs_config;
+  hs_config.binth = 4;
+  HyperSplitClassifier hypersplit{RuleSet::from(set), hs_config};
+  EXPECT_GT(hypersplit.node_count(), 1U);
+  EXPECT_LE(hypersplit.max_leaf_depth(), hs_config.max_depth);
+}
+
+TEST(Rfc, ConstantAccessCount) {
+  workload::AclConfig config;
+  config.rules = 128;
+  const auto set = workload::generate_acl(config);
+  RfcClassifier rfc{RuleSet::from(set)};
+  // 5-tuple -> 7 chunks -> 7 phase-0 + 6 crossproduct accesses, regardless
+  // of the packet.
+  const auto trace =
+      workload::generate_trace(set, {.packets = 50, .hit_ratio = 0.5, .seed = 6});
+  std::size_t first = 0;
+  for (const auto& header : trace) {
+    (void)rfc.classify(header);
+    if (first == 0) {
+      first = rfc.last_access_count();
+    } else {
+      EXPECT_EQ(rfc.last_access_count(), first);
+    }
+  }
+  EXPECT_EQ(first, 13U);
+  EXPECT_EQ(rfc.phase0_tables(), 7U);
+  EXPECT_GT(rfc.crossproduct_entries(), 0U);
+}
+
+TEST(Linear, AccessCountIsRulesOnMiss) {
+  workload::AclConfig config;
+  config.rules = 77;
+  const auto set = workload::generate_acl(config);
+  LinearClassifier linear{RuleSet::from(set)};
+  PacketHeader h;  // all-zero header: protocol 0 matches nothing generated
+  h.set_ipv4_src(Ipv4Address{0});
+  h.set_ipv4_dst(Ipv4Address{0});
+  h.set_src_port(0);
+  h.set_dst_port(0);
+  h.set_ip_proto(0);
+  if (!linear.classify(h).has_value()) {
+    EXPECT_EQ(linear.last_access_count(), 77U);
+  }
+}
+
+}  // namespace
+}  // namespace ofmtl::md

@@ -1,0 +1,207 @@
+// Tests for addresses, the Table II field registry, PacketHeader and the
+// byte-level packet codec.
+#include <gtest/gtest.h>
+
+#include "net/addresses.hpp"
+#include "net/fields.hpp"
+#include "net/header.hpp"
+#include "net/packet.hpp"
+
+namespace ofmtl {
+namespace {
+
+TEST(MacAddress, ParseFormatRoundTrip) {
+  const auto mac = MacAddress::parse("aa:bb:cc:01:02:03");
+  EXPECT_EQ(mac.value(), 0xAABBCC010203ULL);
+  EXPECT_EQ(mac.to_string(), "aa:bb:cc:01:02:03");
+  EXPECT_EQ(mac.oui(), 0xAABBCCU);
+  EXPECT_EQ(mac.nic(), 0x010203U);
+}
+
+TEST(MacAddress, Partition16) {
+  const MacAddress mac{0xAABBCCDDEEFFULL};
+  EXPECT_EQ(mac.partition16(0), 0xAABBU);
+  EXPECT_EQ(mac.partition16(1), 0xCCDDU);
+  EXPECT_EQ(mac.partition16(2), 0xEEFFU);
+}
+
+TEST(MacAddress, ParseRejectsGarbage) {
+  EXPECT_THROW(MacAddress::parse("aa:bb:cc"), std::invalid_argument);
+  EXPECT_THROW(MacAddress::parse("zz:bb:cc:01:02:03"), std::invalid_argument);
+}
+
+TEST(Ipv4Address, ParseFormatRoundTrip) {
+  const auto ip = Ipv4Address::parse("192.168.1.200");
+  EXPECT_EQ(ip.value(), 0xC0A801C8U);
+  EXPECT_EQ(ip.to_string(), "192.168.1.200");
+  EXPECT_EQ(ip.partition16(0), 0xC0A8U);
+  EXPECT_EQ(ip.partition16(1), 0x01C8U);
+}
+
+TEST(Ipv4Address, ParseRejectsGarbage) {
+  EXPECT_THROW(Ipv4Address::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("1.2.3.256"), std::invalid_argument);
+}
+
+TEST(Ipv6Address, Partitions) {
+  const Ipv6Address ip{U128{0x20010DB800000001ULL, 0x0000000000000042ULL}};
+  EXPECT_EQ(ip.partition16(0), 0x2001U);
+  EXPECT_EQ(ip.partition16(3), 0x0001U);
+  EXPECT_EQ(ip.partition16(7), 0x0042U);
+}
+
+TEST(FieldRegistry, MatchesTableII) {
+  // The 15 match fields + metadata.
+  EXPECT_EQ(field_registry().size(), kFieldCount);
+  EXPECT_EQ(kMatchFieldCount, 15U);
+
+  EXPECT_EQ(field_bits(FieldId::kInPort), 32U);
+  EXPECT_EQ(field_method(FieldId::kInPort), MatchMethod::kExact);
+  EXPECT_EQ(field_bits(FieldId::kEthSrc), 48U);
+  EXPECT_EQ(field_method(FieldId::kEthSrc), MatchMethod::kLongestPrefix);
+  EXPECT_EQ(field_bits(FieldId::kEthDst), 48U);
+  EXPECT_EQ(field_bits(FieldId::kEthType), 16U);
+  EXPECT_EQ(field_bits(FieldId::kVlanId), 13U);
+  EXPECT_EQ(field_bits(FieldId::kVlanPcp), 3U);
+  EXPECT_EQ(field_bits(FieldId::kMplsLabel), 20U);
+  EXPECT_EQ(field_bits(FieldId::kIpv4Src), 32U);
+  EXPECT_EQ(field_method(FieldId::kIpv4Dst), MatchMethod::kLongestPrefix);
+  EXPECT_EQ(field_bits(FieldId::kIpv6Src), 128U);
+  EXPECT_EQ(field_bits(FieldId::kIpProto), 8U);
+  EXPECT_EQ(field_bits(FieldId::kIpTos), 6U);
+  EXPECT_EQ(field_method(FieldId::kSrcPort), MatchMethod::kRange);
+  EXPECT_EQ(field_method(FieldId::kDstPort), MatchMethod::kRange);
+  EXPECT_EQ(field_bits(FieldId::kMetadata), 64U);
+}
+
+TEST(FieldRegistry, PartitionCounts) {
+  // Section V.A: Ethernet = three 16-bit tries, IPv4 = two, IPv6 = eight.
+  EXPECT_EQ(partition_count(field_bits(FieldId::kEthDst)), 3U);
+  EXPECT_EQ(partition_count(field_bits(FieldId::kIpv4Dst)), 2U);
+  EXPECT_EQ(partition_count(field_bits(FieldId::kIpv6Dst)), 8U);
+}
+
+TEST(FieldRegistry, NameLookup) {
+  EXPECT_EQ(field_from_name("VLAN ID"), FieldId::kVlanId);
+  EXPECT_EQ(field_from_name("nope"), std::nullopt);
+}
+
+TEST(PacketHeader, SetGetAndPresence) {
+  PacketHeader h;
+  EXPECT_FALSE(h.has(FieldId::kVlanId));
+  h.set_vlan_id(42);
+  EXPECT_TRUE(h.has(FieldId::kVlanId));
+  EXPECT_EQ(h.get64(FieldId::kVlanId), 42U);
+  h.set_eth_dst(MacAddress{0xAABBCCDDEEFFULL});
+  EXPECT_EQ(h.get64(FieldId::kEthDst), 0xAABBCCDDEEFFULL);
+}
+
+TEST(PacketHeader, Partition16) {
+  PacketHeader h;
+  h.set_eth_dst(MacAddress{0xAABBCCDDEEFFULL});
+  EXPECT_EQ(h.partition16(FieldId::kEthDst, 0), 0xAABBU);
+  EXPECT_EQ(h.partition16(FieldId::kEthDst, 1), 0xCCDDU);
+  EXPECT_EQ(h.partition16(FieldId::kEthDst, 2), 0xEEFFU);
+  h.set_ipv4_dst(Ipv4Address{0xC0A801C8U});
+  EXPECT_EQ(h.partition16(FieldId::kIpv4Dst, 0), 0xC0A8U);
+  EXPECT_EQ(h.partition16(FieldId::kIpv4Dst, 1), 0x01C8U);
+}
+
+TEST(PacketHeader, MetadataDefaultsToZero) {
+  PacketHeader h;
+  EXPECT_EQ(h.metadata(), 0U);
+  h.set_metadata(0xDEAD);
+  EXPECT_EQ(h.metadata(), 0xDEADU);
+}
+
+struct CodecCase {
+  const char* name;
+  PacketSpec spec;
+};
+
+class PacketCodec : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(PacketCodec, RoundTrips) {
+  const auto& spec = GetParam().spec;
+  const auto bytes = serialize_packet(spec);
+  const auto parsed = parse_packet(bytes, 7);
+
+  EXPECT_EQ(parsed.spec.eth_src, spec.eth_src);
+  EXPECT_EQ(parsed.spec.eth_dst, spec.eth_dst);
+  EXPECT_EQ(parsed.spec.vlan_id, spec.vlan_id);
+  EXPECT_EQ(parsed.spec.mpls_label, spec.mpls_label);
+  EXPECT_EQ(parsed.spec.ipv4_src, spec.ipv4_src);
+  EXPECT_EQ(parsed.spec.ipv4_dst, spec.ipv4_dst);
+  EXPECT_EQ(parsed.spec.ipv6_src, spec.ipv6_src);
+  EXPECT_EQ(parsed.spec.ipv6_dst, spec.ipv6_dst);
+  EXPECT_EQ(parsed.spec.src_port, spec.src_port);
+  EXPECT_EQ(parsed.spec.dst_port, spec.dst_port);
+  EXPECT_EQ(parsed.spec.payload, spec.payload);
+  EXPECT_EQ(parsed.header.get64(FieldId::kInPort), 7U);
+
+  // The flattened header agrees with direct flattening.
+  EXPECT_EQ(parsed.header, header_from_spec(parsed.spec, 7));
+}
+
+PacketSpec tcp4_packet() {
+  PacketSpec spec;
+  spec.eth_src = MacAddress{0x020000000001ULL};
+  spec.eth_dst = MacAddress{0x020000000002ULL};
+  spec.eth_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+  spec.ipv4_src = Ipv4Address{10, 0, 0, 1};
+  spec.ipv4_dst = Ipv4Address{10, 0, 0, 2};
+  spec.ip_proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  spec.src_port = 12345;
+  spec.dst_port = 80;
+  spec.payload = {1, 2, 3};
+  return spec;
+}
+
+PacketSpec vlan_udp4_packet() {
+  PacketSpec spec = tcp4_packet();
+  spec.vlan_id = 100;
+  spec.vlan_pcp = 3;
+  spec.ip_proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  return spec;
+}
+
+PacketSpec ipv6_packet() {
+  PacketSpec spec;
+  spec.eth_src = MacAddress{0x020000000003ULL};
+  spec.eth_dst = MacAddress{0x020000000004ULL};
+  spec.eth_type = static_cast<std::uint16_t>(EtherType::kIpv6);
+  spec.ipv6_src = Ipv6Address{U128{0x20010DB800000000ULL, 1}};
+  spec.ipv6_dst = Ipv6Address{U128{0x20010DB800000000ULL, 2}};
+  spec.ip_proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  spec.src_port = 4444;
+  spec.dst_port = 443;
+  return spec;
+}
+
+PacketSpec plain_l2_packet() {
+  PacketSpec spec;
+  spec.eth_src = MacAddress{0x020000000005ULL};
+  spec.eth_dst = MacAddress{0xFFFFFFFFFFFFULL};
+  spec.eth_type = static_cast<std::uint16_t>(EtherType::kArp);
+  spec.payload = {0xDE, 0xAD};
+  return spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stacks, PacketCodec,
+    ::testing::Values(CodecCase{"tcp4", tcp4_packet()},
+                      CodecCase{"vlan_udp4", vlan_udp4_packet()},
+                      CodecCase{"ipv6", ipv6_packet()},
+                      CodecCase{"plain_l2", plain_l2_packet()}),
+    [](const ::testing::TestParamInfo<CodecCase>& info) {
+      return info.param.name;
+    });
+
+TEST(PacketCodec, RejectsTruncated) {
+  const auto bytes = serialize_packet(tcp4_packet());
+  const std::vector<std::uint8_t> truncated(bytes.begin(), bytes.begin() + 10);
+  EXPECT_THROW((void)parse_packet(truncated, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ofmtl

@@ -1,0 +1,245 @@
+// Cross-cutting property tests and failure injection: codec fuzzing (random
+// bytes must parse or throw, never corrupt), prefix/range dualities, trie
+// memory monotonicity, update-cost model consistency, and boundary values
+// for the odd-width fields (13-bit VLAN, 3-bit PCP, 20-bit MPLS label).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/builder.hpp"
+#include "core/multibit_trie.hpp"
+#include "core/update_engine.hpp"
+#include "net/packet.hpp"
+#include "workload/rng.hpp"
+#include "workload/stanford_synth.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace ofmtl {
+namespace {
+
+// ---- codec fuzzing ----
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomBytesNeverCorrupt) {
+  workload::Rng rng(GetParam());
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.below(80));
+    for (auto& byte : bytes) byte = static_cast<std::uint8_t>(rng.next());
+    try {
+      const auto parsed = parse_packet(bytes, 1);
+      // Whatever parsed must re-serialize without crashing; field values
+      // must respect their widths.
+      EXPECT_LE(parsed.header.get64(FieldId::kVlanId), 0xFFFU);
+      EXPECT_LE(parsed.header.get64(FieldId::kEthType), 0xFFFFU);
+      (void)serialize_packet(parsed.spec);
+    } catch (const std::invalid_argument&) {
+      // Truncated/malformed input is rejected cleanly — expected.
+    }
+  }
+}
+
+TEST_P(CodecFuzz, MutatedValidPacketsNeverCorrupt) {
+  workload::Rng rng(GetParam() * 31);
+  PacketSpec spec;
+  spec.eth_src = MacAddress{0x020000000001ULL};
+  spec.eth_dst = MacAddress{0x020000000002ULL};
+  spec.vlan_id = 100;
+  spec.eth_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+  spec.ipv4_src = Ipv4Address{10, 0, 0, 1};
+  spec.ipv4_dst = Ipv4Address{10, 0, 0, 2};
+  spec.ip_proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  spec.src_port = 1234;
+  spec.dst_port = 80;
+  const auto baseline = serialize_packet(spec);
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto bytes = baseline;
+    // Flip a few random bytes and/or truncate.
+    for (int flips = 0; flips < 3; ++flips) {
+      bytes[rng.below(bytes.size())] ^= static_cast<std::uint8_t>(rng.next());
+    }
+    if (rng.chance(0.3)) bytes.resize(rng.below(bytes.size() + 1));
+    try {
+      (void)parse_packet(bytes, 2);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(1, 2, 3));
+
+// ---- prefix/range duality ----
+
+TEST(PrefixRangeDuality, PrefixIsItsOwnRangeCover) {
+  workload::Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const unsigned width = 12;
+    const unsigned len = static_cast<unsigned>(rng.below(width + 1));
+    const auto prefix = Prefix::from_value(rng.below(1ULL << width), len, width);
+    const std::uint64_t lo = prefix.value64();
+    const std::uint64_t hi = lo | low_mask(width - len);
+    const auto cover = range_to_prefixes(ValueRange{lo, hi}, width);
+    ASSERT_EQ(cover.size(), 1U);
+    EXPECT_EQ(cover[0], prefix);
+  }
+}
+
+TEST(PrefixRangeDuality, CoverSizeBounded) {
+  // Classic bound: a range over w bits needs at most 2w-2 prefixes.
+  workload::Rng rng(10);
+  const unsigned width = 16;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::uint64_t a = rng.below(1ULL << width);
+    std::uint64_t b = rng.below(1ULL << width);
+    if (a > b) std::swap(a, b);
+    const auto cover = range_to_prefixes(ValueRange{a, b}, width);
+    EXPECT_LE(cover.size(), 2U * width - 2U);
+  }
+}
+
+// ---- trie memory monotonicity ----
+
+TEST(TrieMonotonicity, NodesNeverShrinkOnInsert) {
+  workload::Rng rng(11);
+  auto trie = MultibitTrie::partition16();
+  std::size_t previous = 0;
+  for (int i = 0; i < 400; ++i) {
+    trie.insert(
+        Prefix::from_value(rng.below(0x10000),
+                           1 + static_cast<unsigned>(rng.below(16)), 16),
+        static_cast<Label>(i));
+    const auto nodes = trie.stored_nodes(TrieStorage::kSparse);
+    EXPECT_GE(nodes, previous);
+    previous = nodes;
+  }
+}
+
+TEST(TrieMonotonicity, RemoveThenReinsertRestoresLookup) {
+  workload::Rng rng(12);
+  auto trie = MultibitTrie::partition16();
+  std::vector<std::pair<Prefix, Label>> inserted;
+  std::set<std::pair<unsigned, std::uint64_t>> seen;
+  for (int i = 0; inserted.size() < 100; ++i) {
+    const auto prefix = Prefix::from_value(
+        rng.below(0x10000), 1 + static_cast<unsigned>(rng.below(16)), 16);
+    if (!seen.emplace(prefix.length(), prefix.value64()).second) continue;
+    trie.insert(prefix, static_cast<Label>(i));
+    inserted.emplace_back(prefix, static_cast<Label>(i));
+  }
+  // Capture, remove all, reinsert in reverse, and compare lookups.
+  std::vector<std::optional<Label>> snapshot;
+  for (std::uint64_t key = 0; key < 0x10000; key += 97) {
+    snapshot.push_back(trie.lookup(key));
+  }
+  for (const auto& [prefix, label] : inserted) (void)trie.remove(prefix);
+  for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+    trie.insert(it->first, it->second);
+  }
+  std::size_t i = 0;
+  for (std::uint64_t key = 0; key < 0x10000; key += 97) {
+    EXPECT_EQ(trie.lookup(key), snapshot[i++]) << key;
+  }
+}
+
+// ---- update-cost model consistency ----
+
+TEST(UpdateModel, FreshInsertDominatedByFanPlusDepth) {
+  const auto strides = default_strides16();
+  for (unsigned len = 0; len <= 16; ++len) {
+    const auto words =
+        fresh_insert_words(Prefix::from_value(0, len, 16), strides);
+    EXPECT_GE(words, 1U);
+    EXPECT_LE(words, 32U + 2U);  // max fan (root /0) + max pointer path
+  }
+}
+
+TEST(UpdateModel, OptimizedWordsMatchStructureWrites) {
+  const auto set = workload::generate_mac_filterset(workload::mac_target("bbrb"));
+  const auto spec = build_app(set, TableLayout::kPerFieldTables);
+  const auto pipeline = compile_app(spec);
+  for (std::size_t t = 0; t < pipeline.table_count(); ++t) {
+    const auto script =
+        optimized_script(pipeline.table(t), UpdateScope::kAlgorithms);
+    std::uint64_t expected = 0;
+    for (const auto& search : pipeline.table(t).field_searches()) {
+      expected += search.update_words();
+    }
+    EXPECT_EQ(script.word_count(), expected);
+  }
+}
+
+// ---- odd-width field boundaries ----
+
+TEST(FieldBoundaries, VlanIdThirteenBits) {
+  LookupTable table({FieldId::kVlanId}, {});
+  FlowEntry entry;
+  entry.id = 1;
+  entry.priority = 1;
+  entry.match.set(FieldId::kVlanId,
+                  FieldMatch::exact(std::uint64_t{0x1FFF}));  // max 13-bit
+  entry.instructions = output_instruction(1);
+  table.insert_entry(entry);
+  PacketHeader h;
+  h.set(FieldId::kVlanId, std::uint64_t{0x1FFF});
+  ASSERT_NE(table.lookup(h), nullptr);
+}
+
+TEST(FieldBoundaries, MplsLabelTwentyBits) {
+  LookupTable table({FieldId::kMplsLabel}, {});
+  FlowEntry entry;
+  entry.id = 1;
+  entry.priority = 1;
+  entry.match.set(FieldId::kMplsLabel, FieldMatch::exact(std::uint64_t{0xFFFFF}));
+  entry.instructions = output_instruction(1);
+  table.insert_entry(entry);
+  PacketHeader h;
+  h.set_mpls_label(0xFFFFF);
+  ASSERT_NE(table.lookup(h), nullptr);
+  h.set_mpls_label(0xFFFFE);
+  EXPECT_EQ(table.lookup(h), nullptr);
+}
+
+TEST(FieldBoundaries, InPortFullThirtyTwoBits) {
+  LookupTable table({FieldId::kInPort}, {});
+  FlowEntry entry;
+  entry.id = 1;
+  entry.priority = 1;
+  entry.match.set(FieldId::kInPort,
+                  FieldMatch::exact(std::uint64_t{0xFFFFFFFF}));
+  entry.instructions = output_instruction(1);
+  table.insert_entry(entry);
+  PacketHeader h;
+  h.set_in_port(0xFFFFFFFFU);
+  ASSERT_NE(table.lookup(h), nullptr);
+}
+
+// ---- layout-equivalence property over many routers ----
+
+class LayoutSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LayoutSweep, PerFieldLayoutForwardsLikeSingleTable) {
+  const auto& target = workload::kRoutingTargets[GetParam()];
+  if (target.rules > 10000) GTEST_SKIP() << "large router covered elsewhere";
+  const auto set = workload::generate_routing_filterset(target);
+  const auto single = build_app(set, TableLayout::kSingleTable);
+  const auto split = build_app(set, TableLayout::kPerFieldTables);
+  const auto trace = workload::generate_trace(
+      set, {.packets = 300, .hit_ratio = 0.8, .seed = GetParam()});
+  for (const auto& header : trace) {
+    const auto a = single.reference.execute(header);
+    const auto b = split.reference.execute(header);
+    EXPECT_EQ(a.verdict, b.verdict);
+    EXPECT_EQ(a.output_ports, b.output_ports);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Routers, LayoutSweep,
+                         ::testing::Range<std::size_t>(0, workload::kFilterCount),
+                         [](const auto& info) {
+                           return std::string(
+                               workload::kRoutingTargets[info.param].name);
+                         });
+
+}  // namespace
+}  // namespace ofmtl

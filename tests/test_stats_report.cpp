@@ -1,0 +1,79 @@
+// Table printer / CSV export and the filter-analysis API surface.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/filter_analysis.hpp"
+#include "stats/report.hpp"
+
+namespace ofmtl::stats {
+namespace {
+
+TEST(Report, AlignedPrinting) {
+  Table table({"name", "count"});
+  table.add("short", 1);
+  table.add("a-much-longer-name", 123456);
+  std::ostringstream out;
+  table.print(out);
+  const auto text = out.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("a-much-longer-name"), std::string::npos);
+  EXPECT_NE(text.find("123456"), std::string::npos);
+  // Columns align: the value starts at the same offset within its line as
+  // the "count" header does within the header line.
+  const auto header_pos = text.find("count");  // header line starts at 0
+  const auto value_pos = text.find("123456");
+  const auto line_start = text.rfind('\n', value_pos) + 1;
+  EXPECT_EQ(header_pos, value_pos - line_start);
+}
+
+TEST(Report, CellFormatting) {
+  Table table({"s", "i", "d"});
+  table.add(std::string_view{"sv"}, 42U, 3.14159);
+  const auto csv = table.to_csv();
+  EXPECT_NE(csv.find("sv,42,3.14"), std::string::npos);
+}
+
+TEST(Report, CsvRoundTripShape) {
+  Table table({"a", "b"});
+  table.add(1, 2);
+  table.add(3, 4);
+  EXPECT_EQ(table.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Report, ShortRowsPadded) {
+  Table table({"a", "b", "c"});
+  table.row({"only-one"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+TEST(FilterAnalysisApi, UnknownFieldThrows) {
+  FilterSet set;
+  set.name = "x";
+  set.fields = {FieldId::kVlanId};
+  const auto analysis = analyze(set);
+  EXPECT_THROW((void)analysis.of(FieldId::kEthDst), std::invalid_argument);
+  EXPECT_EQ(analysis.of(FieldId::kVlanId).unique_whole, 0U);
+}
+
+TEST(FilterAnalysisApi, WildcardRulesCounted) {
+  FilterSet set;
+  set.fields = {FieldId::kVlanId};
+  FlowEntry entry;
+  entry.id = 0;
+  set.entries.push_back(entry);  // does not constrain the field
+  FlowEntry constrained;
+  constrained.id = 1;
+  constrained.match.set(FieldId::kVlanId, FieldMatch::exact(std::uint64_t{3}));
+  set.entries.push_back(constrained);
+
+  const auto analysis = analyze(set);
+  EXPECT_EQ(analysis.of(FieldId::kVlanId).wildcard_rules, 1U);
+  EXPECT_EQ(analysis.of(FieldId::kVlanId).unique_whole, 1U);
+}
+
+}  // namespace
+}  // namespace ofmtl::stats

@@ -1,0 +1,185 @@
+// SwitchModel: flow-mod channel, counters and timeout expiry, with the live
+// equivalence invariant (decomposed pipeline == reference) under churn.
+#include <gtest/gtest.h>
+
+#include "core/switch_model.hpp"
+#include "workload/rng.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace ofmtl {
+namespace {
+
+FlowMod add_mod(std::uint8_t table, FlowEntryId id, std::uint16_t priority,
+                FlowMatch match, std::uint32_t port, TimeoutConfig timeouts = {}) {
+  FlowMod mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.table = table;
+  mod.entry.id = id;
+  mod.entry.priority = priority;
+  mod.entry.match = std::move(match);
+  mod.entry.instructions = output_instruction(port);
+  mod.timeouts = timeouts;
+  return mod;
+}
+
+FlowMatch vlan_match(std::uint16_t vlan) {
+  FlowMatch match;
+  match.set(FieldId::kVlanId, FieldMatch::exact(std::uint64_t{vlan}));
+  return match;
+}
+
+TEST(SwitchModel, AddProcessDelete) {
+  SwitchModel sw({{FieldId::kVlanId}});
+  sw.apply(add_mod(0, 1, 1, vlan_match(5), 9));
+  EXPECT_EQ(sw.entry_count(), 1U);
+
+  PacketHeader h;
+  h.set_vlan_id(5);
+  const auto result = sw.process(h, 100, 10);
+  EXPECT_EQ(result.verdict, Verdict::kForwarded);
+  EXPECT_EQ(result.output_ports, (std::vector<std::uint32_t>{9}));
+
+  FlowMod del;
+  del.command = FlowModCommand::kDelete;
+  del.table = 0;
+  del.entry.id = 1;
+  sw.apply(del);
+  EXPECT_EQ(sw.entry_count(), 0U);
+  EXPECT_EQ(sw.process(h).verdict, Verdict::kToController);
+}
+
+TEST(SwitchModel, CountersAccumulate) {
+  SwitchModel sw({{FieldId::kVlanId}});
+  sw.apply(add_mod(0, 1, 1, vlan_match(5), 9));
+  PacketHeader h;
+  h.set_vlan_id(5);
+  (void)sw.process(h, 100, 1);
+  (void)sw.process(h, 250, 2);
+  const FlowStats* stats = sw.stats().find(1);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->packets, 2U);
+  EXPECT_EQ(stats->bytes, 350U);
+  EXPECT_EQ(stats->last_used, 2U);
+}
+
+TEST(SwitchModel, ModifyKeepsCounters) {
+  SwitchModel sw({{FieldId::kVlanId}});
+  sw.apply(add_mod(0, 1, 1, vlan_match(5), 9));
+  PacketHeader h;
+  h.set_vlan_id(5);
+  (void)sw.process(h, 64, 1);
+
+  FlowMod modify = add_mod(0, 1, 1, vlan_match(5), 12);
+  modify.command = FlowModCommand::kModify;
+  sw.apply(modify, 2);
+
+  const auto result = sw.process(h, 64, 3);
+  EXPECT_EQ(result.output_ports, (std::vector<std::uint32_t>{12}));
+  const FlowStats* stats = sw.stats().find(1);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->packets, 2U);  // counter survived the modify
+}
+
+TEST(SwitchModel, IdleTimeoutRefreshedByTraffic) {
+  SwitchModel sw({{FieldId::kVlanId}});
+  sw.apply(add_mod(0, 1, 1, vlan_match(5), 9, TimeoutConfig{.idle_timeout = 10}),
+           /*now=*/0);
+  PacketHeader h;
+  h.set_vlan_id(5);
+  (void)sw.process(h, 64, 8);  // refreshes idle timer
+  EXPECT_TRUE(sw.sweep_timeouts(12).empty());   // 12 < 8 + 10
+  const auto evicted = sw.sweep_timeouts(18);   // 18 >= 8 + 10
+  ASSERT_EQ(evicted.size(), 1U);
+  EXPECT_EQ(evicted[0], 1U);
+  EXPECT_EQ(sw.entry_count(), 0U);
+}
+
+TEST(SwitchModel, HardTimeoutIgnoresTraffic) {
+  SwitchModel sw({{FieldId::kVlanId}});
+  sw.apply(add_mod(0, 1, 1, vlan_match(5), 9, TimeoutConfig{.hard_timeout = 10}),
+           /*now=*/0);
+  PacketHeader h;
+  h.set_vlan_id(5);
+  for (std::uint64_t t = 1; t < 10; ++t) (void)sw.process(h, 64, t);
+  const auto evicted = sw.sweep_timeouts(10);
+  ASSERT_EQ(evicted.size(), 1U);
+}
+
+TEST(SwitchModel, MalformedModsThrow) {
+  SwitchModel sw({{FieldId::kVlanId}});
+  EXPECT_THROW(sw.apply(add_mod(3, 1, 1, vlan_match(1), 1)),
+               std::invalid_argument);
+  FlowMod del;
+  del.command = FlowModCommand::kDelete;
+  del.entry.id = 42;
+  EXPECT_THROW(sw.apply(del), std::invalid_argument);
+  sw.apply(add_mod(0, 7, 1, vlan_match(1), 1));
+  EXPECT_THROW(sw.apply(add_mod(0, 7, 1, vlan_match(2), 1)),
+               std::invalid_argument);
+}
+
+TEST(SwitchModel, MultiTableGotoWithLiveMods) {
+  SwitchModel sw({{FieldId::kVlanId}, {FieldId::kMetadata, FieldId::kEthDst}});
+  FlowMod t0 = add_mod(0, 100, 1, vlan_match(5), 0);
+  t0.entry.instructions = InstructionSet{};
+  t0.entry.instructions.goto_table = 1;
+  t0.entry.instructions.write_metadata = MetadataWrite{0x7, ~std::uint64_t{0}};
+  sw.apply(t0);
+
+  FlowMatch m1;
+  m1.set(FieldId::kMetadata, FieldMatch::exact(std::uint64_t{0x7}));
+  m1.set(FieldId::kEthDst, FieldMatch::exact(std::uint64_t{0xAB}));
+  sw.apply(add_mod(1, 200, 1, m1, 4));
+
+  PacketHeader h;
+  h.set_vlan_id(5);
+  h.set_eth_dst(MacAddress{0xAB});
+  const auto result = sw.process(h);
+  EXPECT_EQ(result.verdict, Verdict::kForwarded);
+  EXPECT_EQ(result.matched_entries, (std::vector<FlowEntryId>{100, 200}));
+  EXPECT_EQ(sw.process_reference(h), result);
+}
+
+TEST(SwitchModel, RandomChurnKeepsEquivalence) {
+  workload::Rng rng(404);
+  SwitchModel sw({{FieldId::kVlanId, FieldId::kEthDst}});
+  std::vector<FlowEntry> live;
+  FlowEntryId next_id = 0;
+  const std::vector<FieldId> fields = {FieldId::kVlanId, FieldId::kEthDst};
+
+  for (int step = 0; step < 250; ++step) {
+    if (live.empty() || rng.chance(0.6)) {
+      FlowMatch match;
+      match.set(FieldId::kVlanId, FieldMatch::exact(rng.below(24)));
+      match.set(FieldId::kEthDst, FieldMatch::exact(rng.below(48)));
+      auto mod = add_mod(0, next_id++, static_cast<std::uint16_t>(rng.below(4)),
+                         match, static_cast<std::uint32_t>(1 + rng.below(8)));
+      sw.apply(mod, static_cast<std::uint64_t>(step));
+      live.push_back(mod.entry);
+    } else {
+      const std::size_t victim = rng.below(live.size());
+      FlowMod del;
+      del.command = FlowModCommand::kDelete;
+      del.table = 0;
+      del.entry.id = live[victim].id;
+      sw.apply(del, static_cast<std::uint64_t>(step));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    if (step % 10 == 0) {
+      for (int probe = 0; probe < 25; ++probe) {
+        PacketHeader header;
+        if (!live.empty() && rng.chance(0.7)) {
+          header = workload::header_matching(live[rng.below(live.size())].match,
+                                             fields, rng.next());
+        } else {
+          header = workload::random_header(fields, rng.next());
+        }
+        EXPECT_EQ(sw.process(header), sw.process_reference(header))
+            << "step " << step;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ofmtl

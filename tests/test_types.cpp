@@ -1,0 +1,177 @@
+// Unit tests for bit utilities, U128 and Prefix — the foundations every
+// lookup structure builds on.
+#include <gtest/gtest.h>
+
+#include "net/prefix.hpp"
+#include "net/types.hpp"
+#include "workload/rng.hpp"
+
+namespace ofmtl {
+namespace {
+
+TEST(BitUtils, CeilLog2) {
+  EXPECT_EQ(ceil_log2(0), 0U);
+  EXPECT_EQ(ceil_log2(1), 0U);
+  EXPECT_EQ(ceil_log2(2), 1U);
+  EXPECT_EQ(ceil_log2(3), 2U);
+  EXPECT_EQ(ceil_log2(4), 2U);
+  EXPECT_EQ(ceil_log2(5), 3U);
+  EXPECT_EQ(ceil_log2(1024), 10U);
+  EXPECT_EQ(ceil_log2(1025), 11U);
+}
+
+TEST(BitUtils, BitsForMaxValue) {
+  EXPECT_EQ(bits_for_max_value(0), 1U);
+  EXPECT_EQ(bits_for_max_value(1), 1U);
+  EXPECT_EQ(bits_for_max_value(2), 2U);
+  EXPECT_EQ(bits_for_max_value(255), 8U);
+  EXPECT_EQ(bits_for_max_value(256), 9U);
+}
+
+TEST(BitUtils, LowMask) {
+  EXPECT_EQ(low_mask(0), 0U);
+  EXPECT_EQ(low_mask(1), 1U);
+  EXPECT_EQ(low_mask(16), 0xFFFFU);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(BitUtils, HighMask) {
+  EXPECT_EQ(high_mask(16, 0), 0U);
+  EXPECT_EQ(high_mask(16, 8), 0xFF00U);
+  EXPECT_EQ(high_mask(16, 16), 0xFFFFU);
+  EXPECT_THROW(high_mask(16, 17), std::invalid_argument);
+}
+
+TEST(U128, ShiftsAndMasks) {
+  const U128 one{1};
+  EXPECT_TRUE((one << 64) == (U128{1, 0}));
+  EXPECT_TRUE((one << 127) == (U128{0x8000000000000000ULL, 0}));
+  EXPECT_TRUE((U128{1, 0} >> 64) == one);
+  EXPECT_TRUE((one << 128) == U128{});
+  EXPECT_TRUE((one >> 1) == U128{});
+  const U128 x{0x1234, 0x5678};
+  EXPECT_TRUE(((x << 4) >> 4) == x);
+}
+
+TEST(U128, Comparison) {
+  EXPECT_LT(U128(0, 5), U128(1, 0));
+  EXPECT_LT(U128(1, 1), U128(1, 2));
+  EXPECT_EQ(U128(3, 4), U128(3, 4));
+}
+
+TEST(U128, BitsFromTop) {
+  const U128 v{0xAABBCCDDEEFF0011ULL, 0x2233445566778899ULL};
+  EXPECT_EQ(v.bits_from_top(0, 8), 0xAAU);
+  EXPECT_EQ(v.bits_from_top(8, 8), 0xBBU);
+  EXPECT_EQ(v.bits_from_top(64, 16), 0x2233U);
+  EXPECT_EQ(v.bits_from_top(112, 16), 0x8899U);
+}
+
+TEST(U128, HighMask128) {
+  EXPECT_TRUE(high_mask128(0) == U128{});
+  EXPECT_TRUE(high_mask128(64) == (U128{~std::uint64_t{0}, 0}));
+  EXPECT_TRUE(high_mask128(128) ==
+              (U128{~std::uint64_t{0}, ~std::uint64_t{0}}));
+  EXPECT_TRUE(high_mask128(1) == (U128{0x8000000000000000ULL, 0}));
+}
+
+TEST(Prefix, NormalizesLowBits) {
+  // Bits below the prefix length must be cleared so equal prefixes compare ==.
+  const auto a = Prefix::from_value(0b10110111, 4, 8);
+  const auto b = Prefix::from_value(0b10110000, 4, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.value64(), 0b10110000U);
+}
+
+TEST(Prefix, Matches) {
+  const auto p = Prefix::from_value(0xC0A80000, 16, 32);  // 192.168/16
+  EXPECT_TRUE(p.matches(std::uint64_t{0xC0A80101}));
+  EXPECT_TRUE(p.matches(std::uint64_t{0xC0A8FFFF}));
+  EXPECT_FALSE(p.matches(std::uint64_t{0xC0A70101}));
+  const auto all = Prefix::from_value(0, 0, 32);
+  EXPECT_TRUE(all.matches(std::uint64_t{0xDEADBEEF}));
+}
+
+TEST(Prefix, ExactAndWildcardPredicates) {
+  EXPECT_TRUE(Prefix::exact(0x1234, 16).is_exact());
+  EXPECT_TRUE(Prefix::from_value(0, 0, 16).is_wildcard_all());
+  EXPECT_FALSE(Prefix::from_value(1, 8, 16).is_exact());
+}
+
+TEST(Prefix, Covers) {
+  const auto wide = Prefix::from_value(0xC0000000, 8, 32);
+  const auto narrow = Prefix::from_value(0xC0A80000, 16, 32);
+  EXPECT_TRUE(wide.covers(narrow));
+  EXPECT_FALSE(narrow.covers(wide));
+  EXPECT_TRUE(wide.covers(wide));
+  EXPECT_FALSE(wide.covers(Prefix::from_value(0xC0A80000, 16, 16)));  // width
+}
+
+TEST(Prefix, Partition16) {
+  const auto p = Prefix::from_value(0xAABBCCDDEE55ULL, 40, 48);
+  EXPECT_EQ(p.partition16(0), 0xAABBU);
+  EXPECT_EQ(p.partition16(1), 0xCCDDU);
+  EXPECT_EQ(p.partition16(2), 0xEE00U);  // only 8 bits significant
+  EXPECT_EQ(p.partition16_length(0), 16U);
+  EXPECT_EQ(p.partition16_length(1), 16U);
+  EXPECT_EQ(p.partition16_length(2), 8U);
+}
+
+TEST(Prefix, PartitionLengthOfShortPrefix) {
+  const auto p = Prefix::from_value(0xAB00, 8, 32);
+  EXPECT_EQ(p.partition16_length(0), 8U);
+  EXPECT_EQ(p.partition16_length(1), 0U);
+}
+
+TEST(Prefix, InvalidArguments) {
+  EXPECT_THROW(Prefix::from_value(0, 33, 32), std::invalid_argument);
+  EXPECT_THROW((Prefix{U128{}, 1, 129}), std::invalid_argument);
+}
+
+TEST(RangeToPrefixes, ExactValue) {
+  const auto prefixes = range_to_prefixes({80, 80}, 16);
+  ASSERT_EQ(prefixes.size(), 1U);
+  EXPECT_EQ(prefixes[0].length(), 16U);
+  EXPECT_EQ(prefixes[0].value64(), 80U);
+}
+
+TEST(RangeToPrefixes, FullRange) {
+  const auto prefixes = range_to_prefixes({0, 0xFFFF}, 16);
+  ASSERT_EQ(prefixes.size(), 1U);
+  EXPECT_TRUE(prefixes[0].is_wildcard_all());
+}
+
+TEST(RangeToPrefixes, ClassicWorstCase) {
+  // [1, 2^16-2] needs 2*(16-1) = 30 prefixes.
+  const auto prefixes = range_to_prefixes({1, 0xFFFE}, 16);
+  EXPECT_EQ(prefixes.size(), 30U);
+}
+
+// Property: the union of produced prefixes covers exactly the range.
+class RangeToPrefixProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RangeToPrefixProperty, ExactCover) {
+  workload::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const unsigned width = 10;
+    std::uint64_t a = rng.below(1 << width);
+    std::uint64_t b = rng.below(1 << width);
+    if (a > b) std::swap(a, b);
+    const ValueRange range{a, b};
+    const auto prefixes = range_to_prefixes(range, width);
+    for (std::uint64_t key = 0; key < (1U << width); ++key) {
+      int matches = 0;
+      for (const auto& prefix : prefixes) {
+        if (prefix.matches(key)) ++matches;
+      }
+      // Disjoint exact cover: inside exactly once, outside never.
+      EXPECT_EQ(matches, range.contains(key) ? 1 : 0) << "key " << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeToPrefixProperty,
+                         ::testing::Values(11, 23, 37, 53));
+
+}  // namespace
+}  // namespace ofmtl

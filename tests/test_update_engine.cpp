@@ -1,0 +1,101 @@
+// Update-engine tests (Section V.B model): 2 cycles per word, optimized
+// (label-method) scripts never exceed the original per-rule scripts, and the
+// reduction grows with value repetition.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/builder.hpp"
+#include "core/update_engine.hpp"
+#include "workload/stanford_synth.hpp"
+
+namespace ofmtl {
+namespace {
+
+using workload::FilterApp;
+
+TEST(FreshInsertWords, MatchesHandComputedCases) {
+  const auto strides = default_strides16();  // 5/5/6
+  // /0: expands over the whole 2^5 root block.
+  EXPECT_EQ(fresh_insert_words(Prefix::from_value(0, 0, 16), strides), 32U);
+  // /5: exactly one root entry.
+  EXPECT_EQ(fresh_insert_words(Prefix::from_value(0xF800, 5, 16), strides), 1U);
+  // /3: 2^(5-3) = 4 root entries.
+  EXPECT_EQ(fresh_insert_words(Prefix::from_value(0xE000, 3, 16), strides), 4U);
+  // /8: pointer at L1 + 2^(5-3)=4 entries at L2.
+  EXPECT_EQ(fresh_insert_words(Prefix::from_value(0xAB00, 8, 16), strides),
+            1U + 4U);
+  // /16: pointer + pointer + 1 leaf entry.
+  EXPECT_EQ(fresh_insert_words(Prefix::exact(0xABCD, 16), strides), 3U);
+  // /11: pointer + 2^(5-(11-5))... 11-5=6 -> ends at L2 with fan 2^(5-6)?
+  // No: bits_here = 6 > stride 5 means it descends; ends at L3.
+  EXPECT_EQ(fresh_insert_words(Prefix::from_value(0xFFE0, 11, 16), strides),
+            1U + 1U + (1U << (6 - 1)));
+}
+
+TEST(UpdateScript, CyclesAreTwoPerWord) {
+  const auto set = workload::generate_mac_filterset(workload::mac_target("bbrb"));
+  const auto spec = build_app(set, TableLayout::kPerFieldTables);
+  const auto pipeline = compile_app(spec);
+  const auto script = optimized_script(pipeline.table(1), UpdateScope::kAll);
+  EXPECT_EQ(script.cycles(), 2 * script.word_count());
+  EXPECT_GT(script.word_count(), 0U);
+
+  std::ostringstream out;
+  script.write(out);
+  EXPECT_FALSE(out.str().empty());
+}
+
+class UpdateCostInvariants
+    : public ::testing::TestWithParam<std::pair<FilterApp, const char*>> {};
+
+TEST_P(UpdateCostInvariants, LabelMethodNeverCostsMore) {
+  const auto [app, name] = GetParam();
+  const auto set = workload::generate_filterset(app, name);
+  const auto spec = build_app(set, TableLayout::kPerFieldTables);
+  const auto pipeline = compile_app(spec);
+
+  for (const auto scope : {UpdateScope::kAlgorithms, UpdateScope::kAll}) {
+    const auto cost = update_cost(pipeline, scope);
+    EXPECT_LE(cost.optimized_words, cost.original_words);
+    EXPECT_GE(cost.reduction_percent(), 0.0);
+    EXPECT_LE(cost.reduction_percent(), 100.0);
+    EXPECT_EQ(cost.optimized_cycles(), 2 * cost.optimized_words);
+    EXPECT_EQ(cost.original_cycles(), 2 * cost.original_words);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, UpdateCostInvariants,
+    ::testing::Values(std::make_pair(FilterApp::kMacLearning, "bbra"),
+                      std::make_pair(FilterApp::kMacLearning, "gozb"),
+                      std::make_pair(FilterApp::kRouting, "bbra"),
+                      std::make_pair(FilterApp::kRouting, "yoza")));
+
+TEST(UpdateCost, RepetitionDrivesTheReduction) {
+  // gozb has 7370 rules over only 159/1946/6177 unique partition values:
+  // heavy repetition, so the label method should save a lot. A filter with
+  // all-unique values would save much less.
+  const auto set = workload::generate_mac_filterset(workload::mac_target("gozb"));
+  const auto spec = build_app(set, TableLayout::kPerFieldTables);
+  const auto pipeline = compile_app(spec);
+  const auto cost = update_cost(pipeline, UpdateScope::kAlgorithms);
+  EXPECT_GT(cost.reduction_percent(), 30.0);
+}
+
+TEST(UpdateCost, AccumulatesAcrossTables) {
+  const auto set = workload::generate_routing_filterset(
+      workload::routing_target("bbrb"));
+  const auto spec = build_app(set, TableLayout::kPerFieldTables);
+  const auto pipeline = compile_app(spec);
+  UpdateCost sum;
+  for (std::size_t t = 0; t < pipeline.table_count(); ++t) {
+    sum += update_cost(pipeline.table(t), UpdateScope::kAll);
+  }
+  const auto total = update_cost(pipeline, UpdateScope::kAll);
+  EXPECT_EQ(sum.optimized_words, total.optimized_words);
+  EXPECT_EQ(sum.original_words, total.original_words);
+}
+
+}  // namespace
+}  // namespace ofmtl

@@ -1,0 +1,182 @@
+// Workload-substrate tests. The critical property: the synthetic Stanford
+// filter sets reproduce the paper's Table III/IV statistics *exactly* —
+// rule counts and unique values per field/partition — for all 16 routers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stats/filter_analysis.hpp"
+#include "workload/acl_synth.hpp"
+#include "workload/calibration.hpp"
+#include "workload/stanford_synth.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace ofmtl {
+namespace {
+
+using workload::FilterApp;
+using workload::kFilterCount;
+using workload::kMacTargets;
+using workload::kRoutingTargets;
+
+class MacCalibration : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MacCalibration, MatchesTableIIIExactly) {
+  const auto& target = kMacTargets[GetParam()];
+  const auto set = workload::generate_mac_filterset(target);
+  ASSERT_EQ(set.entries.size(), target.rules);
+
+  const auto analysis = stats::analyze(set);
+  EXPECT_EQ(analysis.rule_count, target.rules);
+  const auto& vlan = analysis.of(FieldId::kVlanId);
+  EXPECT_EQ(vlan.unique_whole, target.unique_vlan);
+  const auto& eth = analysis.of(FieldId::kEthDst);
+  ASSERT_EQ(eth.unique_per_partition.size(), 3U);
+  EXPECT_EQ(eth.unique_per_partition[0], target.unique_eth_hi);
+  EXPECT_EQ(eth.unique_per_partition[1], target.unique_eth_mid);
+  EXPECT_EQ(eth.unique_per_partition[2], target.unique_eth_lo);
+  // MAC rules are all distinct whole MACs.
+  EXPECT_EQ(eth.unique_whole, target.rules);
+  EXPECT_EQ(eth.wildcard_rules, 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRouters, MacCalibration,
+                         ::testing::Range<std::size_t>(0, kFilterCount),
+                         [](const auto& info) {
+                           return std::string(kMacTargets[info.param].name);
+                         });
+
+class RoutingCalibration : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RoutingCalibration, MatchesTableIVExactly) {
+  const auto& target = kRoutingTargets[GetParam()];
+  const auto set = workload::generate_routing_filterset(target);
+  ASSERT_EQ(set.entries.size(), target.rules);
+
+  const auto analysis = stats::analyze(set);
+  const auto& port = analysis.of(FieldId::kInPort);
+  EXPECT_EQ(port.unique_whole, target.unique_ports);
+  const auto& ip = analysis.of(FieldId::kIpv4Dst);
+  ASSERT_EQ(ip.unique_per_partition.size(), 2U);
+  EXPECT_EQ(ip.unique_per_partition[0], target.unique_ip_hi);
+  EXPECT_EQ(ip.unique_per_partition[1], target.unique_ip_lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRouters, RoutingCalibration,
+                         ::testing::Range<std::size_t>(0, kFilterCount),
+                         [](const auto& info) {
+                           return std::string(kRoutingTargets[info.param].name);
+                         });
+
+TEST(RoutingWorkload, ContainsDefaultRoute) {
+  const auto set =
+      workload::generate_routing_filterset(workload::routing_target("bbra"));
+  bool has_default = false;
+  for (const auto& entry : set.entries) {
+    const auto& fm = entry.match.get(FieldId::kIpv4Dst);
+    if (fm.kind == MatchKind::kPrefix && fm.prefix.is_wildcard_all()) {
+      has_default = true;
+    }
+  }
+  EXPECT_TRUE(has_default);
+}
+
+TEST(RoutingWorkload, PrioritiesFollowPrefixLength) {
+  const auto set =
+      workload::generate_routing_filterset(workload::routing_target("goza"));
+  for (const auto& entry : set.entries) {
+    const auto& fm = entry.match.get(FieldId::kIpv4Dst);
+    ASSERT_EQ(fm.kind, MatchKind::kPrefix);
+    EXPECT_EQ(entry.priority, fm.prefix.length());
+  }
+}
+
+TEST(MacWorkload, RulesAreDistinct) {
+  const auto set = workload::generate_mac_filterset(workload::mac_target("coza"));
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (const auto& entry : set.entries) {
+    const auto vlan = entry.match.get(FieldId::kVlanId).value.lo;
+    const auto mac = entry.match.get(FieldId::kEthDst).value.lo;
+    EXPECT_TRUE(seen.emplace(vlan, mac).second) << "duplicate rule";
+  }
+}
+
+TEST(Workload, DeterministicAcrossCalls) {
+  const auto a = workload::generate_mac_filterset(workload::mac_target("yozb"), 3);
+  const auto b = workload::generate_mac_filterset(workload::mac_target("yozb"), 3);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i], b.entries[i]);
+  }
+  const auto c = workload::generate_mac_filterset(workload::mac_target("yozb"), 4);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    if (!(a.entries[i] == c.entries[i])) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference) << "different seeds should differ";
+}
+
+TEST(Workload, GenerateAllProducesSixteenSets) {
+  const auto sets = workload::generate_all(FilterApp::kMacLearning);
+  ASSERT_EQ(sets.size(), kFilterCount);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_EQ(sets[i].entries.size(), kMacTargets[i].rules);
+  }
+}
+
+TEST(Workload, UnknownRouterThrows) {
+  EXPECT_THROW((void)workload::mac_target("nope"), std::invalid_argument);
+  EXPECT_THROW((void)workload::routing_target("nope"), std::invalid_argument);
+}
+
+TEST(AclWorkload, GeneratesRequestedShape) {
+  workload::AclConfig config;
+  config.rules = 500;
+  const auto set = workload::generate_acl(config);
+  EXPECT_EQ(set.entries.size(), 500U);
+  ASSERT_EQ(set.fields.size(), 5U);
+  std::size_t wildcard_src = 0;
+  for (const auto& entry : set.entries) {
+    const auto& src = entry.match.get(FieldId::kIpv4Src);
+    ASSERT_EQ(src.kind, MatchKind::kPrefix);
+    if (src.prefix.is_wildcard_all()) ++wildcard_src;
+    const auto& sport = entry.match.get(FieldId::kSrcPort);
+    ASSERT_EQ(sport.kind, MatchKind::kRange);
+    EXPECT_LE(sport.range.lo, sport.range.hi);
+  }
+  EXPECT_GT(wildcard_src, 0U);
+  EXPECT_LT(wildcard_src, 300U);
+}
+
+TEST(TraceGen, HitPacketsMatchTheirRule) {
+  const auto set = workload::generate_mac_filterset(workload::mac_target("bbrb"));
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto& entry = set.entries[i % set.entries.size()];
+    const auto header = workload::header_matching(entry.match, set.fields, i);
+    EXPECT_TRUE(entry.match.matches(header)) << i;
+  }
+}
+
+TEST(TraceGen, PrefixRuleHeadersStayInPrefix) {
+  const auto set =
+      workload::generate_routing_filterset(workload::routing_target("bozb"));
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto& entry = set.entries[i % set.entries.size()];
+    const auto header = workload::header_matching(entry.match, set.fields, i);
+    EXPECT_TRUE(entry.match.matches(header)) << i;
+  }
+}
+
+TEST(FilterAnalysis, PrefixLengthHistogram) {
+  const auto set =
+      workload::generate_routing_filterset(workload::routing_target("bbra"));
+  const auto histogram = stats::prefix_length_histogram(set, FieldId::kIpv4Dst);
+  ASSERT_EQ(histogram.size(), 33U);
+  std::size_t total = 0;
+  for (const auto count : histogram) total += count;
+  EXPECT_EQ(total, set.entries.size());
+  EXPECT_EQ(histogram[0], 1U);  // exactly the default route
+}
+
+}  // namespace
+}  // namespace ofmtl
