@@ -1,10 +1,14 @@
 // Shared helpers for the benchmark/reproduction binaries: filter-set
-// construction, field-search building, and wall-clock timing.
+// construction, field-search building, wall-clock timing, and the
+// machine-readable JSON results the perf-trajectory tooling consumes.
 #pragma once
 
 #include <chrono>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/field_search.hpp"
@@ -47,6 +51,33 @@ template <typename Fn>
 
 inline void print_heading(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n\n";
+}
+
+/// Emit a flat metric map as `BENCH_<bench>.json` next to the binary:
+/// {"bench": ..., "unit": ..., "results": {name: value, ...}}. One file per
+/// bench binary, so successive PRs can diff perf trajectories mechanically.
+inline void write_bench_json(
+    const std::string& bench, const std::string& unit,
+    const std::vector<std::pair<std::string, double>>& results) {
+  const std::string path = "BENCH_" + bench + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: could not open " << path << " for writing\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"" << bench << "\",\n  \"unit\": \"" << unit
+      << "\",\n  \"results\": {\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out << "    \"" << results[i].first << "\": " << std::fixed
+        << std::setprecision(2) << results[i].second
+        << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  out << "  }\n}\n";
+  if (out.flush(); !out) {
+    std::cerr << "error: failed writing " << path << "\n";
+    return;
+  }
+  std::cout << "wrote " << path << "\n";
 }
 
 }  // namespace ofmtl::bench

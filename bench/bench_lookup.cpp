@@ -1,11 +1,14 @@
 // Lookup-throughput benchmark (google-benchmark): the decomposed multi-table
-// pipeline against the single-table linear baseline and the TCAM model, on
-// the paper's two applications. Not a paper artifact per se — the paper
-// reports FPGA clock-rate lookups — but the software analogue of its
-// "classification performance" motivation, and the regression guard for the
-// library's hot path.
+// pipeline (scalar and batched) against the single-table linear baseline and
+// the TCAM model, on the paper's two applications. Not a paper artifact per
+// se — the paper reports FPGA clock-rate lookups — but the software analogue
+// of its "classification performance" motivation, and the regression guard
+// for the library's hot path. Besides the google-benchmark console output,
+// the binary writes BENCH_lookup.json (ns/packet per path) so future PRs
+// have a machine-readable perf trajectory to regress against.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "classifier/tcam.hpp"
 #include "core/builder.hpp"
 #include "flow/flow_table.hpp"
@@ -63,9 +66,28 @@ void BM_Decomposed(benchmark::State& state, workload::FilterApp app,
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
-void BM_Tcam(benchmark::State& state, workload::FilterApp app,
-             const char* name) {
+constexpr std::size_t kBatchSize = 256;
+
+void BM_DecomposedBatch(benchmark::State& state, workload::FilterApp app,
+                        const char* name) {
   const auto& f = Fixture::get(app, name);
+  std::vector<ExecutionResult> results(kBatchSize);
+  ExecBatchContext ctx;
+  std::size_t base = 0;
+  for (auto _ : state) {
+    f.accelerated.execute_batch({f.trace.data() + base, kBatchSize},
+                                {results.data(), kBatchSize}, ctx);
+    base = (base + kBatchSize) & 4095;
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kBatchSize));
+}
+
+/// Shared TCAM construction (console benchmark and JSON metrics must measure
+/// the exact same rule-to-TCAM mapping).
+const TcamModel& tcam_for(const Fixture& f, workload::FilterApp app,
+                          const char* name) {
   static std::map<std::string, TcamModel> cache;
   const std::string key = std::string(to_string(app)) + "/" + name;
   auto it = cache.find(key);
@@ -77,9 +99,16 @@ void BM_Tcam(benchmark::State& state, workload::FilterApp app,
     }
     it = cache.emplace(key, std::move(tcam)).first;
   }
+  return it->second;
+}
+
+void BM_Tcam(benchmark::State& state, workload::FilterApp app,
+             const char* name) {
+  const auto& f = Fixture::get(app, name);
+  const auto& tcam = tcam_for(f, app, name);
   std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(it->second.lookup(f.trace[i++ & 4095]));
+    benchmark::DoNotOptimize(tcam.lookup(f.trace[i++ & 4095]));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -90,15 +119,74 @@ BENCHMARK_CAPTURE(BM_SingleTableLinear, mac_bbra,
                   workload::FilterApp::kMacLearning, "bbra");
 BENCHMARK_CAPTURE(BM_Decomposed, mac_bbra, workload::FilterApp::kMacLearning,
                   "bbra");
+BENCHMARK_CAPTURE(BM_DecomposedBatch, mac_bbra,
+                  workload::FilterApp::kMacLearning, "bbra");
 BENCHMARK_CAPTURE(BM_Tcam, mac_bbra, workload::FilterApp::kMacLearning, "bbra");
 BENCHMARK_CAPTURE(BM_SingleTableLinear, mac_gozb,
                   workload::FilterApp::kMacLearning, "gozb");
 BENCHMARK_CAPTURE(BM_Decomposed, mac_gozb, workload::FilterApp::kMacLearning,
                   "gozb");
+BENCHMARK_CAPTURE(BM_DecomposedBatch, mac_gozb,
+                  workload::FilterApp::kMacLearning, "gozb");
 BENCHMARK_CAPTURE(BM_SingleTableLinear, routing_yoza,
                   workload::FilterApp::kRouting, "yoza");
 BENCHMARK_CAPTURE(BM_Decomposed, routing_yoza, workload::FilterApp::kRouting,
                   "yoza");
+BENCHMARK_CAPTURE(BM_DecomposedBatch, routing_yoza,
+                  workload::FilterApp::kRouting, "yoza");
 BENCHMARK_CAPTURE(BM_Tcam, routing_yoza, workload::FilterApp::kRouting, "yoza");
 
-BENCHMARK_MAIN();
+namespace {
+
+/// ns/packet for each path on one app, measured directly (steady state,
+/// warmed caches) for the JSON perf trajectory.
+void append_json_metrics(std::vector<std::pair<std::string, double>>& results,
+                         workload::FilterApp app, const char* name,
+                         bool with_tcam) {
+  const auto& f = Fixture::get(app, name);
+  const std::string tag = std::string(to_string(app)) + "_" + name;
+  constexpr std::size_t kIters = 20000;
+  results.emplace_back(
+      "linear/" + tag, ofmtl::bench::time_per_call_ns(kIters, [&](std::size_t i) {
+        benchmark::DoNotOptimize(f.single.reference.execute(f.trace[i & 4095]));
+      }));
+  results.emplace_back(
+      "decomposed/" + tag,
+      ofmtl::bench::time_per_call_ns(kIters, [&](std::size_t i) {
+        benchmark::DoNotOptimize(f.accelerated.execute(f.trace[i & 4095]));
+      }));
+  std::vector<ExecutionResult> batch_results(kBatchSize);
+  ExecBatchContext ctx;
+  f.accelerated.execute_batch({f.trace.data(), kBatchSize},
+                              {batch_results.data(), kBatchSize}, ctx);
+  results.emplace_back(
+      "decomposed_batch/" + tag,
+      ofmtl::bench::time_per_call_ns(kIters / kBatchSize + 1, [&](std::size_t i) {
+        f.accelerated.execute_batch(
+            {f.trace.data() + ((i * kBatchSize) & 4095), kBatchSize},
+            {batch_results.data(), kBatchSize}, ctx);
+      }) /
+          static_cast<double>(kBatchSize));
+  if (!with_tcam) return;
+  const auto& tcam = tcam_for(f, app, name);
+  results.emplace_back(
+      "tcam/" + tag, ofmtl::bench::time_per_call_ns(kIters, [&](std::size_t i) {
+        benchmark::DoNotOptimize(tcam.lookup(f.trace[i & 4095]));
+      }));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::vector<std::pair<std::string, double>> results;
+  append_json_metrics(results, workload::FilterApp::kMacLearning, "bbra", true);
+  append_json_metrics(results, workload::FilterApp::kMacLearning, "gozb", false);
+  append_json_metrics(results, workload::FilterApp::kRouting, "yoza", true);
+  ofmtl::bench::write_bench_json("lookup", "ns_per_packet", results);
+  return 0;
+}

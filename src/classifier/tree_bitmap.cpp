@@ -4,7 +4,9 @@
 #include <bit>
 #include <numeric>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "core/flat_hash.hpp"
 #include "net/types.hpp"
 
 namespace ofmtl {
@@ -64,17 +66,27 @@ TreeBitmapTrie::TreeBitmapTrie(unsigned width, std::vector<unsigned> strides,
     }
     (void)label;
   }
-  // Last-label-wins dedup, preserving first insertion position.
+  // Last-label-wins dedup, preserving first insertion position. Keyed on a
+  // hash of (length, value) — all prefixes share width_ — so bulk builds
+  // stay linear instead of quadratic in the prefix count.
+  struct PrefixKeyHash {
+    [[nodiscard]] std::size_t operator()(const Prefix& p) const noexcept {
+      const U128 v = p.value();
+      return static_cast<std::size_t>(detail::mix64(
+          v.hi * 0x9E3779B97F4A7C15ULL ^ v.lo ^
+          (std::uint64_t{p.length()} << 57)));
+    }
+  };
   std::vector<std::pair<Prefix, Label>> unique;
+  unique.reserve(prefixes.size());
+  std::unordered_map<Prefix, std::size_t, PrefixKeyHash> positions;
+  positions.reserve(prefixes.size());
   for (const auto& entry : prefixes) {
-    const auto existing =
-        std::find_if(unique.begin(), unique.end(), [&entry](const auto& u) {
-          return u.first == entry.first;
-        });
-    if (existing == unique.end()) {
+    const auto [it, inserted] = positions.try_emplace(entry.first, unique.size());
+    if (inserted) {
       unique.push_back(entry);
     } else {
-      existing->second = entry.second;
+      unique[it->second].second = entry.second;
     }
   }
   (void)build(0, 0, unique);
@@ -176,6 +188,64 @@ std::optional<Label> TreeBitmapTrie::lookup(std::uint64_t key) const {
     node_index = child_table_[slot];
   }
   return best;
+}
+
+void TreeBitmapTrie::lookup_batch(std::span<const std::uint64_t> keys,
+                                  std::span<std::optional<Label>> out) const {
+  if (out.size() < keys.size()) {
+    throw std::invalid_argument("lookup_batch: out span too small");
+  }
+  constexpr std::size_t kLanes = 8;
+  for (std::size_t base = 0; base < keys.size(); base += kLanes) {
+    const std::size_t lanes = std::min(kLanes, keys.size() - base);
+    std::uint32_t node[kLanes] = {};
+    std::uint32_t slot[kLanes] = {};
+    bool active[kLanes];
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      out[base + lane] = std::nullopt;
+      active[lane] = !nodes_.empty();
+      if (active[lane]) __builtin_prefetch(nodes_.data());
+    }
+    // Lock-step descent: each level first resolves every lane's node (match
+    // the internal bitmap, locate the child slot, prefetch the child-table
+    // line), then chases every lane's child pointer (prefetching the next
+    // node) — so no lane ever stalls on a load another lane could have
+    // started.
+    for (std::size_t level = 0; level < strides_.size(); ++level) {
+      const unsigned stride = strides_[level];
+      const unsigned shift = width_ - cum_before_[level] - stride;
+      const unsigned max_len =
+          level + 1 == strides_.size() ? stride : stride - 1;
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        if (!active[lane]) continue;
+        const Node& nd = nodes_[node[lane]];
+        const std::uint64_t chunk =
+            (keys[base + lane] >> shift) & low_mask(stride);
+        for (unsigned len = max_len + 1; len-- > 0;) {
+          const unsigned position =
+              internal_position(len, chunk >> (stride - len));
+          if (test_bit128(nd.internal, position)) {
+            out[base + lane] =
+                results_[nd.result_base +
+                         popcount_below128(nd.internal, position)];
+            break;
+          }
+        }
+        if (!(nd.external >> chunk & 1)) {
+          active[lane] = false;
+          continue;
+        }
+        slot[lane] = nd.child_base +
+                     popcount_below(nd.external, static_cast<unsigned>(chunk));
+        __builtin_prefetch(child_table_.data() + slot[lane]);
+      }
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        if (!active[lane]) continue;
+        node[lane] = child_table_[slot[lane]];
+        __builtin_prefetch(nodes_.data() + node[lane]);
+      }
+    }
+  }
 }
 
 std::size_t TreeBitmapTrie::node_count(std::size_t level) const {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +33,13 @@ class TreeBitmapTrie {
 
   /// Longest-prefix match.
   [[nodiscard]] std::optional<Label> lookup(std::uint64_t key) const;
+
+  /// Batched longest-prefix match: descents interleaved across keys in
+  /// lock-step, with software prefetch of each key's next node and
+  /// child-table line before any lane dereferences it. out[i] = lookup
+  /// result for keys[i].
+  void lookup_batch(std::span<const std::uint64_t> keys,
+                    std::span<std::optional<Label>> out) const;
 
   [[nodiscard]] unsigned width() const { return width_; }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }

@@ -199,6 +199,7 @@ std::vector<Label> FieldSearch::remove_rule(const FieldMatch& match) {
 
 void FieldSearch::seal() {
   if (ranges_) ranges_->seal();
+  for (auto& trie : tries_) trie.seal();
 }
 
 void FieldSearch::search(const PacketHeader& header,
@@ -226,6 +227,57 @@ void FieldSearch::search(const PacketHeader& header,
       out.push_back(ranges_->lookup(header.get64(field_)));
       return;
     }
+  }
+}
+
+void FieldSearch::search(const PacketHeader& header, SearchContext& ctx,
+                         std::size_t lane, std::size_t slot_base) const {
+  switch (method()) {
+    case MatchMethod::kExact: {
+      LabelList& list = ctx.slot(lane, slot_base);
+      list.clear();
+      if (const auto label = lut_->lookup(header.get(field_))) {
+        list.push_back(*label);
+      }
+      if (em_any_label_ && em_any_refs_ > 0) list.push_back(*em_any_label_);
+      return;
+    }
+    case MatchMethod::kLongestPrefix: {
+      for (std::size_t p = 0; p < tries_.size(); ++p) {
+        tries_[p].lookup_all(
+            header.partition16(field_, static_cast<unsigned>(p)),
+            ctx.slot(lane, slot_base + p));
+      }
+      return;
+    }
+    case MatchMethod::kRange: {
+      const auto& labels = ranges_->lookup(header.get64(field_));
+      ctx.slot(lane, slot_base).assign(labels.begin(), labels.end());
+      return;
+    }
+  }
+}
+
+void FieldSearch::search_batch(std::span<const PacketHeader* const> headers,
+                               SearchContext& ctx,
+                               std::size_t slot_base) const {
+  if (method() != MatchMethod::kLongestPrefix) {
+    // EM/RM are single flat probes — nothing to interleave.
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      search(*headers[i], ctx, i, slot_base);
+    }
+    return;
+  }
+  auto& keys = ctx.batch_keys();
+  auto& outs = ctx.batch_outs();
+  for (std::size_t p = 0; p < tries_.size(); ++p) {
+    keys.clear();
+    outs.clear();
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      keys.push_back(headers[i]->partition16(field_, static_cast<unsigned>(p)));
+      outs.push_back(&ctx.slot(i, slot_base + p));
+    }
+    tries_[p].lookup_all_batch(keys, outs);
   }
 }
 

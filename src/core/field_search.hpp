@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,15 +19,13 @@
 #include "classifier/range_matcher.hpp"
 #include "core/lut.hpp"
 #include "core/multibit_trie.hpp"
+#include "core/search_context.hpp"
 #include "flow/flow_entry.hpp"
 #include "mem/memory_model.hpp"
 #include "net/fields.hpp"
 #include "net/header.hpp"
 
 namespace ofmtl {
-
-/// Candidate labels from one algorithm, most specific first.
-using LabelList = std::vector<Label>;
 
 /// Tunables for building field searches.
 struct FieldSearchConfig {
@@ -57,11 +56,23 @@ class FieldSearch {
   /// constraint was never registered.
   std::vector<Label> remove_rule(const FieldMatch& match);
 
-  /// Finish building (seals the range matcher).
+  /// Finish building (seals the range matcher and the partition tries'
+  /// flat query tables).
   void seal();
 
   /// Search a packet: one candidate list per algorithm, appended to `out`.
   void search(const PacketHeader& header, std::vector<LabelList>& out) const;
+
+  /// Allocation-free search of one packet (context lane `lane`): fills the
+  /// context slots [slot_base, slot_base + algorithm_count()).
+  void search(const PacketHeader& header, SearchContext& ctx, std::size_t lane,
+              std::size_t slot_base) const;
+
+  /// Batched search: fills each packet's slots, interleaving the partition-
+  /// trie descents across packets with software prefetch (lane i's slots
+  /// start at ctx.slot(i, slot_base)).
+  void search_batch(std::span<const PacketHeader* const> headers,
+                    SearchContext& ctx, std::size_t slot_base) const;
 
   [[nodiscard]] FieldId field() const { return field_; }
   [[nodiscard]] MatchMethod method() const { return field_method(field_); }

@@ -1,0 +1,26 @@
+// Shared primitives of the sealed flat open-addressing tables: the
+// splitmix64 finalizer that spreads dense keys, and the power-of-two
+// capacity rule (>= 2x the entry count, so probe chains stay short and the
+// linear-probe loops always find an empty slot).
+#pragma once
+
+#include <cstdint>
+
+namespace ofmtl::detail {
+
+/// splitmix64 finalizer (Steele/Lea/Flood) — full-avalanche 64-bit mix.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t key) {
+  std::uint64_t h = key + 0x9E3779B97F4A7C15ULL;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+/// Smallest power-of-two capacity keeping load factor <= 50% (minimum 2).
+[[nodiscard]] constexpr std::size_t flat_capacity(std::size_t count) {
+  std::size_t capacity = 2;
+  while (capacity < 2 * count) capacity <<= 1;
+  return capacity;
+}
+
+}  // namespace ofmtl::detail

@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/flat_hash.hpp"
+
 namespace ofmtl {
+
+namespace {
+
+constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+using detail::flat_capacity;
+using detail::mix64;
+
+}  // namespace
 
 IndexCalculator::IndexCalculator(std::size_t algorithm_count)
     : stage_count_(algorithm_count == 0 ? 0 : algorithm_count - 1) {
@@ -19,6 +30,7 @@ void IndexCalculator::add_rule(const std::vector<Label>& signature,
   if (signature.size() != stage_count_ + 1) {
     throw std::invalid_argument("signature arity mismatch");
   }
+  sealed_ = false;
   Label accumulated = signature[0];
   for (std::size_t stage = 0; stage < stage_count_; ++stage) {
     const PairKey key = pair_key(accumulated, signature[stage + 1]);
@@ -57,6 +69,7 @@ void IndexCalculator::remove_rule(const std::vector<Label>& signature,
   if (pos == indices.end()) {
     throw std::invalid_argument("remove_rule: rule not registered");
   }
+  sealed_ = false;
   indices.erase(pos);
   if (indices.empty()) rules_.erase(rules_it);
   // Second walk: release references (reverse order so upstream pairs are
@@ -66,15 +79,90 @@ void IndexCalculator::remove_rule(const std::vector<Label>& signature,
   }
 }
 
-void IndexCalculator::query(const std::vector<LabelList>& candidates,
-                            std::vector<std::uint32_t>& out) const {
+void IndexCalculator::seal() {
+  if (sealed_) return;
+  flat_stages_.assign(stage_count_, FlatStage{});
+  for (std::size_t stage = 0; stage < stage_count_; ++stage) {
+    FlatStage& flat = flat_stages_[stage];
+    const std::size_t capacity = flat_capacity(stages_[stage].size());
+    flat.keys.assign(capacity, kEmptyKey);
+    flat.labels.assign(capacity, kNoLabel);
+    flat.mask = capacity - 1;
+    for (const auto& [key, entry] : stages_[stage]) {
+      std::size_t index = mix64(key) & flat.mask;
+      while (flat.keys[index] != kEmptyKey) index = (index + 1) & flat.mask;
+      flat.keys[index] = key;
+      flat.labels[index] = entry.label;
+    }
+  }
+  const std::size_t capacity = flat_capacity(rules_.size());
+  final_keys_.assign(capacity, kEmptyKey);
+  final_offsets_.assign(capacity, 0);
+  final_counts_.assign(capacity, 0);
+  final_mask_ = capacity - 1;
+  final_rules_.clear();
+  for (const auto& [label, indices] : rules_) {
+    std::size_t index = mix64(label) & final_mask_;
+    while (final_keys_[index] != kEmptyKey) index = (index + 1) & final_mask_;
+    final_keys_[index] = label;
+    final_offsets_[index] = static_cast<std::uint32_t>(final_rules_.size());
+    final_counts_[index] = static_cast<std::uint32_t>(indices.size());
+    final_rules_.insert(final_rules_.end(), indices.begin(), indices.end());
+  }
+  sealed_ = true;
+}
+
+Label IndexCalculator::probe_stage(const FlatStage& stage, PairKey key) const {
+  std::size_t index = mix64(key) & stage.mask;
+  while (true) {
+    const PairKey stored = stage.keys[index];
+    if (stored == key) return stage.labels[index];
+    if (stored == kEmptyKey) return kNoLabel;
+    index = (index + 1) & stage.mask;
+  }
+}
+
+void IndexCalculator::combine(std::span<const LabelList> candidates,
+                              std::vector<Label>& current,
+                              std::vector<Label>& next,
+                              std::vector<std::uint32_t>& out) const {
   if (candidates.size() != stage_count_ + 1) {
     throw std::invalid_argument("candidate arity mismatch");
   }
   // Progressive combination; the working set stays bounded by the number of
   // distinct rule signatures compatible with the packet so far.
-  std::vector<Label> current(candidates[0].begin(), candidates[0].end());
-  std::vector<Label> next;
+  current.assign(candidates[0].begin(), candidates[0].end());
+  if (sealed_) {
+    for (std::size_t stage = 0; stage < stage_count_; ++stage) {
+      next.clear();
+      const FlatStage& flat = flat_stages_[stage];
+      for (const Label accumulated : current) {
+        for (const Label candidate : candidates[stage + 1]) {
+          const Label combined =
+              probe_stage(flat, pair_key(accumulated, candidate));
+          if (combined != kNoLabel) next.push_back(combined);
+        }
+      }
+      current.swap(next);
+      if (current.empty()) return;
+    }
+    for (const Label final_label : current) {
+      std::size_t index = mix64(final_label) & final_mask_;
+      while (true) {
+        const std::uint64_t stored = final_keys_[index];
+        if (stored == final_label) {
+          const std::uint32_t offset = final_offsets_[index];
+          const std::uint32_t count = final_counts_[index];
+          out.insert(out.end(), final_rules_.begin() + offset,
+                     final_rules_.begin() + offset + count);
+          break;
+        }
+        if (stored == kEmptyKey) break;
+        index = (index + 1) & final_mask_;
+      }
+    }
+    return;
+  }
   for (std::size_t stage = 0; stage < stage_count_; ++stage) {
     next.clear();
     for (const Label accumulated : current) {
@@ -91,6 +179,19 @@ void IndexCalculator::query(const std::vector<LabelList>& candidates,
     if (it == rules_.end()) continue;
     out.insert(out.end(), it->second.begin(), it->second.end());
   }
+}
+
+void IndexCalculator::query(const std::vector<LabelList>& candidates,
+                            std::vector<std::uint32_t>& out) const {
+  std::vector<Label> current;
+  std::vector<Label> next;
+  combine({candidates.data(), candidates.size()}, current, next, out);
+}
+
+void IndexCalculator::query(std::span<const LabelList> candidates,
+                            SearchContext& ctx,
+                            std::vector<std::uint32_t>& out) const {
+  combine(candidates, ctx.combine_current(), ctx.combine_next(), out);
 }
 
 mem::MemoryReport IndexCalculator::memory_report(const std::string& prefix) const {

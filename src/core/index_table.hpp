@@ -5,9 +5,16 @@
 // method derives from: stage i holds the valid (accumulated-label, next-
 // algorithm-label) pairs, so only label combinations some rule actually uses
 // are ever materialized (no crossproduct explosion).
+//
+// Two states per stage: a mutable build/update path (reference-counted
+// unordered_maps, always current) and a sealed query path (flat open-
+// addressing arrays rebuilt by seal()). Queries probe the flat tables when
+// sealed and fall back to the maps otherwise, so sealing is purely a fast
+// path — LookupTable reseals after every bulk build and incremental update.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -22,17 +29,27 @@ class IndexCalculator {
   explicit IndexCalculator(std::size_t algorithm_count);
 
   /// Register a rule's signature (one label per algorithm, in order).
-  /// `rule_index` is the position in the table's entry array.
+  /// `rule_index` is the position in the table's entry array. Unseals.
   void add_rule(const std::vector<Label>& signature, std::uint32_t rule_index);
 
   /// Unregister a rule. Pair entries are reference-counted across rules and
   /// vanish when the last sharing rule leaves — the incremental-update
   /// counterpart of add_rule. Throws if the signature was never registered.
+  /// Unseals.
   void remove_rule(const std::vector<Label>& signature, std::uint32_t rule_index);
+
+  /// Rebuild the flat query tables from the current pair maps.
+  void seal();
+  [[nodiscard]] bool sealed() const { return sealed_; }
 
   /// Query with per-algorithm candidate lists (most specific first). Appends
   /// the indices of every rule whose signature is covered; order unspecified.
   void query(const std::vector<LabelList>& candidates,
+             std::vector<std::uint32_t>& out) const;
+
+  /// Allocation-free query: candidate lists as a contiguous span (one per
+  /// algorithm), working sets borrowed from `ctx`.
+  void query(std::span<const LabelList> candidates, SearchContext& ctx,
              std::vector<std::uint32_t>& out) const;
 
   [[nodiscard]] std::size_t algorithm_count() const { return stage_count_ + 1; }
@@ -52,6 +69,19 @@ class IndexCalculator {
     std::uint32_t refs = 0;
   };
 
+  /// Sealed form of one stage: open-addressed pair-key table, power-of-two
+  /// capacity, linear probing. Key sentinel kEmptyKey = (kNoLabel, kNoLabel)
+  /// can never collide with a real pair (labels are never kNoLabel).
+  struct FlatStage {
+    std::vector<PairKey> keys;
+    std::vector<Label> labels;
+    std::uint64_t mask = 0;
+  };
+
+  [[nodiscard]] Label probe_stage(const FlatStage& stage, PairKey key) const;
+  void combine(std::span<const LabelList> candidates, std::vector<Label>& current,
+               std::vector<Label>& next, std::vector<std::uint32_t>& out) const;
+
   std::size_t stage_count_;  // = algorithm_count - 1
   std::vector<std::unordered_map<PairKey, PairEntry>> stages_;
   std::vector<Label> next_intermediate_;  // per stage
@@ -59,6 +89,17 @@ class IndexCalculator {
   // signature at different priorities).
   std::unordered_map<Label, std::vector<std::uint32_t>> rules_;
   Label next_final_ = 0;
+
+  // Sealed query tables: one flat stage per pair map, plus the final
+  // label -> rule-index map flattened into CSR form behind its own flat
+  // key table.
+  bool sealed_ = false;
+  std::vector<FlatStage> flat_stages_;
+  std::vector<std::uint64_t> final_keys_;      // final label; ~0 = empty
+  std::vector<std::uint32_t> final_offsets_;   // slot -> CSR offset
+  std::vector<std::uint32_t> final_counts_;    // slot -> CSR count
+  std::vector<std::uint32_t> final_rules_;     // flattened rule indices
+  std::uint64_t final_mask_ = 0;
 };
 
 }  // namespace ofmtl

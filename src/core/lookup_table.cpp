@@ -23,6 +23,7 @@ LookupTable::LookupTable(std::vector<FieldId> fields,
     (void)insert_entry_impl(std::move(entry), /*seal_after=*/false);
   }
   for (auto& search : searches_) search.seal();
+  index_->seal();
 }
 
 LookupTable LookupTable::compile(const FlowTable& table, FieldSearchConfig config) {
@@ -62,10 +63,12 @@ std::uint32_t LookupTable::insert_entry_impl(FlowEntry entry, bool seal_after) {
   slots_[slot].seq = next_seq_++;
   slots_[slot].entry = std::move(entry);
   ++live_entries_;
-  // Newly built range indexes need sealing before the next lookup; batch
-  // construction seals once at the end, incremental callers pay it here.
+  // Newly built range/trie/index query structures need sealing before the
+  // next lookup; batch construction seals once at the end, incremental
+  // callers pay it here.
   if (seal_after) {
     for (auto& search : searches_) search.seal();
+    index_->seal();
   }
   return slot;
 }
@@ -85,6 +88,8 @@ bool LookupTable::remove_entry(FlowEntryId id) {
   s.signature.clear();
   free_slots_.push_back(slot);
   --live_entries_;
+  for (auto& search : searches_) search.seal();
+  index_->seal();
   return true;
 }
 
@@ -97,13 +102,8 @@ std::vector<FlowEntry> LookupTable::entries() const {
   return result;
 }
 
-const FlowEntry* LookupTable::lookup(const PacketHeader& header) const {
-  std::vector<LabelList> candidates;
-  candidates.reserve(index_->algorithm_count());
-  for (const auto& search : searches_) search.search(header, candidates);
-
-  std::vector<std::uint32_t> matches;
-  index_->query(candidates, matches);
+const FlowEntry* LookupTable::best_match(
+    const std::vector<std::uint32_t>& matches) const {
   const Slot* best = nullptr;
   for (const auto slot : matches) {
     const Slot& candidate = slots_[slot];
@@ -115,6 +115,47 @@ const FlowEntry* LookupTable::lookup(const PacketHeader& header) const {
     }
   }
   return best == nullptr ? nullptr : &*best->entry;
+}
+
+const FlowEntry* LookupTable::lookup(const PacketHeader& header) const {
+  static thread_local SearchContext ctx;
+  return lookup(header, ctx);
+}
+
+const FlowEntry* LookupTable::lookup(const PacketHeader& header,
+                                     SearchContext& ctx) const {
+  const std::size_t algorithms = index_->algorithm_count();
+  ctx.begin(1, algorithms);
+  std::size_t slot_base = 0;
+  for (const auto& search : searches_) {
+    search.search(header, ctx, 0, slot_base);
+    slot_base += search.algorithm_count();
+  }
+  auto& matches = ctx.matches();
+  matches.clear();
+  index_->query(ctx.packet_candidates(0), ctx, matches);
+  return best_match(matches);
+}
+
+void LookupTable::lookup_batch(std::span<const PacketHeader* const> headers,
+                               std::span<const FlowEntry*> out,
+                               SearchContext& ctx) const {
+  if (out.size() < headers.size()) {
+    throw std::invalid_argument("lookup_batch: out span too small");
+  }
+  const std::size_t algorithms = index_->algorithm_count();
+  ctx.begin(headers.size(), algorithms);
+  std::size_t slot_base = 0;
+  for (const auto& search : searches_) {
+    search.search_batch(headers, ctx, slot_base);
+    slot_base += search.algorithm_count();
+  }
+  auto& matches = ctx.matches();
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    matches.clear();
+    index_->query(ctx.packet_candidates(i), ctx, matches);
+    out[i] = best_match(matches);
+  }
 }
 
 mem::MemoryReport LookupTable::memory_report(const std::string& prefix) const {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,8 +47,20 @@ class LookupTable {
 
   /// Highest-priority matching entry, or nullptr on miss (-> controller).
   /// Equal priorities tie-break to the earlier-inserted entry, matching
-  /// FlowTable's stable order.
+  /// FlowTable's stable order. Uses an internal thread_local SearchContext,
+  /// so steady-state calls are allocation-free.
   [[nodiscard]] const FlowEntry* lookup(const PacketHeader& header) const;
+
+  /// Same lookup through a caller-owned context (the hot-path form).
+  [[nodiscard]] const FlowEntry* lookup(const PacketHeader& header,
+                                        SearchContext& ctx) const;
+
+  /// Batched lookup: out[i] = match for *headers[i]. Field searches run
+  /// interleaved across the batch (level-synchronous trie descents with
+  /// prefetch); headers are pointers so pipeline stages can hand in
+  /// scattered in-flight packets.
+  void lookup_batch(std::span<const PacketHeader* const> headers,
+                    std::span<const FlowEntry*> out, SearchContext& ctx) const;
 
   [[nodiscard]] const std::vector<FieldId>& fields() const { return fields_; }
   [[nodiscard]] std::size_t entry_count() const { return live_entries_; }
@@ -66,6 +79,8 @@ class LookupTable {
 
  private:
   std::uint32_t insert_entry_impl(FlowEntry entry, bool seal_after);
+  [[nodiscard]] const FlowEntry* best_match(
+      const std::vector<std::uint32_t>& matches) const;
 
   struct Slot {
     std::optional<FlowEntry> entry;

@@ -1,10 +1,24 @@
 #include "core/multibit_trie.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 #include <stdexcept>
 
+#include "core/flat_hash.hpp"
+
 namespace ofmtl {
+
+namespace {
+
+constexpr std::uint8_t kFlatEmpty = 0xFF;
+
+/// Mix of a (length, value) prefix key for the sealed table.
+[[nodiscard]] std::uint64_t mix_prefix_key(unsigned len, std::uint64_t value) {
+  return detail::mix64(value + (std::uint64_t{len} << 56));
+}
+
+}  // namespace
 
 std::string_view to_string(TrieStorage policy) {
   switch (policy) {
@@ -52,6 +66,7 @@ void MultibitTrie::check_prefix(const Prefix& prefix) const {
 
 void MultibitTrie::insert(const Prefix& prefix, Label label) {
   check_prefix(prefix);
+  sealed_ = false;
   prefixes_[{prefix.length(), prefix.value64()}] = label;
 
   std::size_t block = 0;
@@ -135,6 +150,7 @@ bool MultibitTrie::remove(const Prefix& prefix) {
   check_prefix(prefix);
   const auto it = prefixes_.find({prefix.length(), prefix.value64()});
   if (it == prefixes_.end()) return false;
+  sealed_ = false;
   prefixes_.erase(it);
 
   // Walk to the expansion block, then recompute every entry the removed
@@ -202,13 +218,7 @@ std::optional<Label> MultibitTrie::lookup(std::uint64_t key) const {
   return best;
 }
 
-void MultibitTrie::lookup_all(std::uint64_t key, std::vector<Label>& out) const {
-  out.clear();
-  // Traverse to find the deepest visited level, then report every stored
-  // prefix of the key whose length falls within a visited level's range.
-  // (Entry labels alone under-report when two prefixes end in the same
-  // level: controlled prefix expansion keeps only the longest. Hardware
-  // stores a per-node ancestor bitmap; the prefix map plays that role here.)
+unsigned MultibitTrie::descend_depth(std::uint64_t key) const {
   unsigned deepest_cum_after = 0;
   std::size_t block = 0;
   for (const Level& level : levels_) {
@@ -219,11 +229,118 @@ void MultibitTrie::lookup_all(std::uint64_t key, std::vector<Label>& out) const 
     if (entry.child < 0) break;
     block = static_cast<std::size_t>(entry.child);
   }
+  return deepest_cum_after;
+}
+
+Label MultibitTrie::probe_flat(unsigned len, std::uint64_t value) const {
+  std::size_t index = mix_prefix_key(len, value) & flat_mask_;
+  while (true) {
+    const std::uint8_t slot_len = flat_lens_[index];
+    if (slot_len == kFlatEmpty) return kNoLabel;
+    if (slot_len == len && flat_values_[index] == value) {
+      return flat_labels_[index];
+    }
+    index = (index + 1) & flat_mask_;
+  }
+}
+
+void MultibitTrie::collect_matches(std::uint64_t key,
+                                   unsigned deepest_cum_after,
+                                   std::vector<Label>& out) const {
+  // Report every stored prefix of the key whose length falls within a
+  // visited level's range, longest first. (Entry labels alone under-report
+  // when two prefixes end in the same level: controlled prefix expansion
+  // keeps only the longest. Hardware stores a per-node ancestor bitmap; the
+  // prefix table plays that role here.)
+  if (sealed_) {
+    for (unsigned len = deepest_cum_after + 1; len-- > 0;) {
+      if (!length_present(len)) continue;
+      const std::uint64_t truncated =
+          len == 0 ? 0 : (key >> (width_ - len)) << (width_ - len);
+      const Label label = probe_flat(len, truncated);
+      if (label != kNoLabel) out.push_back(label);
+    }
+    return;
+  }
   for (unsigned len = deepest_cum_after + 1; len-- > 0;) {
     const std::uint64_t truncated =
         len == 0 ? 0 : (key >> (width_ - len)) << (width_ - len);
     const auto it = prefixes_.find({len, truncated});
     if (it != prefixes_.end()) out.push_back(it->second);
+  }
+}
+
+void MultibitTrie::lookup_all(std::uint64_t key, std::vector<Label>& out) const {
+  out.clear();
+  collect_matches(key, descend_depth(key), out);
+}
+
+void MultibitTrie::seal() {
+  if (sealed_) return;
+  present_lengths_ = 0;
+  length64_present_ = false;
+  const std::size_t capacity = detail::flat_capacity(prefixes_.size());
+  flat_values_.assign(capacity, 0);
+  flat_lens_.assign(capacity, kFlatEmpty);
+  flat_labels_.assign(capacity, kNoLabel);
+  flat_mask_ = capacity - 1;
+  for (const auto& [key, label] : prefixes_) {
+    const auto [len, value] = key;
+    if (len < 64) {
+      present_lengths_ |= std::uint64_t{1} << len;
+    } else {
+      length64_present_ = true;
+    }
+    std::size_t index = mix_prefix_key(len, value) & flat_mask_;
+    while (flat_lens_[index] != kFlatEmpty) index = (index + 1) & flat_mask_;
+    flat_values_[index] = value;
+    flat_lens_[index] = static_cast<std::uint8_t>(len);
+    flat_labels_[index] = label;
+  }
+  sealed_ = true;
+}
+
+void MultibitTrie::lookup_all_batch(std::span<const std::uint64_t> keys,
+                                    std::span<LabelList* const> outs) const {
+  if (outs.size() < keys.size()) {
+    throw std::invalid_argument("lookup_all_batch: outs span too small");
+  }
+  constexpr std::size_t kLanes = 8;  // keys descended in lock-step per window
+  for (std::size_t base = 0; base < keys.size(); base += kLanes) {
+    const std::size_t lanes = std::min(kLanes, keys.size() - base);
+    std::size_t block[kLanes] = {};
+    std::size_t index[kLanes] = {};
+    unsigned deepest[kLanes] = {};
+    bool active[kLanes];
+    for (std::size_t lane = 0; lane < lanes; ++lane) active[lane] = true;
+    // Level-synchronous descent: compute and prefetch every lane's entry for
+    // this level before any lane reads it, hiding the dependent-load latency
+    // one packet at a time cannot.
+    for (const Level& level : levels_) {
+      const unsigned cum_after = level.cum_before + level.stride;
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        if (!active[lane]) continue;
+        const std::uint64_t chunk =
+            (keys[base + lane] >> (width_ - cum_after)) & low_mask(level.stride);
+        index[lane] = entry_index(level, block[lane], chunk);
+        __builtin_prefetch(level.entries.data() + index[lane]);
+      }
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        if (!active[lane]) continue;
+        const Entry& entry = level.entries[index[lane]];
+        deepest[lane] = cum_after;
+        if (entry.child < 0) {
+          active[lane] = false;
+        } else {
+          block[lane] = static_cast<std::size_t>(entry.child);
+        }
+      }
+    }
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      auto& out = *outs[base + lane];
+      out.clear();
+      collect_matches(keys[base + lane], deepest[lane], out);
+    }
   }
 }
 

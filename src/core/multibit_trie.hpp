@@ -11,10 +11,12 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/label.hpp"
+#include "core/search_context.hpp"
 #include "mem/memory_model.hpp"
 #include "net/prefix.hpp"
 
@@ -75,6 +77,19 @@ class MultibitTrie {
   /// set the index-calculation stage consumes). At most one per level.
   void lookup_all(std::uint64_t key, std::vector<Label>& out) const;
 
+  /// Seal for querying: build the flat open-addressing prefix table and the
+  /// present-length mask the sealed lookup_all path probes (replacing the
+  /// per-length ordered-map walk). insert/remove unseal; unsealed lookups
+  /// fall back to the ordered map, so sealing is purely a fast path.
+  void seal();
+  [[nodiscard]] bool sealed() const { return sealed_; }
+
+  /// Batched lookup_all: level-synchronous descent across up to a cache-lane
+  /// window of keys with software prefetch of the next level's entry, then
+  /// sealed flat-table probes. `outs[i]` receives key i's candidate list.
+  void lookup_all_batch(std::span<const std::uint64_t> keys,
+                        std::span<LabelList* const> outs) const;
+
   [[nodiscard]] unsigned width() const { return width_; }
   [[nodiscard]] const std::vector<unsigned>& strides() const { return strides_; }
   [[nodiscard]] std::size_t level_count() const { return strides_.size(); }
@@ -129,12 +144,32 @@ class MultibitTrie {
   }
   std::int32_t allocate_block(std::size_t level_index);
   void check_prefix(const Prefix& prefix) const;
+  /// Deepest level reached for `key` expressed as cumulative bits covered.
+  [[nodiscard]] unsigned descend_depth(std::uint64_t key) const;
+  [[nodiscard]] bool length_present(unsigned len) const {
+    return len < 64 ? (present_lengths_ >> len & 1) != 0 : length64_present_;
+  }
+  /// Sealed-table probe for an exact (len, value) prefix; kNoLabel on miss.
+  [[nodiscard]] Label probe_flat(unsigned len, std::uint64_t value) const;
+  void collect_matches(std::uint64_t key, unsigned deepest_cum_after,
+                       std::vector<Label>& out) const;
 
   unsigned width_;
   std::vector<unsigned> strides_;
   std::vector<Level> levels_;
   std::map<std::pair<unsigned, std::uint64_t>, Label> prefixes_;  // (len, value)
   std::uint64_t writes_ = 0;
+
+  // Sealed query path: open-addressed (len, value) -> label table with
+  // power-of-two capacity and linear probing, plus a bitmask of the prefix
+  // lengths actually stored so lookups only probe live lengths.
+  bool sealed_ = false;
+  std::vector<std::uint64_t> flat_values_;
+  std::vector<std::uint8_t> flat_lens_;  // kFlatEmpty = empty slot
+  std::vector<Label> flat_labels_;
+  std::size_t flat_mask_ = 0;
+  std::uint64_t present_lengths_ = 0;  // lengths 0..63
+  bool length64_present_ = false;
 };
 
 /// Worst-case-shared node layouts across several tries (the paper sizes

@@ -2,6 +2,23 @@
 
 namespace ofmtl {
 
+void MultiTableLookup::execute_batch(std::span<const PacketHeader> headers,
+                                     std::span<ExecutionResult> results) const {
+  static thread_local ExecBatchContext ctx;
+  execute_tables_batch(*this, headers, results, ctx);
+}
+
+void MultiTableLookup::source_lookup_batch(
+    std::size_t table, std::span<const PacketHeader* const> headers,
+    std::span<const FlowEntry*> out) const {
+  // ExecBatchContext lives in the flow layer, which cannot depend on core's
+  // SearchContext, so the per-thread search scratch is owned here instead of
+  // being threaded through the batch executor. Still allocation-free and
+  // one-context-per-thread; it just outlives individual batch calls.
+  static thread_local SearchContext ctx;
+  tables_[table].lookup_batch(headers, out, ctx);
+}
+
 MultiTableLookup MultiTableLookup::compile(const ReferencePipeline& reference,
                                            FieldSearchConfig config) {
   MultiTableLookup pipeline;

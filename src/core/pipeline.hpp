@@ -6,6 +6,7 @@
 // search.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,21 @@ class MultiTableLookup : public TableLookupSource {
     return execute_tables(*this, header);
   }
 
+  /// Process a batch of packets: results[i] is rewritten in place (vectors
+  /// cleared, capacity kept) and is bitwise-identical to execute(headers[i]).
+  /// Table stages run batched — every packet at a table is looked up with
+  /// one interleaved, prefetching lookup_batch call. Uses an internal
+  /// thread_local context; steady-state calls are allocation-free.
+  void execute_batch(std::span<const PacketHeader> headers,
+                     std::span<ExecutionResult> results) const;
+
+  /// Same through caller-owned scratch (the hot-path form).
+  void execute_batch(std::span<const PacketHeader> headers,
+                     std::span<ExecutionResult> results,
+                     ExecBatchContext& ctx) const {
+    execute_tables_batch(*this, headers, results, ctx);
+  }
+
   [[nodiscard]] std::size_t source_table_count() const override {
     return tables_.size();
   }
@@ -52,6 +68,9 @@ class MultiTableLookup : public TableLookupSource {
       std::size_t table, const PacketHeader& header) const override {
     return tables_[table].lookup(header);
   }
+  void source_lookup_batch(std::size_t table,
+                           std::span<const PacketHeader* const> headers,
+                           std::span<const FlowEntry*> out) const override;
   [[nodiscard]] const GroupTable* source_groups() const override {
     return groups_;
   }

@@ -1,0 +1,71 @@
+// SearchContext: reusable per-thread scratch for the allocation-free lookup
+// hot path. One packet (or one batch of packets) borrows a set of candidate
+// "slots" — one LabelList per single-field algorithm — plus the working
+// vectors of the index-calculation stage. Every buffer is cleared, never
+// shrunk, between packets, so a warmed-up context performs zero heap
+// allocations in steady state.
+//
+// Ownership rules: one SearchContext per thread, reused across packets. The
+// convenience APIs (LookupTable::lookup(header), MultiTableLookup::execute*)
+// use an internal thread_local context; performance-critical callers thread
+// their own through the context-taking overloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/label.hpp"
+
+namespace ofmtl {
+
+/// Candidate labels from one algorithm, most specific first.
+using LabelList = std::vector<Label>;
+
+class SearchContext {
+ public:
+  /// Prepare slots for `lanes` packets x `algorithms` candidate lists each.
+  /// Existing slot capacity is kept; slot contents are NOT cleared (each
+  /// algorithm writer clears its own slot before filling it).
+  void begin(std::size_t lanes, std::size_t algorithms) {
+    lanes_ = lanes;
+    algorithms_ = algorithms;
+    const std::size_t needed = lanes * algorithms;
+    if (slots_.size() < needed) slots_.resize(needed);
+  }
+
+  [[nodiscard]] std::size_t lanes() const { return lanes_; }
+  [[nodiscard]] std::size_t algorithms() const { return algorithms_; }
+
+  /// Candidate slot for packet `lane`, algorithm `algorithm`.
+  [[nodiscard]] LabelList& slot(std::size_t lane, std::size_t algorithm) {
+    return slots_[lane * algorithms_ + algorithm];
+  }
+
+  /// All of one packet's candidate lists, in algorithm order (contiguous).
+  [[nodiscard]] std::span<const LabelList> packet_candidates(
+      std::size_t lane) const {
+    return {slots_.data() + lane * algorithms_, algorithms_};
+  }
+
+  /// --- index-calculation scratch (one packet at a time) ---
+  [[nodiscard]] std::vector<Label>& combine_current() { return combine_current_; }
+  [[nodiscard]] std::vector<Label>& combine_next() { return combine_next_; }
+  [[nodiscard]] std::vector<std::uint32_t>& matches() { return matches_; }
+
+  /// --- batched-descent scratch (per-trie key/output gathers) ---
+  [[nodiscard]] std::vector<std::uint64_t>& batch_keys() { return batch_keys_; }
+  [[nodiscard]] std::vector<LabelList*>& batch_outs() { return batch_outs_; }
+
+ private:
+  std::size_t lanes_ = 0;
+  std::size_t algorithms_ = 0;
+  std::vector<LabelList> slots_;
+  std::vector<Label> combine_current_;
+  std::vector<Label> combine_next_;
+  std::vector<std::uint32_t> matches_;
+  std::vector<std::uint64_t> batch_keys_;
+  std::vector<LabelList*> batch_outs_;
+};
+
+}  // namespace ofmtl

@@ -13,33 +13,25 @@ std::string to_string(Verdict verdict) {
   throw std::logic_error("unknown Verdict");
 }
 
-namespace {
+namespace detail {
 
-/// The per-packet action set accumulated by Write-Actions and executed when
-/// the pipeline ends (OpenFlow 5.10). Later writes of the same action type
-/// overwrite earlier ones; we keep the simplified rule "one Output, the last
-/// one written", plus ordered Set-Field rewrites.
-struct ActionSet {
-  std::optional<std::uint32_t> output;
-  std::optional<GroupId> group;
-  std::vector<SetFieldAction> set_fields;
-  bool dropped = false;
-
-  void write(const Action& action) {
-    if (std::holds_alternative<OutputAction>(action)) {
-      output = std::get<OutputAction>(action).port;
-    } else if (std::holds_alternative<GroupAction>(action)) {
-      group = std::get<GroupAction>(action).group_id;
-    } else if (std::holds_alternative<SetFieldAction>(action)) {
-      set_fields.push_back(std::get<SetFieldAction>(action));
-    } else if (std::holds_alternative<DropAction>(action)) {
-      dropped = true;
-    }
-    // Push/Pop VLAN only affect the byte codec, not the match-field view the
-    // simulator tracks beyond vlan id removal; treated as Set-Field by users.
+void ActionSet::write(const Action& action) {
+  if (std::holds_alternative<OutputAction>(action)) {
+    output = std::get<OutputAction>(action).port;
+  } else if (std::holds_alternative<GroupAction>(action)) {
+    group = std::get<GroupAction>(action).group_id;
+  } else if (std::holds_alternative<SetFieldAction>(action)) {
+    set_fields.push_back(std::get<SetFieldAction>(action));
+  } else if (std::holds_alternative<DropAction>(action)) {
+    dropped = true;
   }
-  void clear() { *this = {}; }
-};
+  // Push/Pop VLAN only affect the byte codec, not the match-field view the
+  // simulator tracks beyond vlan id removal; treated as Set-Field by users.
+}
+
+}  // namespace detail
+
+namespace {
 
 /// Deterministic per-packet hash for SELECT bucket choice (the ECMP flow
 /// hash: addresses + ports + protocol).
@@ -71,59 +63,73 @@ void execute_bucket(const GroupBucket& bucket, ExecutionResult& result) {
 
 }  // namespace
 
-ExecutionResult execute_tables(const TableLookupSource& source,
-                               const PacketHeader& header) {
-  ExecutionResult result;
-  result.final_header = header;
-  ActionSet action_set;
+void PacketRun::begin(const PacketHeader& header, ExecutionResult& out) {
+  out.verdict = Verdict::kDropped;
+  out.output_ports.clear();
+  out.matched_entries.clear();
+  out.visited_tables.clear();
+  out.final_metadata = 0;
+  out.final_header = header;
+  action_set_.clear();
+  out_ = &out;
+  table_ = 0;
+  state_ = State::kRunning;
+}
 
-  std::size_t table_index = 0;
-  while (table_index < source.source_table_count()) {
-    result.visited_tables.push_back(static_cast<std::uint8_t>(table_index));
-    const FlowEntry* entry = source.source_lookup(table_index, result.final_header);
-    if (entry == nullptr) {
-      // Table miss: the paper's architecture sends the packet to the
-      // controller (Section IV.C).
-      result.verdict = Verdict::kToController;
-      return result;
-    }
-    result.matched_entries.push_back(entry->id);
+void PacketRun::apply(const FlowEntry* entry) {
+  ExecutionResult& result = *out_;
+  result.visited_tables.push_back(static_cast<std::uint8_t>(table_));
+  if (entry == nullptr) {
+    // Table miss: the paper's architecture sends the packet to the
+    // controller (Section IV.C). The action set is NOT executed.
+    result.verdict = Verdict::kToController;
+    state_ = State::kMissed;
+    return;
+  }
+  result.matched_entries.push_back(entry->id);
 
-    const InstructionSet& ins = entry->instructions;
-    for (const auto& action : ins.apply_actions) {
-      if (std::holds_alternative<SetFieldAction>(action)) {
-        const auto& sf = std::get<SetFieldAction>(action);
-        result.final_header.set(sf.field, sf.value);
-      } else if (std::holds_alternative<OutputAction>(action)) {
-        result.output_ports.push_back(std::get<OutputAction>(action).port);
-      }
+  const InstructionSet& ins = entry->instructions;
+  for (const auto& action : ins.apply_actions) {
+    if (std::holds_alternative<SetFieldAction>(action)) {
+      const auto& sf = std::get<SetFieldAction>(action);
+      result.final_header.set(sf.field, sf.value);
+    } else if (std::holds_alternative<OutputAction>(action)) {
+      result.output_ports.push_back(std::get<OutputAction>(action).port);
     }
-    if (ins.clear_actions) action_set.clear();
-    for (const auto& action : ins.write_actions) action_set.write(action);
-    if (ins.write_metadata) {
-      const auto& wm = *ins.write_metadata;
-      const std::uint64_t old = result.final_header.metadata();
-      result.final_header.set_metadata((old & ~wm.mask) | (wm.value & wm.mask));
-    }
-
-    if (!ins.goto_table) break;  // pipeline ends; execute the action set
-    if (*ins.goto_table <= table_index) {
-      throw std::logic_error("Goto-Table must move forward");
-    }
-    table_index = *ins.goto_table;
+  }
+  if (ins.clear_actions) action_set_.clear();
+  for (const auto& action : ins.write_actions) action_set_.write(action);
+  if (ins.write_metadata) {
+    const auto& wm = *ins.write_metadata;
+    const std::uint64_t old = result.final_header.metadata();
+    result.final_header.set_metadata((old & ~wm.mask) | (wm.value & wm.mask));
   }
 
+  if (!ins.goto_table) {  // pipeline ends; execute the action set
+    state_ = State::kEnded;
+    return;
+  }
+  if (*ins.goto_table <= table_) {
+    throw std::logic_error("Goto-Table must move forward");
+  }
+  table_ = *ins.goto_table;
+}
+
+void PacketRun::finish(const TableLookupSource& source) {
+  if (state_ == State::kMissed) return;  // verdict already kToController
+  state_ = State::kEnded;
+  ExecutionResult& result = *out_;
   result.final_metadata = result.final_header.metadata();
 
   // Execute the accumulated action set. A Group action takes precedence
   // over Output (OpenFlow 5.10).
-  for (const auto& sf : action_set.set_fields) {
+  for (const auto& sf : action_set_.set_fields) {
     result.final_header.set(sf.field, sf.value);
   }
-  if (!action_set.dropped && action_set.group) {
+  if (!action_set_.dropped && action_set_.group) {
     const GroupTable* groups = source.source_groups();
     const Group* group =
-        groups == nullptr ? nullptr : groups->find(*action_set.group);
+        groups == nullptr ? nullptr : groups->find(*action_set_.group);
     if (group != nullptr) {
       switch (group->type) {
         case GroupType::kAll:
@@ -142,13 +148,62 @@ ExecutionResult execute_tables(const TableLookupSource& source,
       }
     }
     // A dangling group reference drops the packet (no ports collected).
-  } else if (!action_set.dropped && action_set.output) {
-    result.output_ports.push_back(*action_set.output);
+  } else if (!action_set_.dropped && action_set_.output) {
+    result.output_ports.push_back(*action_set_.output);
   }
   result.verdict =
       result.output_ports.empty() ? Verdict::kDropped : Verdict::kForwarded;
-  if (action_set.dropped) result.verdict = Verdict::kDropped;
+  if (action_set_.dropped) result.verdict = Verdict::kDropped;
+}
+
+ExecutionResult execute_tables(const TableLookupSource& source,
+                               const PacketHeader& header) {
+  ExecutionResult result;
+  PacketRun run;
+  run.begin(header, result);
+  while (run.running() && run.table() < source.source_table_count()) {
+    run.apply(source.source_lookup(run.table(), run.current_header()));
+  }
+  run.finish(source);
   return result;
+}
+
+void execute_tables_batch(const TableLookupSource& source,
+                          std::span<const PacketHeader> headers,
+                          std::span<ExecutionResult> results,
+                          ExecBatchContext& ctx) {
+  const std::size_t n = headers.size();
+  if (results.size() < n) {
+    throw std::invalid_argument("execute_tables_batch: results span too small");
+  }
+  if (ctx.runs.size() < n) ctx.runs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ctx.runs[i].begin(headers[i], results[i]);
+  }
+  // Goto-Table only moves forward, so one sweep over the tables visits every
+  // packet's whole walk: at each table, batch-look-up exactly the packets
+  // currently parked there.
+  for (std::size_t t = 0; t < source.source_table_count(); ++t) {
+    ctx.lanes.clear();
+    ctx.headers.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ctx.runs[i].running() && ctx.runs[i].table() == t) {
+        ctx.lanes.push_back(static_cast<std::uint32_t>(i));
+        ctx.headers.push_back(&ctx.runs[i].current_header());
+      }
+    }
+    if (ctx.lanes.empty()) continue;
+    if (ctx.entries.size() < ctx.lanes.size()) {
+      ctx.entries.resize(ctx.lanes.size());
+    }
+    source.source_lookup_batch(
+        t, {ctx.headers.data(), ctx.headers.size()},
+        {ctx.entries.data(), ctx.lanes.size()});
+    for (std::size_t lane = 0; lane < ctx.lanes.size(); ++lane) {
+      ctx.runs[ctx.lanes[lane]].apply(ctx.entries[lane]);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) ctx.runs[i].finish(source);
 }
 
 }  // namespace ofmtl

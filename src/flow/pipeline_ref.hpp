@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,14 +52,102 @@ class TableLookupSource {
   [[nodiscard]] virtual std::size_t source_table_count() const = 0;
   [[nodiscard]] virtual const FlowEntry* source_lookup(
       std::size_t table, const PacketHeader& header) const = 0;
+  /// Batched per-table lookup: out[i] = match for *headers[i]. The default
+  /// degenerates to per-packet source_lookup; accelerated sources override
+  /// it with an interleaved/prefetching implementation.
+  virtual void source_lookup_batch(std::size_t table,
+                                   std::span<const PacketHeader* const> headers,
+                                   std::span<const FlowEntry*> out) const {
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      out[i] = source_lookup(table, *headers[i]);
+    }
+  }
   /// Group table for resolving Group actions; nullptr = no groups.
   [[nodiscard]] virtual const GroupTable* source_groups() const {
     return nullptr;
   }
 };
 
+namespace detail {
+
+/// The per-packet action set accumulated by Write-Actions and executed when
+/// the pipeline ends (OpenFlow 5.10). Later writes of the same action type
+/// overwrite earlier ones; we keep the simplified rule "one Output, the last
+/// one written", plus ordered Set-Field rewrites.
+struct ActionSet {
+  std::optional<std::uint32_t> output;
+  std::optional<GroupId> group;
+  std::vector<SetFieldAction> set_fields;
+  bool dropped = false;
+
+  void write(const Action& action);
+  /// Empties the set but keeps set_fields' capacity (allocation-free reuse).
+  void clear() {
+    output.reset();
+    group.reset();
+    set_fields.clear();
+    dropped = false;
+  }
+};
+
+}  // namespace detail
+
+/// One packet's in-flight trip through the tables, decomposed into steps so
+/// a batch executor can advance many packets through the same table stage
+/// together. Writes into a caller-owned ExecutionResult whose vectors are
+/// cleared (capacity kept) on begin — a reused PacketRun + ExecutionResult
+/// pair performs no steady-state allocations.
+class PacketRun {
+ public:
+  /// Reset onto a fresh packet; `out` is cleared in place and borrowed until
+  /// finish().
+  void begin(const PacketHeader& header, ExecutionResult& out);
+
+  /// Still walking tables (not ended, not missed)?
+  [[nodiscard]] bool running() const { return state_ == State::kRunning; }
+  [[nodiscard]] std::size_t table() const { return table_; }
+  /// The header as currently rewritten (what the next table must match on).
+  [[nodiscard]] const PacketHeader& current_header() const {
+    return out_->final_header;
+  }
+
+  /// Record the visit to table() and apply its lookup outcome (`entry` or
+  /// nullptr for a miss). Advances to the Goto-Table target or ends the run.
+  void apply(const FlowEntry* entry);
+
+  /// Execute the accumulated action set and finalize the verdict. No-op
+  /// extras on a missed run (the miss verdict is already recorded).
+  void finish(const TableLookupSource& source);
+
+ private:
+  enum class State : std::uint8_t { kEnded, kRunning, kMissed };
+  detail::ActionSet action_set_;
+  ExecutionResult* out_ = nullptr;
+  std::size_t table_ = 0;
+  State state_ = State::kEnded;
+};
+
+/// Reusable scratch for execute_tables_batch: per-packet runs plus the
+/// frontier arrays regrouping packets by table stage.
+struct ExecBatchContext {
+  std::vector<PacketRun> runs;
+  std::vector<const PacketHeader*> headers;
+  std::vector<const FlowEntry*> entries;
+  std::vector<std::uint32_t> lanes;  // frontier lane -> packet index
+};
+
 [[nodiscard]] ExecutionResult execute_tables(const TableLookupSource& source,
                                              const PacketHeader& header);
+
+/// Batched table walk: packets advance table stage by table stage (Goto-Table
+/// only moves forward), each stage resolved with one source_lookup_batch call
+/// over every packet currently at that table. results[i] is rewritten in
+/// place (vectors cleared, capacity kept) and is bitwise-identical to
+/// execute_tables(source, headers[i]).
+void execute_tables_batch(const TableLookupSource& source,
+                          std::span<const PacketHeader> headers,
+                          std::span<ExecutionResult> results,
+                          ExecBatchContext& ctx);
 
 /// Multi-table pipeline over reference flow tables.
 class ReferencePipeline : public TableLookupSource {

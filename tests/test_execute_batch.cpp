@@ -1,0 +1,222 @@
+// Batched-execution properties: execute_batch must be bitwise-identical to
+// per-packet execute over randomized traces (hit-heavy, miss-heavy, and
+// all-wildcard tables), and the steady-state hot path — context-based
+// lookup, lookup_batch, execute_batch with reused buffers — must perform
+// zero heap allocations per packet (counted by replacing global new/delete).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "core/builder.hpp"
+#include "core/pipeline.hpp"
+#include "workload/stanford_synth.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace {
+// Allocation counter backing the zero-allocation steady-state tests. This
+// binary is deliberately its own test executable: replacing global new/delete
+// here cannot leak into the other test binaries.
+std::size_t g_allocations = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ofmtl {
+namespace {
+
+using workload::FilterApp;
+using workload::generate_filterset;
+using workload::generate_trace;
+using workload::TraceConfig;
+
+struct App {
+  MultiTableLookup accelerated;
+  std::vector<PacketHeader> trace;
+};
+
+App make_app(FilterApp app, const char* name, double hit_ratio,
+             std::uint64_t seed, std::size_t packets = 512) {
+  const auto set = generate_filterset(app, name);
+  const auto spec = build_app(set, TableLayout::kPerFieldTables);
+  return App{compile_app(spec),
+             generate_trace(set, {.packets = packets,
+                                  .hit_ratio = hit_ratio,
+                                  .seed = seed})};
+}
+
+/// execute_batch over every window size must reproduce per-packet execute
+/// bit for bit (operator== covers the full ExecutionResult, diagnostics
+/// included).
+void expect_batch_matches_scalar(const App& app) {
+  std::vector<ExecutionResult> expected;
+  expected.reserve(app.trace.size());
+  for (const auto& header : app.trace) {
+    expected.push_back(app.accelerated.execute(header));
+  }
+  ExecBatchContext ctx;
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{8}, std::size_t{64},
+                                  std::size_t{512}}) {
+    std::vector<ExecutionResult> results(batch);
+    for (std::size_t base = 0; base < app.trace.size(); base += batch) {
+      const std::size_t n = std::min(batch, app.trace.size() - base);
+      app.accelerated.execute_batch({app.trace.data() + base, n},
+                                    {results.data(), n}, ctx);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(results[i], expected[base + i])
+            << "batch=" << batch << " packet=" << base + i;
+      }
+    }
+  }
+}
+
+TEST(ExecuteBatch, MatchesScalarOnMacLearning) {
+  expect_batch_matches_scalar(
+      make_app(FilterApp::kMacLearning, "bbra", 0.9, 101));
+}
+
+TEST(ExecuteBatch, MatchesScalarOnRouting) {
+  expect_batch_matches_scalar(make_app(FilterApp::kRouting, "yoza", 0.9, 202));
+}
+
+TEST(ExecuteBatch, MatchesScalarMissHeavy) {
+  expect_batch_matches_scalar(
+      make_app(FilterApp::kMacLearning, "bbra", 0.0, 303));
+  expect_batch_matches_scalar(make_app(FilterApp::kRouting, "yoza", 0.05, 404));
+}
+
+TEST(ExecuteBatch, MatchesScalarOnAllWildcardTable) {
+  // A table whose single entry constrains nothing: every packet matches via
+  // the wildcard labels alone.
+  FlowEntry entry;
+  entry.id = 1;
+  entry.priority = 5;
+  entry.instructions = output_instruction(7);
+  MultiTableLookup accelerated;
+  accelerated.add_table(LookupTable::compile(FlowTable{{entry}}));
+
+  const auto set = generate_filterset(FilterApp::kMacLearning, "bbra");
+  const auto trace = generate_trace(set, {.packets = 64, .hit_ratio = 0.5,
+                                          .seed = 7});
+  std::vector<ExecutionResult> results(trace.size());
+  ExecBatchContext ctx;
+  accelerated.execute_batch({trace.data(), trace.size()},
+                            {results.data(), results.size()}, ctx);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(results[i], accelerated.execute(trace[i]));
+    EXPECT_EQ(results[i].verdict, Verdict::kForwarded);
+  }
+}
+
+TEST(ExecuteBatch, MatchesScalarAfterIncrementalUpdate) {
+  // Insert/remove reseal the flat query structures; batch must track the
+  // updated table state exactly.
+  auto app = make_app(FilterApp::kMacLearning, "bbra", 0.9, 55, 128);
+  FlowEntry extra;
+  extra.id = 999999;
+  extra.priority = 60000;
+  extra.instructions = output_instruction(42);
+  app.accelerated.insert_entry(1, extra);  // table 1 catch-all at top priority
+  expect_batch_matches_scalar(app);
+  ASSERT_TRUE(app.accelerated.remove_entry(1, 999999));
+  expect_batch_matches_scalar(app);
+}
+
+TEST(AllocationFree, SteadyStateContextLookup) {
+  const auto app = make_app(FilterApp::kRouting, "yoza", 0.9, 909);
+  SearchContext ctx;
+  // Warm every reusable buffer to its high-water capacity.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& header : app.trace) {
+      for (std::size_t t = 0; t < app.accelerated.table_count(); ++t) {
+        (void)app.accelerated.table(t).lookup(header, ctx);
+      }
+    }
+  }
+  const std::size_t before = g_allocations;
+  std::size_t matched = 0;
+  for (const auto& header : app.trace) {
+    for (std::size_t t = 0; t < app.accelerated.table_count(); ++t) {
+      matched += app.accelerated.table(t).lookup(header, ctx) != nullptr;
+    }
+  }
+  EXPECT_EQ(g_allocations, before) << "matched=" << matched;
+}
+
+TEST(AllocationFree, SteadyStateExecuteBatch) {
+  const auto app = make_app(FilterApp::kMacLearning, "gozb", 0.9, 808);
+  constexpr std::size_t kBatch = 64;
+  std::vector<ExecutionResult> results(kBatch);
+  ExecBatchContext ctx;
+  const auto run_all = [&] {
+    for (std::size_t base = 0; base < app.trace.size(); base += kBatch) {
+      const std::size_t n = std::min(kBatch, app.trace.size() - base);
+      app.accelerated.execute_batch({app.trace.data() + base, n},
+                                    {results.data(), n}, ctx);
+    }
+  };
+  run_all();
+  run_all();  // second warm pass: every result slot has seen its window
+  const std::size_t before = g_allocations;
+  run_all();
+  EXPECT_EQ(g_allocations, before);
+}
+
+TEST(AllocationFree, SteadyStateLookupBatch) {
+  const auto app = make_app(FilterApp::kRouting, "yoza", 0.9, 707);
+  constexpr std::size_t kBatch = 32;
+  std::vector<const PacketHeader*> headers(kBatch);
+  std::vector<const FlowEntry*> entries(kBatch);
+  SearchContext ctx;
+  const auto run_all = [&] {
+    std::size_t matched = 0;
+    for (std::size_t base = 0; base + kBatch <= app.trace.size();
+         base += kBatch) {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        headers[i] = &app.trace[base + i];
+      }
+      for (std::size_t t = 0; t < app.accelerated.table_count(); ++t) {
+        app.accelerated.table(t).lookup_batch({headers.data(), kBatch},
+                                              {entries.data(), kBatch}, ctx);
+        for (std::size_t i = 0; i < kBatch; ++i) matched += entries[i] != nullptr;
+      }
+    }
+    return matched;
+  };
+  const std::size_t warm = run_all();
+  const std::size_t before = g_allocations;
+  const std::size_t again = run_all();
+  EXPECT_EQ(g_allocations, before);
+  EXPECT_EQ(warm, again);
+}
+
+TEST(LookupBatch, MatchesScalarLookup) {
+  const auto app = make_app(FilterApp::kMacLearning, "gozb", 0.7, 606);
+  SearchContext batch_ctx;
+  SearchContext scalar_ctx;
+  std::vector<const PacketHeader*> headers;
+  for (const auto& header : app.trace) headers.push_back(&header);
+  std::vector<const FlowEntry*> entries(headers.size());
+  for (std::size_t t = 0; t < app.accelerated.table_count(); ++t) {
+    const auto& table = app.accelerated.table(t);
+    table.lookup_batch({headers.data(), headers.size()},
+                       {entries.data(), entries.size()}, batch_ctx);
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      ASSERT_EQ(entries[i], table.lookup(*headers[i], scalar_ctx))
+          << "table=" << t << " packet=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ofmtl
