@@ -4,10 +4,12 @@
 #pragma once
 
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -53,12 +55,48 @@ inline void print_heading(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n\n";
 }
 
+/// Short git SHA of the checkout the binary runs inside, "unknown" when git
+/// or the repository is unavailable (the build dir lives inside the repo, so
+/// this works from wherever the bench is launched).
+[[nodiscard]] inline std::string git_sha() {
+  std::string sha = "unknown";
+  // --dirty so numbers measured from an uncommitted tree are never
+  // attributed to the clean parent commit.
+  if (FILE* pipe = ::popen(
+          "git describe --always --abbrev=12 --dirty 2>/dev/null", "r")) {
+    char buffer[64];
+    if (::fgets(buffer, sizeof buffer, pipe) != nullptr) {
+      sha.assign(buffer);
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+    }
+    ::pclose(pipe);
+    if (sha.empty()) sha = "unknown";
+  }
+  return sha;
+}
+
+/// Run metadata attached to every bench JSON so trajectory comparisons are
+/// apples-to-apples: which commit, how many iterations, what batch size.
+using BenchMetadata = std::vector<std::pair<std::string, std::string>>;
+
+/// The metadata keys every bench shares; benches append their own (batch
+/// size, warm-up, worker counts, ...).
+[[nodiscard]] inline BenchMetadata common_metadata() {
+  return {{"git_sha", git_sha()},
+          {"hardware_threads",
+           std::to_string(std::thread::hardware_concurrency())}};
+}
+
 /// Emit a flat metric map as `BENCH_<bench>.json` next to the binary:
-/// {"bench": ..., "unit": ..., "results": {name: value, ...}}. One file per
-/// bench binary, so successive PRs can diff perf trajectories mechanically.
+/// {"bench": ..., "unit": ..., "metadata": {...}, "results": {name: value}}.
+/// One file per bench binary, so successive PRs can diff perf trajectories
+/// mechanically.
 inline void write_bench_json(
     const std::string& bench, const std::string& unit,
-    const std::vector<std::pair<std::string, double>>& results) {
+    const std::vector<std::pair<std::string, double>>& results,
+    const BenchMetadata& metadata = {}) {
   const std::string path = "BENCH_" + bench + ".json";
   std::ofstream out(path);
   if (!out) {
@@ -66,7 +104,13 @@ inline void write_bench_json(
     return;
   }
   out << "{\n  \"bench\": \"" << bench << "\",\n  \"unit\": \"" << unit
-      << "\",\n  \"results\": {\n";
+      << "\",\n";
+  out << "  \"metadata\": {\n";
+  for (std::size_t i = 0; i < metadata.size(); ++i) {
+    out << "    \"" << metadata[i].first << "\": \"" << metadata[i].second
+        << "\"" << (i + 1 < metadata.size() ? ",\n" : "\n");
+  }
+  out << "  },\n  \"results\": {\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     out << "    \"" << results[i].first << "\": " << std::fixed
         << std::setprecision(2) << results[i].second

@@ -19,6 +19,10 @@ namespace {
 
 using namespace ofmtl;
 
+constexpr std::size_t kBatchSize = 256;
+constexpr std::size_t kJsonIters = 20000;    // timed iterations per JSON metric
+constexpr std::size_t kTracePackets = 4096;  // trace length (wrap mask 4095)
+
 struct Fixture {
   FilterSet set;
   AppSpec single;
@@ -37,7 +41,7 @@ struct Fixture {
       f.split = build_app(f.set, TableLayout::kPerFieldTables);
       f.accelerated = compile_app(f.split);
       f.trace = workload::generate_trace(
-          f.set, {.packets = 4096, .hit_ratio = 0.9, .seed = 77});
+          f.set, {.packets = kTracePackets, .hit_ratio = 0.9, .seed = 77});
       it = cache.emplace(key, std::move(f)).first;
     }
     return it->second;
@@ -66,7 +70,6 @@ void BM_Decomposed(benchmark::State& state, workload::FilterApp app,
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
-constexpr std::size_t kBatchSize = 256;
 
 void BM_DecomposedBatch(benchmark::State& state, workload::FilterApp app,
                         const char* name) {
@@ -145,14 +148,20 @@ void append_json_metrics(std::vector<std::pair<std::string, double>>& results,
                          bool with_tcam) {
   const auto& f = Fixture::get(app, name);
   const std::string tag = std::string(to_string(app)) + "_" + name;
-  constexpr std::size_t kIters = 20000;
+  // Warm every path over one batch's worth of packets before timing (the
+  // "warmup" metadata records this protocol).
+  for (std::size_t i = 0; i < kBatchSize; ++i) {
+    benchmark::DoNotOptimize(f.single.reference.execute(f.trace[i]));
+    benchmark::DoNotOptimize(f.accelerated.execute(f.trace[i]));
+  }
   results.emplace_back(
-      "linear/" + tag, ofmtl::bench::time_per_call_ns(kIters, [&](std::size_t i) {
+      "linear/" + tag,
+      ofmtl::bench::time_per_call_ns(kJsonIters, [&](std::size_t i) {
         benchmark::DoNotOptimize(f.single.reference.execute(f.trace[i & 4095]));
       }));
   results.emplace_back(
       "decomposed/" + tag,
-      ofmtl::bench::time_per_call_ns(kIters, [&](std::size_t i) {
+      ofmtl::bench::time_per_call_ns(kJsonIters, [&](std::size_t i) {
         benchmark::DoNotOptimize(f.accelerated.execute(f.trace[i & 4095]));
       }));
   std::vector<ExecutionResult> batch_results(kBatchSize);
@@ -161,16 +170,22 @@ void append_json_metrics(std::vector<std::pair<std::string, double>>& results,
                               {batch_results.data(), kBatchSize}, ctx);
   results.emplace_back(
       "decomposed_batch/" + tag,
-      ofmtl::bench::time_per_call_ns(kIters / kBatchSize + 1, [&](std::size_t i) {
-        f.accelerated.execute_batch(
-            {f.trace.data() + ((i * kBatchSize) & 4095), kBatchSize},
-            {batch_results.data(), kBatchSize}, ctx);
-      }) /
+      ofmtl::bench::time_per_call_ns(
+          kJsonIters / kBatchSize + 1,
+          [&](std::size_t i) {
+            f.accelerated.execute_batch(
+                {f.trace.data() + ((i * kBatchSize) & 4095), kBatchSize},
+                {batch_results.data(), kBatchSize}, ctx);
+          }) /
           static_cast<double>(kBatchSize));
   if (!with_tcam) return;
   const auto& tcam = tcam_for(f, app, name);
+  for (std::size_t i = 0; i < kBatchSize; ++i) {
+    benchmark::DoNotOptimize(tcam.lookup(f.trace[i]));
+  }
   results.emplace_back(
-      "tcam/" + tag, ofmtl::bench::time_per_call_ns(kIters, [&](std::size_t i) {
+      "tcam/" + tag,
+      ofmtl::bench::time_per_call_ns(kJsonIters, [&](std::size_t i) {
         benchmark::DoNotOptimize(tcam.lookup(f.trace[i & 4095]));
       }));
 }
@@ -187,6 +202,15 @@ int main(int argc, char** argv) {
   append_json_metrics(results, workload::FilterApp::kMacLearning, "bbra", true);
   append_json_metrics(results, workload::FilterApp::kMacLearning, "gozb", false);
   append_json_metrics(results, workload::FilterApp::kRouting, "yoza", true);
-  ofmtl::bench::write_bench_json("lookup", "ns_per_packet", results);
+  // Run metadata so trajectory diffs across PRs compare like with like
+  // (check_bench.py warns when these drift between baseline and run).
+  auto metadata = ofmtl::bench::common_metadata();
+  metadata.emplace_back("batch_size", std::to_string(kBatchSize));
+  metadata.emplace_back("iterations", std::to_string(kJsonIters));
+  metadata.emplace_back("trace_packets", std::to_string(kTracePackets));
+  metadata.emplace_back("warmup", std::to_string(kBatchSize) +
+                                      " packets per path (1 batch) before "
+                                      "timing");
+  ofmtl::bench::write_bench_json("lookup", "ns_per_packet", results, metadata);
   return 0;
 }

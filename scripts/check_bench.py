@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff a freshly produced BENCH_*.json against the
+committed baseline and fail on regressions beyond a threshold.
+
+Usage:
+    scripts/check_bench.py --baseline bench/baselines/BENCH_lookup.json \
+        --current build/BENCH_lookup.json [--threshold 0.10] [--key-prefix X]
+
+Semantics follow the file's unit: ns_per_packet (and any *_ns / ns_* unit)
+regresses upward, packets_per_sec (and any *_per_sec unit) regresses
+downward. Metrics present only on one side are reported but never fail the
+gate (new benches may add metrics). Metadata drift (git SHA aside) is
+surfaced as a warning so apples-to-oranges comparisons are visible.
+
+Exit codes: 0 ok, 1 regression past threshold, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def lower_is_better(unit):
+    unit = unit.lower()
+    if "per_sec" in unit or "throughput" in unit:
+        return False
+    return True  # ns/packet, ms, bytes, ... default: lower is better
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="allowed relative regression (0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--key-prefix",
+        default="",
+        help="only compare metrics whose name starts with this prefix",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if baseline.get("unit") != current.get("unit"):
+        print(
+            f"error: unit mismatch: baseline={baseline.get('unit')} "
+            f"current={current.get('unit')}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    lower = lower_is_better(str(baseline.get("unit", "")))
+
+    meta_b = baseline.get("metadata", {})
+    meta_c = current.get("metadata", {})
+    for key in sorted(set(meta_b) | set(meta_c)):
+        if key == "git_sha":
+            continue
+        if meta_b.get(key) != meta_c.get(key):
+            print(
+                f"warning: metadata '{key}' differs "
+                f"(baseline={meta_b.get(key)!r}, current={meta_c.get(key)!r}) "
+                "— comparison may not be apples-to-apples"
+            )
+
+    results_b = baseline.get("results", {})
+    results_c = current.get("results", {})
+    regressions = []
+    compared = 0
+    for name in sorted(set(results_b) | set(results_c)):
+        if args.key_prefix and not name.startswith(args.key_prefix):
+            continue
+        if name not in results_b:
+            print(f"  new    {name}: {results_c[name]:.2f} (no baseline)")
+            continue
+        if name not in results_c:
+            print(f"  gone   {name}: baseline {results_b[name]:.2f} has no "
+                  "current value")
+            continue
+        old, new = float(results_b[name]), float(results_c[name])
+        compared += 1
+        if old <= 0:
+            print(f"  skip   {name}: non-positive baseline {old}")
+            continue
+        delta = (new - old) / old if lower else (old - new) / old
+        marker = "REGRESS" if delta > args.threshold else "ok"
+        print(f"  {marker:7s}{name}: {old:.2f} -> {new:.2f} "
+              f"({'+' if new >= old else ''}{100 * (new - old) / old:.1f}%)")
+        if delta > args.threshold:
+            regressions.append(name)
+
+    if compared == 0:
+        print("error: no overlapping metrics compared", file=sys.stderr)
+        sys.exit(2)
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} metric(s) regressed more than "
+            f"{100 * args.threshold:.0f}%: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"\nOK: {compared} metric(s) within {100 * args.threshold:.0f}% "
+          "of baseline")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/label.hpp"
@@ -26,6 +27,12 @@ class CuckooLut {
   bool remove(const U128& value);
 
   [[nodiscard]] std::optional<Label> lookup(const U128& value) const;
+
+  /// Batched lookup: out[i] = label of values[i], kNoLabel on miss. Both
+  /// candidate buckets of every lane in a window are prefetched before any
+  /// lane reads — the cuckoo invariant (a value lives in one of exactly two
+  /// buckets) makes the whole batch two overlapped memory rounds.
+  void lookup_batch(std::span<const U128> values, std::span<Label> out) const;
 
   [[nodiscard]] std::size_t unique_values() const { return live_count_; }
   [[nodiscard]] std::size_t slot_count() const {

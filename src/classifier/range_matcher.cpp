@@ -95,6 +95,57 @@ const std::vector<std::uint32_t>& RangeMatcher::lookup(std::uint64_t key) const 
   return interval_labels_.empty() ? kEmpty : interval_labels_[index];
 }
 
+void RangeMatcher::lookup_batch(
+    std::span<const std::uint64_t> keys,
+    std::span<const std::vector<std::uint32_t>*> out) const {
+  if (!sealed_) throw std::logic_error("RangeMatcher::seal() not called");
+  if (out.size() < keys.size()) {
+    throw std::invalid_argument("lookup_batch: out span too small");
+  }
+  constexpr std::size_t kLanes = 8;  // searches stepped in lock-step per window
+  for (std::size_t base = 0; base < keys.size(); base += kLanes) {
+    const std::size_t lanes = std::min(kLanes, keys.size() - base);
+    std::size_t lo[kLanes] = {};
+    std::size_t len[kLanes];
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      if (keys[base + lane] > low_mask(width_)) {
+        throw std::invalid_argument("key out of field range");
+      }
+      len[lane] = boundaries_.size();
+    }
+    // Level-synchronous halving: every active lane's probe element is
+    // prefetched before any lane reads, so one round costs one overlapped
+    // memory access instead of kLanes serialized ones. Each lane converges
+    // on the last boundary <= key — the same index upper_bound-1 finds
+    // (boundaries_[0] == 0, so the invariant boundaries_[lo] <= key holds
+    // from the start).
+    bool any_active = true;
+    while (any_active) {
+      any_active = false;
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        if (len[lane] > 1) {
+          __builtin_prefetch(boundaries_.data() + lo[lane] + len[lane] / 2);
+        }
+      }
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        if (len[lane] <= 1) continue;
+        const std::size_t half = len[lane] / 2;
+        if (boundaries_[lo[lane] + half] <= keys[base + lane]) {
+          lo[lane] += half;
+          len[lane] -= half;
+        } else {
+          len[lane] = half;
+        }
+        any_active |= len[lane] > 1;
+      }
+    }
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      out[base + lane] =
+          interval_labels_.empty() ? &kEmpty : &interval_labels_[lo[lane]];
+    }
+  }
+}
+
 std::optional<std::uint32_t> RangeMatcher::lookup_narrowest(
     std::uint64_t key) const {
   const auto& labels = lookup(key);

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "net/prefix.hpp"
@@ -38,6 +39,14 @@ class RangeMatcher {
 
   /// Labels of all ranges containing `key`, narrowest first. seal() first.
   [[nodiscard]] const std::vector<std::uint32_t>& lookup(std::uint64_t key) const;
+
+  /// Batched lookup: out[i] = &lookup(keys[i]) (pointers into the sealed
+  /// interval index; valid until the next seal()). The per-key binary
+  /// searches run level-synchronously across a lane window with software
+  /// prefetch of each lane's next probe, overlapping the dependent loads a
+  /// scalar search chain serializes.
+  void lookup_batch(std::span<const std::uint64_t> keys,
+                    std::span<const std::vector<std::uint32_t>*> out) const;
 
   /// Narrowest matching range label (RM semantics).
   [[nodiscard]] std::optional<std::uint32_t> lookup_narrowest(std::uint64_t key) const;

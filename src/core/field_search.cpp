@@ -261,23 +261,56 @@ void FieldSearch::search(const PacketHeader& header, SearchContext& ctx,
 void FieldSearch::search_batch(std::span<const PacketHeader* const> headers,
                                SearchContext& ctx,
                                std::size_t slot_base) const {
-  if (method() != MatchMethod::kLongestPrefix) {
-    // EM/RM are single flat probes — nothing to interleave.
-    for (std::size_t i = 0; i < headers.size(); ++i) {
-      search(*headers[i], ctx, i, slot_base);
+  switch (method()) {
+    case MatchMethod::kExact: {
+      // Gather the field values, probe the LUT with interleaved prefetching
+      // probes, then scatter labels into the lanes' candidate slots.
+      auto& values = ctx.batch_values();
+      auto& labels = ctx.batch_labels();
+      values.clear();
+      for (const PacketHeader* header : headers) {
+        values.push_back(header->get(field_));
+      }
+      labels.resize(headers.size());
+      lut_->lookup_batch(values, labels);
+      const bool any = em_any_label_ && em_any_refs_ > 0;
+      for (std::size_t i = 0; i < headers.size(); ++i) {
+        LabelList& list = ctx.slot(i, slot_base);
+        list.clear();
+        if (labels[i] != kNoLabel) list.push_back(labels[i]);
+        if (any) list.push_back(*em_any_label_);
+      }
+      return;
     }
-    return;
-  }
-  auto& keys = ctx.batch_keys();
-  auto& outs = ctx.batch_outs();
-  for (std::size_t p = 0; p < tries_.size(); ++p) {
-    keys.clear();
-    outs.clear();
-    for (std::size_t i = 0; i < headers.size(); ++i) {
-      keys.push_back(headers[i]->partition16(field_, static_cast<unsigned>(p)));
-      outs.push_back(&ctx.slot(i, slot_base + p));
+    case MatchMethod::kLongestPrefix: {
+      auto& keys = ctx.batch_keys();
+      auto& outs = ctx.batch_outs();
+      for (std::size_t p = 0; p < tries_.size(); ++p) {
+        keys.clear();
+        outs.clear();
+        for (std::size_t i = 0; i < headers.size(); ++i) {
+          keys.push_back(
+              headers[i]->partition16(field_, static_cast<unsigned>(p)));
+          outs.push_back(&ctx.slot(i, slot_base + p));
+        }
+        tries_[p].lookup_all_batch(keys, outs);
+      }
+      return;
     }
-    tries_[p].lookup_all_batch(keys, outs);
+    case MatchMethod::kRange: {
+      auto& keys = ctx.batch_keys();
+      auto& lists = ctx.batch_lists();
+      keys.clear();
+      for (const PacketHeader* header : headers) {
+        keys.push_back(header->get64(field_));
+      }
+      lists.resize(headers.size());
+      ranges_->lookup_batch(keys, lists);
+      for (std::size_t i = 0; i < headers.size(); ++i) {
+        ctx.slot(i, slot_base).assign(lists[i]->begin(), lists[i]->end());
+      }
+      return;
+    }
   }
 }
 

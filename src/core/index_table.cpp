@@ -194,6 +194,95 @@ void IndexCalculator::query(std::span<const LabelList> candidates,
   combine(candidates, ctx.combine_current(), ctx.combine_next(), out);
 }
 
+void IndexCalculator::query_batch(SearchContext& ctx) const {
+  const std::size_t lanes = ctx.lanes();
+  if (ctx.algorithms() != stage_count_ + 1) {
+    throw std::invalid_argument("candidate arity mismatch");
+  }
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    ctx.lane_matches(lane).clear();
+  }
+  if (!sealed_) {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      combine(ctx.packet_candidates(lane), ctx.lane_current(lane),
+              ctx.lane_next(lane), ctx.lane_matches(lane));
+    }
+    return;
+  }
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const LabelList& first = ctx.packet_candidates(lane)[0];
+    ctx.lane_current(lane).assign(first.begin(), first.end());
+  }
+  // Stage-synchronous progressive combination over lane windows (the same
+  // 8-lane windowing idiom as the trie descents — wider windows would
+  // outrun the hardware's outstanding-fill budget): within a window, pass 1
+  // hashes every lane's (accumulated, candidate) pairs and prefetches their
+  // probe slots; pass 2 resolves them in the same order. The per-lane pair
+  // traversal order matches the scalar combine exactly, so each lane's
+  // match list is bitwise-identical to a scalar query.
+  constexpr std::size_t kLanes = 8;
+  auto& keys = ctx.batch_keys();
+  for (std::size_t stage = 0; stage < stage_count_; ++stage) {
+    const FlatStage& flat = flat_stages_[stage];
+    for (std::size_t base = 0; base < lanes; base += kLanes) {
+      const std::size_t window = std::min(kLanes, lanes - base);
+      keys.clear();
+      for (std::size_t lane = base; lane < base + window; ++lane) {
+        const LabelList& candidates = ctx.packet_candidates(lane)[stage + 1];
+        for (const Label accumulated : ctx.lane_current(lane)) {
+          for (const Label candidate : candidates) {
+            const PairKey key = pair_key(accumulated, candidate);
+            keys.push_back(key);
+            __builtin_prefetch(flat.keys.data() + (mix64(key) & flat.mask));
+          }
+        }
+      }
+      std::size_t k = 0;
+      for (std::size_t lane = base; lane < base + window; ++lane) {
+        auto& current = ctx.lane_current(lane);
+        auto& next = ctx.lane_next(lane);
+        next.clear();
+        const std::size_t pairs =
+            current.size() * ctx.packet_candidates(lane)[stage + 1].size();
+        for (std::size_t p = 0; p < pairs; ++p) {
+          const Label combined = probe_stage(flat, keys[k++]);
+          if (combined != kNoLabel) next.push_back(combined);
+        }
+        current.swap(next);
+      }
+    }
+  }
+  // Final stage, same windowing: prefetch the window's final-label slots,
+  // then gather the CSR rule lists.
+  for (std::size_t base = 0; base < lanes; base += kLanes) {
+    const std::size_t window = std::min(kLanes, lanes - base);
+    for (std::size_t lane = base; lane < base + window; ++lane) {
+      for (const Label final_label : ctx.lane_current(lane)) {
+        __builtin_prefetch(final_keys_.data() +
+                           (mix64(final_label) & final_mask_));
+      }
+    }
+    for (std::size_t lane = base; lane < base + window; ++lane) {
+      auto& out = ctx.lane_matches(lane);
+      for (const Label final_label : ctx.lane_current(lane)) {
+        std::size_t index = mix64(final_label) & final_mask_;
+        while (true) {
+          const std::uint64_t stored = final_keys_[index];
+          if (stored == final_label) {
+            const std::uint32_t offset = final_offsets_[index];
+            const std::uint32_t count = final_counts_[index];
+            out.insert(out.end(), final_rules_.begin() + offset,
+                       final_rules_.begin() + offset + count);
+            break;
+          }
+          if (stored == kEmptyKey) break;
+          index = (index + 1) & final_mask_;
+        }
+      }
+    }
+  }
+}
+
 mem::MemoryReport IndexCalculator::memory_report(const std::string& prefix) const {
   mem::MemoryReport report;
   for (std::size_t stage = 0; stage < stage_count_; ++stage) {

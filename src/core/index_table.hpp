@@ -52,6 +52,15 @@ class IndexCalculator {
   void query(std::span<const LabelList> candidates, SearchContext& ctx,
              std::vector<std::uint32_t>& out) const;
 
+  /// Batched allocation-free query over every lane prepared in `ctx` (the
+  /// per-lane candidate slots filled by the field searches): fills
+  /// ctx.lane_matches(lane) with exactly what query(ctx.packet_candidates
+  /// (lane), ...) would produce, but probes the sealed flat stages
+  /// interleaved across lanes with software prefetch — stage by stage, every
+  /// lane's pair probes are issued before any lane's are resolved. Unsealed
+  /// calculators fall back to the per-lane scalar combine.
+  void query_batch(SearchContext& ctx) const;
+
   [[nodiscard]] std::size_t algorithm_count() const { return stage_count_ + 1; }
 
   /// Memory model: each stage is a hash table of (label,label)->label words.

@@ -1,5 +1,6 @@
 #include "core/lookup_table.hpp"
 
+#include <algorithm>
 #include <set>
 #include <stdexcept>
 
@@ -8,14 +9,14 @@ namespace ofmtl {
 LookupTable::LookupTable(std::vector<FieldId> fields,
                          std::vector<FlowEntry> entries,
                          FieldSearchConfig config)
-    : fields_(std::move(fields)) {
+    : fields_(std::move(fields)), config_(std::move(config)) {
   if (fields_.empty()) {
     throw std::invalid_argument("lookup table needs at least one field");
   }
   searches_.reserve(fields_.size());
   std::size_t algorithms = 0;
   for (const auto id : fields_) {
-    searches_.emplace_back(id, config);
+    searches_.emplace_back(id, config_);
     algorithms += searches_.back().algorithm_count();
   }
   index_.emplace(algorithms);
@@ -93,6 +94,24 @@ bool LookupTable::remove_entry(FlowEntryId id) {
   return true;
 }
 
+LookupTable LookupTable::clone() const {
+  // entries() walks slots in slot order, which diverges from insertion order
+  // once free slots are reused — and insertion order (seq) drives
+  // equal-priority tie-breaks. Replay in seq order so the clone tie-breaks
+  // exactly like the original.
+  std::vector<const Slot*> live;
+  live.reserve(live_entries_);
+  for (const auto& slot : slots_) {
+    if (slot.entry) live.push_back(&slot);
+  }
+  std::sort(live.begin(), live.end(),
+            [](const Slot* a, const Slot* b) { return a->seq < b->seq; });
+  std::vector<FlowEntry> ordered;
+  ordered.reserve(live.size());
+  for (const Slot* slot : live) ordered.push_back(*slot->entry);
+  return LookupTable(fields_, std::move(ordered), config_);
+}
+
 std::vector<FlowEntry> LookupTable::entries() const {
   std::vector<FlowEntry> result;
   result.reserve(live_entries_);
@@ -150,11 +169,9 @@ void LookupTable::lookup_batch(std::span<const PacketHeader* const> headers,
     search.search_batch(headers, ctx, slot_base);
     slot_base += search.algorithm_count();
   }
-  auto& matches = ctx.matches();
+  index_->query_batch(ctx);
   for (std::size_t i = 0; i < headers.size(); ++i) {
-    matches.clear();
-    index_->query(ctx.packet_candidates(i), ctx, matches);
-    out[i] = best_match(matches);
+    out[i] = best_match(ctx.lane_matches(i));
   }
 }
 

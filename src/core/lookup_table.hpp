@@ -45,6 +45,13 @@ class LookupTable {
   /// values drop out of the structures when their last entry leaves.
   bool remove_entry(FlowEntryId id);
 
+  /// Deep copy: recompiles an independent table from the live entries with
+  /// the same field order and config (FieldSearch engines are move-only, so
+  /// replication goes through the builder). Entries are replayed in
+  /// insertion order so equal-priority tie-breaks match the original; slot
+  /// numbering may differ, lookup results do not.
+  [[nodiscard]] LookupTable clone() const;
+
   /// Highest-priority matching entry, or nullptr on miss (-> controller).
   /// Equal priorities tie-break to the earlier-inserted entry, matching
   /// FlowTable's stable order. Uses an internal thread_local SearchContext,
@@ -89,6 +96,7 @@ class LookupTable {
   };
 
   std::vector<FieldId> fields_;
+  FieldSearchConfig config_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::unordered_map<FlowEntryId, std::uint32_t> id_to_slot_;

@@ -1,5 +1,6 @@
 #include "core/lut.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ofmtl {
@@ -89,6 +90,39 @@ std::optional<Label> ExactMatchLut::lookup(const U128& value) const {
   const std::size_t index = probe(value);
   if (states_[index] != SlotState::kLive) return std::nullopt;
   return slot_labels_[index];
+}
+
+void ExactMatchLut::lookup_batch(std::span<const U128> values,
+                                 std::span<Label> out) const {
+  if (out.size() < values.size()) {
+    throw std::invalid_argument("lookup_batch: out span too small");
+  }
+  constexpr std::size_t kLanes = 8;  // probes issued in lock-step per window
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t base = 0; base < values.size(); base += kLanes) {
+    const std::size_t lanes = std::min(kLanes, values.size() - base);
+    std::size_t index[kLanes];
+    // Hash every lane and prefetch its first slot before any lane probes,
+    // overlapping the cache misses a scalar probe chain would serialize.
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      index[lane] = detail::U128Hash{}(values[base + lane]) & mask;
+      __builtin_prefetch(states_.data() + index[lane]);
+      __builtin_prefetch(slots_.data() + index[lane]);
+    }
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const U128& value = values[base + lane];
+      std::size_t i = index[lane];
+      Label label = kNoLabel;
+      while (states_[i] != SlotState::kEmpty) {
+        if (states_[i] == SlotState::kLive && *slots_[i] == value) {
+          label = slot_labels_[i];
+          break;
+        }
+        i = (i + 1) & mask;
+      }
+      out[base + lane] = label;
+    }
+  }
 }
 
 mem::MemoryReport ExactMatchLut::memory_report(const std::string& name) const {

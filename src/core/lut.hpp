@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/label.hpp"
@@ -29,6 +30,13 @@ class ExactMatchLut {
 
   /// Label of `value`, or nullopt (field miss).
   [[nodiscard]] std::optional<Label> lookup(const U128& value) const;
+
+  /// Batched lookup: out[i] = label of values[i], kNoLabel on miss. Probes
+  /// run interleaved over lane windows with software prefetch of each
+  /// lane's first slot, hiding the dependent-load latency of scattered
+  /// hash-table reads. Results match scalar lookup exactly (kNoLabel <->
+  /// nullopt).
+  void lookup_batch(std::span<const U128> values, std::span<Label> out) const;
 
   [[nodiscard]] std::size_t unique_values() const { return live_count_; }
   [[nodiscard]] const ValueLabelEncoder& encoder() const { return encoder_; }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/label.hpp"
+#include "net/types.hpp"
 
 namespace ofmtl {
 
@@ -32,6 +33,9 @@ class SearchContext {
     algorithms_ = algorithms;
     const std::size_t needed = lanes * algorithms;
     if (slots_.size() < needed) slots_.resize(needed);
+    if (lane_current_.size() < lanes) lane_current_.resize(lanes);
+    if (lane_next_.size() < lanes) lane_next_.resize(lanes);
+    if (lane_matches_.size() < lanes) lane_matches_.resize(lanes);
   }
 
   [[nodiscard]] std::size_t lanes() const { return lanes_; }
@@ -57,6 +61,25 @@ class SearchContext {
   [[nodiscard]] std::vector<std::uint64_t>& batch_keys() { return batch_keys_; }
   [[nodiscard]] std::vector<LabelList*>& batch_outs() { return batch_outs_; }
 
+  /// --- batched EM/RM probe scratch (value gathers + probe results) ---
+  [[nodiscard]] std::vector<U128>& batch_values() { return batch_values_; }
+  [[nodiscard]] std::vector<Label>& batch_labels() { return batch_labels_; }
+  [[nodiscard]] std::vector<const LabelList*>& batch_lists() {
+    return batch_lists_;
+  }
+
+  /// --- batched index-calculation scratch (one working set per lane,
+  /// sized by begin(); inner vectors keep their high-water capacity) ---
+  [[nodiscard]] std::vector<Label>& lane_current(std::size_t lane) {
+    return lane_current_[lane];
+  }
+  [[nodiscard]] std::vector<Label>& lane_next(std::size_t lane) {
+    return lane_next_[lane];
+  }
+  [[nodiscard]] std::vector<std::uint32_t>& lane_matches(std::size_t lane) {
+    return lane_matches_[lane];
+  }
+
  private:
   std::size_t lanes_ = 0;
   std::size_t algorithms_ = 0;
@@ -66,6 +89,12 @@ class SearchContext {
   std::vector<std::uint32_t> matches_;
   std::vector<std::uint64_t> batch_keys_;
   std::vector<LabelList*> batch_outs_;
+  std::vector<U128> batch_values_;
+  std::vector<Label> batch_labels_;
+  std::vector<const LabelList*> batch_lists_;
+  std::vector<LabelList> lane_current_;
+  std::vector<LabelList> lane_next_;
+  std::vector<std::vector<std::uint32_t>> lane_matches_;
 };
 
 }  // namespace ofmtl

@@ -1,0 +1,121 @@
+#include "runtime/runtime.hpp"
+
+#include <stdexcept>
+
+namespace ofmtl::runtime {
+
+ParallelRuntime::ParallelRuntime(MultiTableLookup tables, RuntimeConfig config)
+    : classifier_(std::move(tables)) {
+  const std::size_t workers = config.workers == 0 ? 1 : config.workers;
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(config.queue_capacity));
+  }
+  // Threads start only after the shard array is fully built (worker_loop
+  // touches nothing but its own shard and the classifier). If a launch
+  // fails partway, stop and join the threads already running before
+  // rethrowing — destroying a joinable std::thread would terminate.
+  try {
+    for (auto& worker : workers_) {
+      Worker* shard = worker.get();
+      worker->thread = std::thread([this, shard] { worker_loop(*shard); });
+    }
+  } catch (...) {
+    stop();
+    throw;
+  }
+}
+
+ParallelRuntime::~ParallelRuntime() { stop(); }
+
+void ParallelRuntime::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+bool ParallelRuntime::try_submit(std::size_t queue,
+                                 std::span<const PacketHeader> headers,
+                                 std::span<ExecutionResult> results,
+                                 BatchTicket* ticket) {
+  if (queue >= workers_.size()) {
+    throw std::out_of_range("try_submit: no such queue");
+  }
+  if (results.size() < headers.size()) {
+    throw std::invalid_argument("try_submit: results span too small");
+  }
+  if (ticket != nullptr) ticket->attach();
+  const WorkItem item{headers.data(), results.data(), headers.size(), ticket};
+  if (workers_[queue]->queue.try_push(item)) return true;
+  if (ticket != nullptr) ticket->detach();  // undo the attach
+  return false;
+}
+
+void ParallelRuntime::classify(std::size_t queue,
+                               std::span<const PacketHeader> headers,
+                               std::span<ExecutionResult> results) {
+  BatchTicket ticket;
+  while (!try_submit(queue, headers, results, &ticket)) {
+    std::this_thread::yield();
+  }
+  ticket.wait();
+  if (ticket.failed()) {
+    throw std::runtime_error("classify: batch lookup failed in worker");
+  }
+}
+
+void ParallelRuntime::worker_loop(Worker& worker) {
+  WorkItem item;
+  while (true) {
+    if (!worker.queue.try_pop(item)) {
+      // Drain-then-exit: stop() flips running_ first, so a final empty check
+      // after observing !running_ cannot miss items pushed before stop().
+      if (!running_.load(std::memory_order_acquire)) {
+        if (!worker.queue.try_pop(item)) break;
+      } else {
+        std::this_thread::yield();
+        continue;
+      }
+    }
+    // One snapshot per batch: every packet of the batch classifies against
+    // the same epoch, and flow-mods published mid-batch apply from the
+    // worker's next batch on.
+    const auto snapshot = classifier_.acquire();
+    try {
+      snapshot->tables.execute_batch({item.headers, item.count},
+                                     {item.results, item.count}, worker.ctx);
+      worker.packets.fetch_add(item.count, std::memory_order_relaxed);
+    } catch (...) {
+      // A malformed packet (e.g. out-of-range field value) throws from the
+      // lookup path. The single-threaded API surfaces that to the caller;
+      // here the failure is flagged on the ticket (classify() rethrows) and
+      // counted — letting it escape would terminate the process and strand
+      // the ticket's waiter.
+      worker.errors.fetch_add(1, std::memory_order_relaxed);
+      if (item.ticket != nullptr) item.ticket->fail();
+    }
+    worker.batches.fetch_add(1, std::memory_order_relaxed);
+    if (item.ticket != nullptr) item.ticket->complete(snapshot->epoch);
+  }
+}
+
+WorkerStats ParallelRuntime::stats(std::size_t worker) const {
+  const Worker& w = *workers_.at(worker);
+  return {w.batches.load(std::memory_order_relaxed),
+          w.packets.load(std::memory_order_relaxed),
+          w.errors.load(std::memory_order_relaxed)};
+}
+
+WorkerStats ParallelRuntime::total_stats() const {
+  WorkerStats total;
+  for (const auto& worker : workers_) {
+    total.batches += worker->batches.load(std::memory_order_relaxed);
+    total.packets += worker->packets.load(std::memory_order_relaxed);
+    total.errors += worker->errors.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace ofmtl::runtime

@@ -1,0 +1,163 @@
+// The parallel multi-queue classification runtime: N worker threads, each
+// owning one SPSC packet-batch queue plus its own SearchContext /
+// ExecBatchContext scratch, draining batches through
+// MultiTableLookup::execute_batch against the current RCU snapshot
+// (SnapshotClassifier). The sharded-queue shape mirrors NIC RSS: a producer
+// hashes flows onto queues, each queue is serviced by exactly one worker, so
+// the data plane runs without locks between packets — the only cross-thread
+// synchronization is one snapshot acquire per batch and the completion
+// ticket.
+//
+// Ownership rules (mirrors the SearchContext rules in README):
+//   - one queue <-> one worker; one producer thread per queue
+//   - headers/results of a submitted batch are caller-owned and must stay
+//     alive until the ticket completes; results are rewritten in place
+//   - worker loops are allocation-free in steady state (warmed contexts,
+//     lock-free ring, shared_ptr snapshot copies)
+//   - flow-mods go through the runtime's writer API; workers pick the new
+//     snapshot up at their next batch boundary
+//   - a GroupTable attached via set_group_table is externally owned and
+//     pointer-shared by every snapshot (not RCU-protected): it must stay
+//     immutable while the runtime is live
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "runtime/snapshot.hpp"
+#include "runtime/spsc_queue.hpp"
+
+namespace ofmtl::runtime {
+
+struct RuntimeConfig {
+  std::size_t workers = 1;          ///< queues == workers
+  std::size_t queue_capacity = 64;  ///< in-flight batches per queue
+};
+
+/// Completion token of one or more submitted batches. The submitter owns it
+/// and must keep it alive until done(); reuse across submissions is fine
+/// once drained.
+class BatchTicket {
+ public:
+  [[nodiscard]] bool done() const {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+  /// Spin-yield until every attached batch completed. After wait() the
+  /// batch results are visible to the caller.
+  void wait() const {
+    while (!done()) std::this_thread::yield();
+  }
+  /// Epoch of the snapshot that served the last completing batch — lets
+  /// concurrency tests pin a result to a pre-/post-update snapshot.
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+  /// True if any attached batch's lookup threw (its results are
+  /// unspecified). Sticky until reset().
+  [[nodiscard]] bool failed() const {
+    return failed_.load(std::memory_order_acquire);
+  }
+  /// Clear the sticky failure flag before reusing a drained ticket.
+  void reset() { failed_.store(false, std::memory_order_relaxed); }
+
+ private:
+  friend class ParallelRuntime;
+  void attach() { pending_.fetch_add(1, std::memory_order_relaxed); }
+  void detach() { pending_.fetch_sub(1, std::memory_order_release); }
+  void fail() { failed_.store(true, std::memory_order_release); }
+  void complete(std::uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_relaxed);
+    detach();
+  }
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> failed_{false};
+};
+
+struct WorkerStats {
+  std::uint64_t batches = 0;  ///< drained batches, errored ones included
+  std::uint64_t packets = 0;  ///< successfully classified packets
+  std::uint64_t errors = 0;   ///< batches whose lookup threw (results in
+                              ///< those batches are unspecified)
+};
+
+class ParallelRuntime {
+ public:
+  explicit ParallelRuntime(MultiTableLookup tables, RuntimeConfig config = {});
+  ~ParallelRuntime();
+
+  ParallelRuntime(const ParallelRuntime&) = delete;
+  ParallelRuntime& operator=(const ParallelRuntime&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// --- control plane (serialized writers, RCU publish) ---
+  void insert_entry(std::size_t table, FlowEntry entry) {
+    classifier_.insert_entry(table, std::move(entry));
+  }
+  bool remove_entry(std::size_t table, FlowEntryId id) {
+    return classifier_.remove_entry(table, id);
+  }
+  void update(const std::function<void(MultiTableLookup&)>& mutate) {
+    classifier_.update(mutate);
+  }
+  [[nodiscard]] std::uint64_t epoch() const { return classifier_.epoch(); }
+  [[nodiscard]] const SnapshotClassifier& classifier() const {
+    return classifier_;
+  }
+
+  /// --- data plane (one producer per queue) ---
+  /// Hand a caller-owned batch to `queue`; results[i] will be rewritten to
+  /// execute(headers[i]) against one consistent snapshot. Returns false when
+  /// the queue is full (caller applies backpressure). `ticket` may be
+  /// shared across submissions or null (fire-and-forget is only safe if the
+  /// caller joins through stop()).
+  bool try_submit(std::size_t queue, std::span<const PacketHeader> headers,
+                  std::span<ExecutionResult> results, BatchTicket* ticket);
+
+  /// Convenience: submit (spinning while the queue is full) and wait.
+  /// Throws std::runtime_error if the batch's lookup threw in the worker
+  /// (mirroring what single-threaded execute() would have surfaced).
+  void classify(std::size_t queue, std::span<const PacketHeader> headers,
+                std::span<ExecutionResult> results);
+
+  /// Drain every queue and join the workers. Idempotent; the destructor
+  /// calls it. No submissions may race with or follow stop().
+  void stop();
+
+  [[nodiscard]] WorkerStats stats(std::size_t worker) const;
+  [[nodiscard]] WorkerStats total_stats() const;
+
+ private:
+  struct WorkItem {
+    const PacketHeader* headers = nullptr;
+    ExecutionResult* results = nullptr;
+    std::size_t count = 0;
+    BatchTicket* ticket = nullptr;
+  };
+
+  /// One worker shard: queue + scratch + stats, cache-line aligned so
+  /// neighbouring shards never false-share.
+  struct alignas(kCacheLine) Worker {
+    explicit Worker(std::size_t queue_capacity) : queue(queue_capacity) {}
+    SpscQueue<WorkItem> queue;
+    ExecBatchContext ctx;
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> packets{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::thread thread;
+  };
+
+  void worker_loop(Worker& worker);
+
+  SnapshotClassifier classifier_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> running_{true};
+};
+
+}  // namespace ofmtl::runtime

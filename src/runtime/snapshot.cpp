@@ -1,0 +1,51 @@
+#include "runtime/snapshot.hpp"
+
+namespace ofmtl::runtime {
+
+SnapshotClassifier::SnapshotClassifier(MultiTableLookup initial)
+    : master_(std::move(initial)) {
+  live_ = std::make_shared<const ClassifierSnapshot>(
+      ClassifierSnapshot{master_.clone(), 0});
+}
+
+std::shared_ptr<const ClassifierSnapshot> SnapshotClassifier::acquire() const {
+  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  return live_;
+}
+
+std::uint64_t SnapshotClassifier::epoch() const {
+  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  return live_->epoch;
+}
+
+void SnapshotClassifier::publish_locked() {
+  // Build the snapshot outside publish_mutex_ (cloning recompiles the
+  // tables — milliseconds), then swap the pointer inside it (nanoseconds).
+  // Readers keep classifying against the old snapshot the whole time.
+  auto snapshot = std::make_shared<const ClassifierSnapshot>(
+      ClassifierSnapshot{master_.clone(), next_epoch_++});
+  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  live_ = std::move(snapshot);
+}
+
+void SnapshotClassifier::insert_entry(std::size_t table, FlowEntry entry) {
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  master_.insert_entry(table, std::move(entry));
+  publish_locked();
+}
+
+bool SnapshotClassifier::remove_entry(std::size_t table, FlowEntryId id) {
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  if (!master_.remove_entry(table, id)) return false;
+  publish_locked();
+  return true;
+}
+
+void SnapshotClassifier::update(
+    const std::function<void(MultiTableLookup&)>& mutate) {
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  mutate(master_);
+  publish_locked();
+}
+
+}  // namespace ofmtl::runtime

@@ -1,0 +1,64 @@
+// RCU-style snapshot handoff for the classification state: readers grab an
+// immutable, epoch-stamped MultiTableLookup snapshot via shared_ptr (one
+// grab per batch, not per packet); the writer applies controller flow-mods
+// to a private master copy, clones it outside any reader-visible lock, and
+// publishes with a pointer swap. Old snapshots stay valid for the readers
+// still holding them and are reclaimed by the last shared_ptr release — the
+// read-copy-update discipline without explicit grace periods. The pointer
+// itself is guarded by a mutex held only for the copy/swap (a few
+// instructions): readers never wait on table recompilation, only on that
+// swap window; swapping to std::atomic<shared_ptr> would shave the
+// remaining per-batch lock if profiles ever show contention.
+//
+// Concurrency contract: any number of reader threads; writers are serialized
+// internally (multiple control-plane threads may call the mutating API).
+// Readers see either the pre- or the post-mod snapshot, never a partially
+// updated one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "core/pipeline.hpp"
+
+namespace ofmtl::runtime {
+
+/// One immutable published classification state.
+struct ClassifierSnapshot {
+  MultiTableLookup tables;
+  std::uint64_t epoch = 0;  ///< monotonically increasing publish counter
+};
+
+class SnapshotClassifier {
+ public:
+  explicit SnapshotClassifier(MultiTableLookup initial);
+
+  /// Reader side: the current snapshot. Holding the returned pointer pins
+  /// that snapshot (not the writer); re-acquire per batch to track updates.
+  [[nodiscard]] std::shared_ptr<const ClassifierSnapshot> acquire() const;
+
+  /// Current publish epoch (the epoch of the snapshot acquire() would
+  /// return).
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  /// Writer side: apply one flow-mod to the master copy and publish.
+  void insert_entry(std::size_t table, FlowEntry entry);
+  bool remove_entry(std::size_t table, FlowEntryId id);
+
+  /// Writer side, coalesced: apply an arbitrary mutation to the master copy
+  /// (any number of insert_entry/remove_entry calls) and publish once.
+  void update(const std::function<void(MultiTableLookup&)>& mutate);
+
+ private:
+  void publish_locked();  // clone master -> new snapshot, swap the pointer
+
+  mutable std::mutex write_mutex_;    // serializes writers + master access
+  mutable std::mutex publish_mutex_;  // guards the live_ pointer swap/copy
+  MultiTableLookup master_;           // always-current mutable copy
+  std::uint64_t next_epoch_ = 1;
+  std::shared_ptr<const ClassifierSnapshot> live_;
+};
+
+}  // namespace ofmtl::runtime

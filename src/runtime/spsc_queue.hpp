@@ -1,0 +1,62 @@
+// Fixed-capacity single-producer/single-consumer ring buffer — the per-queue
+// packet-batch channel of the parallel runtime. One producer thread pushes,
+// one consumer thread (the queue's worker) pops; both sides are lock-free
+// and allocation-free after construction. Head and tail live on separate
+// cache lines so the two sides do not false-share.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ofmtl::runtime {
+
+// Fixed 64 rather than std::hardware_destructive_interference_size: the
+// value is an ABI hazard GCC warns about (-Winterference-size), and 64 is
+// the destructive-interference line on every target this builds for.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t rounded = 2;
+    while (rounded < capacity) rounded <<= 1;
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  /// Producer side. Returns false when the ring is full (backpressure).
+  bool try_push(T value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace ofmtl::runtime
