@@ -1,11 +1,20 @@
 // Parallel-runtime scaling benchmark: aggregate packets/sec through the
 // multi-queue ParallelRuntime at 1/2/4/8 workers on the three standard
-// filter sets, plus a mixed lookup+flow-mod churn scenario (a writer thread
-// toggling a top-priority entry through the RCU snapshot handoff while the
-// workers classify). Writes BENCH_parallel.json so the scaling curve is
-// mechanically comparable across PRs; metadata records the hardware thread
-// count — on a 1-core container the curve is flat by construction, compare
-// like hardware with like.
+// filter sets, a mixed lookup+flow-mod churn scenario (a writer thread
+// toggling a top-priority entry through the left-right snapshot pair while
+// the workers classify), and a skewed-submit scenario (every batch lands on
+// queue 0 at 4 workers, with work stealing on and off). Writes
+// BENCH_parallel.json so the scaling curve is mechanically comparable
+// across PRs; metadata records the hardware thread count — on a 1-core
+// container the curve is flat by construction, compare like hardware with
+// like.
+//
+// A second output, BENCH_parallel_publish.json (ns_per_publish), measures
+// flow-mod publish latency against table size: with the left-right pair the
+// writer applies each mod in place on both replicas, so the 1k-entry and
+// 100k-entry latencies must sit within noise of each other
+// (scripts/check_bench.py --flat-pair gates exactly that in CI).
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -50,10 +59,14 @@ App make_app(workload::FilterApp app, const char* name) {
 /// Keep every queue saturated with kInFlight outstanding batches for
 /// `warmup + measure`, returning aggregate packets/sec over the measure
 /// window (from the runtime's own per-worker counters, so producer-side
-/// stalls do not flatter the number).
-double run_scaling(const App& app, std::size_t workers, bool churn) {
+/// stalls do not flatter the number). With `skewed` every batch is
+/// submitted to queue 0 — the scenario work stealing exists for.
+double run_scaling(const App& app, std::size_t workers, bool churn,
+                   bool skewed = false, bool stealing = true) {
   ParallelRuntime rt(app.accelerated.clone(),
-                     {.workers = workers, .queue_capacity = 2 * kInFlight});
+                     {.workers = workers,
+                      .queue_capacity = 2 * kInFlight * (skewed ? workers : 1),
+                      .work_stealing = stealing});
 
   // Producer-side buffers first: anything that can throw must run before
   // the churn writer spawns (unwinding past a joinable std::thread
@@ -107,7 +120,8 @@ double run_scaling(const App& app, std::size_t workers, bool churn) {
       for (std::size_t q = 0; q < workers; ++q) {
         tickets[q][slot].wait();
         const std::size_t base = (offset += kBatch) & (kTracePackets - 1);
-        while (!rt.try_submit(q, {app.trace.data() + base, kBatch},
+        const std::size_t target = skewed ? 0 : q;
+        while (!rt.try_submit(target, {app.trace.data() + base, kBatch},
                               {results[q][slot].data(), kBatch},
                               &tickets[q][slot])) {
           std::this_thread::yield();
@@ -143,6 +157,60 @@ double run_scaling(const App& app, std::size_t workers, bool churn) {
   }
 }
 
+/// One exact-match table of `n` MAC-learning-style entries.
+MultiTableLookup make_em_tables(std::size_t n) {
+  std::vector<FlowEntry> entries;
+  entries.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    FlowEntry entry;
+    entry.id = static_cast<FlowEntryId>(i);
+    entry.priority = 100;
+    entry.match.set(FieldId::kEthDst, FieldMatch::exact(std::uint64_t{i}));
+    entry.instructions = output_instruction(static_cast<std::uint32_t>(i % 1024));
+    entries.push_back(std::move(entry));
+  }
+  MultiTableLookup tables;
+  tables.add_table(LookupTable({FieldId::kEthDst}, std::move(entries)));
+  return tables;
+}
+
+/// Median ns per publish (one flow-mod = one publish) on a table of `n`
+/// entries: toggles one extra entry through the left-right writer. No reader
+/// threads — this isolates the apply/swap cost a flow-mod pays, which with
+/// the left-right pair is O(delta of the mod), so the number must be flat
+/// across table sizes.
+double run_publish_latency(std::size_t n) {
+  runtime::SnapshotClassifier classifier(make_em_tables(n));
+  FlowEntry extra;
+  extra.id = 90000001;
+  extra.priority = 60000;
+  extra.match.set(FieldId::kEthDst, FieldMatch::exact(std::uint64_t{1} << 40));
+  extra.instructions = output_instruction(42);
+
+  constexpr std::size_t kWarmToggles = 32;
+  constexpr std::size_t kRounds = 64;
+  constexpr std::size_t kTogglesPerRound = 16;
+  for (std::size_t i = 0; i < kWarmToggles; ++i) {
+    classifier.insert_entry(0, extra);
+    classifier.remove_entry(0, extra.id);
+  }
+  std::vector<double> per_publish_ns(kRounds);
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kTogglesPerRound; ++i) {
+      classifier.insert_entry(0, extra);
+      classifier.remove_entry(0, extra.id);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    per_publish_ns[round] =
+        std::chrono::duration<double, std::nano>(end - start).count() /
+        (2.0 * kTogglesPerRound);
+  }
+  std::nth_element(per_publish_ns.begin(),
+                   per_publish_ns.begin() + kRounds / 2, per_publish_ns.end());
+  return per_publish_ns[kRounds / 2];
+}
+
 }  // namespace
 
 int main() {
@@ -168,6 +236,19 @@ int main() {
     std::cout << app.tag << " churn workers=4: " << std::fixed << pps / 1e6
               << " Mpps\n";
   }
+  // Skewed submitter: every batch on queue 0 at 4 workers. With stealing
+  // the three idle workers drain the hot queue; without it they spin.
+  for (const auto& app : apps) {
+    for (const bool stealing : {true, false}) {
+      const double pps = run_scaling(app, 4, /*churn=*/false, /*skewed=*/true,
+                                     stealing);
+      results.emplace_back("parallel_skew/" + app.tag + "/steal_" +
+                               (stealing ? "on" : "off"),
+                           pps);
+      std::cout << app.tag << " skewed steal=" << (stealing ? "on" : "off")
+                << ": " << std::fixed << pps / 1e6 << " Mpps\n";
+    }
+  }
 
   auto metadata = ofmtl::bench::common_metadata();
   metadata.emplace_back("batch_size", std::to_string(kBatch));
@@ -180,5 +261,22 @@ int main() {
                         std::to_string(kChurnInterval.count()));
   ofmtl::bench::write_bench_json("parallel", "packets_per_sec", results,
                                  metadata);
+
+  // Publish latency vs table size: flat across sizes with the left-right
+  // writer (O(delta) per flow-mod). Separate JSON — different unit.
+  std::vector<std::pair<std::string, double>> publish_results;
+  for (const std::size_t entries : {std::size_t{1000}, std::size_t{10000},
+                                    std::size_t{100000}}) {
+    const double ns = run_publish_latency(entries);
+    publish_results.emplace_back("publish/entries_" + std::to_string(entries),
+                                 ns);
+    std::cout << "publish latency @" << entries << " entries: " << std::fixed
+              << ns << " ns/publish\n";
+  }
+  auto publish_metadata = ofmtl::bench::common_metadata();
+  publish_metadata.emplace_back("publish_rounds", "64");
+  publish_metadata.emplace_back("toggles_per_round", "16");
+  ofmtl::bench::write_bench_json("parallel_publish", "ns_per_publish",
+                                 publish_results, publish_metadata);
   return 0;
 }

@@ -12,7 +12,19 @@ downward. Metrics present only on one side are reported but never fail the
 gate (new benches may add metrics). Metadata drift (git SHA aside) is
 surfaced as a warning so apples-to-oranges comparisons are visible.
 
-Exit codes: 0 ok, 1 regression past threshold, 2 usage/IO error.
+Thread-sensitive metrics (scaling curves, work-stealing scenarios) can be
+exempted from the baseline gate when the machines differ:
+    --skip-if-hardware-differs parallel/
+compares metrics starting with that prefix only when the `hardware_threads`
+metadata matches the baseline; otherwise they are reported informationally.
+
+Within-run flatness invariants (machine-independent) are gated with
+    --flat-pair publish/entries_1000=publish/entries_100000:1.0
+which requires the two CURRENT values to sit within the given relative
+tolerance of each other (|a-b|/min(a,b) <= tol) — e.g. the left-right
+publish latency must not scale with table size.
+
+Exit codes: 0 ok, 1 regression/flatness violation, 2 usage/IO error.
 """
 
 import argparse
@@ -51,6 +63,22 @@ def main():
         default="",
         help="only compare metrics whose name starts with this prefix",
     )
+    parser.add_argument(
+        "--skip-if-hardware-differs",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="metrics starting with PREFIX are only gated when the "
+        "hardware_threads metadata matches the baseline (repeatable)",
+    )
+    parser.add_argument(
+        "--flat-pair",
+        action="append",
+        default=[],
+        metavar="A=B:TOL",
+        help="require |current[A]-current[B]|/min <= TOL (repeatable); "
+        "checked within the current run, so it is hardware-independent",
+    )
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -76,10 +104,19 @@ def main():
                 "— comparison may not be apples-to-apples"
             )
 
+    hardware_matches = meta_b.get("hardware_threads") == meta_c.get(
+        "hardware_threads")
+    if not hardware_matches and args.skip_if_hardware_differs:
+        print(
+            "note: hardware_threads differs from baseline — metrics under "
+            f"{args.skip_if_hardware_differs} are informational only"
+        )
+
     results_b = baseline.get("results", {})
     results_c = current.get("results", {})
     regressions = []
     compared = 0
+    hw_skipped = 0
     for name in sorted(set(results_b) | set(results_c)):
         if args.key_prefix and not name.startswith(args.key_prefix):
             continue
@@ -91,6 +128,12 @@ def main():
                   "current value")
             continue
         old, new = float(results_b[name]), float(results_c[name])
+        if not hardware_matches and any(
+                name.startswith(p) for p in args.skip_if_hardware_differs):
+            hw_skipped += 1
+            print(f"  info   {name}: {old:.2f} -> {new:.2f} "
+                  "(hardware differs, not gated)")
+            continue
         compared += 1
         if old <= 0:
             print(f"  skip   {name}: non-positive baseline {old}")
@@ -102,7 +145,33 @@ def main():
         if delta > args.threshold:
             regressions.append(name)
 
-    if compared == 0:
+    flat_failures = []
+    for spec in args.flat_pair:
+        try:
+            pair, tol = spec.rsplit(":", 1)
+            name_a, name_b = pair.split("=", 1)
+            tolerance = float(tol)
+        except ValueError:
+            print(f"error: bad --flat-pair spec {spec!r} (want A=B:TOL)",
+                  file=sys.stderr)
+            sys.exit(2)
+        if name_a not in results_c or name_b not in results_c:
+            print(f"error: --flat-pair metric missing from current run: "
+                  f"{spec}", file=sys.stderr)
+            sys.exit(2)
+        a, b = float(results_c[name_a]), float(results_c[name_b])
+        if min(a, b) <= 0:
+            print(f"error: --flat-pair non-positive value in {spec}",
+                  file=sys.stderr)
+            sys.exit(2)
+        spread = abs(a - b) / min(a, b)
+        marker = "FLAT-VIOLATION" if spread > tolerance else "flat-ok"
+        print(f"  {marker:15s}{name_a}={a:.2f} vs {name_b}={b:.2f} "
+              f"(spread {100 * spread:.1f}%, tolerance {100 * tolerance:.0f}%)")
+        if spread > tolerance:
+            flat_failures.append(spec)
+
+    if compared == 0 and hw_skipped == 0 and not args.flat_pair:
         print("error: no overlapping metrics compared", file=sys.stderr)
         sys.exit(2)
     if regressions:
@@ -112,8 +181,19 @@ def main():
             file=sys.stderr,
         )
         sys.exit(1)
+    if flat_failures:
+        print(
+            f"\nFAIL: {len(flat_failures)} flatness invariant(s) violated: "
+            f"{', '.join(flat_failures)}",
+            file=sys.stderr,
+        )
+        sys.exit(1)
     print(f"\nOK: {compared} metric(s) within {100 * args.threshold:.0f}% "
-          "of baseline")
+          f"of baseline"
+          + (f", {hw_skipped} hardware-sensitive metric(s) informational"
+             if hw_skipped else "")
+          + (f", {len(args.flat_pair)} flatness invariant(s) hold"
+             if args.flat_pair else ""))
     sys.exit(0)
 
 

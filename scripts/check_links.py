@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the repo's docs.
+
+Validates every inline markdown link ([text](target)) in the given files:
+
+- relative file links must point at an existing file or directory
+  (resolved against the linking file's directory);
+- fragment links into markdown files (foo.md#section, or bare #section)
+  must match a heading, using GitHub's slug rules (lowercase, punctuation
+  stripped, spaces to hyphens);
+- http(s)/mailto links are skipped — CI runs offline and external URLs
+  rotting is not this gate's job.
+
+Usage:
+    scripts/check_links.py README.md ROADMAP.md docs/*.md examples/README.md
+
+Exit codes: 0 ok, 1 broken link(s), 2 usage/IO error.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links, tolerating one level of nested parens in the target.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^()\s]*(?:\([^()]*\)[^()\s]*)*)\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^()\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug for a heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def headings_of(path):
+    slugs = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(1))
+        # Duplicate headings get -1, -2, ... suffixes on GitHub.
+        count = slugs.get(slug, 0)
+        slugs[slug] = count + 1
+        if count:
+            slugs[f"{slug}-{count}"] = 1
+    return set(slugs)
+
+
+def check_file(md_path, errors):
+    try:
+        text = md_path.read_text(encoding="utf-8")
+    except OSError as err:
+        print(f"error: cannot read {md_path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    # Strip fenced code blocks so example snippets are not treated as links.
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        lines.append("" if in_fence else line)
+    stripped = "\n".join(lines)
+
+    for regex in (LINK_RE, IMAGE_RE):
+        for match in regex.finditer(stripped):
+            target = match.group(1)
+            if not target or target.startswith(("http://", "https://",
+                                                "mailto:")):
+                continue
+            if target.startswith("#"):
+                path, fragment = md_path, target[1:]
+            elif "#" in target:
+                rel, fragment = target.split("#", 1)
+                path = (md_path.parent / rel).resolve()
+            else:
+                path, fragment = (md_path.parent / target).resolve(), None
+            if not Path(path).exists():
+                errors.append(f"{md_path}: broken link -> {target}")
+                continue
+            if fragment is not None:
+                if Path(path).is_dir() or Path(path).suffix.lower() != ".md":
+                    continue  # anchors into non-markdown: not checkable
+                if fragment.lower() not in headings_of(Path(path)):
+                    errors.append(
+                        f"{md_path}: broken anchor -> {target} "
+                        f"(no heading slug '{fragment}')")
+
+
+def main():
+    files = [Path(arg) for arg in sys.argv[1:]]
+    if not files:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    errors = []
+    for md in files:
+        check_file(md, errors)
+    if errors:
+        for error in errors:
+            print(f"  BROKEN {error}")
+        print(f"\nFAIL: {len(errors)} broken link(s)", file=sys.stderr)
+        sys.exit(1)
+    print(f"OK: links in {len(files)} file(s) resolve")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -23,4 +23,14 @@ namespace ofmtl::detail {
   return capacity;
 }
 
+/// Incremental-insert rebuild rule shared by every tombstoning flat table
+/// (IndexCalculator stages + final table, MultibitTrie prefix table): with
+/// `used` non-empty slots (live + tombstoned) in `capacity`, accepting one
+/// more insert must keep at least half the slots truly empty, so probe
+/// chains stay short and always terminate.
+[[nodiscard]] constexpr bool flat_needs_rebuild(std::size_t used,
+                                                std::size_t capacity) {
+  return 2 * (used + 1) > capacity;
+}
+
 }  // namespace ofmtl::detail

@@ -10,8 +10,13 @@ namespace ofmtl {
 namespace {
 
 constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+// Tombstoned slot: the upper half is kNoLabel, which no real pair key or
+// final label ever carries, and it differs from kEmptyKey — probes walk past
+// it, inserts may reuse it.
+constexpr std::uint64_t kTombstoneKey = std::uint64_t{0xFFFFFFFF} << 32;
 
 using detail::flat_capacity;
+using detail::flat_needs_rebuild;
 using detail::mix64;
 
 }  // namespace
@@ -23,6 +28,7 @@ IndexCalculator::IndexCalculator(std::size_t algorithm_count)
   }
   stages_.resize(stage_count_);
   next_intermediate_.assign(stage_count_, 0);
+  stage_used_.assign(stage_count_, 0);
 }
 
 void IndexCalculator::add_rule(const std::vector<Label>& signature,
@@ -30,17 +36,20 @@ void IndexCalculator::add_rule(const std::vector<Label>& signature,
   if (signature.size() != stage_count_ + 1) {
     throw std::invalid_argument("signature arity mismatch");
   }
-  sealed_ = false;
   Label accumulated = signature[0];
   for (std::size_t stage = 0; stage < stage_count_; ++stage) {
     const PairKey key = pair_key(accumulated, signature[stage + 1]);
     const auto [it, inserted] = stages_[stage].try_emplace(
         key, PairEntry{next_intermediate_[stage], 0});
-    if (inserted) ++next_intermediate_[stage];
+    if (inserted) {
+      ++next_intermediate_[stage];
+      if (sealed_) flat_stage_insert(stage, key, it->second.label);
+    }
     ++it->second.refs;
     accumulated = it->second.label;
   }
   rules_[accumulated].push_back(rule_index);
+  if (sealed_) final_add(accumulated, rule_index);
 }
 
 void IndexCalculator::remove_rule(const std::vector<Label>& signature,
@@ -69,13 +78,17 @@ void IndexCalculator::remove_rule(const std::vector<Label>& signature,
   if (pos == indices.end()) {
     throw std::invalid_argument("remove_rule: rule not registered");
   }
-  sealed_ = false;
   indices.erase(pos);
   if (indices.empty()) rules_.erase(rules_it);
+  if (sealed_) final_remove(accumulated, rule_index);
   // Second walk: release references (reverse order so upstream pairs are
   // still intact while downstream ones are dropped).
   for (std::size_t stage = stage_count_; stage-- > 0;) {
-    if (--path[stage]->second.refs == 0) stages_[stage].erase(path[stage]);
+    if (--path[stage]->second.refs == 0) {
+      const PairKey key = path[stage]->first;
+      stages_[stage].erase(path[stage]);
+      if (sealed_) flat_stage_erase(stage, key);
+    }
   }
 }
 
@@ -83,33 +96,159 @@ void IndexCalculator::seal() {
   if (sealed_) return;
   flat_stages_.assign(stage_count_, FlatStage{});
   for (std::size_t stage = 0; stage < stage_count_; ++stage) {
-    FlatStage& flat = flat_stages_[stage];
-    const std::size_t capacity = flat_capacity(stages_[stage].size());
-    flat.keys.assign(capacity, kEmptyKey);
-    flat.labels.assign(capacity, kNoLabel);
-    flat.mask = capacity - 1;
-    for (const auto& [key, entry] : stages_[stage]) {
-      std::size_t index = mix64(key) & flat.mask;
-      while (flat.keys[index] != kEmptyKey) index = (index + 1) & flat.mask;
-      flat.keys[index] = key;
-      flat.labels[index] = entry.label;
-    }
+    rebuild_stage(stage);
   }
+  rebuild_final();
+  sealed_ = true;
+}
+
+void IndexCalculator::rebuild_stage(std::size_t stage) {
+  FlatStage& flat = flat_stages_[stage];
+  const std::size_t capacity = flat_capacity(stages_[stage].size());
+  flat.keys.assign(capacity, kEmptyKey);
+  flat.labels.assign(capacity, kNoLabel);
+  flat.mask = capacity - 1;
+  stage_used_[stage] = stages_[stage].size();
+  for (const auto& [key, entry] : stages_[stage]) {
+    std::size_t index = mix64(key) & flat.mask;
+    while (flat.keys[index] != kEmptyKey) index = (index + 1) & flat.mask;
+    flat.keys[index] = key;
+    flat.labels[index] = entry.label;
+  }
+}
+
+void IndexCalculator::rebuild_final() {
   const std::size_t capacity = flat_capacity(rules_.size());
   final_keys_.assign(capacity, kEmptyKey);
   final_offsets_.assign(capacity, 0);
   final_counts_.assign(capacity, 0);
+  final_caps_.assign(capacity, 0);
   final_mask_ = capacity - 1;
   final_rules_.clear();
+  final_used_ = rules_.size();
+  final_garbage_ = 0;
   for (const auto& [label, indices] : rules_) {
     std::size_t index = mix64(label) & final_mask_;
     while (final_keys_[index] != kEmptyKey) index = (index + 1) & final_mask_;
     final_keys_[index] = label;
     final_offsets_[index] = static_cast<std::uint32_t>(final_rules_.size());
     final_counts_[index] = static_cast<std::uint32_t>(indices.size());
+    final_caps_[index] = static_cast<std::uint32_t>(indices.size());
     final_rules_.insert(final_rules_.end(), indices.begin(), indices.end());
   }
-  sealed_ = true;
+}
+
+void IndexCalculator::flat_stage_insert(std::size_t stage, PairKey key,
+                                        Label label) {
+  FlatStage& flat = flat_stages_[stage];
+  // The rebuild reads stages_[stage], which already contains the new pair.
+  if (flat_needs_rebuild(stage_used_[stage], flat.keys.size())) {
+    rebuild_stage(stage);
+    return;
+  }
+  std::size_t index = mix64(key) & flat.mask;
+  while (flat.keys[index] != kEmptyKey && flat.keys[index] != kTombstoneKey) {
+    index = (index + 1) & flat.mask;
+  }
+  if (flat.keys[index] == kEmptyKey) ++stage_used_[stage];
+  flat.keys[index] = key;
+  flat.labels[index] = label;
+}
+
+void IndexCalculator::flat_stage_erase(std::size_t stage, PairKey key) {
+  FlatStage& flat = flat_stages_[stage];
+  std::size_t index = mix64(key) & flat.mask;
+  while (true) {
+    if (flat.keys[index] == key) break;
+    if (flat.keys[index] == kEmptyKey) return;  // unreachable: key was mapped
+    index = (index + 1) & flat.mask;
+  }
+  // Tombstone, not empty: the slot may sit mid-chain for other keys.
+  flat.keys[index] = kTombstoneKey;
+  flat.labels[index] = kNoLabel;
+}
+
+std::uint32_t IndexCalculator::append_final_region(std::uint32_t capacity) {
+  const auto offset = static_cast<std::uint32_t>(final_rules_.size());
+  final_rules_.resize(final_rules_.size() + capacity, 0);
+  return offset;
+}
+
+void IndexCalculator::final_add(Label final_label, std::uint32_t rule_index) {
+  // Rebuild triggers up front (the rules_ map already holds the new rule):
+  // key-table load past the shared 50% rule, or more than half of
+  // final_rules_ abandoned.
+  if (flat_needs_rebuild(final_used_, final_keys_.size()) ||
+      (final_rules_.size() >= 64 && 2 * final_garbage_ > final_rules_.size())) {
+    rebuild_final();
+    return;
+  }
+  std::size_t slot = SIZE_MAX;
+  std::size_t reuse = SIZE_MAX;  // first tombstone on the probe path
+  std::size_t index = mix64(final_label) & final_mask_;
+  while (true) {
+    const std::uint64_t stored = final_keys_[index];
+    if (stored == final_label) {
+      slot = index;
+      break;
+    }
+    if (stored == kTombstoneKey) {
+      if (reuse == SIZE_MAX) reuse = index;
+    } else if (stored == kEmptyKey) {
+      break;
+    }
+    index = (index + 1) & final_mask_;
+  }
+  if (slot == SIZE_MAX) {
+    // New final label: reuse the earliest tombstone, else the empty slot.
+    const std::size_t target = reuse != SIZE_MAX ? reuse : index;
+    if (final_keys_[target] == kEmptyKey) ++final_used_;
+    constexpr std::uint32_t kInitialCap = 2;
+    final_keys_[target] = final_label;
+    final_offsets_[target] = append_final_region(kInitialCap);
+    final_caps_[target] = kInitialCap;
+    final_counts_[target] = 1;
+    final_rules_[final_offsets_[target]] = rule_index;
+    return;
+  }
+  const std::uint32_t count = final_counts_[slot];
+  if (count == final_caps_[slot]) {
+    // Region full: relocate to a doubled region at the tail; the old region
+    // becomes garbage until the next compaction.
+    const std::uint32_t new_cap = final_caps_[slot] * 2;
+    const std::uint32_t new_offset = append_final_region(new_cap);
+    std::copy(final_rules_.begin() + final_offsets_[slot],
+              final_rules_.begin() + final_offsets_[slot] + count,
+              final_rules_.begin() + new_offset);
+    final_garbage_ += final_caps_[slot];
+    final_offsets_[slot] = new_offset;
+    final_caps_[slot] = new_cap;
+  }
+  final_rules_[final_offsets_[slot] + count] = rule_index;
+  final_counts_[slot] = count + 1;
+}
+
+void IndexCalculator::final_remove(Label final_label, std::uint32_t rule_index) {
+  std::size_t index = mix64(final_label) & final_mask_;
+  while (true) {
+    if (final_keys_[index] == final_label) break;
+    if (final_keys_[index] == kEmptyKey) return;  // unreachable: was mapped
+    index = (index + 1) & final_mask_;
+  }
+  const std::uint32_t offset = final_offsets_[index];
+  const std::uint32_t count = final_counts_[index];
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (final_rules_[offset + i] != rule_index) continue;
+    final_rules_[offset + i] = final_rules_[offset + count - 1];
+    final_counts_[index] = count - 1;
+    if (count == 1) {
+      // Last rule of this label: tombstone the key slot, abandon the region.
+      final_keys_[index] = kTombstoneKey;
+      final_garbage_ += final_caps_[index];
+      final_caps_[index] = 0;
+    }
+    return;
+  }
 }
 
 Label IndexCalculator::probe_stage(const FlatStage& stage, PairKey key) const {

@@ -29,16 +29,20 @@ class IndexCalculator {
   explicit IndexCalculator(std::size_t algorithm_count);
 
   /// Register a rule's signature (one label per algorithm, in order).
-  /// `rule_index` is the position in the table's entry array. Unseals.
+  /// `rule_index` is the position in the table's entry array. On a sealed
+  /// calculator the flat query tables are maintained in place (amortized
+  /// O(signature), never an O(rules) rebuild) and stay sealed.
   void add_rule(const std::vector<Label>& signature, std::uint32_t rule_index);
 
   /// Unregister a rule. Pair entries are reference-counted across rules and
   /// vanish when the last sharing rule leaves — the incremental-update
   /// counterpart of add_rule. Throws if the signature was never registered.
-  /// Unseals.
+  /// Sealed calculators stay sealed (tombstone deletion).
   void remove_rule(const std::vector<Label>& signature, std::uint32_t rule_index);
 
-  /// Rebuild the flat query tables from the current pair maps.
+  /// Rebuild the flat query tables from the current pair maps. Once sealed,
+  /// add_rule/remove_rule keep the flat tables current incrementally, so
+  /// this runs once after bulk construction and is a no-op afterwards.
   void seal();
   [[nodiscard]] bool sealed() const { return sealed_; }
 
@@ -91,6 +95,18 @@ class IndexCalculator {
   void combine(std::span<const LabelList> candidates, std::vector<Label>& current,
                std::vector<Label>& next, std::vector<std::uint32_t>& out) const;
 
+  /// --- incremental maintenance of the sealed tables (sealed_ only) ---
+  /// The mutable maps must already reflect the mutation: a load- or
+  /// garbage-triggered rebuild reads them.
+  void rebuild_stage(std::size_t stage);
+  void rebuild_final();
+  void flat_stage_insert(std::size_t stage, PairKey key, Label label);
+  void flat_stage_erase(std::size_t stage, PairKey key);
+  void final_add(Label final_label, std::uint32_t rule_index);
+  void final_remove(Label final_label, std::uint32_t rule_index);
+  /// Append a zeroed region of `capacity` slots to final_rules_.
+  [[nodiscard]] std::uint32_t append_final_region(std::uint32_t capacity);
+
   std::size_t stage_count_;  // = algorithm_count - 1
   std::vector<std::unordered_map<PairKey, PairEntry>> stages_;
   std::vector<Label> next_intermediate_;  // per stage
@@ -101,14 +117,23 @@ class IndexCalculator {
 
   // Sealed query tables: one flat stage per pair map, plus the final
   // label -> rule-index map flattened into CSR form behind its own flat
-  // key table.
+  // key table. Incremental mutations keep them current without a full
+  // rebuild: stage/final keys tombstone on delete (probes skip tombstones,
+  // inserts reuse them), and each final label owns a slack-capacity region
+  // of final_rules_ that grows by relocation to the tail; abandoned regions
+  // are garbage until a threshold-triggered compaction. Rebuilds therefore
+  // run amortized-O(1) per mutation, never per-publish.
   bool sealed_ = false;
   std::vector<FlatStage> flat_stages_;
+  std::vector<std::size_t> stage_used_;        // live + tombstoned slots
   std::vector<std::uint64_t> final_keys_;      // final label; ~0 = empty
-  std::vector<std::uint32_t> final_offsets_;   // slot -> CSR offset
-  std::vector<std::uint32_t> final_counts_;    // slot -> CSR count
-  std::vector<std::uint32_t> final_rules_;     // flattened rule indices
+  std::vector<std::uint32_t> final_offsets_;   // slot -> region offset
+  std::vector<std::uint32_t> final_counts_;    // slot -> live indices
+  std::vector<std::uint32_t> final_caps_;      // slot -> region capacity
+  std::vector<std::uint32_t> final_rules_;     // region storage
   std::uint64_t final_mask_ = 0;
+  std::size_t final_used_ = 0;     // live + tombstoned key slots
+  std::size_t final_garbage_ = 0;  // abandoned final_rules_ slots
 };
 
 }  // namespace ofmtl

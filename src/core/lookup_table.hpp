@@ -45,6 +45,11 @@ class LookupTable {
   /// values drop out of the structures when their last entry leaves.
   bool remove_entry(FlowEntryId id);
 
+  /// Whether an entry with this id is live.
+  [[nodiscard]] bool contains(FlowEntryId id) const {
+    return id_to_slot_.contains(id);
+  }
+
   /// Deep copy: recompiles an independent table from the live entries with
   /// the same field order and config (FieldSearch engines are move-only, so
   /// replication goes through the builder). Entries are replayed in

@@ -12,6 +12,9 @@ namespace ofmtl {
 namespace {
 
 constexpr std::uint8_t kFlatEmpty = 0xFF;
+// Tombstoned slot of the sealed table: never equals a real length (<= 64),
+// never equals kFlatEmpty, so lookups probe past it and inserts may reuse it.
+constexpr std::uint8_t kFlatTombstone = 0xFE;
 
 /// Mix of a (length, value) prefix key for the sealed table.
 [[nodiscard]] std::uint64_t mix_prefix_key(unsigned len, std::uint64_t value) {
@@ -66,8 +69,18 @@ void MultibitTrie::check_prefix(const Prefix& prefix) const {
 
 void MultibitTrie::insert(const Prefix& prefix, Label label) {
   check_prefix(prefix);
-  sealed_ = false;
-  prefixes_[{prefix.length(), prefix.value64()}] = label;
+  const auto [it, inserted] =
+      prefixes_.try_emplace({prefix.length(), prefix.value64()}, label);
+  if (!inserted) it->second = label;
+  if (sealed_) {
+    // Keep the flat query table current instead of unsealing: an update is
+    // one probe chain, never an O(prefixes) rebuild.
+    if (inserted) {
+      flat_insert(prefix.length(), prefix.value64(), label);
+    } else {
+      flat_labels_[find_flat_slot(prefix.length(), prefix.value64())] = label;
+    }
+  }
 
   std::size_t block = 0;
   for (std::size_t li = 0; li < levels_.size(); ++li) {
@@ -150,8 +163,8 @@ bool MultibitTrie::remove(const Prefix& prefix) {
   check_prefix(prefix);
   const auto it = prefixes_.find({prefix.length(), prefix.value64()});
   if (it == prefixes_.end()) return false;
-  sealed_ = false;
   prefixes_.erase(it);
+  if (sealed_) flat_erase(prefix.length(), prefix.value64());
 
   // Walk to the expansion block, then recompute every entry the removed
   // prefix owned from the remaining prefixes ending at the same level.
@@ -277,27 +290,88 @@ void MultibitTrie::lookup_all(std::uint64_t key, std::vector<Label>& out) const 
 
 void MultibitTrie::seal() {
   if (sealed_) return;
+  rebuild_flat();
+  sealed_ = true;
+}
+
+void MultibitTrie::rebuild_flat() {
   present_lengths_ = 0;
   length64_present_ = false;
+  length_counts_.fill(0);
   const std::size_t capacity = detail::flat_capacity(prefixes_.size());
   flat_values_.assign(capacity, 0);
   flat_lens_.assign(capacity, kFlatEmpty);
   flat_labels_.assign(capacity, kNoLabel);
   flat_mask_ = capacity - 1;
+  flat_live_ = prefixes_.size();
+  flat_tombstones_ = 0;
   for (const auto& [key, label] : prefixes_) {
     const auto [len, value] = key;
-    if (len < 64) {
-      present_lengths_ |= std::uint64_t{1} << len;
-    } else {
-      length64_present_ = true;
-    }
+    note_length_added(len);
     std::size_t index = mix_prefix_key(len, value) & flat_mask_;
     while (flat_lens_[index] != kFlatEmpty) index = (index + 1) & flat_mask_;
     flat_values_[index] = value;
     flat_lens_[index] = static_cast<std::uint8_t>(len);
     flat_labels_[index] = label;
   }
-  sealed_ = true;
+}
+
+void MultibitTrie::note_length_added(unsigned len) {
+  if (length_counts_[len]++ != 0) return;
+  if (len < 64) {
+    present_lengths_ |= std::uint64_t{1} << len;
+  } else {
+    length64_present_ = true;
+  }
+}
+
+void MultibitTrie::note_length_removed(unsigned len) {
+  if (--length_counts_[len] != 0) return;
+  if (len < 64) {
+    present_lengths_ &= ~(std::uint64_t{1} << len);
+  } else {
+    length64_present_ = false;
+  }
+}
+
+std::size_t MultibitTrie::find_flat_slot(unsigned len,
+                                         std::uint64_t value) const {
+  std::size_t index = mix_prefix_key(len, value) & flat_mask_;
+  while (true) {
+    const std::uint8_t slot_len = flat_lens_[index];
+    if (slot_len == kFlatEmpty) return SIZE_MAX;
+    if (slot_len == len && flat_values_[index] == value) return index;
+    index = (index + 1) & flat_mask_;
+  }
+}
+
+void MultibitTrie::flat_insert(unsigned len, std::uint64_t value, Label label) {
+  // The rebuild reads prefixes_, which already contains the new prefix.
+  if (detail::flat_needs_rebuild(flat_live_ + flat_tombstones_,
+                                 flat_values_.size())) {
+    rebuild_flat();
+    return;
+  }
+  std::size_t index = mix_prefix_key(len, value) & flat_mask_;
+  while (flat_lens_[index] != kFlatEmpty && flat_lens_[index] != kFlatTombstone) {
+    index = (index + 1) & flat_mask_;
+  }
+  if (flat_lens_[index] == kFlatTombstone) --flat_tombstones_;
+  flat_values_[index] = value;
+  flat_lens_[index] = static_cast<std::uint8_t>(len);
+  flat_labels_[index] = label;
+  ++flat_live_;
+  note_length_added(len);
+}
+
+void MultibitTrie::flat_erase(unsigned len, std::uint64_t value) {
+  const std::size_t index = find_flat_slot(len, value);
+  if (index == SIZE_MAX) return;  // unreachable: caller found it in the map
+  flat_lens_[index] = kFlatTombstone;
+  flat_labels_[index] = kNoLabel;
+  --flat_live_;
+  ++flat_tombstones_;
+  note_length_removed(len);
 }
 
 void MultibitTrie::lookup_all_batch(std::span<const std::uint64_t> keys,

@@ -8,6 +8,7 @@
 // requires different child pointer sizes").
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -63,11 +64,15 @@ class MultibitTrie {
   }
 
   /// Insert (or re-insert) a prefix with a label. Re-inserting an existing
-  /// prefix with the same label is a no-op apart from write counting.
+  /// prefix with the same label is a no-op apart from write counting. On a
+  /// sealed trie the flat query table is maintained in place (amortized
+  /// O(1)), so the trie stays sealed — incremental updates never pay an
+  /// O(prefixes) rebuild.
   void insert(const Prefix& prefix, Label label);
 
   /// Remove a prefix; covered entries fall back to the next-longest stored
-  /// prefix. Returns whether the prefix was present.
+  /// prefix. Returns whether the prefix was present. Sealed tries stay
+  /// sealed (tombstone deletion in the flat table).
   bool remove(const Prefix& prefix);
 
   /// Longest-prefix match.
@@ -79,8 +84,11 @@ class MultibitTrie {
 
   /// Seal for querying: build the flat open-addressing prefix table and the
   /// present-length mask the sealed lookup_all path probes (replacing the
-  /// per-length ordered-map walk). insert/remove unseal; unsealed lookups
-  /// fall back to the ordered map, so sealing is purely a fast path.
+  /// per-length ordered-map walk). Once sealed, insert/remove keep the flat
+  /// table current in place (tombstone deletes, amortized-O(1) inserts with
+  /// occasional load-triggered rebuilds), so the trie never unseals.
+  /// Unsealed lookups fall back to the ordered map, so sealing is purely a
+  /// fast path.
   void seal();
   [[nodiscard]] bool sealed() const { return sealed_; }
 
@@ -151,6 +159,17 @@ class MultibitTrie {
   }
   /// Sealed-table probe for an exact (len, value) prefix; kNoLabel on miss.
   [[nodiscard]] Label probe_flat(unsigned len, std::uint64_t value) const;
+  /// Slot index of (len, value) in the flat table, or SIZE_MAX when absent.
+  [[nodiscard]] std::size_t find_flat_slot(unsigned len,
+                                           std::uint64_t value) const;
+  /// Rebuild the whole flat table + length bookkeeping from prefixes_.
+  void rebuild_flat();
+  /// Incremental flat-table maintenance (sealed tries only). The prefix map
+  /// must already reflect the mutation — a load-triggered rebuild reads it.
+  void flat_insert(unsigned len, std::uint64_t value, Label label);
+  void flat_erase(unsigned len, std::uint64_t value);
+  void note_length_added(unsigned len);
+  void note_length_removed(unsigned len);
   void collect_matches(std::uint64_t key, unsigned deepest_cum_after,
                        std::vector<Label>& out) const;
 
@@ -162,14 +181,20 @@ class MultibitTrie {
 
   // Sealed query path: open-addressed (len, value) -> label table with
   // power-of-two capacity and linear probing, plus a bitmask of the prefix
-  // lengths actually stored so lookups only probe live lengths.
+  // lengths actually stored so lookups only probe live lengths. Incremental
+  // mutations keep it current: deletes tombstone their slot (kFlatTombstone
+  // length sentinel, skipped by probes), inserts reuse tombstones, and a
+  // rebuild runs only when live + tombstoned slots exceed half the capacity.
   bool sealed_ = false;
   std::vector<std::uint64_t> flat_values_;
   std::vector<std::uint8_t> flat_lens_;  // kFlatEmpty = empty slot
   std::vector<Label> flat_labels_;
   std::size_t flat_mask_ = 0;
+  std::size_t flat_live_ = 0;        // live slots
+  std::size_t flat_tombstones_ = 0;  // tombstoned slots
   std::uint64_t present_lengths_ = 0;  // lengths 0..63
   bool length64_present_ = false;
+  std::array<std::uint32_t, 65> length_counts_{};  // live prefixes per length
 };
 
 /// Worst-case-shared node layouts across several tries (the paper sizes

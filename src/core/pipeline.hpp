@@ -52,6 +52,9 @@ class MultiTableLookup : public TableLookupSource {
   bool remove_entry(std::size_t table, FlowEntryId id) {
     return tables_.at(table).remove_entry(id);
   }
+  [[nodiscard]] bool contains_entry(std::size_t table, FlowEntryId id) const {
+    return tables_.at(table).contains(id);
+  }
 
   /// Process one packet starting at table 0.
   [[nodiscard]] ExecutionResult execute(const PacketHeader& header) const {

@@ -23,6 +23,11 @@ namespace ofmtl {
 /// Candidate labels from one algorithm, most specific first.
 using LabelList = std::vector<Label>;
 
+/// Reusable per-thread scratch of the lookup hot path: candidate-label
+/// slots for every (lane, algorithm) pair plus the index-calculation and
+/// batched-probe working vectors. One context per thread, borrowed for the
+/// duration of one lookup call; buffers are cleared, never shrunk, so a
+/// warmed context performs zero steady-state heap allocations.
 class SearchContext {
  public:
   /// Prepare slots for `lanes` packets x `algorithms` candidate lists each.
@@ -38,7 +43,9 @@ class SearchContext {
     if (lane_matches_.size() < lanes) lane_matches_.resize(lanes);
   }
 
+  /// Lanes prepared by the last begin().
   [[nodiscard]] std::size_t lanes() const { return lanes_; }
+  /// Algorithms (candidate lists per lane) prepared by the last begin().
   [[nodiscard]] std::size_t algorithms() const { return algorithms_; }
 
   /// Candidate slot for packet `lane`, algorithm `algorithm`.

@@ -1,0 +1,13 @@
+// Shared cache-line constant for the runtime's concurrency primitives.
+#pragma once
+
+#include <cstddef>
+
+namespace ofmtl::runtime {
+
+/// Fixed 64 rather than std::hardware_destructive_interference_size: the
+/// value is an ABI hazard GCC warns about (-Winterference-size), and 64 is
+/// the destructive-interference line on every target this builds for.
+inline constexpr std::size_t kCacheLine = 64;
+
+}  // namespace ofmtl::runtime

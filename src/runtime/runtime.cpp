@@ -5,20 +5,19 @@
 namespace ofmtl::runtime {
 
 ParallelRuntime::ParallelRuntime(MultiTableLookup tables, RuntimeConfig config)
-    : classifier_(std::move(tables)) {
+    : classifier_(std::move(tables)), work_stealing_(config.work_stealing) {
   const std::size_t workers = config.workers == 0 ? 1 : config.workers;
   workers_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     workers_.push_back(std::make_unique<Worker>(config.queue_capacity));
   }
   // Threads start only after the shard array is fully built (worker_loop
-  // touches nothing but its own shard and the classifier). If a launch
-  // fails partway, stop and join the threads already running before
-  // rethrowing — destroying a joinable std::thread would terminate.
+  // reads the whole shard array when stealing). If a launch fails partway,
+  // stop and join the threads already running before rethrowing — destroying
+  // a joinable std::thread would terminate.
   try {
-    for (auto& worker : workers_) {
-      Worker* shard = worker.get();
-      worker->thread = std::thread([this, shard] { worker_loop(*shard); });
+    for (std::size_t w = 0; w < workers; ++w) {
+      workers_[w]->thread = std::thread([this, w] { worker_loop(w); });
     }
   } catch (...) {
     stop();
@@ -66,38 +65,65 @@ void ParallelRuntime::classify(std::size_t queue,
   }
 }
 
-void ParallelRuntime::worker_loop(Worker& worker) {
+void ParallelRuntime::run_item(Worker& worker, const WorkItem& item) {
+  // One snapshot guard per batch: every packet of the batch classifies
+  // against the same side/epoch, and flow-mods published mid-batch apply
+  // from the worker's next batch on. Holding the guard across the batch is
+  // what blocks the writer from reusing this side; it departs when this
+  // function returns.
+  const auto guard = classifier_.acquire();
+  try {
+    guard.tables().execute_batch({item.headers, item.count},
+                                 {item.results, item.count}, worker.ctx);
+    worker.packets.fetch_add(item.count, std::memory_order_relaxed);
+  } catch (...) {
+    // A malformed packet (e.g. out-of-range field value) throws from the
+    // lookup path. The single-threaded API surfaces that to the caller;
+    // here the failure is flagged on the ticket (classify() rethrows) and
+    // counted — letting it escape would terminate the process and strand
+    // the ticket's waiter.
+    worker.errors.fetch_add(1, std::memory_order_relaxed);
+    if (item.ticket != nullptr) item.ticket->fail();
+  }
+  worker.batches.fetch_add(1, std::memory_order_relaxed);
+  if (item.ticket != nullptr) item.ticket->complete(guard.epoch());
+}
+
+void ParallelRuntime::worker_loop(std::size_t self) {
+  Worker& worker = *workers_[self];
+  const std::size_t siblings = workers_.size();
   WorkItem item;
   while (true) {
-    if (!worker.queue.try_pop(item)) {
-      // Drain-then-exit: stop() flips running_ first, so a final empty check
-      // after observing !running_ cannot miss items pushed before stop().
-      if (!running_.load(std::memory_order_acquire)) {
-        if (!worker.queue.try_pop(item)) break;
-      } else {
-        std::this_thread::yield();
+    if (worker.queue.try_pop(item)) {
+      run_item(worker, item);
+      continue;
+    }
+    // Own ring dry: steal one batch from the next non-empty sibling (scan
+    // starts at self+1 so victims rotate with the worker index instead of
+    // every thief hammering queue 0).
+    if (work_stealing_ && siblings > 1) {
+      bool stole = false;
+      for (std::size_t i = 1; i < siblings && !stole; ++i) {
+        Worker& victim = *workers_[(self + i) % siblings];
+        stole = victim.queue.try_pop(item);
+      }
+      if (stole) {
+        worker.steals.fetch_add(1, std::memory_order_relaxed);
+        run_item(worker, item);
         continue;
       }
     }
-    // One snapshot per batch: every packet of the batch classifies against
-    // the same epoch, and flow-mods published mid-batch apply from the
-    // worker's next batch on.
-    const auto snapshot = classifier_.acquire();
-    try {
-      snapshot->tables.execute_batch({item.headers, item.count},
-                                     {item.results, item.count}, worker.ctx);
-      worker.packets.fetch_add(item.count, std::memory_order_relaxed);
-    } catch (...) {
-      // A malformed packet (e.g. out-of-range field value) throws from the
-      // lookup path. The single-threaded API surfaces that to the caller;
-      // here the failure is flagged on the ticket (classify() rethrows) and
-      // counted — letting it escape would terminate the process and strand
-      // the ticket's waiter.
-      worker.errors.fetch_add(1, std::memory_order_relaxed);
-      if (item.ticket != nullptr) item.ticket->fail();
+    if (!running_.load(std::memory_order_acquire)) {
+      // Drain-then-exit: stop() flips running_ before joining, and no
+      // submission races with stop(), so a final empty check after
+      // observing !running_ cannot miss items pushed before stop(). Items
+      // a sibling steals during shutdown are processed by that sibling
+      // before it performs its own exit check.
+      if (!worker.queue.try_pop(item)) break;
+      run_item(worker, item);
+    } else {
+      std::this_thread::yield();
     }
-    worker.batches.fetch_add(1, std::memory_order_relaxed);
-    if (item.ticket != nullptr) item.ticket->complete(snapshot->epoch);
   }
 }
 
@@ -105,7 +131,8 @@ WorkerStats ParallelRuntime::stats(std::size_t worker) const {
   const Worker& w = *workers_.at(worker);
   return {w.batches.load(std::memory_order_relaxed),
           w.packets.load(std::memory_order_relaxed),
-          w.errors.load(std::memory_order_relaxed)};
+          w.errors.load(std::memory_order_relaxed),
+          w.steals.load(std::memory_order_relaxed)};
 }
 
 WorkerStats ParallelRuntime::total_stats() const {
@@ -114,6 +141,7 @@ WorkerStats ParallelRuntime::total_stats() const {
     total.batches += worker->batches.load(std::memory_order_relaxed);
     total.packets += worker->packets.load(std::memory_order_relaxed);
     total.errors += worker->errors.load(std::memory_order_relaxed);
+    total.steals += worker->steals.load(std::memory_order_relaxed);
   }
   return total;
 }

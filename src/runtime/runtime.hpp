@@ -1,24 +1,27 @@
 // The parallel multi-queue classification runtime: N worker threads, each
-// owning one SPSC packet-batch queue plus its own SearchContext /
+// owning one packet-batch queue plus its own SearchContext /
 // ExecBatchContext scratch, draining batches through
-// MultiTableLookup::execute_batch against the current RCU snapshot
-// (SnapshotClassifier). The sharded-queue shape mirrors NIC RSS: a producer
-// hashes flows onto queues, each queue is serviced by exactly one worker, so
-// the data plane runs without locks between packets — the only cross-thread
-// synchronization is one snapshot acquire per batch and the completion
-// ticket.
+// MultiTableLookup::execute_batch against the current left-right snapshot
+// side (SnapshotClassifier). The sharded-queue shape mirrors NIC RSS: a
+// producer hashes flows onto queues, each queue is serviced by its worker —
+// and, when that worker's ring runs dry, by any idle sibling stealing from
+// it — so skewed submitters no longer leave workers idle. The only
+// cross-thread synchronization on the data plane is one snapshot guard per
+// batch, the queue cursors, and the completion ticket.
 //
 // Ownership rules (mirrors the SearchContext rules in README):
-//   - one queue <-> one worker; one producer thread per queue
+//   - one queue <-> one *producer* thread; batches may be DRAINED by any
+//     worker (work stealing), so same-queue batches can complete out of
+//     order — tickets, not queue position, signal completion
 //   - headers/results of a submitted batch are caller-owned and must stay
 //     alive until the ticket completes; results are rewritten in place
 //   - worker loops are allocation-free in steady state (warmed contexts,
-//     lock-free ring, shared_ptr snapshot copies)
+//     lock-free rings, wait-free snapshot guards)
 //   - flow-mods go through the runtime's writer API; workers pick the new
-//     snapshot up at their next batch boundary
+//     side up at their next batch boundary
 //   - a GroupTable attached via set_group_table is externally owned and
-//     pointer-shared by every snapshot (not RCU-protected): it must stay
-//     immutable while the runtime is live
+//     pointer-shared by both snapshot sides (not snapshot-isolated): it
+//     must stay immutable while the runtime is live
 #pragma once
 
 #include <atomic>
@@ -30,13 +33,19 @@
 #include <vector>
 
 #include "runtime/snapshot.hpp"
-#include "runtime/spsc_queue.hpp"
+#include "runtime/steal_queue.hpp"
 
 namespace ofmtl::runtime {
 
+/// Tunables of the worker pool.
 struct RuntimeConfig {
   std::size_t workers = 1;          ///< queues == workers
   std::size_t queue_capacity = 64;  ///< in-flight batches per queue
+  /// Allow a worker whose own ring is dry to pop batches from sibling
+  /// queues instead of idling. Disable to pin every batch to its queue's
+  /// worker (strict per-queue FIFO completion, e.g. for per-queue ordering
+  /// experiments).
+  bool work_stealing = true;
 };
 
 /// Completion token of one or more submitted batches. The submitter owns it
@@ -44,6 +53,7 @@ struct RuntimeConfig {
 /// once drained.
 class BatchTicket {
  public:
+  /// True once every attached batch completed.
   [[nodiscard]] bool done() const {
     return pending_.load(std::memory_order_acquire) == 0;
   }
@@ -52,8 +62,8 @@ class BatchTicket {
   void wait() const {
     while (!done()) std::this_thread::yield();
   }
-  /// Epoch of the snapshot that served the last completing batch — lets
-  /// concurrency tests pin a result to a pre-/post-update snapshot.
+  /// Epoch of the snapshot side that served the last completing batch —
+  /// lets concurrency tests pin a result to a pre-/post-update snapshot.
   [[nodiscard]] std::uint64_t epoch() const {
     return epoch_.load(std::memory_order_relaxed);
   }
@@ -79,15 +89,21 @@ class BatchTicket {
   std::atomic<bool> failed_{false};
 };
 
+/// Per-worker counters (monotonic; sampled racily by stats()).
 struct WorkerStats {
   std::uint64_t batches = 0;  ///< drained batches, errored ones included
   std::uint64_t packets = 0;  ///< successfully classified packets
   std::uint64_t errors = 0;   ///< batches whose lookup threw (results in
                               ///< those batches are unspecified)
+  std::uint64_t steals = 0;   ///< batches this worker popped from a sibling
+                              ///< queue (subset of `batches`)
 };
 
+/// Sharded multi-queue worker pool over a left-right SnapshotClassifier.
 class ParallelRuntime {
  public:
+  /// Spawns `config.workers` threads, each bound to one queue. `tables`
+  /// seeds both snapshot sides.
   explicit ParallelRuntime(MultiTableLookup tables, RuntimeConfig config = {});
   ~ParallelRuntime();
 
@@ -96,27 +112,33 @@ class ParallelRuntime {
 
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
-  /// --- control plane (serialized writers, RCU publish) ---
+  /// --- control plane (serialized writers, left-right publish) ---
+  /// Insert one entry into `table` on both sides; publishes one epoch.
   void insert_entry(std::size_t table, FlowEntry entry) {
     classifier_.insert_entry(table, std::move(entry));
   }
+  /// Remove entry `id` from `table`; publishes one epoch when it existed.
   bool remove_entry(std::size_t table, FlowEntryId id) {
     return classifier_.remove_entry(table, id);
   }
+  /// Coalesced mutation: `mutate` runs once per snapshot side (twice) and
+  /// must be deterministic; publishes one epoch.
   void update(const std::function<void(MultiTableLookup&)>& mutate) {
     classifier_.update(mutate);
   }
+  /// Current publish epoch.
   [[nodiscard]] std::uint64_t epoch() const { return classifier_.epoch(); }
+  /// The underlying left-right classifier (e.g. for direct acquire()).
   [[nodiscard]] const SnapshotClassifier& classifier() const {
     return classifier_;
   }
 
   /// --- data plane (one producer per queue) ---
   /// Hand a caller-owned batch to `queue`; results[i] will be rewritten to
-  /// execute(headers[i]) against one consistent snapshot. Returns false when
-  /// the queue is full (caller applies backpressure). `ticket` may be
-  /// shared across submissions or null (fire-and-forget is only safe if the
-  /// caller joins through stop()).
+  /// execute(headers[i]) against one consistent snapshot side. Returns
+  /// false when the queue is full (caller applies backpressure). `ticket`
+  /// may be shared across submissions or null (fire-and-forget is only safe
+  /// if the caller joins through stop()).
   bool try_submit(std::size_t queue, std::span<const PacketHeader> headers,
                   std::span<ExecutionResult> results, BatchTicket* ticket);
 
@@ -130,6 +152,7 @@ class ParallelRuntime {
   /// calls it. No submissions may race with or follow stop().
   void stop();
 
+  /// Counters of one worker / summed over all workers.
   [[nodiscard]] WorkerStats stats(std::size_t worker) const;
   [[nodiscard]] WorkerStats total_stats() const;
 
@@ -145,18 +168,21 @@ class ParallelRuntime {
   /// neighbouring shards never false-share.
   struct alignas(kCacheLine) Worker {
     explicit Worker(std::size_t queue_capacity) : queue(queue_capacity) {}
-    SpscQueue<WorkItem> queue;
+    StealQueue<WorkItem> queue;
     ExecBatchContext ctx;
     std::atomic<std::uint64_t> batches{0};
     std::atomic<std::uint64_t> packets{0};
     std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> steals{0};
     std::thread thread;
   };
 
-  void worker_loop(Worker& worker);
+  void worker_loop(std::size_t self);
+  void run_item(Worker& worker, const WorkItem& item);
 
   SnapshotClassifier classifier_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  bool work_stealing_ = true;
   std::atomic<bool> running_{true};
 };
 

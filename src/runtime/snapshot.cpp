@@ -1,51 +1,114 @@
 #include "runtime/snapshot.hpp"
 
+#include <thread>
+
 namespace ofmtl::runtime {
 
 SnapshotClassifier::SnapshotClassifier(MultiTableLookup initial)
-    : master_(std::move(initial)) {
-  live_ = std::make_shared<const ClassifierSnapshot>(
-      ClassifierSnapshot{master_.clone(), 0});
+    : sides_{MultiTableLookup{}, MultiTableLookup{}} {
+  sides_[0] = std::move(initial);
+  // clone() replays entries in insertion order, so both sides tie-break
+  // equal priorities identically; from here on the sides only ever receive
+  // the same op sequence and stay behaviourally identical.
+  sides_[1] = sides_[0].clone();
 }
 
-std::shared_ptr<const ClassifierSnapshot> SnapshotClassifier::acquire() const {
-  const std::lock_guard<std::mutex> lock(publish_mutex_);
-  return live_;
+SnapshotClassifier::ReadGuard SnapshotClassifier::acquire() const {
+  // Arrive on the current indicator BEFORE reading the active side: the
+  // writer drains this indicator before touching the side the load below
+  // can return, so the side stays frozen for the guard's lifetime.
+  const std::size_t vi = version_index_.load(std::memory_order_seq_cst);
+  readers_[vi].count.fetch_add(1, std::memory_order_seq_cst);
+  const std::size_t side = active_side_.load(std::memory_order_seq_cst);
+  return ReadGuard{this, vi, &sides_[side], side_epoch_[side]};
 }
 
-std::uint64_t SnapshotClassifier::epoch() const {
-  const std::lock_guard<std::mutex> lock(publish_mutex_);
-  return live_->epoch;
+void SnapshotClassifier::wait_for_readers(std::size_t indicator) const {
+  while (readers_[indicator].count.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
 }
 
-void SnapshotClassifier::publish_locked() {
-  // Build the snapshot outside publish_mutex_ (cloning recompiles the
-  // tables — milliseconds), then swap the pointer inside it (nanoseconds).
-  // Readers keep classifying against the old snapshot the whole time.
-  auto snapshot = std::make_shared<const ClassifierSnapshot>(
-      ClassifierSnapshot{master_.clone(), next_epoch_++});
-  const std::lock_guard<std::mutex> lock(publish_mutex_);
-  live_ = std::move(snapshot);
+void SnapshotClassifier::resync_side(std::size_t side) {
+  sides_[side] = sides_[1 - side].clone();
+  side_epoch_[side] = side_epoch_[1 - side];
+}
+
+template <typename Op>
+bool SnapshotClassifier::publish(Op&& op) {
+  const std::size_t active = active_side_.load(std::memory_order_relaxed);
+  const std::size_t inactive = 1 - active;
+  // 1. Apply to the inactive side — no reader can hold it (the previous
+  // publish drained them). A throwing op may leave the side half-mutated;
+  // resync it from the untouched active side so the pair cannot diverge.
+  try {
+    if (!op(sides_[inactive])) return false;  // no-op: nothing to publish
+  } catch (...) {
+    resync_side(inactive);
+    throw;
+  }
+  side_epoch_[inactive] = next_epoch_;
+  // 2. Swap: new readers now pin the freshly updated side.
+  active_side_.store(inactive, std::memory_order_seq_cst);
+  // 3. Drain both indicators in version-index-toggle order. After the
+  // second wait no reader can still hold the old side: readers arriving
+  // once version_index_ flipped mark the other indicator and (by the
+  // seq_cst total order) observe the new active_side_.
+  const std::size_t vi = version_index_.load(std::memory_order_relaxed);
+  wait_for_readers(1 - vi);
+  version_index_.store(1 - vi, std::memory_order_seq_cst);
+  wait_for_readers(vi);
+  // 4. Apply to the old side (now reader-free), converging the pair. A
+  // deterministic op cannot fail here having succeeded in step 1; if it
+  // somehow does, repair the lagging replica — the publish itself stands.
+  try {
+    if (!op(sides_[active])) {
+      resync_side(active);
+      ++next_epoch_;
+      return true;
+    }
+  } catch (...) {
+    resync_side(active);
+    ++next_epoch_;
+    return true;
+  }
+  side_epoch_[active] = next_epoch_;
+  ++next_epoch_;
+  return true;
 }
 
 void SnapshotClassifier::insert_entry(std::size_t table, FlowEntry entry) {
   const std::lock_guard<std::mutex> lock(write_mutex_);
-  master_.insert_entry(table, std::move(entry));
-  publish_locked();
+  // Reject routine bad input (unknown table, duplicate id) before the
+  // in-place apply: rejections that throw mid-op look like a half-mutated
+  // side and would pay the O(table) resync. Both sides are logically
+  // identical under the write lock, so checking one suffices.
+  if (sides_[0].contains_entry(table, entry.id)) {
+    throw std::invalid_argument("insert_entry: duplicate entry id");
+  }
+  (void)publish([&](MultiTableLookup& side) {
+    side.insert_entry(table, entry);  // copies: the op runs once per side
+    return true;
+  });
 }
 
 bool SnapshotClassifier::remove_entry(std::size_t table, FlowEntryId id) {
   const std::lock_guard<std::mutex> lock(write_mutex_);
-  if (!master_.remove_entry(table, id)) return false;
-  publish_locked();
-  return true;
+  // As in insert_entry: surface an unknown table index before the apply
+  // (remove of an absent id is already a mutation-free `return false`).
+  (void)sides_[0].table(table);
+  return publish([&](MultiTableLookup& side) {
+    return side.remove_entry(table, id);
+  });
 }
 
 void SnapshotClassifier::update(
     const std::function<void(MultiTableLookup&)>& mutate) {
   const std::lock_guard<std::mutex> lock(write_mutex_);
-  mutate(master_);
-  publish_locked();
+  (void)publish([&](MultiTableLookup& side) {
+    mutate(side);
+    return true;
+  });
 }
 
 }  // namespace ofmtl::runtime

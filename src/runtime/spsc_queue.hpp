@@ -10,13 +10,13 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/cache_line.hpp"
+
 namespace ofmtl::runtime {
 
-// Fixed 64 rather than std::hardware_destructive_interference_size: the
-// value is an ABI hazard GCC warns about (-Winterference-size), and 64 is
-// the destructive-interference line on every target this builds for.
-inline constexpr std::size_t kCacheLine = 64;
-
+/// Fixed-capacity single-producer/single-consumer ring. Kept alongside
+/// StealQueue for callers that want strict two-thread ownership with plain
+/// load/store cursors (no CAS); the runtime itself uses StealQueue.
 template <typename T>
 class SpscQueue {
  public:
@@ -46,10 +46,12 @@ class SpscQueue {
     return true;
   }
 
+  /// Racy emptiness check — exact only on the consumer thread.
   [[nodiscard]] bool empty() const {
     return head_.load(std::memory_order_acquire) ==
            tail_.load(std::memory_order_acquire);
   }
+  /// Rounded-up slot count.
   [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
 
  private:

@@ -1,0 +1,116 @@
+// Fixed-capacity bounded queue whose consumer side is safe for multiple
+// threads — the steal-able per-worker batch channel of the parallel
+// runtime. The producer side keeps the runtime's one-producer-per-queue
+// contract; the consumer side is shared between the owning worker and any
+// sibling stealing work from it, so try_pop may be called concurrently from
+// several threads.
+//
+// Implementation: Vyukov-style bounded queue with a per-slot sequence
+// number. Each slot's sequence says whose turn the slot is (writer when
+// seq == pos, reader when seq == pos + 1); claiming a position is one CAS on
+// the shared cursor, and the slot payload is published/consumed under the
+// slot's own acquire/release sequence — no locks, no allocation after
+// construction, FIFO per queue. Cursors sit on separate cache lines so
+// producer and consumers do not false-share.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "runtime/cache_line.hpp"
+
+namespace ofmtl::runtime {
+
+template <typename T>
+class StealQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit StealQueue(std::size_t capacity) {
+    std::size_t rounded = 2;
+    while (rounded < capacity) rounded <<= 1;
+    slots_ = std::vector<Slot>(rounded);
+    mask_ = rounded - 1;
+    for (std::size_t i = 0; i < rounded; ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  /// Producer side (one thread per queue by the runtime's contract, though
+  /// the CAS claim is multi-producer-safe). Returns false when the ring is
+  /// full (backpressure).
+  bool try_push(T value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    Slot* slot;
+    while (true) {
+      slot = &slots_[pos & mask_];
+      const std::size_t seq = slot->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        // Our turn to write: claim the position.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // slot still holds an unconsumed value: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);  // lost a race, reload
+      }
+    }
+    slot->value = std::move(value);
+    slot->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side — owner worker or a stealing sibling, concurrently.
+  /// Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    Slot* slot;
+    while (true) {
+      slot = &slots_[pos & mask_];
+      const std::size_t seq = slot->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        // Value published and unclaimed: claim the position.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // slot not yet published: empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);  // lost a race, reload
+      }
+    }
+    out = std::move(slot->value);
+    // Hand the slot back to the producer one lap later.
+    slot->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate (racy) emptiness — a scheduling hint, not a guarantee.
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace ofmtl::runtime
