@@ -62,11 +62,13 @@ App make_app(workload::FilterApp app, const char* name) {
 /// stalls do not flatter the number). With `skewed` every batch is
 /// submitted to queue 0 — the scenario work stealing exists for.
 double run_scaling(const App& app, std::size_t workers, bool churn,
-                   bool skewed = false, bool stealing = true) {
+                   bool skewed = false, bool stealing = true,
+                   std::size_t flow_cache = 0) {
   ParallelRuntime rt(app.accelerated.clone(),
                      {.workers = workers,
                       .queue_capacity = 2 * kInFlight * (skewed ? workers : 1),
-                      .work_stealing = stealing});
+                      .work_stealing = stealing,
+                      .flow_cache_capacity = flow_cache});
 
   // Producer-side buffers first: anything that can throw must run before
   // the churn writer spawns (unwinding past a joinable std::thread
@@ -130,12 +132,12 @@ double run_scaling(const App& app, std::size_t workers, bool churn,
     }
     const auto now = std::chrono::steady_clock::now();
     if (!measuring && now >= warm_end) {
-      warm_packets = rt.total_stats().packets;
+      warm_packets = rt.aggregate_stats().packets;
       measure_start = now;
       measuring = true;
     }
     if (measuring && now >= measure_end) {
-      const auto final_stats = rt.total_stats();
+      const auto final_stats = rt.aggregate_stats();
       if (final_stats.errors != 0) {
         std::cerr << "error: " << final_stats.errors
                   << " batches threw in workers — bench numbers invalid\n";
@@ -149,6 +151,22 @@ double run_scaling(const App& app, std::size_t workers, bool churn,
         writer.join();
         flow_mods = rt.epoch();
         std::cout << "  (" << flow_mods << " snapshot publishes during run)\n";
+      }
+      if (flow_cache > 0 && churn) {
+        // Invalidation sanity gate: with live flow-mods every publish must
+        // void the epoch-keyed entries lazily — a run where no cached entry
+        // was ever epoch-invalidated means the cache served stale actions
+        // (or the churn never happened) and the numbers are meaningless.
+        if (final_stats.cache_epoch_invalidations == 0 || flow_mods == 0) {
+          std::cerr << "error: churn ran with the flow cache but no "
+                       "epoch invalidations were counted\n";
+          std::exit(1);
+        }
+        std::cout << "  (cache: "
+                  << final_stats.cache_hits << " hits, "
+                  << final_stats.cache_misses << " misses, "
+                  << final_stats.cache_epoch_invalidations
+                  << " epoch invalidations)\n";
       }
       rt.stop();
       return static_cast<double>(done - warm_packets) /
@@ -229,12 +247,21 @@ int main() {
     }
   }
   // Mixed lookup + flow-mod churn: 4 workers classifying while a writer
-  // publishes a snapshot every ~5 ms.
+  // publishes a snapshot every ~5 ms — once with the per-worker flow cache
+  // off and once on (4096 slots). The cache-on run doubles as an
+  // invalidation-correctness check: it aborts unless epoch invalidations
+  // were counted while publishes happened (lazy invalidation engaged).
   for (const auto& app : apps) {
-    const double pps = run_scaling(app, 4, /*churn=*/true);
-    results.emplace_back("parallel_churn/" + app.tag + "/workers4", pps);
-    std::cout << app.tag << " churn workers=4: " << std::fixed << pps / 1e6
-              << " Mpps\n";
+    for (const std::size_t cache : {std::size_t{0}, std::size_t{4096}}) {
+      const double pps = run_scaling(app, 4, /*churn=*/true, /*skewed=*/false,
+                                     /*stealing=*/true, cache);
+      results.emplace_back("parallel_churn/" + app.tag + "/workers4/cache_" +
+                               (cache > 0 ? "on" : "off"),
+                           pps);
+      std::cout << app.tag << " churn workers=4 cache="
+                << (cache > 0 ? "on" : "off") << ": " << std::fixed
+                << pps / 1e6 << " Mpps\n";
+    }
   }
   // Skewed submitter: every batch on queue 0 at 4 workers. With stealing
   // the three idle workers drain the hot queue; without it they spin.
@@ -259,6 +286,7 @@ int main() {
   metadata.emplace_back("measure_ms", std::to_string(kMeasure.count()));
   metadata.emplace_back("churn_interval_ms",
                         std::to_string(kChurnInterval.count()));
+  metadata.emplace_back("churn_cache_capacity", "4096");
   ofmtl::bench::write_bench_json("parallel", "packets_per_sec", results,
                                  metadata);
 

@@ -24,6 +24,13 @@ which requires the two CURRENT values to sit within the given relative
 tolerance of each other (|a-b|/min(a,b) <= tol) — e.g. the left-right
 publish latency must not scale with table size.
 
+Within-run floor invariants (machine-independent) are gated with
+    --min-hit-rate hitrate/routing_yoza/zipf_s1.1_f4096:90
+which requires the CURRENT value of the named metric to be >= the floor
+(hitrate/* metrics are emitted in PERCENT, so a 90% floor is `:90`) —
+e.g. the flow cache's Zipf hit rate is a property of the stream and the
+cache geometry, not of the machine, so it gates on foreign runners too.
+
 Exit codes: 0 ok, 1 regression/flatness violation, 2 usage/IO error.
 """
 
@@ -78,6 +85,14 @@ def main():
         metavar="A=B:TOL",
         help="require |current[A]-current[B]|/min <= TOL (repeatable); "
         "checked within the current run, so it is hardware-independent",
+    )
+    parser.add_argument(
+        "--min-hit-rate",
+        action="append",
+        default=[],
+        metavar="NAME:MIN",
+        help="require current[NAME] >= MIN (repeatable); checked within "
+        "the current run, so it is hardware-independent",
     )
     args = parser.parse_args()
 
@@ -171,7 +186,27 @@ def main():
         if spread > tolerance:
             flat_failures.append(spec)
 
-    if compared == 0 and hw_skipped == 0 and not args.flat_pair:
+    floor_failures = []
+    for spec in args.min_hit_rate:
+        try:
+            name, floor_text = spec.rsplit(":", 1)
+            floor = float(floor_text)
+        except ValueError:
+            print(f"error: bad --min-hit-rate spec {spec!r} (want NAME:MIN)",
+                  file=sys.stderr)
+            sys.exit(2)
+        if name not in results_c:
+            print(f"error: --min-hit-rate metric missing from current run: "
+                  f"{spec}", file=sys.stderr)
+            sys.exit(2)
+        value = float(results_c[name])
+        marker = "FLOOR-VIOLATION" if value < floor else "floor-ok"
+        print(f"  {marker:15s}{name}={value:.4f} (floor {floor:.4f})")
+        if value < floor:
+            floor_failures.append(spec)
+
+    if (compared == 0 and hw_skipped == 0 and not args.flat_pair
+            and not args.min_hit_rate):
         print("error: no overlapping metrics compared", file=sys.stderr)
         sys.exit(2)
     if regressions:
@@ -188,12 +223,21 @@ def main():
             file=sys.stderr,
         )
         sys.exit(1)
+    if floor_failures:
+        print(
+            f"\nFAIL: {len(floor_failures)} floor invariant(s) violated: "
+            f"{', '.join(floor_failures)}",
+            file=sys.stderr,
+        )
+        sys.exit(1)
     print(f"\nOK: {compared} metric(s) within {100 * args.threshold:.0f}% "
           f"of baseline"
           + (f", {hw_skipped} hardware-sensitive metric(s) informational"
              if hw_skipped else "")
           + (f", {len(args.flat_pair)} flatness invariant(s) hold"
-             if args.flat_pair else ""))
+             if args.flat_pair else "")
+          + (f", {len(args.min_hit_rate)} floor invariant(s) hold"
+             if args.min_hit_rate else ""))
     sys.exit(0)
 
 

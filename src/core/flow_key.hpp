@@ -1,0 +1,20 @@
+// Flow-cache key extraction: a 64-bit digest of a packet's full field tuple
+// (present mask + every present field value). Two headers hash equal whenever
+// PacketHeader::operator== holds, so an exact-match flow cache can use the
+// hash to pick a slot and full-header equality to confirm — no per-field
+// knowledge of what the tables actually match on is needed, which is what
+// makes a cached final result trivially bitwise-identical to the pipeline's.
+#pragma once
+
+#include <cstdint>
+
+#include "net/header.hpp"
+
+namespace ofmtl {
+
+/// splitmix64-chained digest of `header`'s field tuple. Consistent with
+/// PacketHeader equality: equal headers produce equal hashes (absent fields
+/// are always zero, so hashing only present fields loses nothing).
+[[nodiscard]] std::uint64_t flow_key_hash(const PacketHeader& header);
+
+}  // namespace ofmtl

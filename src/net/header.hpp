@@ -45,6 +45,10 @@ class PacketHeader {
   [[nodiscard]] const U128& get(FieldId id) const { return values_[index(id)]; }
   [[nodiscard]] std::uint64_t get64(FieldId id) const { return values_[index(id)].lo; }
   [[nodiscard]] bool has(FieldId id) const { return (present_ & bit(id)) != 0; }
+  /// Bitset of present fields (bit i = FieldId i). Fields never set() hold
+  /// zero, so two headers with equal mask and equal present values compare
+  /// equal — the invariant the flow-cache key hash relies on.
+  [[nodiscard]] std::uint32_t present_mask() const { return present_; }
 
   [[nodiscard]] std::uint64_t metadata() const { return get64(FieldId::kMetadata); }
 

@@ -1,0 +1,65 @@
+#include "runtime/flow_cache.hpp"
+
+namespace ofmtl::runtime {
+
+FlowCache::FlowCache(std::size_t capacity) {
+  std::size_t rounded = kProbeWindow;
+  while (rounded < capacity) rounded <<= 1;
+  slots_.resize(rounded);
+  mask_ = rounded - 1;
+}
+
+const ExecutionResult* FlowCache::find(const PacketHeader& header,
+                                       std::uint64_t hash,
+                                       std::uint64_t epoch) {
+  for (std::size_t probe = 0; probe < kProbeWindow; ++probe) {
+    Slot& slot = slot_at(hash, probe);
+    if (!slot.occupied || slot.hash != hash || !(slot.key == header)) continue;
+    if (slot.epoch == epoch) {
+      ++stats_.hits;
+      return &slot.value;
+    }
+    // The entry is from before a publish: stale by definition (epochs are
+    // bumped once per flow-mod, and we cannot know whether the mod touched
+    // this flow). Report a miss; store() will refill this very slot.
+    ++stats_.epoch_invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void FlowCache::store(const PacketHeader& header, std::uint64_t hash,
+                      std::uint64_t epoch, const ExecutionResult& result) {
+  Slot* empty = nullptr;
+  Slot* stale = nullptr;
+  for (std::size_t probe = 0; probe < kProbeWindow; ++probe) {
+    Slot& slot = slot_at(hash, probe);
+    if (!slot.occupied) {
+      if (empty == nullptr) empty = &slot;
+      continue;
+    }
+    if (slot.hash == hash && slot.key == header) {
+      // Refresh in place (covers the epoch-invalidation refill path).
+      slot.epoch = epoch;
+      slot.value = result;
+      return;
+    }
+    if (stale == nullptr && slot.epoch != epoch) stale = &slot;
+  }
+  Slot* target = empty != nullptr ? empty : stale;
+  if (target == nullptr) {
+    // Probe window full of live current-epoch flows: displace one,
+    // rotating the victim index so one hot bucket does not starve.
+    target = &slot_at(hash, victim_rotor_++ % kProbeWindow);
+    ++stats_.evictions;
+  }
+  target->hash = hash;
+  target->epoch = epoch;
+  target->occupied = true;
+  target->key = header;
+  target->value = result;  // copy-assign: vectors keep high-water capacity
+}
+
+}  // namespace ofmtl::runtime

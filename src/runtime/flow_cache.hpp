@@ -1,0 +1,88 @@
+// Per-worker epoch-keyed exact-match flow cache: a fixed-capacity
+// open-addressing table (flat_hash.hpp idioms — power-of-two capacity,
+// splitmix64-spread hashes, short bounded probe windows) mapping a packet's
+// full field tuple to the final ExecutionResult the pipeline produced for
+// it, stamped with the left-right snapshot epoch that produced it.
+//
+// Epoch keying is the whole invalidation story: every entry records the
+// ReadGuard epoch it was filled under, and an entry whose epoch differs
+// from the epoch pinned by the *current* batch's guard is treated as a
+// miss (counted as an epoch invalidation) and refilled from the full
+// pipeline. A flow-mod therefore invalidates lazily with zero coordination
+// — no cross-worker messages, no sweep over the table, no shootdown; the
+// publish bumping the epoch is itself the invalidation broadcast.
+//
+// Ownership rules (mirrors the SearchContext rules in README):
+//   - one FlowCache per worker thread, never shared — per-worker caches
+//     need no coherence because each is consulted and refilled only under
+//     that worker's own pinned guard
+//   - steady state is allocation-free: slots are laid out at construction;
+//     refills copy-assign into slot ExecutionResults whose vectors keep
+//     their high-water capacity
+//   - counters are plain (single-writer); the runtime publishes per-batch
+//     deltas through its atomic WorkerStats
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/pipeline_ref.hpp"
+#include "net/header.hpp"
+
+namespace ofmtl::runtime {
+
+/// Monotonic counters of one cache (single-writer, read via WorkerStats).
+struct FlowCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;       ///< includes epoch_invalidations
+  std::uint64_t evictions = 0;    ///< live current-epoch entries displaced
+  std::uint64_t epoch_invalidations = 0;  ///< key matched, epoch stale
+};
+
+/// Fixed-capacity open-addressing key→result cache with lazy epoch
+/// invalidation. Not thread-safe by design — one instance per worker.
+class FlowCache {
+ public:
+  /// Slots probed per lookup/insert (the associativity of one hash bucket).
+  static constexpr std::size_t kProbeWindow = 4;
+
+  /// `capacity` is rounded up to a power of two (minimum kProbeWindow).
+  /// Every slot is laid out up front — the cache never grows.
+  explicit FlowCache(std::size_t capacity);
+
+  /// The result cached for `header` under `epoch`, or nullptr on a miss.
+  /// `hash` must be flow_key_hash(header). A key match with a stale epoch
+  /// is a miss (counted separately) — the caller refills via store().
+  [[nodiscard]] const ExecutionResult* find(const PacketHeader& header,
+                                            std::uint64_t hash,
+                                            std::uint64_t epoch);
+
+  /// Cache `result` for `header` under `epoch`, preferring (in order) the
+  /// key's existing slot, an empty slot, a stale-epoch slot, and finally
+  /// evicting a live entry from the probe window (round-robin victim).
+  void store(const PacketHeader& header, std::uint64_t hash,
+             std::uint64_t epoch, const ExecutionResult& result);
+
+  [[nodiscard]] const FlowCacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint64_t epoch = 0;
+    bool occupied = false;
+    PacketHeader key;
+    ExecutionResult value;
+  };
+
+  [[nodiscard]] Slot& slot_at(std::uint64_t hash, std::size_t probe) {
+    return slots_[(hash + probe) & mask_];
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t victim_rotor_ = 0;
+  FlowCacheStats stats_;
+};
+
+}  // namespace ofmtl::runtime

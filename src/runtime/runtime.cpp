@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/flow_key.hpp"
+
 namespace ofmtl::runtime {
 
 ParallelRuntime::ParallelRuntime(MultiTableLookup tables, RuntimeConfig config)
@@ -9,7 +11,8 @@ ParallelRuntime::ParallelRuntime(MultiTableLookup tables, RuntimeConfig config)
   const std::size_t workers = config.workers == 0 ? 1 : config.workers;
   workers_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    workers_.push_back(std::make_unique<Worker>(config.queue_capacity));
+    workers_.push_back(std::make_unique<Worker>(config.queue_capacity,
+                                                config.flow_cache_capacity));
   }
   // Threads start only after the shard array is fully built (worker_loop
   // reads the whole shard array when stealing). If a launch fails partway,
@@ -70,11 +73,18 @@ void ParallelRuntime::run_item(Worker& worker, const WorkItem& item) {
   // against the same side/epoch, and flow-mods published mid-batch apply
   // from the worker's next batch on. Holding the guard across the batch is
   // what blocks the writer from reusing this side; it departs when this
-  // function returns.
+  // function returns. The flow cache keys on the guard's epoch, so cached
+  // entries from before a publish are stale by construction for this batch.
   const auto guard = classifier_.acquire();
+  const FlowCacheStats cache_before =
+      worker.cache != nullptr ? worker.cache->stats() : FlowCacheStats{};
   try {
-    guard.tables().execute_batch({item.headers, item.count},
-                                 {item.results, item.count}, worker.ctx);
+    if (worker.cache != nullptr) {
+      run_item_cached(worker, item, guard);
+    } else {
+      guard.tables().execute_batch({item.headers, item.count},
+                                   {item.results, item.count}, worker.ctx);
+    }
     worker.packets.fetch_add(item.count, std::memory_order_relaxed);
   } catch (...) {
     // A malformed packet (e.g. out-of-range field value) throws from the
@@ -85,8 +95,60 @@ void ParallelRuntime::run_item(Worker& worker, const WorkItem& item) {
     worker.errors.fetch_add(1, std::memory_order_relaxed);
     if (item.ticket != nullptr) item.ticket->fail();
   }
+  if (worker.cache != nullptr) {
+    // Publish the batch's cache-counter deltas (errored batches included —
+    // their lookups happened) through the atomics stats() samples.
+    const FlowCacheStats& after = worker.cache->stats();
+    worker.cache_hits.fetch_add(after.hits - cache_before.hits,
+                                std::memory_order_relaxed);
+    worker.cache_misses.fetch_add(after.misses - cache_before.misses,
+                                  std::memory_order_relaxed);
+    worker.cache_evictions.fetch_add(after.evictions - cache_before.evictions,
+                                     std::memory_order_relaxed);
+    worker.cache_epoch_invalidations.fetch_add(
+        after.epoch_invalidations - cache_before.epoch_invalidations,
+        std::memory_order_relaxed);
+  }
   worker.batches.fetch_add(1, std::memory_order_relaxed);
   if (item.ticket != nullptr) item.ticket->complete(guard.epoch());
+}
+
+void ParallelRuntime::run_item_cached(
+    Worker& worker, const WorkItem& item,
+    const SnapshotClassifier::ReadGuard& guard) {
+  FlowCache& cache = *worker.cache;
+  const std::uint64_t epoch = guard.epoch();
+  // Pre-pass: partition lanes into hits (served straight from the cache)
+  // and misses (gathered contiguously for one batched pipeline walk).
+  worker.miss_lanes.clear();
+  worker.miss_hashes.clear();
+  worker.miss_headers.clear();
+  for (std::size_t i = 0; i < item.count; ++i) {
+    const std::uint64_t hash = flow_key_hash(item.headers[i]);
+    if (const ExecutionResult* hit = cache.find(item.headers[i], hash, epoch)) {
+      item.results[i] = *hit;
+    } else {
+      worker.miss_lanes.push_back(static_cast<std::uint32_t>(i));
+      worker.miss_hashes.push_back(hash);
+      worker.miss_headers.push_back(item.headers[i]);
+    }
+  }
+  const std::size_t misses = worker.miss_lanes.size();
+  if (misses == 0) return;
+  // Grow-only (a resize down would destroy warmed ExecutionResults and
+  // forfeit their vector capacity — the allocation-free property).
+  if (worker.miss_results.size() < misses) worker.miss_results.resize(misses);
+  guard.tables().execute_batch({worker.miss_headers.data(), misses},
+                               {worker.miss_results.data(), misses},
+                               worker.ctx);
+  // Merge in submission order and refill the cache. Duplicate flows within
+  // one batch both take the miss path (the second store refreshes the same
+  // slot) — correct, just one hit short.
+  for (std::size_t j = 0; j < misses; ++j) {
+    item.results[worker.miss_lanes[j]] = worker.miss_results[j];
+    cache.store(worker.miss_headers[j], worker.miss_hashes[j], epoch,
+                worker.miss_results[j]);
+  }
 }
 
 void ParallelRuntime::worker_loop(std::size_t self) {
@@ -132,16 +194,25 @@ WorkerStats ParallelRuntime::stats(std::size_t worker) const {
   return {w.batches.load(std::memory_order_relaxed),
           w.packets.load(std::memory_order_relaxed),
           w.errors.load(std::memory_order_relaxed),
-          w.steals.load(std::memory_order_relaxed)};
+          w.steals.load(std::memory_order_relaxed),
+          w.cache_hits.load(std::memory_order_relaxed),
+          w.cache_misses.load(std::memory_order_relaxed),
+          w.cache_evictions.load(std::memory_order_relaxed),
+          w.cache_epoch_invalidations.load(std::memory_order_relaxed)};
 }
 
-WorkerStats ParallelRuntime::total_stats() const {
+WorkerStats ParallelRuntime::aggregate_stats() const {
   WorkerStats total;
-  for (const auto& worker : workers_) {
-    total.batches += worker->batches.load(std::memory_order_relaxed);
-    total.packets += worker->packets.load(std::memory_order_relaxed);
-    total.errors += worker->errors.load(std::memory_order_relaxed);
-    total.steals += worker->steals.load(std::memory_order_relaxed);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const WorkerStats s = stats(w);
+    total.batches += s.batches;
+    total.packets += s.packets;
+    total.errors += s.errors;
+    total.steals += s.steals;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.cache_evictions += s.cache_evictions;
+    total.cache_epoch_invalidations += s.cache_epoch_invalidations;
   }
   return total;
 }

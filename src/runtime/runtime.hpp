@@ -16,7 +16,11 @@
 //   - headers/results of a submitted batch are caller-owned and must stay
 //     alive until the ticket completes; results are rewritten in place
 //   - worker loops are allocation-free in steady state (warmed contexts,
-//     lock-free rings, wait-free snapshot guards)
+//     lock-free rings, wait-free snapshot guards, warmed flow-cache slots)
+//   - an optional per-worker epoch-keyed flow cache
+//     (RuntimeConfig::flow_cache_capacity, off by default) short-circuits
+//     repeat flows in front of the full pipeline; cached results are
+//     bitwise-identical and invalidate lazily on every published epoch
 //   - flow-mods go through the runtime's writer API; workers pick the new
 //     side up at their next batch boundary
 //   - a GroupTable attached via set_group_table is externally owned and
@@ -32,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/flow_cache.hpp"
 #include "runtime/snapshot.hpp"
 #include "runtime/steal_queue.hpp"
 
@@ -46,6 +51,12 @@ struct RuntimeConfig {
   /// worker (strict per-queue FIFO completion, e.g. for per-queue ordering
   /// experiments).
   bool work_stealing = true;
+  /// Per-worker exact-match flow-cache slots (rounded up to a power of
+  /// two). 0 disables the cache entirely: every packet walks the full
+  /// pipeline, exactly the pre-cache behaviour. Cached results are
+  /// bitwise-identical to pipeline results and invalidate lazily on every
+  /// published epoch (see src/runtime/flow_cache.hpp).
+  std::size_t flow_cache_capacity = 0;
 };
 
 /// Completion token of one or more submitted batches. The submitter owns it
@@ -97,6 +108,13 @@ struct WorkerStats {
                               ///< those batches are unspecified)
   std::uint64_t steals = 0;   ///< batches this worker popped from a sibling
                               ///< queue (subset of `batches`)
+  /// Flow-cache counters (all zero while the cache is disabled).
+  std::uint64_t cache_hits = 0;    ///< packets served from the cache
+  std::uint64_t cache_misses = 0;  ///< packets refilled from the pipeline
+                                   ///< (includes epoch invalidations)
+  std::uint64_t cache_evictions = 0;  ///< live entries displaced by refills
+  std::uint64_t cache_epoch_invalidations = 0;  ///< key hits voided by a
+                                                ///< newer snapshot epoch
 };
 
 /// Sharded multi-queue worker pool over a left-right SnapshotClassifier.
@@ -152,9 +170,11 @@ class ParallelRuntime {
   /// calls it. No submissions may race with or follow stop().
   void stop();
 
-  /// Counters of one worker / summed over all workers.
+  /// Counters of one worker / aggregated over all workers (the aggregate is
+  /// the monitoring surface: cache hit rates and steal counts only mean
+  /// anything summed, since stealing moves batches between workers).
   [[nodiscard]] WorkerStats stats(std::size_t worker) const;
-  [[nodiscard]] WorkerStats total_stats() const;
+  [[nodiscard]] WorkerStats aggregate_stats() const;
 
  private:
   struct WorkItem {
@@ -164,21 +184,43 @@ class ParallelRuntime {
     BatchTicket* ticket = nullptr;
   };
 
-  /// One worker shard: queue + scratch + stats, cache-line aligned so
-  /// neighbouring shards never false-share.
+  /// One worker shard: queue + scratch + flow cache + stats, cache-line
+  /// aligned so neighbouring shards never false-share.
   struct alignas(kCacheLine) Worker {
-    explicit Worker(std::size_t queue_capacity) : queue(queue_capacity) {}
+    Worker(std::size_t queue_capacity, std::size_t flow_cache_capacity)
+        : queue(queue_capacity),
+          cache(flow_cache_capacity > 0
+                    ? std::make_unique<FlowCache>(flow_cache_capacity)
+                    : nullptr) {}
     StealQueue<WorkItem> queue;
     ExecBatchContext ctx;
+    /// Per-worker flow cache (nullptr when disabled) plus the miss-partition
+    /// scratch of the batch pre-pass: lanes/hashes/headers of the packets
+    /// that must walk the pipeline, and the results they produce. All four
+    /// are cleared-not-shrunk per batch (miss_results grows only), so the
+    /// cached drain loop stays allocation-free in steady state.
+    std::unique_ptr<FlowCache> cache;
+    std::vector<std::uint32_t> miss_lanes;
+    std::vector<std::uint64_t> miss_hashes;
+    std::vector<PacketHeader> miss_headers;
+    std::vector<ExecutionResult> miss_results;
     std::atomic<std::uint64_t> batches{0};
     std::atomic<std::uint64_t> packets{0};
     std::atomic<std::uint64_t> errors{0};
     std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
+    std::atomic<std::uint64_t> cache_evictions{0};
+    std::atomic<std::uint64_t> cache_epoch_invalidations{0};
     std::thread thread;
   };
 
   void worker_loop(std::size_t self);
   void run_item(Worker& worker, const WorkItem& item);
+  /// Cache pre-pass + pipeline-on-misses + submission-order merge for one
+  /// batch (only called when the worker's cache exists).
+  void run_item_cached(Worker& worker, const WorkItem& item,
+                       const SnapshotClassifier::ReadGuard& guard);
 
   SnapshotClassifier classifier_;
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -13,7 +13,6 @@
 
 #include "core/builder.hpp"
 #include "runtime/runtime.hpp"
-#include "runtime/spsc_queue.hpp"
 #include "workload/stanford_synth.hpp"
 #include "workload/trace_gen.hpp"
 
@@ -38,7 +37,6 @@ namespace {
 using runtime::BatchTicket;
 using runtime::ParallelRuntime;
 using runtime::RuntimeConfig;
-using runtime::SpscQueue;
 using workload::FilterApp;
 
 struct App {
@@ -54,18 +52,47 @@ App make_app(FilterApp app, const char* name, std::size_t packets = 512) {
                  set, {.packets = packets, .hit_ratio = 0.9, .seed = 31})};
 }
 
-TEST(SpscQueue, PushPopOrderAndBackpressure) {
-  SpscQueue<int> queue(4);
-  EXPECT_TRUE(queue.empty());
-  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.try_push(i));
-  EXPECT_FALSE(queue.try_push(99));  // full
-  int out = -1;
-  for (int i = 0; i < 4; ++i) {
-    ASSERT_TRUE(queue.try_pop(out));
-    EXPECT_EQ(out, i);
-  }
-  EXPECT_FALSE(queue.try_pop(out));
-  EXPECT_TRUE(queue.empty());
+TEST(ParallelRuntime, AggregateStatsSumsPerWorkerCounters) {
+  // Submit distinct batch counts to each queue (stealing off so batches
+  // stay pinned to their queue's worker) and check aggregate_stats() is the
+  // exact per-worker sum — including the flow-cache counters, which a
+  // second identical pass turns into hits.
+  const auto app = make_app(FilterApp::kMacLearning, "bbra", 256);
+  ParallelRuntime rt(app.accelerated.clone(),
+                     {.workers = 2,
+                      .work_stealing = false,
+                      .flow_cache_capacity = 1024});
+  constexpr std::size_t kBatch = 64;
+  std::vector<ExecutionResult> results(app.trace.size());
+  const auto feed = [&](std::size_t queue, std::size_t batches) {
+    BatchTicket ticket;
+    for (std::size_t b = 0; b < batches; ++b) {
+      while (!rt.try_submit(queue, {app.trace.data() + b * kBatch, kBatch},
+                            {results.data() + b * kBatch, kBatch}, &ticket)) {
+        std::this_thread::yield();
+      }
+    }
+    ticket.wait();
+  };
+  feed(0, 3);  // worker 0: 3 batches
+  feed(1, 1);  // worker 1: 1 batch
+  feed(0, 3);  // repeat pass: worker 0's cache now serves hits
+  const auto w0 = rt.stats(0);
+  const auto w1 = rt.stats(1);
+  const auto total = rt.aggregate_stats();
+  EXPECT_EQ(w0.batches, 6u);
+  EXPECT_EQ(w1.batches, 1u);
+  EXPECT_EQ(total.batches, w0.batches + w1.batches);
+  EXPECT_EQ(total.packets, w0.packets + w1.packets);
+  EXPECT_EQ(total.steals, w0.steals + w1.steals);
+  EXPECT_EQ(total.errors, w0.errors + w1.errors);
+  EXPECT_EQ(total.cache_hits, w0.cache_hits + w1.cache_hits);
+  EXPECT_EQ(total.cache_misses, w0.cache_misses + w1.cache_misses);
+  EXPECT_EQ(total.cache_evictions, w0.cache_evictions + w1.cache_evictions);
+  EXPECT_EQ(total.cache_epoch_invalidations,
+            w0.cache_epoch_invalidations + w1.cache_epoch_invalidations);
+  EXPECT_GT(w0.cache_hits, 0u);  // the repeat pass hit worker 0's cache
+  EXPECT_EQ(total.cache_hits + total.cache_misses, total.packets);
 }
 
 TEST(Clone, PreservesEqualPriorityTieBreakAfterSlotReuse) {
@@ -120,7 +147,7 @@ TEST(ParallelRuntime, MatchesSingleThreadedExecute) {
     for (std::size_t i = 0; i < app.trace.size(); ++i) {
       ASSERT_EQ(results[i], expected[i]) << "workers=" << workers << " i=" << i;
     }
-    const auto total = rt.total_stats();
+    const auto total = rt.aggregate_stats();
     EXPECT_EQ(total.packets, app.trace.size());
     EXPECT_EQ(total.batches, (app.trace.size() + kBatch - 1) / kBatch);
   }
@@ -173,7 +200,7 @@ TEST(ParallelRuntime, MalformedPacketFailsTicketInsteadOfTerminating) {
   std::vector<ExecutionResult> results(1);
   EXPECT_THROW(rt.classify(0, {&bad, 1}, {results.data(), 1}),
                std::runtime_error);
-  EXPECT_EQ(rt.total_stats().errors, 1u);
+  EXPECT_EQ(rt.aggregate_stats().errors, 1u);
 
   PacketHeader good;
   good.set_src_port(50);

@@ -140,10 +140,10 @@ TEST(WorkStealing, SkewedSubmitterKeepsResultsCorrectAndSpreadsWork) {
       ASSERT_EQ(big_results[i], expected[i]) << "big batch packet " << i;
       ASSERT_EQ(small_results[i], expected[i]) << "small batch packet " << i;
     }
-    steals = rt.total_stats().steals;
+    steals = rt.aggregate_stats().steals;
     ++rounds;
   }
-  const auto total = rt.total_stats();
+  const auto total = rt.aggregate_stats();
   EXPECT_EQ(total.packets, rounds * 2 * app.trace.size());
   EXPECT_GT(total.steals, 0u)
       << "no worker ever stole from the hot queue in " << rounds << " rounds";
@@ -170,7 +170,7 @@ TEST(WorkStealing, DisabledStealingPinsBatchesToTheirQueue) {
   EXPECT_EQ(rt.stats(0).batches, batches);
   EXPECT_EQ(rt.stats(1).batches, 0u)
       << "a worker drained a sibling queue with stealing disabled";
-  EXPECT_EQ(rt.total_stats().steals, 0u);
+  EXPECT_EQ(rt.aggregate_stats().steals, 0u);
 }
 
 }  // namespace
