@@ -1,0 +1,189 @@
+// Trace-replay benchmark: the bytes-on-disk → classified-actions path end
+// to end, per stage. For each app (trie-heavy routing, EM-heavy MAC
+// learning) a Zipf-skewed stream over a 4096-flow pool is exported to an
+// in-memory pcap capture, and three numbers are measured:
+//   - parse_only: the batched allocation-free wire parse alone (ns/frame),
+//     plus its throughput in Mfps (parse_mpps/*, floor-gated in CI: even a
+//     slow shared runner parses well above 0.5 M frames/s, so a floor
+//     catches order-of-magnitude parse regressions machine-independently);
+//   - replay cache_off / cache_on: TraceReplayer into a 1-worker
+//     ParallelRuntime (ns/packet, hardware-sensitive, baseline-gated on
+//     matching hardware like the other benches);
+//   - hitrate/*: the replayed stream's flow-cache hit rate in percent —
+//     a property of the stream and the cache geometry, not the machine,
+//     so CI floor-gates it everywhere (>= 90%).
+// Writes BENCH_replay.json next to the binary.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/builder.hpp"
+#include "runtime/runtime.hpp"
+#include "trace/pcap.hpp"
+#include "trace/replay.hpp"
+#include "workload/stanford_synth.hpp"
+#include "workload/trace_export.hpp"
+#include "workload/trace_gen.hpp"
+#include "workload/zipf.hpp"
+
+namespace {
+
+using namespace ofmtl;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kFlows = 4096;
+constexpr std::size_t kStreamPackets = 1 << 15;
+constexpr double kZipfS = 1.1;
+constexpr std::size_t kCacheCapacity = 8192;
+constexpr std::size_t kBatch = 256;
+constexpr auto kParseMeasure = std::chrono::milliseconds(300);
+constexpr auto kReplayTarget = std::chrono::milliseconds(400);
+
+struct App {
+  std::string tag;
+  FilterSet set;
+  MultiTableLookup tables;
+};
+
+App make_app(workload::FilterApp app, const char* name) {
+  auto set = workload::generate_filterset(app, name);
+  auto tables = compile_app(build_app(set, TableLayout::kPerFieldTables));
+  return App{std::string(to_string(app)) + "_" + name, std::move(set),
+             std::move(tables)};
+}
+
+std::vector<PacketHeader> make_stream(const App& app) {
+  const auto pool = workload::generate_trace(
+      app.set, {.packets = kFlows, .hit_ratio = 0.9, .seed = 123});
+  workload::ZipfSampler sampler(pool.size(), kZipfS, /*seed=*/99);
+  std::vector<PacketHeader> stream;
+  stream.reserve(kStreamPackets);
+  for (std::size_t i = 0; i < kStreamPackets; ++i) {
+    stream.push_back(pool[sampler.next()]);
+  }
+  return stream;
+}
+
+/// ns/frame of the batched wire parse over the capture, repeated for the
+/// measure window (warmed scratch, lane windows of kBatch).
+double measure_parse(const std::vector<trace::PcapRecord>& records,
+                     std::uint32_t in_port) {
+  std::vector<trace::WireFrame> frames;
+  frames.reserve(records.size());
+  for (const auto& record : records) {
+    frames.emplace_back(record.bytes, record.orig_len);
+  }
+  std::vector<PacketHeader> out(kBatch);
+  trace::ParseContext ctx;
+
+  const auto run_pass = [&] {
+    std::size_t valid = 0;
+    for (std::size_t base = 0; base < frames.size(); base += kBatch) {
+      const std::size_t n = std::min(kBatch, frames.size() - base);
+      valid += trace::parse_batch({frames.data() + base, n}, in_port,
+                                  {out.data(), n}, ctx);
+    }
+    return valid;
+  };
+  (void)run_pass();  // warm scratch and caches
+
+  std::uint64_t parsed = 0;
+  const auto start = Clock::now();
+  const auto end = start + kParseMeasure;
+  auto now = start;
+  while (now < end) {
+    parsed += run_pass();
+    now = Clock::now();
+  }
+  const double ns = std::chrono::duration<double, std::nano>(now - start).count();
+  return parsed > 0 ? ns / static_cast<double>(parsed) : 0.0;
+}
+
+/// ns/packet of a full replay (loops sized to the target window); the
+/// cache hit rate over the measured run lands in `hit_rate` percent.
+double measure_replay(const App& app, trace::TraceReplayer& replayer,
+                      std::size_t cache_capacity, double& hit_rate) {
+  std::vector<ExecutionResult> results(replayer.headers().size());
+  trace::ReplayConfig config{.batch = kBatch, .in_flight = 4};
+
+  const auto run_with = [&](std::size_t loops) {
+    runtime::ParallelRuntime rt(app.tables.clone(),
+                                {.workers = 1,
+                                 .queue_capacity = 2 * config.in_flight,
+                                 .flow_cache_capacity = cache_capacity});
+    config.loops = loops;
+    const auto stats = replayer.run(rt, results, config);
+    const auto worker_stats = rt.aggregate_stats();
+    const auto probes = worker_stats.cache_hits + worker_stats.cache_misses;
+    hit_rate = probes > 0 ? 100.0 *
+                                static_cast<double>(worker_stats.cache_hits) /
+                                static_cast<double>(probes)
+                          : 0.0;
+    return stats;
+  };
+
+  const auto calibration = run_with(2);
+  const double per_loop_ns =
+      calibration.elapsed_ns / 2.0 > 0 ? calibration.elapsed_ns / 2.0 : 1.0;
+  const auto target_ns =
+      std::chrono::duration<double, std::nano>(kReplayTarget).count();
+  const std::size_t loops = std::clamp<std::size_t>(
+      static_cast<std::size_t>(target_ns / per_loop_ns), 4, 512);
+  return run_with(loops).ns_per_packet();
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::pair<std::string, double>> results;
+
+  const std::vector<std::pair<workload::FilterApp, const char*>> app_specs = {
+      {workload::FilterApp::kRouting, "yoza"},
+      {workload::FilterApp::kMacLearning, "gozb"},
+  };
+  for (const auto& [filter_app, name] : app_specs) {
+    const App app = make_app(filter_app, name);
+    const std::uint32_t in_port = workload::capture_in_port(app.set);
+    const auto stream = make_stream(app);
+    const auto writer = workload::export_trace(stream);
+    trace::PcapReader reader(std::span<const std::uint8_t>(writer.buffer()));
+    const auto records = reader.read_all();
+
+    const double parse_ns = measure_parse(records, in_port);
+    reader.rewind();
+    trace::TraceReplayer replayer(reader, in_port);
+    if (replayer.malformed_frames() != 0) {
+      std::cerr << "error: exporter produced " << replayer.malformed_frames()
+                << " malformed frames — bench invalid\n";
+      return 1;
+    }
+    double hit_off = 0.0, hit_on = 0.0;
+    const double off_ns = measure_replay(app, replayer, 0, hit_off);
+    const double on_ns = measure_replay(app, replayer, kCacheCapacity, hit_on);
+
+    const std::string base = "replay/" + app.tag;
+    results.emplace_back(base + "/parse_only", parse_ns);
+    results.emplace_back(base + "/zipf_s1.1_f4096/cache_off", off_ns);
+    results.emplace_back(base + "/zipf_s1.1_f4096/cache_on", on_ns);
+    results.emplace_back("hitrate/" + app.tag + "/replay_zipf_s1.1", hit_on);
+    results.emplace_back("parse_mpps/" + app.tag,
+                         parse_ns > 0 ? 1e3 / parse_ns : 0.0);
+    std::cout << base << ": parse " << parse_ns << " ns/frame ("
+              << (parse_ns > 0 ? 1e3 / parse_ns : 0.0) << " Mfps), replay off "
+              << off_ns << " ns/pkt, on " << on_ns << " ns/pkt ("
+              << (on_ns > 0 ? off_ns / on_ns : 0.0) << "x, hit rate " << hit_on
+              << "%)\n";
+  }
+
+  auto metadata = ofmtl::bench::common_metadata();
+  metadata.emplace_back("batch_size", std::to_string(kBatch));
+  metadata.emplace_back("stream_packets", std::to_string(kStreamPackets));
+  metadata.emplace_back("flows", std::to_string(kFlows));
+  metadata.emplace_back("cache_capacity", std::to_string(kCacheCapacity));
+  ofmtl::bench::write_bench_json("replay", "ns_per_packet", results, metadata);
+  return 0;
+}

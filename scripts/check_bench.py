@@ -25,11 +25,14 @@ tolerance of each other (|a-b|/min(a,b) <= tol) — e.g. the left-right
 publish latency must not scale with table size.
 
 Within-run floor invariants (machine-independent) are gated with
-    --min-hit-rate hitrate/routing_yoza/zipf_s1.1_f4096:90
-which requires the CURRENT value of the named metric to be >= the floor
-(hitrate/* metrics are emitted in PERCENT, so a 90% floor is `:90`) —
+    --min-metric hitrate/routing_yoza/zipf_s1.1_f4096:90
+which requires the CURRENT value of the named metric to be >= the floor —
 e.g. the flow cache's Zipf hit rate is a property of the stream and the
 cache geometry, not of the machine, so it gates on foreign runners too.
+Mind the metric's unit: hitrate/* metrics are emitted in PERCENT (a 90%
+floor is `:90`), parse_mpps/* in million packets per second (a deliberately
+conservative floor like `:0.5` catches order-of-magnitude regressions on
+any hardware). --min-hit-rate is the historical alias of the same flag.
 
 Exit codes: 0 ok, 1 regression/flatness violation, 2 usage/IO error.
 """
@@ -87,9 +90,11 @@ def main():
         "checked within the current run, so it is hardware-independent",
     )
     parser.add_argument(
-        "--min-hit-rate",
+        "--min-metric",
+        "--min-hit-rate",  # historical alias (pre-generalization name)
         action="append",
         default=[],
+        dest="min_metric",
         metavar="NAME:MIN",
         help="require current[NAME] >= MIN (repeatable); checked within "
         "the current run, so it is hardware-independent",
@@ -187,16 +192,16 @@ def main():
             flat_failures.append(spec)
 
     floor_failures = []
-    for spec in args.min_hit_rate:
+    for spec in args.min_metric:
         try:
             name, floor_text = spec.rsplit(":", 1)
             floor = float(floor_text)
         except ValueError:
-            print(f"error: bad --min-hit-rate spec {spec!r} (want NAME:MIN)",
+            print(f"error: bad --min-metric spec {spec!r} (want NAME:MIN)",
                   file=sys.stderr)
             sys.exit(2)
         if name not in results_c:
-            print(f"error: --min-hit-rate metric missing from current run: "
+            print(f"error: --min-metric metric missing from current run: "
                   f"{spec}", file=sys.stderr)
             sys.exit(2)
         value = float(results_c[name])
@@ -206,7 +211,7 @@ def main():
             floor_failures.append(spec)
 
     if (compared == 0 and hw_skipped == 0 and not args.flat_pair
-            and not args.min_hit_rate):
+            and not args.min_metric):
         print("error: no overlapping metrics compared", file=sys.stderr)
         sys.exit(2)
     if regressions:
@@ -236,8 +241,8 @@ def main():
              if hw_skipped else "")
           + (f", {len(args.flat_pair)} flatness invariant(s) hold"
              if args.flat_pair else "")
-          + (f", {len(args.min_hit_rate)} floor invariant(s) hold"
-             if args.min_hit_rate else ""))
+          + (f", {len(args.min_metric)} floor invariant(s) hold"
+             if args.min_metric else ""))
     sys.exit(0)
 
 

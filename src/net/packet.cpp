@@ -1,5 +1,6 @@
 #include "net/packet.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ofmtl {
@@ -32,12 +33,16 @@ class ByteWriter {
   std::vector<std::uint8_t>& out_;
 };
 
+// Non-throwing cursor over wire bytes: an out-of-bounds read sets a sticky
+// failure flag (and yields zeros) instead of throwing, so the batched trace
+// front end can reject a malformed lane without unwinding. parse_packet
+// turns the flag back into std::invalid_argument for its callers.
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
   [[nodiscard]] std::uint8_t u8() {
-    require(1);
+    if (!require(1)) return 0;
     return bytes_[pos_++];
   }
   [[nodiscard]] std::uint16_t u16() {
@@ -59,27 +64,131 @@ class ByteReader {
     return {hi, lo};
   }
   void skip(std::size_t n) {
-    require(n);
-    pos_ += n;
+    if (require(n)) pos_ += n;
   }
+  [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
   [[nodiscard]] std::span<const std::uint8_t> rest() const {
     return bytes_.subspan(pos_);
   }
 
  private:
-  void require(std::size_t n) const {
+  [[nodiscard]] bool require(std::size_t n) {
     if (pos_ + n > bytes_.size()) {
-      throw std::invalid_argument("truncated packet");
+      ok_ = false;
+      return false;
     }
+    return ok_;
   }
   std::span<const std::uint8_t> bytes_;
   std::size_t pos_ = 0;
+  bool ok_ = true;
 };
 
 [[nodiscard]] bool has_l4_ports(std::uint8_t proto) {
   return proto == static_cast<std::uint8_t>(IpProto::kTcp) ||
          proto == static_cast<std::uint8_t>(IpProto::kUdp);
+}
+
+// The layer walk shared by parse_packet and the allocation-free batched
+// entry point: fills every spec field except the payload. Returns nullptr
+// on success, a static error string on malformed input. Never throws.
+//
+// `snap_slack` is how many trailing on-wire bytes the capture cut off
+// (pcap orig_len - incl_len; 0 for a complete frame). L3 length fields are
+// validated against the wire (capture + slack) so a snap-length-capped
+// record parses gracefully — snapped-off fields are absent, not errors —
+// while a frame whose lengths overrun the actual wire stays malformed.
+[[nodiscard]] const char* parse_spec_layers(ByteReader& r, PacketSpec& spec,
+                                            std::size_t snap_slack) {
+  spec.eth_dst = MacAddress{r.u48()};
+  spec.eth_src = MacAddress{r.u48()};
+  std::uint16_t ether_type = r.u16();
+  if (!r.ok()) return "truncated packet";
+
+  unsigned vlan_tags = 0;
+  while (ether_type == static_cast<std::uint16_t>(EtherType::kVlan)) {
+    if (++vlan_tags > kMaxVlanDepth) return "VLAN stack too deep";
+    const std::uint16_t tci = r.u16();
+    ether_type = r.u16();
+    if (!r.ok()) return "truncated VLAN tag";
+    if (vlan_tags == 1) {  // OpenFlow matches the outermost tag
+      spec.vlan_id = tci & 0x0FFF;
+      spec.vlan_pcp = static_cast<std::uint8_t>(tci >> 13);
+    }
+  }
+
+  if (ether_type == static_cast<std::uint16_t>(EtherType::kMplsUnicast)) {
+    unsigned depth = 0;
+    bool bottom = false;
+    while (!bottom) {
+      if (++depth > kMaxMplsDepth) return "MPLS stack too deep";
+      const std::uint32_t shim = r.u32();
+      if (!r.ok()) return "truncated MPLS shim";
+      if (depth == 1) spec.mpls_label = shim >> 12;  // outermost label
+      bottom = ((shim >> 8) & 1) != 0;
+    }
+    // The codec emits bottom-of-stack IPv4 under MPLS; the inner EtherType
+    // is implicit, so the spec's eth_type stays 0 (matches the serializer).
+    ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+    spec.eth_type = 0;
+  } else {
+    spec.eth_type = ether_type;
+  }
+
+  std::size_t l4_claimed = 0;  // L4 bytes the L3 length fields account for
+  if (ether_type == static_cast<std::uint16_t>(EtherType::kIpv4) &&
+      r.remaining() >= 20) {
+    const std::size_t l3_avail = r.remaining();
+    const std::uint8_t version_ihl = r.u8();
+    if ((version_ihl >> 4) != 4) return "bad IPv4 version";
+    const std::size_t ihl_bytes = (version_ihl & 0xF) * 4U;
+    if (ihl_bytes < 20) return "bad IPv4 IHL";
+    spec.ip_tos = r.u8();
+    const std::uint16_t total_len = r.u16();
+    if (total_len < ihl_bytes) return "IPv4 total length below header";
+    if (total_len > l3_avail + snap_slack) return "IPv4 total length beyond wire";
+    (void)r.u16();  // identification
+    (void)r.u16();  // flags/fragment
+    (void)r.u8();   // TTL
+    spec.ip_proto = r.u8();
+    (void)r.u16();  // checksum
+    spec.ipv4_src = Ipv4Address{r.u32()};
+    spec.ipv4_dst = Ipv4Address{r.u32()};
+    if (ihl_bytes > 20) {
+      // Options the capture snapped off just end the walk (no ports left
+      // to read); on a complete frame the skip always fits, because
+      // total_len <= l3_avail was checked above.
+      r.skip(std::min(ihl_bytes - 20, r.remaining()));
+    }
+    l4_claimed = total_len - ihl_bytes;
+  } else if (ether_type == static_cast<std::uint16_t>(EtherType::kIpv6) &&
+             r.remaining() >= 40) {
+    const std::size_t l3_avail = r.remaining();
+    const std::uint32_t vtf = r.u32();
+    if ((vtf >> 28) != 6) return "bad IPv6 version";
+    spec.ip_tos = static_cast<std::uint8_t>((vtf >> 20) & 0xFF);
+    const std::uint16_t payload_len = r.u16();
+    if (payload_len > l3_avail + snap_slack - 40) {
+      return "IPv6 payload length beyond wire";
+    }
+    spec.ip_proto = r.u8();
+    (void)r.u8();  // hop limit
+    spec.ipv6_src = Ipv6Address{r.u128()};
+    spec.ipv6_dst = Ipv6Address{r.u128()};
+    l4_claimed = payload_len;
+  }
+
+  // Ports are attributed only when the L3 length fields actually cover
+  // them — trailing bytes beyond the claimed length are payload, not an L4
+  // header (the "inner-header overrun" case).
+  if ((spec.ipv4_src || spec.ipv6_src) && has_l4_ports(spec.ip_proto) &&
+      l4_claimed >= 8 && r.remaining() >= 8) {
+    spec.src_port = r.u16();
+    spec.dst_port = r.u16();
+    r.skip(4);
+  }
+  return r.ok() ? nullptr : "truncated packet";
 }
 
 }  // namespace
@@ -101,8 +210,14 @@ std::vector<std::uint8_t> serialize_packet(const PacketSpec& spec) {
   } else {
     w.u16(spec.eth_type);
   }
+  // The L4 block below is emitted only when the ports are actually set, so
+  // the length fields must count it under the same condition (a TCP proto
+  // with no ports used to claim 8 phantom bytes, which the hardened parser
+  // rightly rejects as an overrun).
+  const bool emits_l4 =
+      has_l4_ports(spec.ip_proto) && spec.src_port && spec.dst_port;
   if (spec.ipv4_src && spec.ipv4_dst) {
-    const std::uint16_t l4 = has_l4_ports(spec.ip_proto) ? 8 : 0;
+    const std::uint16_t l4 = emits_l4 ? 8 : 0;
     const auto total =
         static_cast<std::uint16_t>(20 + l4 + spec.payload.size());
     w.u8(0x45);  // version 4, IHL 5
@@ -116,7 +231,7 @@ std::vector<std::uint8_t> serialize_packet(const PacketSpec& spec) {
     w.u32(spec.ipv4_src->value());
     w.u32(spec.ipv4_dst->value());
   } else if (spec.ipv6_src && spec.ipv6_dst) {
-    const std::uint16_t l4 = has_l4_ports(spec.ip_proto) ? 8 : 0;
+    const std::uint16_t l4 = emits_l4 ? 8 : 0;
     w.u32((6U << 28) | (std::uint32_t{spec.ip_tos} << 20));
     w.u16(static_cast<std::uint16_t>(l4 + spec.payload.size()));
     w.u8(spec.ip_proto);  // next header
@@ -124,7 +239,7 @@ std::vector<std::uint8_t> serialize_packet(const PacketSpec& spec) {
     w.u128(spec.ipv6_src->value());
     w.u128(spec.ipv6_dst->value());
   }
-  if (has_l4_ports(spec.ip_proto) && spec.src_port && spec.dst_port) {
+  if (emits_l4) {
     w.u16(*spec.src_port);
     w.u16(*spec.dst_port);
     w.u16(0);  // UDP length / TCP seq stub
@@ -160,59 +275,97 @@ ParsedPacket parse_packet(std::span<const std::uint8_t> bytes,
                           std::uint32_t in_port) {
   ByteReader r{bytes};
   PacketSpec spec;
-  spec.eth_dst = MacAddress{r.u48()};
-  spec.eth_src = MacAddress{r.u48()};
-  std::uint16_t ether_type = r.u16();
-  if (ether_type == static_cast<std::uint16_t>(EtherType::kVlan)) {
-    const std::uint16_t tci = r.u16();
-    spec.vlan_id = tci & 0x0FFF;
-    spec.vlan_pcp = static_cast<std::uint8_t>(tci >> 13);
-    ether_type = r.u16();
-  }
-  if (ether_type == static_cast<std::uint16_t>(EtherType::kMplsUnicast)) {
-    const std::uint32_t shim = r.u32();
-    spec.mpls_label = shim >> 12;
-    // The codec emits bottom-of-stack IPv4 under MPLS; the inner EtherType
-    // is implicit, so the spec's eth_type stays 0 (matches the serializer).
-    ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
-    spec.eth_type = 0;
-  } else {
-    spec.eth_type = ether_type;
-  }
-  if (ether_type == static_cast<std::uint16_t>(EtherType::kIpv4) &&
-      r.remaining() >= 20) {
-    const std::uint8_t version_ihl = r.u8();
-    if ((version_ihl >> 4) != 4) throw std::invalid_argument("bad IPv4 version");
-    spec.ip_tos = r.u8();
-    (void)r.u16();  // total length
-    (void)r.u16();  // identification
-    (void)r.u16();  // flags/fragment
-    (void)r.u8();   // TTL
-    spec.ip_proto = r.u8();
-    (void)r.u16();  // checksum
-    spec.ipv4_src = Ipv4Address{r.u32()};
-    spec.ipv4_dst = Ipv4Address{r.u32()};
-    const unsigned ihl = (version_ihl & 0xF) * 4U;
-    if (ihl > 20) r.skip(ihl - 20);
-  } else if (ether_type == static_cast<std::uint16_t>(EtherType::kIpv6) &&
-             r.remaining() >= 40) {
-    const std::uint32_t vtf = r.u32();
-    if ((vtf >> 28) != 6) throw std::invalid_argument("bad IPv6 version");
-    spec.ip_tos = static_cast<std::uint8_t>((vtf >> 20) & 0xFF);
-    (void)r.u16();  // payload length
-    spec.ip_proto = r.u8();
-    (void)r.u8();   // hop limit
-    spec.ipv6_src = Ipv6Address{r.u128()};
-    spec.ipv6_dst = Ipv6Address{r.u128()};
-  }
-  if (has_l4_ports(spec.ip_proto) && r.remaining() >= 8) {
-    spec.src_port = r.u16();
-    spec.dst_port = r.u16();
-    r.skip(4);
+  if (const char* error = parse_spec_layers(r, spec, /*snap_slack=*/0)) {
+    throw std::invalid_argument(error);
   }
   const auto rest = r.rest();
   spec.payload.assign(rest.begin(), rest.end());
   return ParsedPacket{spec, header_from_spec(spec, in_port)};
+}
+
+bool parse_packet_header(std::span<const std::uint8_t> bytes,
+                         std::uint32_t in_port, PacketHeader& out,
+                         std::size_t wire_len) noexcept {
+  ByteReader r{bytes};
+  PacketSpec spec;  // payload stays empty: a stack object, no allocation
+  const std::size_t slack = wire_len > bytes.size() ? wire_len - bytes.size() : 0;
+  if (parse_spec_layers(r, spec, slack) != nullptr) return false;
+  out = header_from_spec(spec, in_port);
+  return true;
+}
+
+PacketSpec spec_from_header(const PacketHeader& h) {
+  PacketSpec spec;
+  spec.eth_src =
+      MacAddress{h.has(FieldId::kEthSrc) ? h.get64(FieldId::kEthSrc) : 0};
+  spec.eth_dst =
+      MacAddress{h.has(FieldId::kEthDst) ? h.get64(FieldId::kEthDst) : 0};
+  if (h.has(FieldId::kVlanId)) {
+    // Wire VID is 12 bits (the header field keeps 13 for the OpenFlow
+    // PRESENT bit); an emitted tag always carries a PCP.
+    spec.vlan_id = static_cast<std::uint16_t>(h.get64(FieldId::kVlanId)) & 0x0FFF;
+    spec.vlan_pcp =
+        h.has(FieldId::kVlanPcp)
+            ? static_cast<std::uint8_t>(h.get64(FieldId::kVlanPcp) & 0x7)
+            : std::uint8_t{0};
+  }
+
+  const bool v4 = h.has(FieldId::kIpv4Src) || h.has(FieldId::kIpv4Dst);
+  // The serializer prefers IPv4 when both families are present.
+  const bool v6 = !v4 && (h.has(FieldId::kIpv6Src) || h.has(FieldId::kIpv6Dst));
+  if (h.has(FieldId::kMplsLabel) && !v6) {
+    // The codec's MPLS payload is IPv4 with an implicit inner EtherType.
+    spec.mpls_label =
+        static_cast<std::uint32_t>(h.get64(FieldId::kMplsLabel)) & 0xFFFFF;
+    spec.eth_type = 0;
+  } else if (v4) {
+    spec.eth_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+  } else if (v6) {
+    spec.eth_type = static_cast<std::uint16_t>(EtherType::kIpv6);
+  } else if (h.has(FieldId::kEthType)) {
+    const auto type = static_cast<std::uint16_t>(h.get64(FieldId::kEthType));
+    // A layer-announcing EtherType with no matching layer would derail the
+    // parser into the (absent) tag/shim bytes; clear it.
+    const bool announces_layer =
+        type == static_cast<std::uint16_t>(EtherType::kVlan) ||
+        type == static_cast<std::uint16_t>(EtherType::kMplsUnicast);
+    spec.eth_type = announces_layer ? 0 : type;
+  }
+
+  if (v4) {
+    spec.ipv4_src = Ipv4Address{static_cast<std::uint32_t>(
+        h.has(FieldId::kIpv4Src) ? h.get64(FieldId::kIpv4Src) : 0)};
+    spec.ipv4_dst = Ipv4Address{static_cast<std::uint32_t>(
+        h.has(FieldId::kIpv4Dst) ? h.get64(FieldId::kIpv4Dst) : 0)};
+  } else if (v6) {
+    spec.ipv6_src = Ipv6Address{h.has(FieldId::kIpv6Src)
+                                    ? h.get(FieldId::kIpv6Src)
+                                    : U128{}};
+    spec.ipv6_dst = Ipv6Address{h.has(FieldId::kIpv6Dst)
+                                    ? h.get(FieldId::kIpv6Dst)
+                                    : U128{}};
+  }
+  if (v4 || v6) {
+    spec.ip_proto = h.has(FieldId::kIpProto)
+                        ? static_cast<std::uint8_t>(h.get64(FieldId::kIpProto))
+                        : std::uint8_t{0};
+    spec.ip_tos = h.has(FieldId::kIpTos)
+                      ? static_cast<std::uint8_t>(h.get64(FieldId::kIpTos) & 0xFF)
+                      : std::uint8_t{0};
+    if (has_l4_ports(spec.ip_proto) &&
+        (h.has(FieldId::kSrcPort) || h.has(FieldId::kDstPort))) {
+      spec.src_port = static_cast<std::uint16_t>(
+          h.has(FieldId::kSrcPort) ? h.get64(FieldId::kSrcPort) : 0);
+      spec.dst_port = static_cast<std::uint16_t>(
+          h.has(FieldId::kDstPort) ? h.get64(FieldId::kDstPort) : 0);
+    }
+  }
+  return spec;
+}
+
+PacketHeader canonical_wire_header(const PacketHeader& header,
+                                   std::uint32_t in_port) {
+  return header_from_spec(spec_from_header(header), in_port);
 }
 
 }  // namespace ofmtl

@@ -22,6 +22,12 @@ enum class EtherType : std::uint16_t {
   kMplsUnicast = 0x8847,
 };
 
+/// Adversarial-input bounds of the parser: deeper VLAN / MPLS stacks are
+/// rejected rather than walked (a crafted packet could otherwise stall the
+/// parser on kilobytes of nested tags).
+inline constexpr unsigned kMaxVlanDepth = 4;
+inline constexpr unsigned kMaxMplsDepth = 8;
+
 /// IP protocol numbers used by the codec.
 enum class IpProto : std::uint8_t {
   kIcmp = 1,
@@ -61,13 +67,59 @@ struct ParsedPacket {
 
 /// Parse wire bytes back into a spec + flattened header. `in_port` seeds the
 /// kInPort field, which is metadata of the receiving switch rather than a
-/// packet byte. Throws std::invalid_argument on truncated/unknown packets.
+/// packet byte. Throws std::invalid_argument on truncated, overrunning, or
+/// otherwise malformed packets (VLAN/MPLS stacks beyond kMaxVlanDepth /
+/// kMaxMplsDepth, IPv4 IHL < 5, IPv4 total length / IPv6 payload length
+/// inconsistent with the buffer).
 [[nodiscard]] ParsedPacket parse_packet(std::span<const std::uint8_t> bytes,
                                         std::uint32_t in_port);
+
+/// Span-based scalar entry point for the batched trace front end: parses
+/// only the match-field view — no payload copy, no allocation, no exception
+/// on malformed input. Returns false when the frame is rejected (`out` is
+/// then unspecified); accepted frames yield a header bitwise-identical to
+/// parse_packet(bytes, in_port).header.
+///
+/// `wire_len` is the frame's original on-wire length when `bytes` is only
+/// a captured prefix (a snap-length-capped pcap record; pcap's orig_len).
+/// Length fields are then validated against the wire, not the capture —
+/// "claims bytes beyond the wire frame" stays malformed, "claims bytes the
+/// capture cut off" parses gracefully with the snapped-off fields absent.
+/// 0 (and anything below bytes.size()) means the capture is the frame.
+[[nodiscard]] bool parse_packet_header(std::span<const std::uint8_t> bytes,
+                                       std::uint32_t in_port, PacketHeader& out,
+                                       std::size_t wire_len = 0) noexcept;
 
 /// Flatten a spec directly into the match-field view without a byte
 /// round-trip (used by trace generators for speed).
 [[nodiscard]] PacketHeader header_from_spec(const PacketSpec& spec,
                                             std::uint32_t in_port);
+
+/// Wire canonicalization: project an arbitrary match-field header onto the
+/// nearest PacketSpec the byte codec can represent. Synthetic headers range
+/// over field combinations raw Ethernet cannot carry; the projection makes
+/// them serializable at the cost of a lossy but deterministic rewrite:
+///   - layers exist only when their anchor fields do (a VLAN tag iff
+///     kVlanId; an IPv4/IPv6 header iff either address; L4 ports iff an IP
+///     layer with a TCP/UDP protocol carries them), missing halves are
+///     zero-filled, and IPv4 wins when both address families are present;
+///   - the VLAN ID is masked to its 12 wire bits and an emitted tag always
+///     carries a PCP (0 when absent);
+///   - the EtherType is forced by the innermost layer (0x0800 / 0x86DD /
+///     0 under MPLS, whose inner type is implicit), and a layer-announcing
+///     EtherType with no matching layer (VLAN / MPLS) is cleared to 0 so
+///     the parser cannot be derailed;
+///   - MPLS under the codec encapsulates IPv4 only, so a label is dropped
+///     from IPv6 packets; kInPort and kMetadata are switch metadata and
+///     never reach the wire.
+[[nodiscard]] PacketSpec spec_from_header(const PacketHeader& header);
+
+/// The header a replay of the exported packet parses back to:
+/// header_from_spec(spec_from_header(header), in_port). Idempotent in its
+/// first argument, and a fixed point of serialize→parse:
+/// parse_packet(serialize_packet(spec_from_header(h)), p).header ==
+/// canonical_wire_header(h, p) — property-tested in tests/test_trace_replay.
+[[nodiscard]] PacketHeader canonical_wire_header(const PacketHeader& header,
+                                                 std::uint32_t in_port);
 
 }  // namespace ofmtl

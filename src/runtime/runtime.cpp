@@ -55,13 +55,23 @@ bool ParallelRuntime::try_submit(std::size_t queue,
   return false;
 }
 
+std::uint64_t ParallelRuntime::submit(std::size_t queue,
+                                      std::span<const PacketHeader> headers,
+                                      std::span<ExecutionResult> results,
+                                      BatchTicket* ticket) {
+  std::uint64_t spins = 0;
+  while (!try_submit(queue, headers, results, ticket)) {
+    ++spins;
+    std::this_thread::yield();
+  }
+  return spins;
+}
+
 void ParallelRuntime::classify(std::size_t queue,
                                std::span<const PacketHeader> headers,
                                std::span<ExecutionResult> results) {
   BatchTicket ticket;
-  while (!try_submit(queue, headers, results, &ticket)) {
-    std::this_thread::yield();
-  }
+  (void)submit(queue, headers, results, &ticket);
   ticket.wait();
   if (ticket.failed()) {
     throw std::runtime_error("classify: batch lookup failed in worker");

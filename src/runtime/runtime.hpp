@@ -160,6 +160,13 @@ class ParallelRuntime {
   bool try_submit(std::size_t queue, std::span<const PacketHeader> headers,
                   std::span<ExecutionResult> results, BatchTicket* ticket);
 
+  /// Blocking submit: spins (yielding) until `queue` accepts the batch and
+  /// returns how many spins backpressure cost — the replay driver's
+  /// backpressure counter. Same ownership rules as try_submit; completion
+  /// still signals through `ticket`.
+  std::uint64_t submit(std::size_t queue, std::span<const PacketHeader> headers,
+                       std::span<ExecutionResult> results, BatchTicket* ticket);
+
   /// Convenience: submit (spinning while the queue is full) and wait.
   /// Throws std::runtime_error if the batch's lookup threw in the worker
   /// (mirroring what single-threaded execute() would have surfaced).

@@ -1,0 +1,177 @@
+#include "trace/pcap.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace ofmtl::trace {
+
+namespace {
+
+constexpr std::uint32_t kMagicUsec = 0xA1B2C3D4;
+constexpr std::uint32_t kMagicUsecSwapped = 0xD4C3B2A1;
+constexpr std::uint32_t kMagicNsec = 0xA1B23C4D;
+constexpr std::uint32_t kMagicNsecSwapped = 0x4D3CB2A1;
+
+constexpr std::uint64_t kNanosPerSec = 1'000'000'000ULL;
+
+}  // namespace
+
+// --- writer ------------------------------------------------------------------
+
+PcapWriter::PcapWriter(PcapWriterConfig config) : config_(config) {
+  // Global header: magic, version 2.4, thiszone 0, sigfigs 0, snaplen,
+  // link type.
+  put_u32(config_.nanosecond ? kMagicNsec : kMagicUsec);
+  put_u16(2);
+  put_u16(4);
+  put_u32(0);
+  put_u32(0);
+  put_u32(config_.snap_len);
+  put_u32(config_.link_type);
+}
+
+void PcapWriter::put_u16(std::uint16_t value) {
+  if (config_.byte_swapped) {
+    buffer_.push_back(static_cast<std::uint8_t>(value >> 8));
+    buffer_.push_back(static_cast<std::uint8_t>(value));
+  } else {
+    buffer_.push_back(static_cast<std::uint8_t>(value));
+    buffer_.push_back(static_cast<std::uint8_t>(value >> 8));
+  }
+}
+
+void PcapWriter::put_u32(std::uint32_t value) {
+  if (config_.byte_swapped) {
+    put_u16(static_cast<std::uint16_t>(value >> 16));
+    put_u16(static_cast<std::uint16_t>(value));
+  } else {
+    put_u16(static_cast<std::uint16_t>(value));
+    put_u16(static_cast<std::uint16_t>(value >> 16));
+  }
+}
+
+void PcapWriter::append(std::uint64_t ts_ns,
+                        std::span<const std::uint8_t> frame) {
+  const auto incl = static_cast<std::uint32_t>(
+      frame.size() > config_.snap_len ? config_.snap_len : frame.size());
+  put_u32(static_cast<std::uint32_t>(ts_ns / kNanosPerSec));
+  const std::uint64_t frac = ts_ns % kNanosPerSec;
+  put_u32(static_cast<std::uint32_t>(config_.nanosecond ? frac : frac / 1000));
+  put_u32(incl);
+  put_u32(static_cast<std::uint32_t>(frame.size()));
+  buffer_.insert(buffer_.end(), frame.begin(), frame.begin() + incl);
+  ++records_;
+}
+
+void PcapWriter::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("pcap: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(buffer_.data()),
+            static_cast<std::streamsize>(buffer_.size()));
+  if (out.flush(); !out) throw std::runtime_error("pcap: failed writing " + path);
+}
+
+// --- reader ------------------------------------------------------------------
+
+PcapReader::PcapReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {
+  parse_global_header();
+}
+
+PcapReader::PcapReader(std::vector<std::uint8_t> owned)
+    : owned_(std::move(owned)), bytes_(owned_) {
+  parse_global_header();
+}
+
+PcapReader PcapReader::open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("pcap: cannot open " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  std::vector<std::uint8_t> data(size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("pcap: failed reading " + path);
+  return PcapReader(std::move(data));
+}
+
+std::uint16_t PcapReader::get_u16(std::size_t offset) const {
+  const std::uint16_t b0 = bytes_[offset];
+  const std::uint16_t b1 = bytes_[offset + 1];
+  return swapped_ ? static_cast<std::uint16_t>((b0 << 8) | b1)
+                  : static_cast<std::uint16_t>((b1 << 8) | b0);
+}
+
+std::uint32_t PcapReader::get_u32(std::size_t offset) const {
+  const std::uint32_t lo = get_u16(swapped_ ? offset + 2 : offset);
+  const std::uint32_t hi = get_u16(swapped_ ? offset : offset + 2);
+  return (hi << 16) | lo;
+}
+
+void PcapReader::parse_global_header() {
+  if (bytes_.size() < kGlobalHeaderSize) {
+    throw std::invalid_argument("pcap: capture shorter than global header");
+  }
+  // The magic is self-describing: read it little-endian-first and match
+  // against the four known byte orders.
+  const std::uint32_t magic_le = std::uint32_t{bytes_[0]} |
+                                 (std::uint32_t{bytes_[1]} << 8) |
+                                 (std::uint32_t{bytes_[2]} << 16) |
+                                 (std::uint32_t{bytes_[3]} << 24);
+  switch (magic_le) {
+    case kMagicUsec:
+      break;
+    case kMagicNsec:
+      nanosecond_ = true;
+      break;
+    case kMagicUsecSwapped:
+      swapped_ = true;
+      break;
+    case kMagicNsecSwapped:
+      swapped_ = true;
+      nanosecond_ = true;
+      break;
+    default:
+      throw std::invalid_argument("pcap: unknown magic");
+  }
+  snap_len_ = get_u32(16);
+  link_type_ = get_u32(20);
+}
+
+bool PcapReader::next(PcapRecord& out) {
+  if (pos_ >= bytes_.size()) return false;
+  if (bytes_.size() - pos_ < kRecordHeaderSize) {
+    truncated_ = true;  // header of the final record was cut off
+    pos_ = bytes_.size();
+    return false;
+  }
+  const std::uint32_t ts_sec = get_u32(pos_);
+  const std::uint32_t ts_frac = get_u32(pos_ + 4);
+  const std::uint32_t incl_len = get_u32(pos_ + 8);
+  const std::uint32_t orig_len = get_u32(pos_ + 12);
+  // A claimed length beyond the snap limit is corruption, not a record;
+  // treat it like a truncation and stop rather than walking garbage.
+  if (incl_len > snap_len_ ||
+      incl_len > bytes_.size() - pos_ - kRecordHeaderSize) {
+    truncated_ = true;
+    pos_ = bytes_.size();
+    return false;
+  }
+  out.ts_ns = std::uint64_t{ts_sec} * kNanosPerSec +
+              std::uint64_t{ts_frac} * (nanosecond_ ? 1 : 1000);
+  out.orig_len = orig_len;
+  out.bytes = bytes_.subspan(pos_ + kRecordHeaderSize, incl_len);
+  pos_ += kRecordHeaderSize + incl_len;
+  ++records_;
+  return true;
+}
+
+std::vector<PcapRecord> PcapReader::read_all() {
+  rewind();
+  std::vector<PcapRecord> records;
+  PcapRecord record;
+  while (next(record)) records.push_back(record);
+  return records;
+}
+
+}  // namespace ofmtl::trace

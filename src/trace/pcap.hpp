@@ -1,0 +1,125 @@
+// Dependency-free classic-pcap (libpcap capture file) reader and writer.
+//
+// Supported: both endian variants of both magic numbers — microsecond
+// (0xA1B2C3D4) and nanosecond (0xA1B23C4D) timestamp resolution — with
+// LINKTYPE_ETHERNET framing. Endianness is handled by explicit byte
+// serialization, so the host byte order never enters: "byte_swapped =
+// false" writes the little-endian file layout (the dominant one in the
+// wild), true writes big-endian, and the reader auto-detects all four
+// magics. A truncated final record — the classic tail of a capture cut off
+// mid-write — is skipped gracefully: iteration stops and `truncated()`
+// reports it, every complete record before it is served normally.
+//
+// The reader is a cursor over an in-memory buffer and hands out records as
+// spans into it (zero copy, valid while the reader lives) — the shape the
+// allocation-free batched wire parser (trace/wire_parse.hpp) consumes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ofmtl::trace {
+
+/// One captured frame: a nanosecond timestamp plus the captured bytes
+/// (a view into the reader's buffer). `orig_len` is the original on-wire
+/// length, which exceeds `bytes.size()` when the capture snapped the frame.
+struct PcapRecord {
+  std::uint64_t ts_ns = 0;
+  std::uint32_t orig_len = 0;
+  std::span<const std::uint8_t> bytes;
+};
+
+struct PcapWriterConfig {
+  bool nanosecond = false;    ///< nanosecond magic/timestamps instead of usec
+  bool byte_swapped = false;  ///< emit the big-endian file layout
+  std::uint32_t snap_len = 65535;
+  std::uint32_t link_type = 1;  ///< LINKTYPE_ETHERNET
+};
+
+/// Serializes records into an in-memory classic-pcap image; `save()`
+/// flushes it to disk. Microsecond-resolution files truncate sub-usec
+/// timestamp digits (the format has nowhere to put them).
+class PcapWriter {
+ public:
+  explicit PcapWriter(PcapWriterConfig config = {});
+
+  /// Append one record. Frames longer than snap_len are snapped (incl_len
+  /// capped, orig_len preserved), like a live capture would.
+  void append(std::uint64_t ts_ns, std::span<const std::uint8_t> frame);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const {
+    return buffer_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take_buffer() {
+    return std::move(buffer_);
+  }
+  [[nodiscard]] std::size_t record_count() const { return records_; }
+
+  /// Write the capture to `path`; throws std::runtime_error on IO failure.
+  void save(const std::string& path) const;
+
+ private:
+  void put_u16(std::uint16_t value);
+  void put_u32(std::uint32_t value);
+
+  PcapWriterConfig config_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t records_ = 0;
+};
+
+/// Cursor over an in-memory capture. Throws std::invalid_argument from the
+/// constructor when the global header is short or the magic is unknown.
+class PcapReader {
+ public:
+  /// View over caller-owned bytes (must outlive the reader).
+  explicit PcapReader(std::span<const std::uint8_t> bytes);
+  /// Slurp a capture file (the reader owns the buffer); throws
+  /// std::runtime_error on IO failure.
+  [[nodiscard]] static PcapReader open(const std::string& path);
+
+  /// Advance to the next record; false at end of capture. A final record
+  /// with an incomplete header or fewer bytes than its incl_len claims also
+  /// returns false and sets truncated().
+  [[nodiscard]] bool next(PcapRecord& out);
+
+  /// Restart iteration from the first record (truncated() is kept — it is
+  /// a property of the capture, not of the cursor).
+  void rewind() {
+    pos_ = kGlobalHeaderSize;
+    records_ = 0;
+  }
+
+  /// Convenience: rewind and collect every remaining record (spans into
+  /// this reader's buffer).
+  [[nodiscard]] std::vector<PcapRecord> read_all();
+
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  [[nodiscard]] bool nanosecond() const { return nanosecond_; }
+  [[nodiscard]] bool byte_swapped() const { return swapped_; }
+  [[nodiscard]] std::uint32_t snap_len() const { return snap_len_; }
+  [[nodiscard]] std::uint32_t link_type() const { return link_type_; }
+  [[nodiscard]] std::size_t record_count() const { return records_; }
+
+ private:
+  static constexpr std::size_t kGlobalHeaderSize = 24;
+  static constexpr std::size_t kRecordHeaderSize = 16;
+
+  explicit PcapReader(std::vector<std::uint8_t> owned);
+  void parse_global_header();
+  [[nodiscard]] std::uint32_t get_u32(std::size_t offset) const;
+  [[nodiscard]] std::uint16_t get_u16(std::size_t offset) const;
+
+  std::vector<std::uint8_t> owned_;  ///< backing store when open()ed
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = kGlobalHeaderSize;
+  std::size_t records_ = 0;  ///< complete records iterated so far
+  bool swapped_ = false;
+  bool nanosecond_ = false;
+  bool truncated_ = false;
+  std::uint32_t snap_len_ = 0;
+  std::uint32_t link_type_ = 0;
+};
+
+}  // namespace ofmtl::trace

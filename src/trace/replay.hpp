@@ -1,0 +1,100 @@
+// Trace replay driver: feeds a parsed capture into the parallel runtime —
+// the layer that closes the loop from bytes on disk to classified actions.
+//
+// A capture is one ingress port's view of the wire, so every frame parses
+// under one configured in_port (multi-port traces are replayed as one
+// driver per per-port capture, exactly how multi-port captures are taken).
+// Frames are wire-parsed once up front through the batched allocation-free
+// front end (trace/wire_parse.hpp); malformed frames are dropped and
+// counted, never submitted. run() then streams the parsed headers into a
+// caller-owned ParallelRuntime in fixed-size batches with a bounded number
+// of in-flight tickets, optionally looping over the trace and optionally
+// paced open-loop at a target packet rate. Results land in the caller's
+// span in submission order (lane i of pass p is results[i]; each pass
+// rewrites in place, so after run() the span holds the final pass — every
+// pass produces identical results unless a concurrent writer publishes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "trace/pcap.hpp"
+#include "trace/wire_parse.hpp"
+
+namespace ofmtl::trace {
+
+/// Tunables of one replay run.
+struct ReplayConfig {
+  std::size_t queue = 0;      ///< runtime queue to submit on (one producer)
+  std::size_t batch = 256;    ///< headers per submitted batch
+  std::size_t in_flight = 4;  ///< outstanding batches before submit waits
+  std::size_t loops = 1;      ///< passes over the trace
+  /// Open-loop pacing: target aggregate packet rate (packets/second).
+  /// 0 replays as fast as the runtime accepts batches. Pacing is by
+  /// submission deadline, not capture timestamps — the trace's own
+  /// inter-arrival gaps are a property of the capture hardware, while a
+  /// configured rate sweeps the load axis benchmarks care about.
+  double pace_pps = 0.0;
+};
+
+/// WorkerStats-style counters of one run() invocation.
+struct ReplayStats {
+  std::uint64_t frames = 0;            ///< capture records ingested
+  std::uint64_t malformed_frames = 0;  ///< dropped by the wire parser
+  std::uint64_t packets = 0;           ///< headers submitted over all loops
+  std::uint64_t batches = 0;           ///< batches submitted over all loops
+  std::uint64_t backpressure_spins = 0;  ///< submit spins on a full ring
+  std::uint64_t pace_misses = 0;  ///< paced batches submitted a full batch
+                                  ///< interval or more behind schedule
+  double elapsed_ns = 0.0;        ///< wall clock of run(), all passes
+
+  [[nodiscard]] double ns_per_packet() const {
+    return packets > 0 ? elapsed_ns / static_cast<double>(packets) : 0.0;
+  }
+  [[nodiscard]] double packets_per_sec() const {
+    return elapsed_ns > 0.0
+               ? static_cast<double>(packets) * 1e9 / elapsed_ns
+               : 0.0;
+  }
+};
+
+/// Parses a capture up front, then replays it into a runtime any number of
+/// times. The reader is only borrowed during construction.
+class TraceReplayer {
+ public:
+  /// Ingest every record of `reader` (from its current position) under
+  /// `in_port`. Malformed frames are counted and dropped.
+  TraceReplayer(PcapReader& reader, std::uint32_t in_port);
+
+  /// Ingest pre-read records (spans must stay valid for the constructor
+  /// call only — headers are materialized immediately).
+  TraceReplayer(std::span<const PcapRecord> records, std::uint32_t in_port);
+
+  /// The parsed headers, in capture order with malformed frames removed —
+  /// the exact submission order of every run() pass.
+  [[nodiscard]] const std::vector<PacketHeader>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] std::uint64_t frames() const { return frames_; }
+  [[nodiscard]] std::uint64_t malformed_frames() const { return malformed_; }
+
+  /// Replay the headers into `rt`: results[i] is rewritten (in submission
+  /// order, once per pass) to the classification of headers()[i].
+  /// results.size() must cover headers(). Throws std::runtime_error when a
+  /// worker's lookup threw (results are then unspecified), mirroring
+  /// ParallelRuntime::classify.
+  ReplayStats run(runtime::ParallelRuntime& rt,
+                  std::span<ExecutionResult> results,
+                  const ReplayConfig& config = {});
+
+ private:
+  void ingest(std::span<const PcapRecord> records, std::uint32_t in_port);
+
+  std::vector<PacketHeader> headers_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace ofmtl::trace

@@ -1,0 +1,38 @@
+#include "workload/trace_export.hpp"
+
+#include "net/packet.hpp"
+
+namespace ofmtl::workload {
+
+std::uint32_t capture_in_port(const FilterSet& set) {
+  for (const auto& entry : set.entries) {
+    const auto& match = entry.match.get(FieldId::kInPort);
+    if (match.kind == MatchKind::kExact) {
+      return static_cast<std::uint32_t>(match.value.lo);
+    }
+  }
+  return 0;
+}
+
+trace::PcapWriter export_trace(std::span<const PacketHeader> headers,
+                               const TraceExportConfig& config) {
+  trace::PcapWriter writer(config.pcap);
+  std::uint64_t ts = config.base_ts_ns;
+  for (const auto& header : headers) {
+    writer.append(ts, serialize_packet(spec_from_header(header)));
+    ts += config.inter_packet_gap_ns;
+  }
+  return writer;
+}
+
+std::vector<PacketHeader> replayed_headers(
+    std::span<const PacketHeader> headers, std::uint32_t in_port) {
+  std::vector<PacketHeader> canonical;
+  canonical.reserve(headers.size());
+  for (const auto& header : headers) {
+    canonical.push_back(canonical_wire_header(header, in_port));
+  }
+  return canonical;
+}
+
+}  // namespace ofmtl::workload

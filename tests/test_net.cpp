@@ -141,6 +141,15 @@ TEST_P(PacketCodec, RoundTrips) {
 
   // The flattened header agrees with direct flattening.
   EXPECT_EQ(parsed.header, header_from_spec(parsed.spec, 7));
+
+  // Spec equivalence: re-serializing the parsed spec reproduces the wire
+  // bytes exactly (serialize ∘ parse is the identity on codec output).
+  EXPECT_EQ(serialize_packet(parsed.spec), bytes);
+
+  // The allocation-free span entry point agrees with the full parse.
+  PacketHeader header;
+  ASSERT_TRUE(parse_packet_header(bytes, 7, header));
+  EXPECT_EQ(header, parsed.header);
 }
 
 PacketSpec tcp4_packet() {
@@ -201,6 +210,117 @@ TEST(PacketCodec, RejectsTruncated) {
   const auto bytes = serialize_packet(tcp4_packet());
   const std::vector<std::uint8_t> truncated(bytes.begin(), bytes.begin() + 10);
   EXPECT_THROW((void)parse_packet(truncated, 0), std::invalid_argument);
+  PacketHeader header;
+  EXPECT_FALSE(parse_packet_header(truncated, 0, header));
+}
+
+// --- adversarial (not merely truncated) input --------------------------------
+// Offsets below index into serialize_packet(tcp4_packet()): Ethernet
+// 0..13, IPv4 header 14..33 (version/IHL 14, total length 16..17), L4
+// 34..41, payload 42..44.
+
+void push_u16(std::vector<std::uint8_t>& bytes, std::uint16_t value) {
+  bytes.push_back(static_cast<std::uint8_t>(value >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(value));
+}
+
+void push_u32(std::vector<std::uint8_t>& bytes, std::uint32_t value) {
+  push_u16(bytes, static_cast<std::uint16_t>(value >> 16));
+  push_u16(bytes, static_cast<std::uint16_t>(value));
+}
+
+/// dst/src MACs (zeros) — the 12 bytes before the first EtherType.
+std::vector<std::uint8_t> eth_prefix() { return std::vector<std::uint8_t>(12, 0); }
+
+TEST(PacketCodecAdversarial, VlanStackIsCappedNotWalked) {
+  const auto qinq = [](unsigned tags) {
+    auto bytes = eth_prefix();
+    for (unsigned i = 0; i < tags; ++i) {
+      push_u16(bytes, static_cast<std::uint16_t>(EtherType::kVlan));
+      push_u16(bytes, static_cast<std::uint16_t>(0x2000 | (100 + i)));
+    }
+    push_u16(bytes, static_cast<std::uint16_t>(EtherType::kArp));
+    return bytes;
+  };
+  // Up to the cap, stacked tags parse; OpenFlow matches the outermost one.
+  const auto parsed = parse_packet(qinq(kMaxVlanDepth), 0);
+  EXPECT_EQ(parsed.spec.vlan_id, 100);
+  EXPECT_EQ(parsed.spec.vlan_pcp, 1);
+  EXPECT_EQ(parsed.spec.eth_type, static_cast<std::uint16_t>(EtherType::kArp));
+  // One deeper is rejected, not walked.
+  EXPECT_THROW((void)parse_packet(qinq(kMaxVlanDepth + 1), 0),
+               std::invalid_argument);
+  PacketHeader header;
+  EXPECT_FALSE(parse_packet_header(qinq(kMaxVlanDepth + 1), 0, header));
+}
+
+TEST(PacketCodecAdversarial, MplsStackIsCappedNotWalked) {
+  const auto stacked = [](unsigned shims) {
+    auto bytes = eth_prefix();
+    push_u16(bytes, static_cast<std::uint16_t>(EtherType::kMplsUnicast));
+    for (unsigned i = 0; i < shims; ++i) {
+      const bool bottom = i + 1 == shims;
+      push_u32(bytes, ((1000 + i) << 12) | (bottom ? 1U << 8 : 0U) | 64U);
+    }
+    return bytes;
+  };
+  const auto parsed = parse_packet(stacked(kMaxMplsDepth), 0);
+  EXPECT_EQ(parsed.spec.mpls_label, 1000U);  // outermost label
+  EXPECT_THROW((void)parse_packet(stacked(kMaxMplsDepth + 1), 0),
+               std::invalid_argument);
+  // A shim that is cut off mid-stack is truncation, not a stack.
+  auto cut = stacked(2);
+  cut.resize(cut.size() - 2);
+  EXPECT_THROW((void)parse_packet(cut, 0), std::invalid_argument);
+}
+
+TEST(PacketCodecAdversarial, Ipv4HeaderLengthsAreValidated) {
+  const auto base = serialize_packet(tcp4_packet());
+
+  auto bad_version = base;
+  bad_version[14] = 0x55;
+  EXPECT_THROW((void)parse_packet(bad_version, 0), std::invalid_argument);
+
+  auto bad_ihl = base;
+  bad_ihl[14] = 0x44;  // IHL 4 < 5: header shorter than its fixed fields
+  EXPECT_THROW((void)parse_packet(bad_ihl, 0), std::invalid_argument);
+
+  auto total_below_header = base;
+  total_below_header[16] = 0;
+  total_below_header[17] = 10;  // total length 10 < the 20-byte header
+  EXPECT_THROW((void)parse_packet(total_below_header, 0),
+               std::invalid_argument);
+
+  auto total_beyond_buffer = base;
+  total_beyond_buffer[16] = 0;
+  total_beyond_buffer[17] = 200;  // claims 200 bytes; the buffer has 31
+  EXPECT_THROW((void)parse_packet(total_beyond_buffer, 0),
+               std::invalid_argument);
+
+  auto ihl_beyond_total = base;
+  ihl_beyond_total[14] = 0x4F;  // IHL 15: 60-byte header, total length 31
+  EXPECT_THROW((void)parse_packet(ihl_beyond_total, 0), std::invalid_argument);
+}
+
+TEST(PacketCodecAdversarial, L4BytesBeyondClaimedLengthAreNotPorts) {
+  // total length says the IPv4 payload ends at the header (no L4 room),
+  // but trailing bytes follow: they are payload, not a TCP header — the
+  // inner-header overrun the parser must not mis-attribute.
+  auto bytes = serialize_packet(tcp4_packet());
+  bytes[16] = 0;
+  bytes[17] = 20;  // total length == IHL: zero L4 bytes claimed
+  const auto parsed = parse_packet(bytes, 0);
+  EXPECT_EQ(parsed.spec.src_port, std::nullopt);
+  EXPECT_EQ(parsed.spec.dst_port, std::nullopt);
+  EXPECT_FALSE(parsed.header.has(FieldId::kSrcPort));
+  EXPECT_EQ(parsed.spec.payload.size(), 11U);  // old L4 + payload bytes
+}
+
+TEST(PacketCodecAdversarial, Ipv6PayloadLengthIsValidated) {
+  auto bytes = serialize_packet(ipv6_packet());
+  bytes[18] = 0xFF;  // payload length far beyond the buffer
+  bytes[19] = 0xFF;
+  EXPECT_THROW((void)parse_packet(bytes, 0), std::invalid_argument);
 }
 
 }  // namespace

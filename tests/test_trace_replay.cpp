@@ -1,0 +1,335 @@
+// The trace I/O loop end to end: the batched wire parse must be
+// bitwise-identical to scalar parse_packet (shared core, but the property
+// is what CI relies on) and allocation-free once its scratch is warm
+// (counted by replacing global new/delete — this binary is its own test
+// executable so the replacement cannot leak into others); exported
+// captures must parse back to exactly canonical_wire_header() of every
+// synthetic lane; and replaying a capture through TraceReplayer +
+// ParallelRuntime must produce results bitwise-identical to submitting the
+// same parsed headers directly — across two apps, cache off and on, and
+// multiple loops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "net/packet.hpp"
+#include "runtime/runtime.hpp"
+#include "trace/pcap.hpp"
+#include "trace/replay.hpp"
+#include "trace/wire_parse.hpp"
+#include "workload/stanford_synth.hpp"
+#include "workload/trace_export.hpp"
+#include "workload/trace_gen.hpp"
+#include "workload/zipf.hpp"
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ofmtl {
+namespace {
+
+using runtime::ParallelRuntime;
+using workload::FilterApp;
+
+struct App {
+  std::string tag;
+  FilterSet set;
+  MultiTableLookup tables;
+  std::uint32_t in_port = 0;
+};
+
+App make_app(FilterApp app, const char* name) {
+  auto set = workload::generate_filterset(app, name);
+  auto tables = compile_app(build_app(set, TableLayout::kPerFieldTables));
+  const auto port = workload::capture_in_port(set);
+  return App{std::string(to_string(app)) + "_" + name, std::move(set),
+             std::move(tables), port};
+}
+
+std::vector<PacketHeader> make_stream(const App& app, std::size_t flows,
+                                      std::size_t packets, std::uint64_t seed) {
+  const auto pool = workload::generate_trace(
+      app.set, {.packets = flows, .hit_ratio = 0.9, .seed = seed});
+  workload::ZipfSampler sampler(pool.size(), 1.1, seed + 1);
+  std::vector<PacketHeader> stream;
+  stream.reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    stream.push_back(pool[sampler.next()]);
+  }
+  return stream;
+}
+
+std::vector<trace::WireFrame> wire_frames(
+    const std::vector<trace::PcapRecord>& records) {
+  std::vector<trace::WireFrame> frames;
+  frames.reserve(records.size());
+  for (const auto& record : records) {
+    frames.emplace_back(record.bytes, record.orig_len);
+  }
+  return frames;
+}
+
+void classify_all(ParallelRuntime& rt, const std::vector<PacketHeader>& stream,
+                  std::vector<ExecutionResult>& results,
+                  std::size_t batch = 64) {
+  for (std::size_t base = 0; base < stream.size(); base += batch) {
+    const std::size_t n = std::min(batch, stream.size() - base);
+    rt.classify(0, {stream.data() + base, n}, {results.data() + base, n});
+  }
+}
+
+TEST(WireParseBatch, BitwiseIdenticalToScalarWithBadLanesFlagged) {
+  const auto app = make_app(FilterApp::kRouting, "yoza");
+  const auto stream = make_stream(app, 128, 512, 3);
+  const auto writer = workload::export_trace(stream);
+  trace::PcapReader reader{std::span<const std::uint8_t>(writer.buffer())};
+  const auto records = reader.read_all();
+  auto frames = wire_frames(records);
+
+  // Poison a few lanes with malformed bytes the scalar parser rejects.
+  const std::vector<std::uint8_t> runt = {0xAA, 0xBB};
+  std::vector<std::uint8_t> bad_version(records[0].bytes.begin(),
+                                        records[0].bytes.end());
+  bad_version[14] = 0x55;
+  frames[17] = trace::WireFrame(runt);
+  frames[200] = trace::WireFrame(bad_version);
+  frames[511] = trace::WireFrame();
+
+  std::vector<PacketHeader> out(frames.size());
+  trace::ParseContext ctx;
+  const std::size_t valid =
+      trace::parse_batch(frames, app.in_port, out, ctx);
+  EXPECT_EQ(valid, frames.size() - 3);
+  EXPECT_EQ(ctx.bad_lanes, (std::vector<std::uint32_t>{17, 200, 511}));
+
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i == 17 || i == 200 || i == 511) {
+      EXPECT_THROW((void)parse_packet(frames[i].bytes, app.in_port),
+                   std::invalid_argument);
+      EXPECT_EQ(out[i], PacketHeader{}) << "lane " << i;
+    } else {
+      EXPECT_EQ(out[i], parse_packet(frames[i].bytes, app.in_port).header)
+          << "lane " << i;
+    }
+  }
+}
+
+TEST(WireParseBatch, AllocationFreeOnceWarm) {
+  const auto app = make_app(FilterApp::kMacLearning, "gozb");
+  const auto stream = make_stream(app, 64, 256, 5);
+  const auto writer = workload::export_trace(stream);
+  trace::PcapReader reader{std::span<const std::uint8_t>(writer.buffer())};
+  const auto records = reader.read_all();
+  auto frames = wire_frames(records);
+  frames[100] = trace::WireFrame();  // keep one bad lane: that path counts too
+
+  std::vector<PacketHeader> out(frames.size());
+  trace::ParseContext ctx;
+  (void)trace::parse_batch(frames, app.in_port, out, ctx);  // warm bad_lanes
+
+  const std::size_t before = g_allocations.load();
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    const std::size_t valid =
+        trace::parse_batch(frames, app.in_port, out, ctx);
+    EXPECT_EQ(valid, frames.size() - 1);
+  }
+  EXPECT_EQ(g_allocations.load(), before)
+      << "warm parse_batch allocated on the hot path";
+}
+
+TEST(TraceExport, CaptureParsesBackToCanonicalHeaders) {
+  for (const auto filter_app : {FilterApp::kRouting, FilterApp::kMacLearning}) {
+    const auto app = make_app(filter_app, "bbra");
+    const auto stream = make_stream(app, 128, 512, 7);
+    const auto writer = workload::export_trace(stream);
+    trace::PcapReader reader{std::span<const std::uint8_t>(writer.buffer())};
+    const auto records = reader.read_all();
+    ASSERT_EQ(records.size(), stream.size());
+
+    const auto canonical = workload::replayed_headers(stream, app.in_port);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const auto parsed = parse_packet(records[i].bytes, app.in_port);
+      ASSERT_EQ(parsed.header, canonical[i]) << app.tag << " lane " << i;
+      // Canonicalization is idempotent: a replayed header re-exports to
+      // itself.
+      ASSERT_EQ(canonical_wire_header(canonical[i], app.in_port),
+                canonical[i])
+          << app.tag << " lane " << i;
+    }
+
+    // TraceReplayer ingests the same lanes (none malformed).
+    reader.rewind();
+    trace::TraceReplayer replayer(reader, app.in_port);
+    EXPECT_EQ(replayer.malformed_frames(), 0U);
+    EXPECT_EQ(replayer.headers(), canonical);
+  }
+}
+
+TEST(TraceExport, SnapLengthCappedCapturesReplayGracefully) {
+  // A capture taken with a snap length (tcpdump -s) stores only a prefix
+  // of each frame; pcap orig_len records the rest. The parser must treat
+  // "claims bytes the capture cut off" as snapping (fields absent), not as
+  // the malformed "claims bytes beyond the wire" case — otherwise every
+  // real snapped capture would be wholly unreplayable.
+  PacketSpec spec;
+  spec.eth_src = MacAddress{0x020000000001ULL};
+  spec.eth_dst = MacAddress{0x020000000002ULL};
+  spec.eth_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+  spec.ipv4_src = Ipv4Address{10, 0, 0, 1};
+  spec.ipv4_dst = Ipv4Address{10, 0, 0, 2};
+  spec.ip_proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  spec.src_port = 12345;
+  spec.dst_port = 80;
+  const auto frame = serialize_packet(spec);  // 14 eth + 20 ip + 8 l4 = 42
+
+  trace::PcapWriter writer({.snap_len = 38});  // cuts the last 4 L4 bytes
+  writer.append(1'000, frame);
+  trace::PcapReader reader{std::span<const std::uint8_t>(writer.buffer())};
+  trace::PcapRecord record;
+  ASSERT_TRUE(reader.next(record));
+  ASSERT_EQ(record.bytes.size(), 38U);
+  ASSERT_EQ(record.orig_len, 42U);
+
+  // Without the wire length, the snapped bytes look like an overrun.
+  EXPECT_THROW((void)parse_packet(record.bytes, 7), std::invalid_argument);
+
+  // With it, everything still captured parses; the cut-off ports are
+  // absent rather than an error.
+  PacketHeader snapped;
+  ASSERT_TRUE(parse_packet_header(record.bytes, 7, snapped, record.orig_len));
+  PacketHeader full = header_from_spec(spec, 7);
+  EXPECT_EQ(snapped.get64(FieldId::kIpv4Dst), full.get64(FieldId::kIpv4Dst));
+  EXPECT_EQ(snapped.get64(FieldId::kIpProto), full.get64(FieldId::kIpProto));
+  EXPECT_FALSE(snapped.has(FieldId::kSrcPort));
+  EXPECT_FALSE(snapped.has(FieldId::kDstPort));
+
+  // The replayer ingests the snapped capture with zero malformed frames.
+  reader.rewind();
+  trace::TraceReplayer replayer(reader, 7);
+  EXPECT_EQ(replayer.malformed_frames(), 0U);
+  ASSERT_EQ(replayer.headers().size(), 1U);
+  EXPECT_EQ(replayer.headers()[0], snapped);
+
+  // A length claiming bytes beyond even the wire stays malformed.
+  std::vector<std::uint8_t> overrun(frame);
+  overrun[16] = 0;
+  overrun[17] = 200;
+  PacketHeader rejected;
+  EXPECT_FALSE(
+      parse_packet_header(overrun, 7, rejected, /*wire_len=*/overrun.size()));
+}
+
+TEST(TraceReplay, MatchesDirectSubmissionBitwise) {
+  // The acceptance property: pcap-ingested classification equals direct
+  // header submission, across two apps and cache off/on.
+  for (const auto& [filter_app, name] :
+       {std::pair{FilterApp::kRouting, "yoza"},
+        std::pair{FilterApp::kMacLearning, "gozb"}}) {
+    const auto app = make_app(filter_app, name);
+    const auto stream = make_stream(app, 256, 2048, 11);
+    const auto writer = workload::export_trace(stream);
+    trace::PcapReader reader{std::span<const std::uint8_t>(writer.buffer())};
+    trace::TraceReplayer replayer(reader, app.in_port);
+    ASSERT_EQ(replayer.headers().size(), stream.size());
+
+    for (const std::size_t cache : {std::size_t{0}, std::size_t{512}}) {
+      ParallelRuntime replay_rt(app.tables.clone(),
+                                {.workers = 1, .flow_cache_capacity = cache});
+      std::vector<ExecutionResult> replayed(stream.size());
+      const auto stats = replayer.run(replay_rt, replayed,
+                                      {.batch = 128, .in_flight = 4});
+      EXPECT_EQ(stats.packets, stream.size());
+      EXPECT_EQ(stats.malformed_frames, 0U);
+
+      ParallelRuntime direct_rt(app.tables.clone(),
+                                {.workers = 1, .flow_cache_capacity = cache});
+      std::vector<ExecutionResult> expected(stream.size());
+      classify_all(direct_rt, replayer.headers(), expected);
+
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        ASSERT_EQ(replayed[i], expected[i])
+            << app.tag << " cache=" << cache << " packet " << i;
+      }
+    }
+  }
+}
+
+TEST(TraceReplay, LoopsRewriteResultsInPlaceAndCountStats) {
+  const auto app = make_app(FilterApp::kMacLearning, "gozb");
+  const auto stream = make_stream(app, 64, 500, 13);
+  const auto writer = workload::export_trace(stream);
+  trace::PcapReader reader{std::span<const std::uint8_t>(writer.buffer())};
+  trace::TraceReplayer replayer(reader, app.in_port);
+
+  ParallelRuntime rt(app.tables.clone(), {.workers = 1});
+  std::vector<ExecutionResult> once(stream.size());
+  (void)replayer.run(rt, once, {.batch = 64, .in_flight = 2});
+
+  std::vector<ExecutionResult> looped(stream.size());
+  const auto stats = replayer.run(rt, looped, {.batch = 64, .in_flight = 2,
+                                               .loops = 3});
+  EXPECT_EQ(stats.packets, 3 * stream.size());
+  EXPECT_EQ(stats.batches, 3 * ((stream.size() + 63) / 64));
+  EXPECT_EQ(stats.frames, stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_EQ(looped[i], once[i]) << "packet " << i;
+  }
+}
+
+TEST(TraceReplay, MalformedFramesAreDroppedNotSubmitted) {
+  const auto app = make_app(FilterApp::kMacLearning, "gozb");
+  const auto stream = make_stream(app, 64, 200, 17);
+  auto writer = workload::export_trace(stream);
+  // Append a frame the wire parser rejects (runt Ethernet header).
+  const std::vector<std::uint8_t> runt = {1, 2, 3, 4};
+  writer.append(99, runt);
+  trace::PcapReader reader{std::span<const std::uint8_t>(writer.buffer())};
+  trace::TraceReplayer replayer(reader, app.in_port);
+  EXPECT_EQ(replayer.frames(), stream.size() + 1);
+  EXPECT_EQ(replayer.malformed_frames(), 1U);
+  EXPECT_EQ(replayer.headers().size(), stream.size());
+
+  ParallelRuntime rt(app.tables.clone(), {.workers = 1});
+  std::vector<ExecutionResult> results(replayer.headers().size());
+  const auto stats = replayer.run(rt, results, {.batch = 64});
+  EXPECT_EQ(stats.packets, stream.size());
+  EXPECT_EQ(stats.malformed_frames, 1U);
+}
+
+TEST(TraceReplay, OpenLoopPacingHoldsTheTargetRate) {
+  const auto app = make_app(FilterApp::kMacLearning, "gozb");
+  const auto stream = make_stream(app, 64, 2048, 19);
+  const auto writer = workload::export_trace(stream);
+  trace::PcapReader reader{std::span<const std::uint8_t>(writer.buffer())};
+  trace::TraceReplayer replayer(reader, app.in_port);
+
+  ParallelRuntime rt(app.tables.clone(),
+                     {.workers = 1, .flow_cache_capacity = 4096});
+  std::vector<ExecutionResult> results(stream.size());
+  // 1 Mpps over 2048 packets ≈ 2.0 ms; an unpaced cache-warm replay runs
+  // far faster, so the elapsed time observing the schedule is the pacer.
+  const auto stats =
+      replayer.run(rt, results, {.batch = 128, .pace_pps = 1e6});
+  EXPECT_GE(stats.elapsed_ns, 1.5e6);
+}
+
+}  // namespace
+}  // namespace ofmtl

@@ -1,0 +1,260 @@
+// Trace replay CLI: the bytes-on-disk → classified-actions loop as a tool.
+//
+//   trace_replay synth --app mac_gozb --out trace.pcap [--flows 4096]
+//       [--packets 65536] [--zipf 1.1] [--seed 99] [--nsec] [--swapped]
+//     Generate a filter-set-driven packet stream (Zipf-skewed flow reuse
+//     over a synthetic flow pool), wire-canonicalize it, and write a
+//     classic pcap capture.
+//
+//   trace_replay run trace.pcap --app mac_gozb [--in-port auto|N]
+//       [--workers 1] [--cache 0] [--loops 1] [--batch 256]
+//       [--in-flight 4] [--pace PPS] [--verify]
+//     Build the app's tables, ingest the capture through the batched wire
+//     parser, replay it into the parallel runtime, and report ns/packet,
+//     throughput, verdict mix, and the flow-cache hit rate. --verify
+//     re-classifies every parsed header through the sequential pipeline
+//     oracle and demands bitwise-identical results (exit 1 on mismatch).
+//
+// Apps are named <app>_<router> over the calibrated Stanford sets, e.g.
+// routing_yoza or mac_gozb. --in-port auto (the default) picks the first
+// ingress port the filter set matches on, so routing traces walk the full
+// two-table pipeline instead of missing at table 0.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "net/packet.hpp"
+#include "runtime/runtime.hpp"
+#include "trace/pcap.hpp"
+#include "trace/replay.hpp"
+#include "workload/stanford_synth.hpp"
+#include "workload/trace_export.hpp"
+#include "workload/trace_gen.hpp"
+#include "workload/zipf.hpp"
+
+namespace {
+
+using namespace ofmtl;
+
+[[noreturn]] void usage(const std::string& error = {}) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  trace_replay synth --app <app>_<router> --out FILE.pcap\n"
+      "      [--flows N] [--packets N] [--zipf S] [--seed N] [--nsec]"
+      " [--swapped]\n"
+      "  trace_replay run FILE.pcap --app <app>_<router> [--in-port auto|N]\n"
+      "      [--workers N] [--cache SLOTS] [--loops N] [--batch N]\n"
+      "      [--in-flight N] [--pace PPS] [--verify]\n"
+      "apps: routing_<router> | mac_<router>  (router: bbra ... yozb)\n";
+  std::exit(2);
+}
+
+struct App {
+  std::string tag;
+  FilterSet set;
+  MultiTableLookup tables;
+};
+
+App make_app(const std::string& tag) {
+  const auto underscore = tag.find('_');
+  if (underscore == std::string::npos) usage("bad --app '" + tag + "'");
+  const std::string_view kind{tag.data(), underscore};
+  const std::string_view router{tag.data() + underscore + 1};
+  workload::FilterApp app;
+  if (kind == "routing") {
+    app = workload::FilterApp::kRouting;
+  } else if (kind == "mac") {
+    app = workload::FilterApp::kMacLearning;
+  } else {
+    usage("unknown app kind '" + std::string(kind) + "'");
+  }
+  try {
+    auto set = workload::generate_filterset(app, router);
+    auto tables = compile_app(build_app(set, TableLayout::kPerFieldTables));
+    return App{tag, std::move(set), std::move(tables)};
+  } catch (const std::exception& e) {
+    usage(std::string("cannot build app: ") + e.what());
+  }
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* flag) {
+  try {
+    return std::stoull(text);
+  } catch (const std::exception&) {
+    usage(std::string("bad value for ") + flag + ": '" + text + "'");
+  }
+}
+
+double parse_double(const std::string& text, const char* flag) {
+  try {
+    return std::stod(text);
+  } catch (const std::exception&) {
+    usage(std::string("bad value for ") + flag + ": '" + text + "'");
+  }
+}
+
+int cmd_synth(const std::vector<std::string>& args) {
+  std::string app_tag, out_path;
+  std::size_t flows = 4096, packets = 65536;
+  double zipf_s = 1.1;
+  std::uint64_t seed = 99;
+  workload::TraceExportConfig config;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (++i >= args.size()) usage(arg + " needs a value");
+      return args[i];
+    };
+    if (arg == "--app") app_tag = value();
+    else if (arg == "--out") out_path = value();
+    else if (arg == "--flows") flows = parse_u64(value(), "--flows");
+    else if (arg == "--packets") packets = parse_u64(value(), "--packets");
+    else if (arg == "--zipf") zipf_s = parse_double(value(), "--zipf");
+    else if (arg == "--seed") seed = parse_u64(value(), "--seed");
+    else if (arg == "--nsec") config.pcap.nanosecond = true;
+    else if (arg == "--swapped") config.pcap.byte_swapped = true;
+    else usage("unknown synth flag '" + arg + "'");
+  }
+  if (app_tag.empty() || out_path.empty()) usage("synth needs --app and --out");
+  if (flows == 0 || packets == 0) usage("--flows/--packets must be nonzero");
+
+  const App app = make_app(app_tag);
+  const auto pool = workload::generate_trace(
+      app.set, {.packets = flows, .hit_ratio = 0.9, .seed = 123});
+  workload::ZipfSampler sampler(pool.size(), zipf_s, seed);
+  std::vector<PacketHeader> stream;
+  stream.reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) stream.push_back(pool[sampler.next()]);
+
+  const auto writer = workload::export_trace(stream, config);
+  writer.save(out_path);
+  std::cout << "wrote " << out_path << ": " << writer.record_count()
+            << " records, " << writer.buffer().size() << " bytes ("
+            << app.tag << ", " << flows << " flows, zipf s=" << zipf_s
+            << ")\n";
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  std::string pcap_path, app_tag, in_port_text = "auto";
+  runtime::RuntimeConfig rt_config;
+  trace::ReplayConfig replay_config;
+  bool verify = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (++i >= args.size()) usage(arg + " needs a value");
+      return args[i];
+    };
+    if (arg == "--app") app_tag = value();
+    else if (arg == "--in-port") in_port_text = value();
+    else if (arg == "--workers") rt_config.workers = parse_u64(value(), "--workers");
+    else if (arg == "--cache")
+      rt_config.flow_cache_capacity = parse_u64(value(), "--cache");
+    else if (arg == "--loops") replay_config.loops = parse_u64(value(), "--loops");
+    else if (arg == "--batch") replay_config.batch = parse_u64(value(), "--batch");
+    else if (arg == "--in-flight")
+      replay_config.in_flight = parse_u64(value(), "--in-flight");
+    else if (arg == "--pace") replay_config.pace_pps = parse_double(value(), "--pace");
+    else if (arg == "--verify") verify = true;
+    else if (!arg.empty() && arg[0] != '-' && pcap_path.empty()) pcap_path = arg;
+    else usage("unknown run flag '" + arg + "'");
+  }
+  if (pcap_path.empty() || app_tag.empty()) usage("run needs FILE.pcap and --app");
+
+  App app = make_app(app_tag);
+  std::uint32_t in_port = 0;
+  if (in_port_text == "auto") {
+    in_port = workload::capture_in_port(app.set);
+  } else {
+    in_port = static_cast<std::uint32_t>(parse_u64(in_port_text, "--in-port"));
+  }
+
+  auto reader = trace::PcapReader::open(pcap_path);
+  trace::TraceReplayer replayer(reader, in_port);
+  std::cout << pcap_path << ": " << replayer.frames() << " frames ("
+            << (reader.nanosecond() ? "nsec" : "usec")
+            << (reader.byte_swapped() ? ", byte-swapped" : "") << "), "
+            << replayer.malformed_frames() << " malformed"
+            << (reader.truncated() ? ", truncated tail skipped" : "")
+            << "; in_port " << in_port << "\n";
+  if (replayer.headers().empty()) {
+    std::cerr << "error: no replayable packets\n";
+    return 1;
+  }
+
+  // Keep a sequential oracle for --verify before the runtime takes the
+  // tables (a full table clone — skip it when nothing will execute it).
+  std::optional<MultiTableLookup> oracle;
+  if (verify) oracle = app.tables.clone();
+  rt_config.queue_capacity = 2 * replay_config.in_flight;
+  runtime::ParallelRuntime rt(std::move(app.tables), rt_config);
+  std::vector<ExecutionResult> results(replayer.headers().size());
+  const auto stats = replayer.run(rt, results, replay_config);
+  const auto worker_stats = rt.aggregate_stats();
+  rt.stop();
+
+  std::uint64_t forwarded = 0, dropped = 0, to_controller = 0;
+  for (const auto& result : results) {
+    switch (result.verdict) {
+      case Verdict::kForwarded: ++forwarded; break;
+      case Verdict::kDropped: ++dropped; break;
+      case Verdict::kToController: ++to_controller; break;
+    }
+  }
+  std::cout << "replayed " << stats.packets << " packets ("
+            << replay_config.loops << " loop(s), " << stats.batches
+            << " batches) in " << stats.elapsed_ns / 1e6 << " ms\n"
+            << "  " << stats.ns_per_packet() << " ns/packet, "
+            << stats.packets_per_sec() / 1e6 << " Mpps ("
+            << rt_config.workers << " worker(s), backpressure spins "
+            << stats.backpressure_spins << ", pace misses "
+            << stats.pace_misses << ")\n"
+            << "  verdicts per pass: " << forwarded << " forwarded, "
+            << dropped << " dropped, " << to_controller << " to-controller\n";
+  if (rt_config.flow_cache_capacity > 0) {
+    const auto probes = worker_stats.cache_hits + worker_stats.cache_misses;
+    std::cout << "  flow cache: "
+              << (probes > 0 ? 100.0 * static_cast<double>(worker_stats.cache_hits) /
+                                   static_cast<double>(probes)
+                             : 0.0)
+              << "% hit rate (" << worker_stats.cache_hits << " hits, "
+              << worker_stats.cache_misses << " misses, "
+              << worker_stats.cache_evictions << " evictions)\n";
+  }
+
+  if (verify) {
+    const auto& headers = replayer.headers();
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      if (results[i] != oracle->execute(headers[i])) ++mismatches;
+    }
+    if (mismatches != 0) {
+      std::cerr << "VERIFY FAIL: " << mismatches << " of " << headers.size()
+                << " replayed results differ from the sequential oracle\n";
+      return 1;
+    }
+    std::cout << "verify: " << headers.size()
+              << " replayed results bitwise-identical to the sequential "
+                 "pipeline oracle\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) usage();
+  const std::string command = args.front();
+  args.erase(args.begin());
+  if (command == "synth") return cmd_synth(args);
+  if (command == "run") return cmd_run(args);
+  usage("unknown command '" + command + "'");
+}
