@@ -1,0 +1,152 @@
+// Control-plane server benchmark: what does serving OFP over real loopback
+// TCP cost? Three numbers, written to BENCH_ofp.json:
+//   - ofp/flow_mods_per_sec: sustained flow-mod ingest through one
+//     controller connection into the left-right classifier sink — batches
+//     of adds+deletes, each round fenced by an echo barrier so the number
+//     counts APPLIED mods, not bytes parked in socket buffers;
+//   - ofp/session_setup_us: TCP connect + HELLO handshake latency until the
+//     controller holds a steady session (mean over serial setups);
+//   - ofp/echo_rtt_us: steady-state echo round trip through the event loop
+//     (liveness probe cost, and the floor for barrier latency).
+// Loopback numbers are hardware-sensitive; CI gates them against the
+// committed dev-container baseline only on matching hardware.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ofp/server/flow_mod_sink.hpp"
+#include "ofp/server/server.hpp"
+#include "ofp/testing/fault_injection.hpp"
+#include "runtime/snapshot.hpp"
+
+namespace {
+
+using namespace ofmtl;
+using namespace ofmtl::ofp;
+using Clock = std::chrono::steady_clock;
+using server::OfpServer;
+using server::ServerConfig;
+using testing::ScriptedController;
+
+constexpr std::size_t kModsPerRound = 2048;
+constexpr auto kModMeasure = std::chrono::milliseconds(600);
+constexpr std::size_t kSetupIterations = 200;
+constexpr std::size_t kEchoIterations = 500;
+
+MultiTableLookup make_tables() {
+  MultiTableLookup tables;
+  tables.add_table(LookupTable({FieldId::kEthDst}, {}));
+  return tables;
+}
+
+std::vector<std::uint8_t> mod_frame(std::uint32_t xid, std::uint32_t id,
+                                    FlowModCommand command) {
+  FlowModMsg mod;
+  mod.command = command;
+  mod.table_id = 0;
+  mod.entry.id = id;
+  mod.entry.priority = 1;
+  mod.entry.match.set(FieldId::kEthDst, FieldMatch::exact(std::uint64_t{id}));
+  mod.entry.instructions = output_instruction(1);
+  return encode({xid, mod});
+}
+
+/// Sustained flow-mod ingest: rounds of (add all, delete all) so the table
+/// returns to empty and the loop can run forever, one barrier per phase.
+double measure_flow_mods_per_sec(OfpServer& server) {
+  ScriptedController controller;
+  if (!controller.connect(server.port())) return 0.0;
+
+  std::uint64_t applied = 0;
+  const auto start = Clock::now();
+  while (Clock::now() - start < kModMeasure) {
+    for (const auto command :
+         {FlowModCommand::kAdd, FlowModCommand::kDelete}) {
+      for (std::uint32_t id = 1; id <= kModsPerRound; ++id) {
+        if (!controller.send(mod_frame(controller.next_xid(), id, command))) {
+          return 0.0;
+        }
+      }
+      if (!controller.barrier().ok) return 0.0;
+      applied += kModsPerRound;
+    }
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(applied) / elapsed_s;
+}
+
+double measure_session_setup_us(OfpServer& server) {
+  const auto start = Clock::now();
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < kSetupIterations; ++i) {
+    ScriptedController controller;
+    if (controller.connect(server.port())) ok++;
+  }
+  if (ok == 0) return 0.0;
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+             .count() /
+         static_cast<double>(ok);
+}
+
+double measure_echo_rtt_us(OfpServer& server) {
+  ScriptedController controller;
+  if (!controller.connect(server.port())) return 0.0;
+  const auto start = Clock::now();
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < kEchoIterations; ++i) {
+    if (controller.barrier().ok) ok++;
+  }
+  if (ok == 0) return 0.0;
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+             .count() /
+         static_cast<double>(ok);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_heading("OFP control-plane server (loopback TCP)");
+
+  runtime::SnapshotClassifier classifier(make_tables());
+  ServerConfig config;
+  config.session.echo_interval_ms = 30'000;
+  OfpServer server(server::make_classifier_sink(classifier), config);
+  if (!server.start()) {
+    std::cerr << "bench_ofp_server: server failed to start\n";
+    return 1;
+  }
+
+  const double mods_per_sec = measure_flow_mods_per_sec(server);
+  const double setup_us = measure_session_setup_us(server);
+  const double echo_us = measure_echo_rtt_us(server);
+  const auto stats = server.stats();
+  server.stop();
+
+  std::cout << "flow-mod ingest   " << mods_per_sec << " mods/s (batched, "
+            << "barrier-fenced)\n"
+            << "session setup     " << setup_us << " us (connect + HELLO)\n"
+            << "echo round trip   " << echo_us << " us\n"
+            << "server counters   frames_rx=" << stats.frames_rx
+            << " frames_tx=" << stats.frames_tx
+            << " flow_mods_ok=" << stats.flow_mods_ok
+            << " failed=" << stats.flow_mods_failed << "\n";
+
+  if (mods_per_sec == 0.0 || setup_us == 0.0 || echo_us == 0.0) {
+    std::cerr << "bench_ofp_server: a measurement failed\n";
+    return 1;
+  }
+
+  auto metadata = bench::common_metadata();
+  metadata.emplace_back("mods_per_round", std::to_string(kModsPerRound));
+  metadata.emplace_back("setup_iterations", std::to_string(kSetupIterations));
+  bench::write_bench_json("ofp", "mixed",
+                          {{"ofp/flow_mods_per_sec", mods_per_sec},
+                           {"ofp/session_setup_us", setup_us},
+                           {"ofp/echo_rtt_us", echo_us}},
+                          metadata);
+  return 0;
+}

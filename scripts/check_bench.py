@@ -34,6 +34,12 @@ floor is `:90`), parse_mpps/* in million packets per second (a deliberately
 conservative floor like `:0.5` catches order-of-magnitude regressions on
 any hardware). --min-hit-rate is the historical alias of the same flag.
 
+Within-run ceiling invariants are the mirror image, gated with
+    --max-metric soak/desyncs:0 --max-metric soak/dropped_sessions:0
+which requires the CURRENT value of the named metric to be <= the ceiling —
+the natural shape for robustness counters (desyncs, dropped sessions,
+error totals) where any value above the bound means the run misbehaved.
+
 Exit codes: 0 ok, 1 regression/flatness violation, 2 usage/IO error.
 """
 
@@ -97,6 +103,15 @@ def main():
         dest="min_metric",
         metavar="NAME:MIN",
         help="require current[NAME] >= MIN (repeatable); checked within "
+        "the current run, so it is hardware-independent",
+    )
+    parser.add_argument(
+        "--max-metric",
+        action="append",
+        default=[],
+        dest="max_metric",
+        metavar="NAME:MAX",
+        help="require current[NAME] <= MAX (repeatable); checked within "
         "the current run, so it is hardware-independent",
     )
     args = parser.parse_args()
@@ -210,8 +225,27 @@ def main():
         if value < floor:
             floor_failures.append(spec)
 
+    ceiling_failures = []
+    for spec in args.max_metric:
+        try:
+            name, ceiling_text = spec.rsplit(":", 1)
+            ceiling = float(ceiling_text)
+        except ValueError:
+            print(f"error: bad --max-metric spec {spec!r} (want NAME:MAX)",
+                  file=sys.stderr)
+            sys.exit(2)
+        if name not in results_c:
+            print(f"error: --max-metric metric missing from current run: "
+                  f"{spec}", file=sys.stderr)
+            sys.exit(2)
+        value = float(results_c[name])
+        marker = "CEIL-VIOLATION" if value > ceiling else "ceil-ok"
+        print(f"  {marker:15s}{name}={value:.4f} (ceiling {ceiling:.4f})")
+        if value > ceiling:
+            ceiling_failures.append(spec)
+
     if (compared == 0 and hw_skipped == 0 and not args.flat_pair
-            and not args.min_metric):
+            and not args.min_metric and not args.max_metric):
         print("error: no overlapping metrics compared", file=sys.stderr)
         sys.exit(2)
     if regressions:
@@ -235,6 +269,13 @@ def main():
             file=sys.stderr,
         )
         sys.exit(1)
+    if ceiling_failures:
+        print(
+            f"\nFAIL: {len(ceiling_failures)} ceiling invariant(s) violated: "
+            f"{', '.join(ceiling_failures)}",
+            file=sys.stderr,
+        )
+        sys.exit(1)
     print(f"\nOK: {compared} metric(s) within {100 * args.threshold:.0f}% "
           f"of baseline"
           + (f", {hw_skipped} hardware-sensitive metric(s) informational"
@@ -242,7 +283,9 @@ def main():
           + (f", {len(args.flat_pair)} flatness invariant(s) hold"
              if args.flat_pair else "")
           + (f", {len(args.min_metric)} floor invariant(s) hold"
-             if args.min_metric else ""))
+             if args.min_metric else "")
+          + (f", {len(args.max_metric)} ceiling invariant(s) hold"
+             if args.max_metric else ""))
     sys.exit(0)
 
 

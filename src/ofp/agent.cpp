@@ -10,8 +10,14 @@ SwitchAgent::SwitchAgent(std::vector<std::vector<FieldId>> table_fields,
 
 std::vector<std::vector<std::uint8_t>> SwitchAgent::handle_control(
     const std::vector<std::uint8_t>& bytes, std::uint64_t now) {
-  const Envelope envelope = decode(bytes);
   std::vector<std::vector<std::uint8_t>> responses;
+  Envelope envelope;
+  if (const auto status = try_decode(bytes, envelope);
+      status != DecodeStatus::kOk) {
+    responses.push_back(encode_error(peek_xid(bytes), ErrorType::kBadRequest,
+                                     error_code_for(status), bytes));
+    return responses;
+  }
 
   if (std::holds_alternative<Hello>(envelope.message)) {
     responses.push_back(encode({envelope.xid, Hello{}}));
@@ -27,10 +33,11 @@ std::vector<std::vector<std::uint8_t>> SwitchAgent::handle_control(
     flow_mod.table = mod->table_id;
     flow_mod.entry = mod->entry;
     flow_mod.timeouts = mod->timeouts;
-    if (mod->command == FlowModCommand::kDelete &&
-        notify_removed_.contains(mod->entry.id)) {
-      // Controller-initiated delete with notification requested.
-      FlowRemovedMsg removed;
+    const bool notify_on_delete = mod->command == FlowModCommand::kDelete &&
+                                  notify_removed_.contains(mod->entry.id);
+    FlowRemovedMsg removed;
+    if (notify_on_delete) {
+      // Stats snapshot must precede the apply, which erases them.
       removed.entry_id = mod->entry.id;
       removed.table_id = mod->table_id;
       removed.reason = FlowRemovedReason::kDelete;
@@ -38,10 +45,20 @@ std::vector<std::vector<std::uint8_t>> SwitchAgent::handle_control(
         removed.packets = stats->packets;
         removed.bytes = stats->bytes;
       }
+    }
+    try {
+      model_.apply(flow_mod, now);
+    } catch (const std::invalid_argument&) {
+      // Duplicate add, unknown table, missing delete id, ...: the mod is the
+      // peer's fault, not a switch fault — answer, don't unwind.
+      responses.push_back(encode_error(envelope.xid, ErrorType::kFlowModFailed,
+                                       ErrorCode::kBadValue, bytes));
+      return responses;
+    }
+    if (notify_on_delete) {
       responses.push_back(encode({next_xid(), removed}));
       notify_removed_.erase(mod->entry.id);
     }
-    model_.apply(flow_mod, now);
     if (mod->command != FlowModCommand::kDelete && mod->send_flow_removed) {
       notify_removed_[mod->entry.id] = mod->table_id;
     }
@@ -49,11 +66,19 @@ std::vector<std::vector<std::uint8_t>> SwitchAgent::handle_control(
   }
   if (const auto* out = std::get_if<PacketOut>(&envelope.message)) {
     // The agent's data plane executes the given actions directly; the only
-    // observable here is that the frame parses.
-    (void)parse_packet(out->frame, out->in_port);
+    // observable here is whether the frame parses.
+    PacketHeader header;
+    if (!parse_packet_header(out->frame, out->in_port, header)) {
+      responses.push_back(encode_error(envelope.xid, ErrorType::kBadRequest,
+                                       ErrorCode::kBadValue, bytes));
+    }
     return responses;
   }
-  throw std::invalid_argument("ofp: unexpected controller->switch type");
+  // Switch->controller types (PACKET_IN, FLOW_REMOVED, ERROR, ECHO_REPLY)
+  // arriving on the inbound path are a protocol violation, not a crash.
+  responses.push_back(encode_error(envelope.xid, ErrorType::kBadRequest,
+                                   ErrorCode::kBadType, bytes));
+  return responses;
 }
 
 SwitchAgent::DataResult SwitchAgent::handle_frame(

@@ -19,7 +19,10 @@ class SwitchAgent {
                        FieldSearchConfig config = {});
 
   /// Handle one control message (wire bytes); returns response messages
-  /// (wire bytes). Malformed input raises std::invalid_argument.
+  /// (wire bytes). Never throws on peer input: malformed frames, unexpected
+  /// message types, flow-mods that fail to apply, and unparseable PACKET_OUT
+  /// frames all answer with an OFP ERROR envelope instead — the contract the
+  /// served endpoint (src/ofp/server/) relies on.
   [[nodiscard]] std::vector<std::vector<std::uint8_t>> handle_control(
       const std::vector<std::uint8_t>& bytes, std::uint64_t now = 0);
 

@@ -1,5 +1,6 @@
 #include "ofp/messages.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ofmtl::ofp {
@@ -35,12 +36,17 @@ class Writer {
   std::vector<std::uint8_t>& out_;
 };
 
+// Non-throwing cursor over one frame: an out-of-bounds read or a
+// field-level violation sets a sticky status (and yields zeros) instead of
+// throwing, so the server can decode hostile bytes without exceptions
+// crossing its event loop. First failure wins; composite readers bail out
+// early on !ok().
 class Reader {
  public:
-  explicit Reader(const std::vector<std::uint8_t>& bytes, std::size_t offset)
+  explicit Reader(std::span<const std::uint8_t> bytes, std::size_t offset)
       : bytes_(bytes), pos_(offset) {}
   std::uint8_t u8() {
-    require(1);
+    if (!require(1)) return 0;
     return bytes_[pos_++];
   }
   std::uint16_t u16() {
@@ -61,22 +67,33 @@ class Reader {
   }
   std::vector<std::uint8_t> bytes() {
     const auto count = u16();
-    require(count);
-    std::vector<std::uint8_t> data(bytes_.begin() + static_cast<long>(pos_),
-                                   bytes_.begin() + static_cast<long>(pos_ + count));
+    if (!require(count)) return {};
+    std::vector<std::uint8_t> data(
+        bytes_.begin() + static_cast<long>(pos_),
+        bytes_.begin() + static_cast<long>(pos_ + count));
     pos_ += count;
     return data;
   }
   [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] bool ok() const { return status_ == DecodeStatus::kOk; }
+  [[nodiscard]] DecodeStatus status() const { return status_; }
+  /// Record a field-level violation (bad tag, bad prefix, ...). Truncation
+  /// already recorded takes precedence: the value was garbage to begin with.
+  void fail(DecodeStatus status) {
+    if (status_ == DecodeStatus::kOk) status_ = status;
+  }
 
  private:
-  void require(std::size_t n) const {
-    if (pos_ + n > bytes_.size()) {
-      throw std::invalid_argument("ofp: truncated message");
+  bool require(std::size_t n) {
+    if (n > bytes_.size() - pos_) {  // pos_ <= size() always holds
+      fail(DecodeStatus::kTruncated);
+      return false;
     }
+    return true;
   }
-  const std::vector<std::uint8_t>& bytes_;
+  std::span<const std::uint8_t> bytes_;
   std::size_t pos_;
+  DecodeStatus status_ = DecodeStatus::kOk;
 };
 
 // --- FlowMatch / Action / InstructionSet body encoding ---
@@ -115,10 +132,11 @@ void write_match(Writer& w, const FlowMatch& match) {
 FlowMatch read_match(Reader& r) {
   FlowMatch match;
   const auto count = r.u8();
-  for (unsigned i = 0; i < count; ++i) {
+  for (unsigned i = 0; i < count && r.ok(); ++i) {
     const auto id = static_cast<FieldId>(r.u8());
     if (static_cast<std::size_t>(id) >= kFieldCount) {
-      throw std::invalid_argument("ofp: bad field id");
+      r.fail(DecodeStatus::kBadValue);
+      return match;
     }
     const auto kind = static_cast<MatchKind>(r.u8());
     switch (kind) {
@@ -131,8 +149,10 @@ FlowMatch read_match(Reader& r) {
         const U128 value = r.u128();
         const unsigned length = r.u8();
         const unsigned width = r.u8();
+        if (!r.ok()) return match;
         if (width == 0 || width > 128 || length > width) {
-          throw std::invalid_argument("ofp: bad prefix");
+          r.fail(DecodeStatus::kBadValue);
+          return match;
         }
         match.set(id, FieldMatch::of_prefix(Prefix{value, length, width}));
         break;
@@ -140,7 +160,11 @@ FlowMatch read_match(Reader& r) {
       case MatchKind::kRange: {
         const auto lo = r.u64();
         const auto hi = r.u64();
-        if (lo > hi) throw std::invalid_argument("ofp: bad range");
+        if (!r.ok()) return match;
+        if (lo > hi) {
+          r.fail(DecodeStatus::kBadValue);
+          return match;
+        }
         match.set(id, FieldMatch::of_range(lo, hi));
         break;
       }
@@ -151,7 +175,8 @@ FlowMatch read_match(Reader& r) {
         break;
       }
       default:
-        throw std::invalid_argument("ofp: bad match kind");
+        r.fail(DecodeStatus::kBadValue);
+        return match;
     }
   }
   return match;
@@ -185,7 +210,8 @@ Action read_action(Reader& r) {
     case 1: {
       const auto field = static_cast<FieldId>(r.u8());
       if (static_cast<std::size_t>(field) >= kFieldCount) {
-        throw std::invalid_argument("ofp: bad set-field id");
+        r.fail(DecodeStatus::kBadValue);
+        return DropAction{};
       }
       return SetFieldAction{field, r.u128()};
     }
@@ -198,7 +224,8 @@ Action read_action(Reader& r) {
     case 5:
       return GroupAction{r.u32()};
     default:
-      throw std::invalid_argument("ofp: bad action tag");
+      r.fail(DecodeStatus::kBadValue);  // no-op when truncation already won
+      return DropAction{};
   }
 }
 
@@ -211,7 +238,9 @@ std::vector<Action> read_actions(Reader& r) {
   std::vector<Action> actions;
   const auto count = r.u8();
   actions.reserve(count);
-  for (unsigned i = 0; i < count; ++i) actions.push_back(read_action(r));
+  for (unsigned i = 0; i < count && r.ok(); ++i) {
+    actions.push_back(read_action(r));
+  }
   return actions;
 }
 
@@ -243,6 +272,7 @@ InstructionSet read_instructions(Reader& r) {
 
 [[nodiscard]] MsgType type_of(const Message& message) {
   if (std::holds_alternative<Hello>(message)) return MsgType::kHello;
+  if (std::holds_alternative<ErrorMsg>(message)) return MsgType::kError;
   if (std::holds_alternative<EchoRequest>(message)) return MsgType::kEchoRequest;
   if (std::holds_alternative<EchoReply>(message)) return MsgType::kEchoReply;
   if (std::holds_alternative<PacketIn>(message)) return MsgType::kPacketIn;
@@ -258,6 +288,7 @@ InstructionSet read_instructions(Reader& r) {
 std::string to_string(MsgType type) {
   switch (type) {
     case MsgType::kHello: return "HELLO";
+    case MsgType::kError: return "ERROR";
     case MsgType::kEchoRequest: return "ECHO_REQUEST";
     case MsgType::kEchoReply: return "ECHO_REPLY";
     case MsgType::kPacketIn: return "PACKET_IN";
@@ -266,6 +297,32 @@ std::string to_string(MsgType type) {
     case MsgType::kFlowMod: return "FLOW_MOD";
   }
   return "UNKNOWN";
+}
+
+std::string to_string(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kBadVersion: return "bad version";
+    case DecodeStatus::kBadLength: return "length mismatch";
+    case DecodeStatus::kTruncated: return "truncated message";
+    case DecodeStatus::kTrailingBytes: return "trailing bytes";
+    case DecodeStatus::kBadType: return "unknown message type";
+    case DecodeStatus::kBadValue: return "bad field value";
+  }
+  return "unknown";
+}
+
+ErrorCode error_code_for(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk: return ErrorCode::kNone;
+    case DecodeStatus::kBadVersion: return ErrorCode::kBadVersion;
+    case DecodeStatus::kBadLength: return ErrorCode::kBadLength;
+    case DecodeStatus::kTruncated: return ErrorCode::kTruncated;
+    case DecodeStatus::kTrailingBytes: return ErrorCode::kBadLength;
+    case DecodeStatus::kBadType: return ErrorCode::kBadType;
+    case DecodeStatus::kBadValue: return ErrorCode::kBadValue;
+  }
+  return ErrorCode::kNone;
 }
 
 std::vector<std::uint8_t> encode(const Envelope& envelope) {
@@ -281,6 +338,10 @@ std::vector<std::uint8_t> encode(const Envelope& envelope) {
         using T = std::decay_t<decltype(msg)>;
         if constexpr (std::is_same_v<T, Hello>) {
           // empty body
+        } else if constexpr (std::is_same_v<T, ErrorMsg>) {
+          w.u16(static_cast<std::uint16_t>(msg.type));
+          w.u16(static_cast<std::uint16_t>(msg.code));
+          w.bytes(msg.data);
         } else if constexpr (std::is_same_v<T, EchoRequest> ||
                              std::is_same_v<T, EchoReply>) {
           w.bytes(msg.payload);
@@ -321,27 +382,33 @@ std::vector<std::uint8_t> encode(const Envelope& envelope) {
   return bytes;
 }
 
-Envelope decode(const std::vector<std::uint8_t>& bytes) {
+DecodeStatus try_decode(std::span<const std::uint8_t> bytes,
+                        Envelope& out) noexcept {
   Reader r{bytes, 0};
-  if (r.u8() != kProtocolVersion) {
-    throw std::invalid_argument("ofp: bad version");
-  }
+  const auto version = r.u8();
   const auto type = static_cast<MsgType>(r.u8());
   const auto length = r.u16();
-  if (length != bytes.size()) {
-    throw std::invalid_argument("ofp: length mismatch");
-  }
-  Envelope envelope;
-  envelope.xid = r.u32();
+  if (!r.ok()) return r.status();  // shorter than the fixed header
+  if (version != kProtocolVersion) return DecodeStatus::kBadVersion;
+  if (length != bytes.size()) return DecodeStatus::kBadLength;
+  out.xid = r.u32();
   switch (type) {
     case MsgType::kHello:
-      envelope.message = Hello{};
+      out.message = Hello{};
       break;
+    case MsgType::kError: {
+      ErrorMsg msg;
+      msg.type = static_cast<ErrorType>(r.u16());
+      msg.code = static_cast<ErrorCode>(r.u16());
+      msg.data = r.bytes();
+      out.message = std::move(msg);
+      break;
+    }
     case MsgType::kEchoRequest:
-      envelope.message = EchoRequest{r.bytes()};
+      out.message = EchoRequest{r.bytes()};
       break;
     case MsgType::kEchoReply:
-      envelope.message = EchoReply{r.bytes()};
+      out.message = EchoReply{r.bytes()};
       break;
     case MsgType::kPacketIn: {
       PacketIn msg;
@@ -350,7 +417,7 @@ Envelope decode(const std::vector<std::uint8_t>& bytes) {
       msg.reason = static_cast<PacketInReason>(r.u8());
       msg.in_port = r.u32();
       msg.frame = r.bytes();
-      envelope.message = msg;
+      out.message = std::move(msg);
       break;
     }
     case MsgType::kPacketOut: {
@@ -359,7 +426,7 @@ Envelope decode(const std::vector<std::uint8_t>& bytes) {
       msg.in_port = r.u32();
       msg.actions = read_actions(r);
       msg.frame = r.bytes();
-      envelope.message = msg;
+      out.message = std::move(msg);
       break;
     }
     case MsgType::kFlowRemoved: {
@@ -369,16 +436,16 @@ Envelope decode(const std::vector<std::uint8_t>& bytes) {
       msg.reason = static_cast<FlowRemovedReason>(r.u8());
       msg.packets = r.u64();
       msg.bytes = r.u64();
-      envelope.message = msg;
+      out.message = msg;
       break;
     }
     case MsgType::kFlowMod: {
       FlowModMsg msg;
       msg.command = static_cast<FlowModCommand>(r.u8());
-      if (msg.command != FlowModCommand::kAdd &&
+      if (r.ok() && msg.command != FlowModCommand::kAdd &&
           msg.command != FlowModCommand::kModify &&
           msg.command != FlowModCommand::kDelete) {
-        throw std::invalid_argument("ofp: bad flow-mod command");
+        return DecodeStatus::kBadValue;
       }
       msg.table_id = r.u8();
       msg.entry.id = r.u32();
@@ -387,15 +454,46 @@ Envelope decode(const std::vector<std::uint8_t>& bytes) {
       msg.timeouts.hard_timeout = r.u16();
       msg.send_flow_removed = r.u8() != 0;
       msg.entry.match = read_match(r);
-      msg.entry.instructions = read_instructions(r);
-      envelope.message = msg;
+      if (r.ok()) msg.entry.instructions = read_instructions(r);
+      out.message = std::move(msg);
       break;
     }
     default:
-      throw std::invalid_argument("ofp: unknown message type");
+      return DecodeStatus::kBadType;
   }
-  if (r.position() != bytes.size()) {
-    throw std::invalid_argument("ofp: trailing bytes");
+  if (!r.ok()) return r.status();
+  if (r.position() != bytes.size()) return DecodeStatus::kTrailingBytes;
+  return DecodeStatus::kOk;
+}
+
+std::vector<std::uint8_t> encode_error(std::uint32_t xid, ErrorType type,
+                                       ErrorCode code,
+                                       std::span<const std::uint8_t> offending) {
+  ErrorMsg msg;
+  msg.type = type;
+  msg.code = code;
+  const auto take = std::min(offending.size(), kErrorDataCap);
+  msg.data.assign(offending.begin(), offending.begin() + static_cast<long>(take));
+  return encode({xid, std::move(msg)});
+}
+
+std::uint32_t peek_xid(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) return 0;
+  return std::uint32_t{bytes[4]} << 24 | std::uint32_t{bytes[5]} << 16 |
+         std::uint32_t{bytes[6]} << 8 | std::uint32_t{bytes[7]};
+}
+
+std::optional<std::size_t> peek_frame_length(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4) return std::nullopt;
+  return std::size_t{bytes[2]} << 8 | std::size_t{bytes[3]};
+}
+
+Envelope decode(const std::vector<std::uint8_t>& bytes) {
+  Envelope envelope;
+  const auto status = try_decode(bytes, envelope);
+  if (status != DecodeStatus::kOk) {
+    throw std::invalid_argument("ofp: " + to_string(status));
   }
   return envelope;
 }

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -18,8 +19,13 @@ namespace ofmtl::ofp {
 
 inline constexpr std::uint8_t kProtocolVersion = 4;  // OpenFlow 1.3 numbering
 
+/// Fixed message header: version u8, type u8, length u16, xid u32. The
+/// length field covers the header itself, so no valid frame is shorter.
+inline constexpr std::size_t kHeaderSize = 8;
+
 enum class MsgType : std::uint8_t {
   kHello = 0,
+  kError = 1,
   kEchoRequest = 2,
   kEchoReply = 3,
   kPacketIn = 10,
@@ -30,6 +36,36 @@ enum class MsgType : std::uint8_t {
 
 struct Hello {
   friend bool operator==(const Hello&, const Hello&) = default;
+};
+
+/// OFPT_ERROR taxonomy (simplified): what went wrong with a peer's message.
+enum class ErrorType : std::uint16_t {
+  kHelloFailed = 0,    ///< handshake violation (e.g. traffic before HELLO)
+  kBadRequest = 1,     ///< malformed frame / unknown or unexpected type
+  kBadMatch = 4,       ///< flow-mod match rejected
+  kFlowModFailed = 5,  ///< flow-mod could not be applied (dup add, ...)
+};
+
+enum class ErrorCode : std::uint16_t {
+  kNone = 0,
+  kBadVersion = 1,
+  kBadType = 2,
+  kBadLength = 3,
+  kTruncated = 4,
+  kBadValue = 5,
+  kUnknownEntry = 6,
+  kDuplicateEntry = 7,
+  kBufferOverflow = 8,  ///< peer's write buffer cap exceeded (backpressure)
+  kTimeout = 9,         ///< liveness deadline missed
+};
+
+/// Error reply carrying the failure class plus (a prefix of) the offending
+/// message so the controller can correlate it beyond the echoed xid.
+struct ErrorMsg {
+  ErrorType type = ErrorType::kBadRequest;
+  ErrorCode code = ErrorCode::kNone;
+  std::vector<std::uint8_t> data;
+  friend bool operator==(const ErrorMsg&, const ErrorMsg&) = default;
 };
 
 struct EchoRequest {
@@ -86,8 +122,8 @@ struct FlowModMsg {
   friend bool operator==(const FlowModMsg&, const FlowModMsg&) = default;
 };
 
-using Message = std::variant<Hello, EchoRequest, EchoReply, PacketIn, PacketOut,
-                             FlowRemovedMsg, FlowModMsg>;
+using Message = std::variant<Hello, ErrorMsg, EchoRequest, EchoReply, PacketIn,
+                             PacketOut, FlowRemovedMsg, FlowModMsg>;
 
 /// Envelope: version, type, length, transaction id.
 struct Envelope {
@@ -99,10 +135,55 @@ struct Envelope {
 /// Encode one message with its header.
 [[nodiscard]] std::vector<std::uint8_t> encode(const Envelope& envelope);
 
+/// Why a frame failed to decode. kOk aside, every value maps onto the
+/// ErrorCode a server should echo back (see error_code_for).
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kBadVersion,     ///< header version != kProtocolVersion
+  kBadLength,      ///< header length field disagrees with the frame size
+  kTruncated,      ///< body shorter than its own structure claims
+  kTrailingBytes,  ///< body longer than its structure consumes
+  kBadType,        ///< unknown message type
+  kBadValue,       ///< field-level violation (bad tag, bad prefix, ...)
+};
+
+/// Decode one message without ever throwing: the server path. On kOk, `out`
+/// holds the envelope; on any other status `out` is unspecified. Malformed
+/// input of every shape (empty, truncated at any cut point, oversized or
+/// undersized length fields, corrupt tags) yields a status, never an
+/// exception.
+[[nodiscard]] DecodeStatus try_decode(std::span<const std::uint8_t> bytes,
+                                      Envelope& out) noexcept;
+
 /// Decode one message. Throws std::invalid_argument on malformed input
-/// (wrong version, truncated body, unknown type/tag).
+/// (wrong version, truncated body, unknown type/tag). Convenience wrapper
+/// over try_decode for test/tool code; servers use try_decode directly.
 [[nodiscard]] Envelope decode(const std::vector<std::uint8_t>& bytes);
 
+/// The ERROR envelope a server replies with for a given decode failure.
+[[nodiscard]] ErrorCode error_code_for(DecodeStatus status);
+
+/// Cap on the offending-frame prefix echoed back inside ERROR replies, so a
+/// hostile 64 KiB frame never reflects into a 64 KiB error.
+inline constexpr std::size_t kErrorDataCap = 64;
+
+/// Build one encoded ERROR reply echoing (a capped prefix of) the offending
+/// bytes. Never throws.
+[[nodiscard]] std::vector<std::uint8_t> encode_error(
+    std::uint32_t xid, ErrorType type, ErrorCode code,
+    std::span<const std::uint8_t> offending = {});
+
+/// Best-effort xid of a raw frame (offset 4..8), 0 when too short — lets
+/// ERROR replies to undecodable frames still echo the transaction id.
+[[nodiscard]] std::uint32_t peek_xid(std::span<const std::uint8_t> bytes);
+
+/// Total frame length a (possibly partial) frame claims in its header, or
+/// std::nullopt while fewer than 4 bytes have arrived. Values below
+/// kHeaderSize are protocol violations the caller must reject.
+[[nodiscard]] std::optional<std::size_t> peek_frame_length(
+    std::span<const std::uint8_t> bytes);
+
 [[nodiscard]] std::string to_string(MsgType type);
+[[nodiscard]] std::string to_string(DecodeStatus status);
 
 }  // namespace ofmtl::ofp

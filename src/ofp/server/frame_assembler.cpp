@@ -1,0 +1,54 @@
+#include "ofp/server/frame_assembler.hpp"
+
+#include "ofp/messages.hpp"
+
+namespace ofmtl::ofp::server {
+
+FrameAssembler::Status FrameAssembler::push(std::span<const std::uint8_t> bytes) {
+  if (status_ != Status::kOk) return status_;
+  if (buffered() + bytes.size() > buffer_cap_) {
+    status_ = Status::kOverflow;
+    return status_;
+  }
+  // Compact before growing: consumed prefix space is reused so the buffer
+  // never creeps past cap + one read chunk of capacity.
+  if (head_ > 0 && head_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(head_));
+    head_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  // A bad length field is detectable as soon as 4 bytes of the offending
+  // header are in — poison eagerly so the caller closes before buffering
+  // more of a stream it can never re-synchronize.
+  const auto view = std::span<const std::uint8_t>{buffer_}.subspan(head_);
+  if (const auto length = peek_frame_length(view);
+      length.has_value() && *length < kHeaderSize) {
+    status_ = Status::kBadLength;
+  }
+  return status_;
+}
+
+bool FrameAssembler::next(std::vector<std::uint8_t>& frame) {
+  const auto view = std::span<const std::uint8_t>{buffer_}.subspan(head_);
+  const auto length = peek_frame_length(view);
+  if (!length.has_value() || *length < kHeaderSize || view.size() < *length) {
+    return false;
+  }
+  frame.assign(view.begin(), view.begin() + static_cast<long>(*length));
+  head_ += *length;
+  if (head_ == buffer_.size()) {
+    buffer_.clear();
+    head_ = 0;
+  } else {
+    // The *next* frame's header is now at the front; re-run the eager
+    // bad-length check push() does, so poisoning is not read-chunk-aligned.
+    const auto rest = std::span<const std::uint8_t>{buffer_}.subspan(head_);
+    if (const auto next_len = peek_frame_length(rest);
+        next_len.has_value() && *next_len < kHeaderSize) {
+      status_ = Status::kBadLength;
+    }
+  }
+  return true;
+}
+
+}  // namespace ofmtl::ofp::server

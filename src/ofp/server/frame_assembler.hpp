@@ -1,0 +1,53 @@
+// Incremental OFP frame reassembly for a TCP byte stream: bytes arrive in
+// arbitrary fragments (down to one byte at a time), complete frames come out.
+// The buffer is bounded — a peer can never park unbounded memory here — and a
+// frame header claiming a length below the fixed header size is a protocol
+// error that permanently poisons the stream (framing sync is unrecoverable),
+// surfaced as a status instead of an exception: nothing on the server's
+// ingest path throws on peer input.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ofmtl::ofp::server {
+
+class FrameAssembler {
+ public:
+  enum class Status : std::uint8_t {
+    kOk = 0,
+    kBadLength,  ///< a frame header claimed length < kHeaderSize (sticky)
+    kOverflow,   ///< buffered bytes would exceed the cap (sticky)
+  };
+
+  /// `buffer_cap` bounds the unconsumed bytes held for one peer. It must
+  /// exceed the maximum frame size (64 KiB — the length field is u16), or
+  /// legitimate maximal frames could never complete.
+  explicit FrameAssembler(std::size_t buffer_cap = kDefaultBufferCap)
+      : buffer_cap_(buffer_cap) {}
+
+  static constexpr std::size_t kDefaultBufferCap = 128 * 1024;
+
+  /// Append raw stream bytes. Returns the assembler status; anything but
+  /// kOk means the stream is poisoned and the session must close (already
+  /// completed frames can still be drained with next()).
+  Status push(std::span<const std::uint8_t> bytes);
+
+  /// Pop the next complete frame into `frame` (cleared then filled; capacity
+  /// is kept, so a reused vector makes steady-state pops allocation-free).
+  /// Returns false when no complete frame is buffered.
+  bool next(std::vector<std::uint8_t>& frame);
+
+  /// Unconsumed bytes currently buffered (complete + partial frames).
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - head_; }
+  [[nodiscard]] Status status() const { return status_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t head_ = 0;  // consumed prefix of buffer_
+  std::size_t buffer_cap_;
+  Status status_ = Status::kOk;
+};
+
+}  // namespace ofmtl::ofp::server

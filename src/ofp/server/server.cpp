@@ -1,0 +1,354 @@
+#include "ofp/server/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace ofmtl::ofp::server {
+
+namespace {
+
+// Level-triggered interest masks; EPOLLRDHUP so a peer's half-close wakes
+// the loop even when no payload bytes follow.
+constexpr std::uint32_t kReadMask = EPOLLIN | EPOLLRDHUP;
+
+}  // namespace
+
+OfpServer::OfpServer(FlowModSink sink, ServerConfig config)
+    : sink_(std::move(sink)), config_(std::move(config)) {}
+
+OfpServer::~OfpServer() { stop(); }
+
+std::uint64_t OfpServer::now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool OfpServer::start() {
+  if (running_.load(std::memory_order_acquire)) return false;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, config_.backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    stop_fds();
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    stop_fds();
+    return false;
+  }
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    stop_fds();
+    return false;
+  }
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void OfpServer::stop() {
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    const std::uint64_t one = 1;
+    (void)!::write(wake_fd_, &one, sizeof one);
+  }
+  if (thread_.joinable()) thread_.join();
+  stop_fds();
+}
+
+void OfpServer::stop_fds() {
+  for (const auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+  active_sessions_.store(0, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+int OfpServer::epoll_timeout_ms(std::uint64_t now) const {
+  // Periodic floor so running_ is re-checked even with idle sessions.
+  std::uint64_t timeout = 200;
+  for (const auto& [fd, conn] : connections_) {
+    if (const auto deadline = conn->session.next_deadline_ms()) {
+      const auto wait = *deadline > now ? *deadline - now : 0;
+      if (wait < timeout) timeout = wait;
+    }
+  }
+  return static_cast<int>(timeout);
+}
+
+void OfpServer::loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  std::vector<int> doomed;
+
+  while (running_.load(std::memory_order_acquire)) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events, kMaxEvents, epoll_timeout_ms(now_ms()));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone: shutting down
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        (void)!::read(wake_fd_, &drained, sizeof drained);
+        continue;
+      }
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed earlier this wake
+      Connection& conn = *it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_connection(fd, CloseReason::kPeerClosed);
+        continue;
+      }
+      if (events[i].events & (EPOLLIN | EPOLLRDHUP)) {
+        connection_readable(fd, conn);
+        if (!connections_.contains(fd)) continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        flush_output(fd, conn);
+        if (!connections_.contains(fd)) continue;
+      }
+      if (conn.session.wants_close()) {
+        close_connection(fd, CloseReason::kPeerClosed);
+      }
+    }
+
+    // Liveness ticks + deferred closes, outside the event walk.
+    const auto now = now_ms();
+    doomed.clear();
+    for (auto& [fd, conn] : connections_) {
+      if (const auto deadline = conn->session.next_deadline_ms();
+          deadline.has_value() && now >= *deadline) {
+        conn->session.on_tick(now);
+        flush_output(fd, *conn);
+        sync_counters(*conn);
+      }
+      if (conn->session.wants_close()) doomed.push_back(fd);
+    }
+    for (const int fd : doomed) close_connection(fd, CloseReason::kPeerClosed);
+  }
+
+  // Shutdown: every session closes as kServerShutdown.
+  for (const auto& [fd, conn] : connections_) {
+    sync_counters(*conn);
+    ::close(fd);
+    stats_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+  connections_.clear();
+  active_sessions_.store(0, std::memory_order_relaxed);
+}
+
+void OfpServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      // EAGAIN: drained. EMFILE/ENFILE/aborted handshakes: nothing to do
+      // this wake; level-triggered epoll will re-report pending accepts.
+      return;
+    }
+    if (connections_.size() >= config_.max_sessions) {
+      stats_.sessions_rejected.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_unique<Connection>(
+        Session{next_session_id_++, config_.session, sink_, now_ms()});
+    epoll_event ev{};
+    ev.events = kReadMask;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    stats_.sessions_accepted.fetch_add(1, std::memory_order_relaxed);
+    Connection& ref = *conn;
+    connections_.emplace(fd, std::move(conn));
+    active_sessions_.fetch_add(1, std::memory_order_relaxed);
+    flush_output(fd, ref);  // our HELLO
+  }
+}
+
+void OfpServer::connection_readable(int fd, Connection& conn) {
+  std::uint8_t buf[16 * 1024];
+  const std::size_t chunk = std::min(config_.read_chunk, sizeof buf);
+  bool peer_closed = false;
+  for (std::size_t round = 0; round < config_.max_reads_per_event; ++round) {
+    const ssize_t n = ::read(fd, buf, chunk);
+    if (n > 0) {
+      stats_.bytes_rx.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+      const bool was_handshaking =
+          conn.session.state() == Session::State::kAwaitHello;
+      conn.session.on_bytes({buf, static_cast<std::size_t>(n)}, now_ms());
+      if (was_handshaking &&
+          conn.session.state() == Session::State::kSteady) {
+        stats_.handshakes.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (static_cast<std::size_t>(n) < chunk) break;  // drained
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    peer_closed = true;  // ECONNRESET and friends: treat as gone
+    break;
+  }
+  if (peer_closed) conn.session.on_peer_closed(now_ms());
+  sync_counters(conn);
+  flush_output(fd, conn);
+}
+
+void OfpServer::flush_output(int fd, Connection& conn) {
+  while (true) {
+    const auto pending = conn.session.pending_output();
+    if (pending.empty()) break;
+    const ssize_t n = ::write(fd, pending.data(), pending.size());
+    if (n > 0) {
+      stats_.bytes_tx.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+      conn.session.consume_output(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        update_interest(fd, conn);
+      }
+      return;
+    }
+    // EPIPE/ECONNRESET: the peer is gone, nothing left to flush.
+    conn.session.mark_closed();
+    return;
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    update_interest(fd, conn);
+  }
+}
+
+void OfpServer::update_interest(int fd, Connection& conn) {
+  epoll_event ev{};
+  ev.events = kReadMask | (conn.want_write ? EPOLLOUT : 0U);
+  ev.data.fd = fd;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void OfpServer::close_connection(int fd, CloseReason fallback) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  sync_counters(conn);
+  const auto reason = conn.session.close_reason() != CloseReason::kNone
+                          ? conn.session.close_reason()
+                          : fallback;
+  switch (reason) {
+    case CloseReason::kEchoTimeout:
+      stats_.echo_timeouts.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CloseReason::kBackpressure:
+      stats_.backpressure_closes.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CloseReason::kHandshakeFailed:
+    case CloseReason::kProtocolError:
+    case CloseReason::kReadOverflow:
+      stats_.protocol_closes.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+  stats_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(it);
+  active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void OfpServer::sync_counters(Connection& conn) {
+  const auto& c = conn.session.counters();
+  auto bump = [](std::atomic<std::uint64_t>& stat, std::uint64_t now_value,
+                 std::uint64_t& reported) {
+    stat.fetch_add(now_value - reported, std::memory_order_relaxed);
+    reported = now_value;
+  };
+  bump(stats_.frames_rx, c.frames_rx, conn.reported.frames_rx);
+  bump(stats_.frames_tx, c.frames_tx, conn.reported.frames_tx);
+  bump(stats_.flow_mods_ok, c.flow_mods_ok, conn.reported.flow_mods_ok);
+  bump(stats_.flow_mods_failed, c.flow_mods_failed,
+       conn.reported.flow_mods_failed);
+  bump(stats_.malformed_frames, c.malformed_frames,
+       conn.reported.malformed_frames);
+}
+
+ServerStats OfpServer::stats() const {
+  ServerStats out;
+  out.sessions_accepted = stats_.sessions_accepted.load(std::memory_order_relaxed);
+  out.sessions_rejected = stats_.sessions_rejected.load(std::memory_order_relaxed);
+  out.sessions_closed = stats_.sessions_closed.load(std::memory_order_relaxed);
+  out.handshakes = stats_.handshakes.load(std::memory_order_relaxed);
+  out.frames_rx = stats_.frames_rx.load(std::memory_order_relaxed);
+  out.frames_tx = stats_.frames_tx.load(std::memory_order_relaxed);
+  out.flow_mods_ok = stats_.flow_mods_ok.load(std::memory_order_relaxed);
+  out.flow_mods_failed = stats_.flow_mods_failed.load(std::memory_order_relaxed);
+  out.malformed_frames = stats_.malformed_frames.load(std::memory_order_relaxed);
+  out.echo_timeouts = stats_.echo_timeouts.load(std::memory_order_relaxed);
+  out.backpressure_closes =
+      stats_.backpressure_closes.load(std::memory_order_relaxed);
+  out.protocol_closes = stats_.protocol_closes.load(std::memory_order_relaxed);
+  out.bytes_rx = stats_.bytes_rx.load(std::memory_order_relaxed);
+  out.bytes_tx = stats_.bytes_tx.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace ofmtl::ofp::server

@@ -1,0 +1,142 @@
+// The served control-plane endpoint: a dependency-free epoll event loop
+// terminating OFP framing over TCP for many concurrent controller sessions.
+// One loop thread owns every socket and every Session state machine; flow-mod
+// batches are applied inline through the FlowModSink (for the production
+// sink, one left-right publish per batch — writers serialize on the
+// publisher's mutex, data-plane readers stay wait-free, so control churn
+// never stalls classification). All peer-facing failure modes — partial
+// frames, slow readers, mid-message disconnects, malformed bytes — degrade
+// to ERROR replies or graceful per-session closes; no input crosses the
+// event loop as an exception.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ofp/server/session.hpp"
+
+namespace ofmtl::ofp::server {
+
+struct ServerConfig {
+  /// Bind address; controller tests and the soak tool use loopback.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  int backlog = 64;
+  /// Accepted sessions beyond this are immediately closed (bounded state).
+  std::size_t max_sessions = 64;
+  /// Per-session protocol tuning (buffers, liveness, batching).
+  SessionConfig session{};
+  /// Bytes per read() call on the loop's stack buffer.
+  std::size_t read_chunk = 16 * 1024;
+  /// Reads per EPOLLIN wake before yielding to other sessions (fairness
+  /// under a firehosing peer; level-triggered epoll re-arms the rest).
+  std::size_t max_reads_per_event = 4;
+};
+
+/// Monotonic server-wide counters, sampled racily by stats().
+struct ServerStats {
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t sessions_rejected = 0;  ///< over max_sessions
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t handshakes = 0;         ///< sessions that reached kSteady
+  std::uint64_t frames_rx = 0;
+  std::uint64_t frames_tx = 0;
+  std::uint64_t flow_mods_ok = 0;
+  std::uint64_t flow_mods_failed = 0;
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t echo_timeouts = 0;
+  std::uint64_t backpressure_closes = 0;
+  std::uint64_t protocol_closes = 0;  ///< handshake/framing/overflow closes
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t bytes_tx = 0;
+};
+
+class OfpServer {
+ public:
+  /// `sink` receives every session's flow-mod batches on the loop thread.
+  explicit OfpServer(FlowModSink sink, ServerConfig config = {});
+  ~OfpServer();
+
+  OfpServer(const OfpServer&) = delete;
+  OfpServer& operator=(const OfpServer&) = delete;
+
+  /// Bind + listen + spawn the event loop. False (with errno intact) when
+  /// the socket setup fails; never throws.
+  [[nodiscard]] bool start();
+
+  /// Graceful shutdown: wake the loop, close every session, join. Idempotent.
+  void stop();
+
+  /// The bound TCP port (resolved after start() for ephemeral binds).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] ServerStats stats() const;
+  /// Currently open sessions (loop-thread count, sampled racily).
+  [[nodiscard]] std::size_t active_sessions() const {
+    return active_sessions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    explicit Connection(Session session) : session(std::move(session)) {}
+    Session session;
+    bool want_write = false;  // current EPOLLOUT interest
+    /// Session counter values already folded into the server atomics, so
+    /// aggregation is delta-based and sessions can die any time.
+    Session::Counters reported{};
+  };
+
+  void loop();
+  void accept_ready();
+  void connection_readable(int fd, Connection& conn);
+  /// Flush session output to the socket; toggles EPOLLOUT interest.
+  void flush_output(int fd, Connection& conn);
+  void close_connection(int fd, CloseReason fallback);
+  void update_interest(int fd, Connection& conn);
+  /// Fold a session's counter deltas into the server-wide atomics.
+  void sync_counters(Connection& conn);
+  /// Close every fd this server owns (post-join / failed-start cleanup).
+  void stop_fds();
+  [[nodiscard]] int epoll_timeout_ms(std::uint64_t now_ms) const;
+  [[nodiscard]] static std::uint64_t now_ms();
+
+  FlowModSink sink_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t next_session_id_ = 1;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> active_sessions_{0};
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> sessions_accepted{0};
+    std::atomic<std::uint64_t> sessions_rejected{0};
+    std::atomic<std::uint64_t> sessions_closed{0};
+    std::atomic<std::uint64_t> handshakes{0};
+    std::atomic<std::uint64_t> frames_rx{0};
+    std::atomic<std::uint64_t> frames_tx{0};
+    std::atomic<std::uint64_t> flow_mods_ok{0};
+    std::atomic<std::uint64_t> flow_mods_failed{0};
+    std::atomic<std::uint64_t> malformed_frames{0};
+    std::atomic<std::uint64_t> echo_timeouts{0};
+    std::atomic<std::uint64_t> backpressure_closes{0};
+    std::atomic<std::uint64_t> protocol_closes{0};
+    std::atomic<std::uint64_t> bytes_rx{0};
+    std::atomic<std::uint64_t> bytes_tx{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace ofmtl::ofp::server

@@ -1,0 +1,235 @@
+#include "ofp/server/session.hpp"
+
+#include "net/packet.hpp"
+
+namespace ofmtl::ofp::server {
+
+const char* to_string(CloseReason reason) {
+  switch (reason) {
+    case CloseReason::kNone: return "none";
+    case CloseReason::kPeerClosed: return "peer-closed";
+    case CloseReason::kHandshakeFailed: return "handshake-failed";
+    case CloseReason::kProtocolError: return "protocol-error";
+    case CloseReason::kReadOverflow: return "read-overflow";
+    case CloseReason::kBackpressure: return "backpressure";
+    case CloseReason::kEchoTimeout: return "echo-timeout";
+    case CloseReason::kServerShutdown: return "server-shutdown";
+  }
+  return "unknown";
+}
+
+Session::Session(std::uint64_t id, SessionConfig config, FlowModSink sink,
+                 std::uint64_t now_ms)
+    : id_(id),
+      config_(config),
+      sink_(std::move(sink)),
+      assembler_(config.read_buffer_cap),
+      last_rx_ms_(now_ms) {
+  // Both sides open with HELLO; ours goes out immediately.
+  queue_output(encode({next_xid_++, Hello{}}), now_ms);
+}
+
+void Session::on_bytes(std::span<const std::uint8_t> bytes,
+                       std::uint64_t now_ms) {
+  if (state_ == State::kDraining || state_ == State::kClosed) return;
+  // Any inbound byte proves the peer alive: clear an outstanding probe and
+  // restart the idle clock.
+  last_rx_ms_ = now_ms;
+  probe_deadline_ms_.reset();
+
+  const auto push_status = assembler_.push(bytes);
+  // Drain the frames that completed (even when the push poisoned the
+  // stream: frames before the poison point are intact and must count).
+  while (state_ != State::kDraining && assembler_.next(frame_)) {
+    handle_frame(frame_, now_ms);
+  }
+  if (state_ == State::kDraining || state_ == State::kClosed) {
+    mods_.clear();
+    return;
+  }
+  flush_mods(now_ms);
+  if (push_status == FrameAssembler::Status::kOverflow ||
+      assembler_.status() == FrameAssembler::Status::kOverflow) {
+    begin_drain(CloseReason::kReadOverflow, now_ms);
+  } else if (assembler_.status() == FrameAssembler::Status::kBadLength) {
+    // Framing sync is unrecoverable: one best-effort ERROR, then close.
+    counters_.malformed_frames++;
+    queue_output(encode_error(0, ErrorType::kBadRequest, ErrorCode::kBadLength),
+                 now_ms);
+    begin_drain(CloseReason::kProtocolError, now_ms);
+  }
+}
+
+void Session::handle_frame(const std::vector<std::uint8_t>& frame,
+                           std::uint64_t now_ms) {
+  counters_.frames_rx++;
+  Envelope envelope;
+  const auto status = try_decode(frame, envelope);
+  if (status != DecodeStatus::kOk) {
+    counters_.malformed_frames++;
+    if (state_ == State::kAwaitHello) {
+      queue_output(encode_error(peek_xid(frame), ErrorType::kHelloFailed,
+                                error_code_for(status), frame),
+                   now_ms);
+      begin_drain(CloseReason::kHandshakeFailed, now_ms);
+      return;
+    }
+    // A malformed body still answers in frame order: flush pending mods so
+    // the ERROR cannot overtake them.
+    flush_mods(now_ms);
+    queue_output(encode_error(peek_xid(frame), ErrorType::kBadRequest,
+                              error_code_for(status), frame),
+                 now_ms);
+    if (config_.close_on_malformed) {
+      begin_drain(CloseReason::kProtocolError, now_ms);
+    }
+    return;
+  }
+  handle_message(envelope, frame, now_ms);
+}
+
+void Session::handle_message(const Envelope& envelope,
+                             const std::vector<std::uint8_t>& frame,
+                             std::uint64_t now_ms) {
+  if (state_ == State::kAwaitHello) {
+    if (!std::holds_alternative<Hello>(envelope.message)) {
+      queue_output(encode_error(envelope.xid, ErrorType::kHelloFailed,
+                                ErrorCode::kBadType, frame),
+                   now_ms);
+      begin_drain(CloseReason::kHandshakeFailed, now_ms);
+      return;
+    }
+    state_ = State::kSteady;
+    return;
+  }
+
+  if (const auto* mod = std::get_if<FlowModMsg>(&envelope.message)) {
+    mods_.push_back({envelope.xid, *mod});
+    if (mods_.size() >= config_.max_mods_per_batch) flush_mods(now_ms);
+    return;
+  }
+  // Every non-flow-mod message is a barrier: earlier mods must be applied
+  // (and their errors queued) before this message's reply goes out.
+  flush_mods(now_ms);
+
+  if (const auto* echo = std::get_if<EchoRequest>(&envelope.message)) {
+    queue_output(encode({envelope.xid, EchoReply{echo->payload}}), now_ms);
+    return;
+  }
+  if (std::holds_alternative<EchoReply>(envelope.message)) {
+    return;  // liveness bookkeeping already done in on_bytes
+  }
+  if (std::holds_alternative<Hello>(envelope.message)) {
+    return;  // redundant HELLO: harmless
+  }
+  if (const auto* out = std::get_if<PacketOut>(&envelope.message)) {
+    PacketHeader header;
+    if (!parse_packet_header(out->frame, out->in_port, header)) {
+      queue_output(encode_error(envelope.xid, ErrorType::kBadRequest,
+                                ErrorCode::kBadValue, frame),
+                   now_ms);
+    }
+    return;
+  }
+  // Switch->controller types on the inbound path: protocol violation.
+  queue_output(encode_error(envelope.xid, ErrorType::kBadRequest,
+                            ErrorCode::kBadType, frame),
+               now_ms);
+}
+
+void Session::flush_mods(std::uint64_t now_ms) {
+  if (mods_.empty()) return;
+  mod_results_.assign(mods_.size(), ErrorCode::kNone);
+  sink_(mods_, mod_results_);
+  for (std::size_t i = 0; i < mods_.size(); ++i) {
+    if (mod_results_[i] == ErrorCode::kNone) {
+      counters_.flow_mods_ok++;
+      continue;
+    }
+    counters_.flow_mods_failed++;
+    queue_output(encode_error(mods_[i].xid, ErrorType::kFlowModFailed,
+                              mod_results_[i]),
+                 now_ms);
+    if (state_ != State::kSteady) break;  // backpressure drain kicked in
+  }
+  mods_.clear();
+}
+
+void Session::queue_output(std::vector<std::uint8_t> frame,
+                           std::uint64_t now_ms) {
+  if (state_ == State::kDraining || state_ == State::kClosed) return;
+  if (output_buffered() + frame.size() > config_.write_buffer_cap) {
+    // Slow reader at the cap: stop queuing (this frame is dropped along
+    // with everything after it) and drain what the peer already earned.
+    begin_drain(CloseReason::kBackpressure, now_ms);
+    return;
+  }
+  if (out_head_ > 0 && out_head_ >= out_.size() / 2) {
+    out_.erase(out_.begin(), out_.begin() + static_cast<long>(out_head_));
+    out_head_ = 0;
+  }
+  out_.insert(out_.end(), frame.begin(), frame.end());
+  counters_.frames_tx++;
+}
+
+void Session::begin_drain(CloseReason reason, std::uint64_t now_ms) {
+  (void)now_ms;
+  if (state_ == State::kDraining || state_ == State::kClosed) return;
+  state_ = State::kDraining;
+  close_reason_ = reason;
+  probe_deadline_ms_.reset();
+  mods_.clear();
+}
+
+void Session::on_peer_closed(std::uint64_t now_ms) {
+  flush_mods(now_ms);
+  begin_drain(CloseReason::kPeerClosed, now_ms);
+}
+
+void Session::on_tick(std::uint64_t now_ms) {
+  if (state_ != State::kSteady && state_ != State::kAwaitHello) return;
+  if (config_.echo_interval_ms == 0) return;
+  if (probe_deadline_ms_.has_value()) {
+    if (now_ms >= *probe_deadline_ms_) {
+      begin_drain(CloseReason::kEchoTimeout, now_ms);
+    }
+    return;
+  }
+  if (now_ms - last_rx_ms_ >= config_.echo_interval_ms) {
+    counters_.echo_probes++;
+    queue_output(encode({next_xid_++, EchoRequest{}}), now_ms);
+    probe_deadline_ms_ = now_ms + config_.echo_timeout_ms;
+  }
+}
+
+std::optional<std::uint64_t> Session::next_deadline_ms() const {
+  if (state_ != State::kSteady && state_ != State::kAwaitHello) {
+    return std::nullopt;
+  }
+  if (config_.echo_interval_ms == 0) return std::nullopt;
+  if (probe_deadline_ms_.has_value()) return probe_deadline_ms_;
+  return last_rx_ms_ + config_.echo_interval_ms;
+}
+
+void Session::send(std::span<const std::uint8_t> frame, std::uint64_t now_ms) {
+  queue_output(std::vector<std::uint8_t>(frame.begin(), frame.end()), now_ms);
+}
+
+std::span<const std::uint8_t> Session::pending_output() const {
+  return std::span<const std::uint8_t>{out_}.subspan(out_head_);
+}
+
+void Session::consume_output(std::size_t n) {
+  out_head_ += n;
+  if (out_head_ >= out_.size()) {
+    out_.clear();
+    out_head_ = 0;
+  }
+}
+
+bool Session::wants_close() const {
+  return state_ == State::kClosed ||
+         (state_ == State::kDraining && output_buffered() == 0);
+}
+
+}  // namespace ofmtl::ofp::server

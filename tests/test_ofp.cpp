@@ -3,6 +3,8 @@
 // packet-in on miss, flow-removed on expiry, echo).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/packet.hpp"
 #include "ofp/agent.hpp"
 #include "ofp/messages.hpp"
@@ -42,6 +44,8 @@ TEST(OfpCodec, RoundTripsEveryMessageType) {
       {5, PacketOut{0xFFFFFFFF, 3, {OutputAction{4}, PopVlanAction{}}, {0xBE}}},
       {6, FlowRemovedMsg{99, 1, FlowRemovedReason::kIdleTimeout, 10, 640}},
       {7, sample_flow_mod()},
+      {8, ErrorMsg{ErrorType::kFlowModFailed, ErrorCode::kDuplicateEntry,
+                   {0xAA, 0xBB}}},
   };
   for (const auto& envelope : envelopes) {
     const auto bytes = encode(envelope);
@@ -86,6 +90,228 @@ TEST(OfpCodec, DecodeFuzzNeverCrashes) {
       const auto decoded = decode(bytes);
       (void)encode(decoded);  // whatever decodes must re-encode
     } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+// --- Randomized property tests: encode -> try_decode == identity ---
+
+U128 random_u128(workload::Rng& rng) { return U128{rng.next(), rng.next()}; }
+
+std::vector<std::uint8_t> random_bytes(workload::Rng& rng, std::size_t max) {
+  std::vector<std::uint8_t> data(rng.below(max + 1));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  return data;
+}
+
+FieldMatch random_field_match(workload::Rng& rng) {
+  switch (rng.below(4)) {
+    case 0:
+      return FieldMatch::exact(random_u128(rng));
+    case 1: {
+      const unsigned width = 1 + static_cast<unsigned>(rng.below(128));
+      const unsigned length = static_cast<unsigned>(rng.below(width + 1));
+      return FieldMatch::of_prefix(Prefix{random_u128(rng), length, width});
+    }
+    case 2: {
+      const auto a = rng.next(), b = rng.next();
+      return FieldMatch::of_range(std::min(a, b), std::max(a, b));
+    }
+    default:
+      return FieldMatch::masked(random_u128(rng), random_u128(rng));
+  }
+}
+
+Action random_action(workload::Rng& rng) {
+  switch (rng.below(6)) {
+    case 0: return OutputAction{static_cast<std::uint32_t>(rng.next())};
+    case 1:
+      return SetFieldAction{static_cast<FieldId>(rng.below(kFieldCount)),
+                            random_u128(rng)};
+    case 2: return PushVlanAction{static_cast<std::uint16_t>(rng.next())};
+    case 3: return PopVlanAction{};
+    case 4: return DropAction{};
+    default: return GroupAction{static_cast<std::uint32_t>(rng.next())};
+  }
+}
+
+std::vector<Action> random_actions(workload::Rng& rng, std::size_t max) {
+  std::vector<Action> actions(rng.below(max + 1));
+  for (auto& action : actions) action = random_action(rng);
+  return actions;
+}
+
+FlowModMsg random_flow_mod(workload::Rng& rng) {
+  static constexpr FlowModCommand kCommands[] = {
+      FlowModCommand::kAdd, FlowModCommand::kModify, FlowModCommand::kDelete};
+  FlowModMsg mod;
+  mod.command = kCommands[rng.below(3)];
+  mod.table_id = static_cast<std::uint8_t>(rng.next());
+  mod.entry.id = static_cast<std::uint32_t>(rng.next());
+  mod.entry.priority = static_cast<std::uint16_t>(rng.next());
+  const auto constrained = rng.below(kFieldCount + 1);
+  for (std::size_t i = 0; i < constrained; ++i) {
+    mod.entry.match.set(static_cast<FieldId>(rng.below(kFieldCount)),
+                        random_field_match(rng));
+  }
+  if (rng.chance(0.5)) {
+    mod.entry.instructions.goto_table = static_cast<std::uint8_t>(rng.next());
+  }
+  if (rng.chance(0.5)) {
+    mod.entry.instructions.write_metadata = MetadataWrite{rng.next(), rng.next()};
+  }
+  mod.entry.instructions.clear_actions = rng.chance(0.3);
+  mod.entry.instructions.write_actions = random_actions(rng, 4);
+  mod.entry.instructions.apply_actions = random_actions(rng, 4);
+  mod.timeouts.idle_timeout = static_cast<std::uint16_t>(rng.next());
+  mod.timeouts.hard_timeout = static_cast<std::uint16_t>(rng.next());
+  mod.send_flow_removed = rng.chance(0.5);
+  return mod;
+}
+
+Envelope random_envelope(workload::Rng& rng) {
+  Envelope envelope;
+  envelope.xid = static_cast<std::uint32_t>(rng.next());
+  switch (rng.below(8)) {
+    case 0: envelope.message = Hello{}; break;
+    case 1: {
+      static constexpr ErrorType kTypes[] = {
+          ErrorType::kHelloFailed, ErrorType::kBadRequest, ErrorType::kBadMatch,
+          ErrorType::kFlowModFailed};
+      envelope.message = ErrorMsg{kTypes[rng.below(4)],
+                                  static_cast<ErrorCode>(rng.below(10)),
+                                  random_bytes(rng, 32)};
+      break;
+    }
+    case 2: envelope.message = EchoRequest{random_bytes(rng, 64)}; break;
+    case 3: envelope.message = EchoReply{random_bytes(rng, 64)}; break;
+    case 4:
+      envelope.message =
+          PacketIn{static_cast<std::uint32_t>(rng.next()),
+                   static_cast<std::uint8_t>(rng.next()),
+                   rng.chance(0.5) ? PacketInReason::kNoMatch
+                                   : PacketInReason::kAction,
+                   static_cast<std::uint32_t>(rng.next()),
+                   random_bytes(rng, 128)};
+      break;
+    case 5:
+      envelope.message = PacketOut{static_cast<std::uint32_t>(rng.next()),
+                                   static_cast<std::uint32_t>(rng.next()),
+                                   random_actions(rng, 4),
+                                   random_bytes(rng, 128)};
+      break;
+    case 6: {
+      static constexpr FlowRemovedReason kReasons[] = {
+          FlowRemovedReason::kIdleTimeout, FlowRemovedReason::kHardTimeout,
+          FlowRemovedReason::kDelete};
+      envelope.message = FlowRemovedMsg{static_cast<std::uint32_t>(rng.next()),
+                                        static_cast<std::uint8_t>(rng.next()),
+                                        kReasons[rng.below(3)], rng.next(),
+                                        rng.next()};
+      break;
+    }
+    default: envelope.message = random_flow_mod(rng); break;
+  }
+  return envelope;
+}
+
+TEST(OfpCodec, PropertyRoundTripRandomized) {
+  workload::Rng rng(20260808);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto envelope = random_envelope(rng);
+    const auto bytes = encode(envelope);
+    Envelope decoded;
+    ASSERT_EQ(try_decode(bytes, decoded), DecodeStatus::kOk)
+        << "trial " << trial;
+    ASSERT_EQ(decoded, envelope) << "trial " << trial;
+    // Re-encoding the decoded value must be byte-identical (canonical form).
+    EXPECT_EQ(encode(decoded), bytes) << "trial " << trial;
+  }
+}
+
+TEST(OfpCodec, TryDecodeTruncationAtEveryCutPoint) {
+  workload::Rng rng(77);
+  std::vector<Envelope> envelopes = {
+      {1, Hello{}},
+      {2, EchoRequest{{1, 2, 3}}},
+      {3, ErrorMsg{ErrorType::kBadRequest, ErrorCode::kBadType, {9}}},
+      {4, PacketIn{0xFFFFFFFF, 1, PacketInReason::kNoMatch, 7, {0xDE, 0xAD}}},
+      {5, PacketOut{0xFFFFFFFF, 3, {OutputAction{4}, PopVlanAction{}}, {0xBE}}},
+      {6, FlowRemovedMsg{99, 1, FlowRemovedReason::kIdleTimeout, 10, 640}},
+      {7, sample_flow_mod()},
+  };
+  for (int i = 0; i < 8; ++i) envelopes.push_back(random_envelope(rng));
+
+  for (const auto& envelope : envelopes) {
+    const auto bytes = encode(envelope);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      std::vector<std::uint8_t> prefix(bytes.begin(),
+                                       bytes.begin() + static_cast<long>(cut));
+      Envelope out;
+      // Raw prefix: the header length field disagrees with the frame size
+      // (or the header itself is short) — never kOk, never a throw.
+      EXPECT_NE(try_decode(prefix, out), DecodeStatus::kOk) << "cut " << cut;
+      // Prefix with the length field patched to match the truncated size:
+      // the body itself is now short, and the decoder must say so.
+      if (cut >= 4) {
+        auto patched = prefix;
+        patched[2] = static_cast<std::uint8_t>(cut >> 8);
+        patched[3] = static_cast<std::uint8_t>(cut);
+        const auto status = try_decode(patched, out);
+        EXPECT_NE(status, DecodeStatus::kOk) << "patched cut " << cut;
+        EXPECT_NE(status, DecodeStatus::kBadLength) << "patched cut " << cut;
+      }
+    }
+  }
+}
+
+TEST(OfpCodec, TryDecodeRejectsBadLengthFields) {
+  const auto bytes = encode({42, EchoRequest{{1, 2, 3}}});
+  Envelope out;
+  {
+    auto oversized = bytes;  // claims more than was delivered
+    const auto claim = bytes.size() + 10;
+    oversized[2] = static_cast<std::uint8_t>(claim >> 8);
+    oversized[3] = static_cast<std::uint8_t>(claim);
+    EXPECT_EQ(try_decode(oversized, out), DecodeStatus::kBadLength);
+  }
+  {
+    auto undersized = bytes;  // claims less than the header itself
+    undersized[2] = 0;
+    undersized[3] = 4;
+    EXPECT_EQ(try_decode(undersized, out), DecodeStatus::kBadLength);
+  }
+  {
+    auto trailing = bytes;  // valid frame + stray bytes appended
+    trailing.push_back(0xCC);
+    EXPECT_EQ(try_decode(trailing, out), DecodeStatus::kBadLength);
+    // With the length field covering the junk, the parser must notice the
+    // body does not consume it.
+    const auto claim = trailing.size();
+    trailing[2] = static_cast<std::uint8_t>(claim >> 8);
+    trailing[3] = static_cast<std::uint8_t>(claim);
+    EXPECT_EQ(try_decode(trailing, out), DecodeStatus::kTrailingBytes);
+  }
+  EXPECT_EQ(try_decode({}, out), DecodeStatus::kTruncated);
+}
+
+TEST(OfpCodec, TryDecodeMutationSweepNeverCrashes) {
+  workload::Rng rng(5150);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto bytes = encode(random_envelope(rng));
+    const int flips = 1 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < flips; ++i) {
+      bytes[rng.below(bytes.size())] ^=
+          static_cast<std::uint8_t>(1U << rng.below(8));
+    }
+    if (rng.chance(0.4)) {  // corrupt the length field specifically
+      bytes[2 + rng.below(2)] = static_cast<std::uint8_t>(rng.next());
+    }
+    if (rng.chance(0.3)) bytes.resize(rng.below(bytes.size() + 1));
+    Envelope out;
+    const auto status = try_decode(bytes, out);  // must not crash or throw
+    if (status == DecodeStatus::kOk) {
+      (void)encode(out);  // whatever decodes must re-encode
     }
   }
 }
@@ -166,8 +392,8 @@ TEST(SwitchAgent, FlowRemovedOnIdleExpiry) {
 
   const auto notifications = agent.sweep(30);
   ASSERT_EQ(notifications.size(), 1U);
-  const auto& removed =
-      std::get<FlowRemovedMsg>(decode(notifications[0]).message);
+  const auto envelope = decode(notifications[0]);
+  const auto& removed = std::get<FlowRemovedMsg>(envelope.message);
   EXPECT_EQ(removed.entry_id, 5U);
   EXPECT_EQ(removed.packets, 1U);
   EXPECT_EQ(removed.bytes, frame.size());
@@ -189,8 +415,86 @@ TEST(SwitchAgent, DeleteWithNotification) {
   del.entry.id = 8;
   const auto responses = agent.handle_control(encode({13, del}), 5);
   ASSERT_EQ(responses.size(), 1U);
-  const auto& removed = std::get<FlowRemovedMsg>(decode(responses[0]).message);
+  const auto envelope = decode(responses[0]);
+  const auto& removed = std::get<FlowRemovedMsg>(envelope.message);
   EXPECT_EQ(removed.reason, FlowRemovedReason::kDelete);
+}
+
+// --- Robustness regressions: malformed control bytes answer with ERROR ---
+
+// Pull the ErrorMsg out of an encoded response, failing the test otherwise.
+ErrorMsg expect_error(const std::vector<std::vector<std::uint8_t>>& responses) {
+  EXPECT_EQ(responses.size(), 1U);
+  if (responses.size() != 1) return {};
+  const auto envelope = decode(responses[0]);
+  const auto* error = std::get_if<ErrorMsg>(&envelope.message);
+  EXPECT_NE(error, nullptr);
+  return error == nullptr ? ErrorMsg{} : *error;
+}
+
+TEST(SwitchAgent, TruncatedControlAtEveryCutPointAnswersError) {
+  const auto frames = {encode({21, Hello{}}), encode({22, sample_flow_mod()}),
+                       encode({23, EchoRequest{{7, 7}}})};
+  for (const auto& bytes : frames) {
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      SwitchAgent agent({{FieldId::kVlanId}});
+      std::vector<std::uint8_t> prefix(bytes.begin(),
+                                       bytes.begin() + static_cast<long>(cut));
+      // Both the raw prefix and the length-patched prefix must produce an
+      // ERROR envelope — never a throw, never silence.
+      const auto error = expect_error(agent.handle_control(prefix));
+      EXPECT_EQ(error.type, ErrorType::kBadRequest) << "cut " << cut;
+      if (cut >= 4) {
+        auto patched = prefix;
+        patched[2] = static_cast<std::uint8_t>(cut >> 8);
+        patched[3] = static_cast<std::uint8_t>(cut);
+        const auto patched_error = expect_error(agent.handle_control(patched));
+        EXPECT_EQ(patched_error.code, ErrorCode::kTruncated) << "cut " << cut;
+      }
+      EXPECT_EQ(agent.model().entry_count(), 0U);
+    }
+  }
+}
+
+TEST(SwitchAgent, OversizedLengthFieldAnswersError) {
+  SwitchAgent agent({{FieldId::kVlanId}});
+  auto bytes = encode({31, Hello{}});
+  bytes[2] = 0xFF;
+  bytes[3] = 0xFF;  // claims 64 KiB, delivers 8 bytes
+  const auto error = expect_error(agent.handle_control(bytes));
+  EXPECT_EQ(error.code, ErrorCode::kBadLength);
+}
+
+TEST(SwitchAgent, DuplicateAddAnswersErrorWithoutStateChange) {
+  SwitchAgent agent({{FieldId::kVlanId}});
+  FlowModMsg mod;
+  mod.entry.id = 3;
+  mod.entry.priority = 1;
+  mod.entry.match.set(FieldId::kVlanId, FieldMatch::exact(std::uint64_t{7}));
+  mod.entry.instructions = output_instruction(1);
+  EXPECT_TRUE(agent.handle_control(encode({40, mod}), 0).empty());
+  EXPECT_EQ(agent.model().entry_count(), 1U);
+
+  const auto error = expect_error(agent.handle_control(encode({41, mod}), 1));
+  EXPECT_EQ(error.type, ErrorType::kFlowModFailed);
+  EXPECT_EQ(agent.model().entry_count(), 1U);
+}
+
+TEST(SwitchAgent, UnexpectedInboundTypeAnswersError) {
+  SwitchAgent agent({{FieldId::kVlanId}});
+  // PACKET_IN flows switch->controller; arriving inbound it is a violation.
+  const auto error = expect_error(agent.handle_control(
+      encode({50, PacketIn{0xFFFFFFFF, 0, PacketInReason::kNoMatch, 1, {}}})));
+  EXPECT_EQ(error.type, ErrorType::kBadRequest);
+  EXPECT_EQ(error.code, ErrorCode::kBadType);
+}
+
+TEST(SwitchAgent, PacketOutWithUnparseableFrameAnswersError) {
+  SwitchAgent agent({{FieldId::kVlanId}});
+  const auto error = expect_error(agent.handle_control(
+      encode({60, PacketOut{0xFFFFFFFF, 1, {}, {0xDE, 0xAD}}})));
+  EXPECT_EQ(error.type, ErrorType::kBadRequest);
+  EXPECT_EQ(error.code, ErrorCode::kBadValue);
 }
 
 }  // namespace

@@ -1,0 +1,330 @@
+// OFP control-plane soak: N concurrent scripted controllers fire M flow-mods
+// each at a live OfpServer through seeded fault injection — fragmented
+// writes, byte-at-a-time delivery, mid-message RSTs with reconnect-and-
+// replay — and the resulting classifier state must converge BITWISE to an
+// oracle built by applying the same logical mods sequentially.
+//
+// Convergence protocol (what makes exact assertions possible under faults):
+//   - each session owns a disjoint flow-entry id range, so replays cannot
+//     collide across sessions;
+//   - mods go out in small chunks, each fenced by an echo barrier; the
+//     session answers frames in order, so the echo reply proves every mod
+//     in the chunk was applied — a checkpoint;
+//   - on connection loss, only the unconfirmed chunk is replayed — duplicate
+//     adds / re-deletes earn ERROR replies but leave the same final state
+//     (idempotent replay), and checkpointing keeps forward progress even at
+//     RST rates where a full-phase replay would never finish.
+//
+//   ofp_soak [--sessions 4] [--mods 200] [--fault light|heavy|none]
+//            [--seed 1] [--json]
+//
+// Exit 1 on any divergence from the oracle or any session that never
+// converged. --json writes BENCH_ofp_soak.json (flow-mods/sec plus the two
+// zero-ceiling robustness metrics soak/desyncs and soak/dropped_sessions).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "../bench/bench_common.hpp"
+#include "ofp/server/flow_mod_sink.hpp"
+#include "ofp/server/server.hpp"
+#include "ofp/testing/fault_injection.hpp"
+#include "runtime/snapshot.hpp"
+#include "workload/rng.hpp"
+
+namespace {
+
+using namespace ofmtl;
+using namespace ofmtl::ofp;
+using server::apply_mods;
+using server::OfpServer;
+using server::PendingFlowMod;
+using server::ServerConfig;
+using testing::FaultLevel;
+using testing::make_fault;
+using testing::ScriptedController;
+
+struct Options {
+  std::uint32_t sessions = 4;
+  std::uint32_t mods = 200;  // adds per session; every 3rd is deleted after
+  FaultLevel fault = FaultLevel::kLight;
+  std::uint64_t seed = 1;
+  bool json = false;
+};
+
+[[noreturn]] void usage_and_exit() {
+  std::cerr << "usage: ofp_soak [--sessions N] [--mods M] "
+               "[--fault light|heavy|none] [--seed S] [--json]\n";
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_and_exit();
+      return argv[++i];
+    };
+    if (arg == "--sessions") {
+      opt.sessions = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--mods") {
+      opt.mods = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--fault") {
+      const auto v = value();
+      if (v == "light") opt.fault = FaultLevel::kLight;
+      else if (v == "heavy") opt.fault = FaultLevel::kHeavy;
+      else if (v == "none") opt.fault = FaultLevel::kNone;
+      else usage_and_exit();
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(value());
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else {
+      usage_and_exit();
+    }
+  }
+  if (opt.sessions == 0 || opt.mods == 0) usage_and_exit();
+  return opt;
+}
+
+MultiTableLookup make_tables() {
+  MultiTableLookup tables;
+  tables.add_table(LookupTable({FieldId::kEthDst}, {}));
+  return tables;
+}
+
+FlowModMsg make_mod(std::uint32_t id, FlowModCommand command) {
+  FlowModMsg mod;
+  mod.command = command;
+  mod.table_id = 0;
+  mod.entry.id = id;
+  mod.entry.priority = static_cast<std::uint16_t>(1 + id % 8);
+  mod.entry.match.set(FieldId::kEthDst, FieldMatch::exact(std::uint64_t{id}));
+  mod.entry.instructions = output_instruction(id % 1024);
+  return mod;
+}
+
+bool deleted_after_add(std::uint32_t id) { return id % 3 == 0; }
+
+/// One controller session's life: adds (phase 1), deletes of the subset
+/// (phase 2). Mods go out in small chunks, each fenced by an echo barrier —
+/// a confirmed chunk is a checkpoint, so a connection loss replays only the
+/// unconfirmed chunk (duplicate replays earn ERROR replies, state is
+/// unchanged). Checkpointing is what guarantees forward progress even when
+/// the per-frame RST probability makes a full-phase replay hopeless.
+struct ControllerOutcome {
+  bool converged = false;
+  std::uint32_t reconnects = 0;
+  std::size_t errors_seen = 0;
+};
+
+constexpr std::uint32_t kChunkMods = 16;
+
+ControllerOutcome run_controller(std::uint16_t port, std::uint32_t base,
+                                 const Options& opt, std::uint64_t seed) {
+  workload::Rng rng(seed);
+  ScriptedController controller;
+  ControllerOutcome outcome;
+  bool connected = false;
+
+  // Deliver + confirm one chunk of ids, reconnecting and replaying until
+  // the barrier proves it applied. False when attempts run out.
+  int connect_fails = 0, send_fails = 0, barrier_fails = 0;
+  const auto run_chunk = [&](std::span<const std::uint32_t> ids,
+                             FlowModCommand command) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      if (!connected) {
+        if (!controller.connect(port)) {
+          // Refused connects are transient: an RST'd predecessor may not be
+          // reaped yet, so the server can sit at its session cap for a poll
+          // cycle. Back off instead of burning the budget in a tight loop.
+          connect_fails++;
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          continue;
+        }
+        connected = true;
+        outcome.reconnects++;
+      }
+      bool alive = true;
+      for (const auto id : ids) {
+        const auto frame = encode({controller.next_xid(), make_mod(id, command)});
+        if (!controller.send(frame, make_fault(rng, frame.size(), opt.fault))) {
+          alive = false;
+          send_fails++;
+          break;
+        }
+      }
+      if (alive) {
+        const auto barrier = controller.barrier();
+        outcome.errors_seen += barrier.errors_seen;
+        if (barrier.ok) return true;
+        barrier_fails++;
+      }
+      connected = false;  // transport died; replay this chunk on a new one
+    }
+    std::cerr << "ofp_soak: chunk gave up (connect_fails=" << connect_fails
+              << " send_fails=" << send_fails
+              << " barrier_fails=" << barrier_fails << ")\n";
+    return false;
+  };
+
+  for (const auto command : {FlowModCommand::kAdd, FlowModCommand::kDelete}) {
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t i = 0; i < opt.mods; ++i) {
+      const std::uint32_t id = base + i;
+      if (command == FlowModCommand::kDelete && !deleted_after_add(id)) continue;
+      ids.push_back(id);
+    }
+    for (std::size_t off = 0; off < ids.size(); off += kChunkMods) {
+      const auto n = std::min<std::size_t>(kChunkMods, ids.size() - off);
+      if (!run_chunk({ids.data() + off, n}, command)) return outcome;
+    }
+  }
+  outcome.converged = true;
+  if (outcome.reconnects > 0) outcome.reconnects--;  // first connect is free
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+
+  runtime::SnapshotClassifier classifier(make_tables());
+  ServerConfig config;
+  // Headroom for reconnect churn: an RST'd session lingers until the event
+  // loop reaps it, so under heavy faults the live count briefly exceeds the
+  // number of controller threads.
+  config.max_sessions = opt.sessions * 2 + 8;
+  config.session.echo_interval_ms = 30'000;  // soak drives its own echoes
+  OfpServer server(server::make_classifier_sink(classifier), config);
+  if (!server.start()) {
+    std::cerr << "ofp_soak: server failed to start\n";
+    return 1;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::vector<ControllerOutcome> outcomes(opt.sessions);
+  for (std::uint32_t s = 0; s < opt.sessions; ++s) {
+    threads.emplace_back([&, s] {
+      const std::uint32_t base = 1 + s * opt.mods;
+      outcomes[s] = run_controller(server.port(), base, opt,
+                                   opt.seed * 7919 + s);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Oracle: the same logical mods applied sequentially, no transport at all.
+  auto oracle = make_tables();
+  std::uint64_t logical_mods = 0;
+  for (std::uint32_t s = 0; s < opt.sessions; ++s) {
+    const std::uint32_t base = 1 + s * opt.mods;
+    for (int phase = 0; phase < 2; ++phase) {
+      for (std::uint32_t i = 0; i < opt.mods; ++i) {
+        const std::uint32_t id = base + i;
+        if (phase == 1 && !deleted_after_add(id)) continue;
+        std::vector<PendingFlowMod> one(1);
+        one[0].xid = 1;
+        one[0].mod = make_mod(id, phase == 0 ? FlowModCommand::kAdd
+                                             : FlowModCommand::kDelete);
+        std::vector<ErrorCode> result(1, ErrorCode::kNone);
+        apply_mods(oracle, one, result);
+        if (result[0] != ErrorCode::kNone) {
+          std::cerr << "ofp_soak: oracle rejected mod id " << id << "\n";
+          return 1;
+        }
+        logical_mods++;
+      }
+    }
+  }
+
+  // Bitwise convergence: membership and execution must agree entry by entry.
+  std::uint64_t desyncs = 0;
+  std::uint32_t dropped = 0;
+  std::uint32_t reconnects = 0;
+  std::size_t errors_seen = 0;
+  for (const auto& outcome : outcomes) {
+    if (!outcome.converged) dropped++;
+    reconnects += outcome.reconnects;
+    errors_seen += outcome.errors_seen;
+  }
+  {
+    const auto guard = classifier.acquire();
+    for (std::uint32_t s = 0; s < opt.sessions; ++s) {
+      const std::uint32_t base = 1 + s * opt.mods;
+      for (std::uint32_t i = 0; i < opt.mods; ++i) {
+        const std::uint32_t id = base + i;
+        if (guard.tables().contains_entry(0, id) !=
+            oracle.contains_entry(0, id)) {
+          desyncs++;
+          continue;
+        }
+        PacketHeader probe;
+        probe.set(FieldId::kEthDst, std::uint64_t{id});
+        if (guard.tables().execute(probe) != oracle.execute(probe)) desyncs++;
+      }
+    }
+  }
+
+  const auto stats = server.stats();
+  server.stop();
+
+  const double mods_per_sec =
+      elapsed_s > 0 ? static_cast<double>(stats.flow_mods_ok +
+                                          stats.flow_mods_failed) /
+                          elapsed_s
+                    : 0.0;
+  std::cout << "ofp_soak: sessions=" << opt.sessions << " mods=" << opt.mods
+            << " fault="
+            << (opt.fault == FaultLevel::kHeavy
+                    ? "heavy"
+                    : opt.fault == FaultLevel::kLight ? "light" : "none")
+            << " seed=" << opt.seed << "\n"
+            << "  logical mods " << logical_mods << ", applied ok "
+            << stats.flow_mods_ok << ", rejected " << stats.flow_mods_failed
+            << " (replay duplicates), " << mods_per_sec << " mods/s\n"
+            << "  reconnects " << reconnects << ", error replies consumed "
+            << errors_seen << ", sessions accepted "
+            << stats.sessions_accepted << ", closed " << stats.sessions_closed
+            << "\n"
+            << "  desyncs " << desyncs << ", dropped sessions " << dropped
+            << "\n";
+
+  if (opt.json) {
+    bench::BenchMetadata metadata = bench::common_metadata();
+    metadata.emplace_back("sessions", std::to_string(opt.sessions));
+    metadata.emplace_back("mods_per_session", std::to_string(opt.mods));
+    metadata.emplace_back("fault", opt.fault == FaultLevel::kHeavy
+                                       ? "heavy"
+                                       : opt.fault == FaultLevel::kLight
+                                             ? "light"
+                                             : "none");
+    metadata.emplace_back("seed", std::to_string(opt.seed));
+    bench::write_bench_json(
+        "ofp_soak", "mixed",
+        {{"soak/flow_mods_per_sec", mods_per_sec},
+         {"soak/desyncs", static_cast<double>(desyncs)},
+         {"soak/dropped_sessions", static_cast<double>(dropped)},
+         {"soak/reconnects", static_cast<double>(reconnects)}},
+        metadata);
+  }
+
+  if (desyncs != 0 || dropped != 0) {
+    std::cerr << "ofp_soak: FAILED (desyncs=" << desyncs
+              << ", dropped=" << dropped << ")\n";
+    return 1;
+  }
+  std::cout << "ofp_soak: converged bitwise to the oracle\n";
+  return 0;
+}
