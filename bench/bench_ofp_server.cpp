@@ -7,7 +7,9 @@
 //   - ofp/session_setup_us: TCP connect + HELLO handshake latency until the
 //     controller holds a steady session (mean over serial setups);
 //   - ofp/echo_rtt_us: steady-state echo round trip through the event loop
-//     (liveness probe cost, and the floor for barrier latency).
+//     (liveness probe cost, and the floor for barrier latency);
+//   - ofp/role_change_us: ROLE_REQUEST round trip alternating master/slave
+//     claims — the fixed cost a controller pays at every failover handoff.
 // Loopback numbers are hardware-sensitive; CI gates them against the
 // committed dev-container baseline only on matching hardware.
 #include <chrono>
@@ -92,6 +94,22 @@ double measure_session_setup_us(OfpServer& server) {
          static_cast<double>(ok);
 }
 
+double measure_role_change_us(OfpServer& server) {
+  ScriptedController controller;
+  if (!controller.connect(server.port())) return 0.0;
+  const auto start = Clock::now();
+  std::size_t ok = 0;
+  std::uint64_t generation = 1;
+  for (std::size_t i = 0; i < kEchoIterations; ++i) {
+    const auto role = i % 2 == 0 ? Role::kMaster : Role::kSlave;
+    if (controller.request_role(role, generation++).has_value()) ok++;
+  }
+  if (ok == 0) return 0.0;
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+             .count() /
+         static_cast<double>(ok);
+}
+
 double measure_echo_rtt_us(OfpServer& server) {
   ScriptedController controller;
   if (!controller.connect(server.port())) return 0.0;
@@ -123,6 +141,7 @@ int main() {
   const double mods_per_sec = measure_flow_mods_per_sec(server);
   const double setup_us = measure_session_setup_us(server);
   const double echo_us = measure_echo_rtt_us(server);
+  const double role_us = measure_role_change_us(server);
   const auto stats = server.stats();
   server.stop();
 
@@ -130,12 +149,14 @@ int main() {
             << "barrier-fenced)\n"
             << "session setup     " << setup_us << " us (connect + HELLO)\n"
             << "echo round trip   " << echo_us << " us\n"
+            << "role change       " << role_us << " us (fenced claim RTT)\n"
             << "server counters   frames_rx=" << stats.frames_rx
             << " frames_tx=" << stats.frames_tx
             << " flow_mods_ok=" << stats.flow_mods_ok
             << " failed=" << stats.flow_mods_failed << "\n";
 
-  if (mods_per_sec == 0.0 || setup_us == 0.0 || echo_us == 0.0) {
+  if (mods_per_sec == 0.0 || setup_us == 0.0 || echo_us == 0.0 ||
+      role_us == 0.0) {
     std::cerr << "bench_ofp_server: a measurement failed\n";
     return 1;
   }
@@ -146,7 +167,8 @@ int main() {
   bench::write_bench_json("ofp", "mixed",
                           {{"ofp/flow_mods_per_sec", mods_per_sec},
                            {"ofp/session_setup_us", setup_us},
-                           {"ofp/echo_rtt_us", echo_us}},
+                           {"ofp/echo_rtt_us", echo_us},
+                           {"ofp/role_change_us", role_us}},
                           metadata);
   return 0;
 }

@@ -27,7 +27,35 @@ std::vector<std::vector<std::uint8_t>> SwitchAgent::handle_control(
     responses.push_back(encode({envelope.xid, EchoReply{echo->payload}}));
     return responses;
   }
+  if (const auto* role = std::get_if<RoleRequestMsg>(&envelope.message)) {
+    if (role->role != Role::kNoChange) {
+      if ((role->role == Role::kMaster || role->role == Role::kSlave) &&
+          generation_seen_ &&
+          static_cast<std::int64_t>(role->generation_id - max_generation_) <
+              0) {
+        // Stale generation: a fenced ex-master must not reclaim the channel.
+        responses.push_back(encode_error(envelope.xid,
+                                         ErrorType::kRoleRequestFailed,
+                                         ErrorCode::kStale, bytes));
+        return responses;
+      }
+      if (role->role == Role::kMaster || role->role == Role::kSlave) {
+        generation_seen_ = true;
+        max_generation_ = role->generation_id;
+      }
+      role_ = role->role;
+    }
+    responses.push_back(
+        encode({envelope.xid, RoleReplyMsg{role_, max_generation_}}));
+    return responses;
+  }
   if (const auto* mod = std::get_if<FlowModMsg>(&envelope.message)) {
+    if (role_ == Role::kSlave) {
+      // A slave observes; it does not write.
+      responses.push_back(encode_error(envelope.xid, ErrorType::kFlowModFailed,
+                                       ErrorCode::kIsSlave, bytes));
+      return responses;
+    }
     FlowMod flow_mod;
     flow_mod.command = mod->command;
     flow_mod.table = mod->table_id;

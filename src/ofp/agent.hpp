@@ -44,10 +44,17 @@ class SwitchAgent {
 
   [[nodiscard]] const SwitchModel& model() const { return model_; }
   [[nodiscard]] std::uint32_t next_xid() { return next_xid_++; }
+  /// Controller role of the (single) control channel. Starts EQUAL.
+  [[nodiscard]] Role role() const { return role_; }
 
  private:
   SwitchModel model_;
   std::uint32_t next_xid_ = 1;
+  // Single-session role state: same generation fencing as the served
+  // control plane (src/ofp/server/roles.hpp), degenerate promotion rules.
+  Role role_ = Role::kEqual;
+  std::uint64_t max_generation_ = 0;
+  bool generation_seen_ = false;
   // Flows that requested FLOW_REMOVED notification: id -> table.
   std::unordered_map<FlowEntryId, std::uint8_t> notify_removed_;
 };

@@ -270,6 +270,47 @@ InstructionSet read_instructions(Reader& r) {
   return ins;
 }
 
+// --- role / resync body encoding ---
+
+void write_resync_entries(Writer& w, const std::vector<ResyncEntry>& entries) {
+  w.u16(static_cast<std::uint16_t>(entries.size()));
+  for (const auto& entry : entries) {
+    w.u8(entry.table_id);
+    w.u32(entry.entry_id);
+    w.u64(entry.cookie);
+  }
+}
+
+std::vector<ResyncEntry> read_resync_entries(Reader& r) {
+  std::vector<ResyncEntry> entries;
+  const auto count = r.u16();
+  for (unsigned i = 0; i < count && r.ok(); ++i) {
+    ResyncEntry entry;
+    entry.table_id = r.u8();
+    entry.entry_id = r.u32();
+    entry.cookie = r.u64();
+    if (r.ok()) entries.push_back(entry);
+  }
+  return entries;
+}
+
+/// Read a strict boolean byte: 2..255 is a field violation, not a truthy
+/// value, so every decodable frame re-encodes to identical bytes.
+bool read_bool(Reader& r) {
+  const auto v = r.u8();
+  if (v > 1) r.fail(DecodeStatus::kBadValue);
+  return v == 1;
+}
+
+Role read_role(Reader& r) {
+  const auto v = r.u8();
+  if (r.ok() && v > static_cast<std::uint8_t>(Role::kSlave)) {
+    r.fail(DecodeStatus::kBadValue);
+    return Role::kNoChange;
+  }
+  return static_cast<Role>(v);
+}
+
 [[nodiscard]] MsgType type_of(const Message& message) {
   if (std::holds_alternative<Hello>(message)) return MsgType::kHello;
   if (std::holds_alternative<ErrorMsg>(message)) return MsgType::kError;
@@ -279,6 +320,16 @@ InstructionSet read_instructions(Reader& r) {
   if (std::holds_alternative<PacketOut>(message)) return MsgType::kPacketOut;
   if (std::holds_alternative<FlowRemovedMsg>(message)) {
     return MsgType::kFlowRemoved;
+  }
+  if (std::holds_alternative<RoleRequestMsg>(message)) {
+    return MsgType::kRoleRequest;
+  }
+  if (std::holds_alternative<RoleReplyMsg>(message)) return MsgType::kRoleReply;
+  if (std::holds_alternative<ResyncRequestMsg>(message)) {
+    return MsgType::kResyncRequest;
+  }
+  if (std::holds_alternative<ResyncReplyMsg>(message)) {
+    return MsgType::kResyncReply;
   }
   return MsgType::kFlowMod;
 }
@@ -295,8 +346,22 @@ std::string to_string(MsgType type) {
     case MsgType::kFlowRemoved: return "FLOW_REMOVED";
     case MsgType::kPacketOut: return "PACKET_OUT";
     case MsgType::kFlowMod: return "FLOW_MOD";
+    case MsgType::kRoleRequest: return "ROLE_REQUEST";
+    case MsgType::kRoleReply: return "ROLE_REPLY";
+    case MsgType::kResyncRequest: return "RESYNC_REQUEST";
+    case MsgType::kResyncReply: return "RESYNC_REPLY";
   }
   return "UNKNOWN";
+}
+
+std::string to_string(Role role) {
+  switch (role) {
+    case Role::kNoChange: return "nochange";
+    case Role::kEqual: return "equal";
+    case Role::kMaster: return "master";
+    case Role::kSlave: return "slave";
+  }
+  return "unknown";
 }
 
 std::string to_string(DecodeStatus status) {
@@ -362,9 +427,21 @@ std::vector<std::uint8_t> encode(const Envelope& envelope) {
           w.u8(static_cast<std::uint8_t>(msg.reason));
           w.u64(msg.packets);
           w.u64(msg.bytes);
+        } else if constexpr (std::is_same_v<T, RoleRequestMsg> ||
+                             std::is_same_v<T, RoleReplyMsg>) {
+          w.u8(static_cast<std::uint8_t>(msg.role));
+          w.u64(msg.generation_id);
+        } else if constexpr (std::is_same_v<T, ResyncRequestMsg>) {
+          w.u8(msg.done ? 1 : 0);
+          write_resync_entries(w, msg.entries);
+        } else if constexpr (std::is_same_v<T, ResyncReplyMsg>) {
+          w.u8(msg.done ? 1 : 0);
+          w.u32(msg.deleted);
+          write_resync_entries(w, msg.missing);
         } else {  // FlowModMsg
           w.u8(static_cast<std::uint8_t>(msg.command));
           w.u8(msg.table_id);
+          w.u64(msg.cookie);
           w.u32(msg.entry.id);
           w.u16(msg.entry.priority);
           w.u16(msg.timeouts.idle_timeout);
@@ -448,6 +525,7 @@ DecodeStatus try_decode(std::span<const std::uint8_t> bytes,
         return DecodeStatus::kBadValue;
       }
       msg.table_id = r.u8();
+      msg.cookie = r.u64();
       msg.entry.id = r.u32();
       msg.entry.priority = r.u16();
       msg.timeouts.idle_timeout = r.u16();
@@ -455,6 +533,35 @@ DecodeStatus try_decode(std::span<const std::uint8_t> bytes,
       msg.send_flow_removed = r.u8() != 0;
       msg.entry.match = read_match(r);
       if (r.ok()) msg.entry.instructions = read_instructions(r);
+      out.message = std::move(msg);
+      break;
+    }
+    case MsgType::kRoleRequest: {
+      RoleRequestMsg msg;
+      msg.role = read_role(r);
+      msg.generation_id = r.u64();
+      out.message = msg;
+      break;
+    }
+    case MsgType::kRoleReply: {
+      RoleReplyMsg msg;
+      msg.role = read_role(r);
+      msg.generation_id = r.u64();
+      out.message = msg;
+      break;
+    }
+    case MsgType::kResyncRequest: {
+      ResyncRequestMsg msg;
+      msg.done = read_bool(r);
+      msg.entries = read_resync_entries(r);
+      out.message = std::move(msg);
+      break;
+    }
+    case MsgType::kResyncReply: {
+      ResyncReplyMsg msg;
+      msg.done = read_bool(r);
+      msg.deleted = r.u32();
+      msg.missing = read_resync_entries(r);
       out.message = std::move(msg);
       break;
     }

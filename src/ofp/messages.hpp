@@ -32,6 +32,13 @@ enum class MsgType : std::uint8_t {
   kFlowRemoved = 11,
   kPacketOut = 13,
   kFlowMod = 14,
+  kRoleRequest = 24,  // OpenFlow 1.3 OFPT_ROLE_REQUEST numbering
+  kRoleReply = 25,
+  // Resync is this library's own extension (no OF1.3 analogue): after a
+  // controller failover the surviving master reconciles the switch's flow
+  // table against its intent via a cookie digest instead of replaying blind.
+  kResyncRequest = 26,
+  kResyncReply = 27,
 };
 
 struct Hello {
@@ -40,10 +47,11 @@ struct Hello {
 
 /// OFPT_ERROR taxonomy (simplified): what went wrong with a peer's message.
 enum class ErrorType : std::uint16_t {
-  kHelloFailed = 0,    ///< handshake violation (e.g. traffic before HELLO)
-  kBadRequest = 1,     ///< malformed frame / unknown or unexpected type
-  kBadMatch = 4,       ///< flow-mod match rejected
-  kFlowModFailed = 5,  ///< flow-mod could not be applied (dup add, ...)
+  kHelloFailed = 0,         ///< handshake violation (e.g. traffic before HELLO)
+  kBadRequest = 1,          ///< malformed frame / unknown or unexpected type
+  kBadMatch = 4,            ///< flow-mod match rejected
+  kFlowModFailed = 5,       ///< flow-mod could not be applied (dup add, ...)
+  kRoleRequestFailed = 11,  ///< role change rejected (stale generation, ...)
 };
 
 enum class ErrorCode : std::uint16_t {
@@ -57,6 +65,9 @@ enum class ErrorCode : std::uint16_t {
   kDuplicateEntry = 7,
   kBufferOverflow = 8,  ///< peer's write buffer cap exceeded (backpressure)
   kTimeout = 9,         ///< liveness deadline missed
+  kStale = 10,          ///< generation_id older than the fenced maximum
+  kIsSlave = 11,        ///< state-mutating request from a slave session
+  kOverload = 12,       ///< shed under pressure; data carries a backoff hint
 };
 
 /// Error reply carrying the failure class plus (a prefix of) the offending
@@ -116,14 +127,76 @@ struct FlowRemovedMsg {
 struct FlowModMsg {
   FlowModCommand command = FlowModCommand::kAdd;
   std::uint8_t table_id = 0;
+  /// Controller-chosen stamp journaled with the entry; resync compares
+  /// cookies, not bodies, so a re-added entry with new intent (same id,
+  /// different cookie) is detected as stale and reconciled.
+  std::uint64_t cookie = 0;
   FlowEntry entry;
   TimeoutConfig timeouts{};
   bool send_flow_removed = false;  ///< OFPFF_SEND_FLOW_REM
   friend bool operator==(const FlowModMsg&, const FlowModMsg&) = default;
 };
 
-using Message = std::variant<Hello, ErrorMsg, EchoRequest, EchoReply, PacketIn,
-                             PacketOut, FlowRemovedMsg, FlowModMsg>;
+/// OFP controller role (OFPCR_ROLE_*). kNoChange queries without mutating.
+enum class Role : std::uint8_t {
+  kNoChange = 0,
+  kEqual = 1,
+  kMaster = 2,
+  kSlave = 3,
+};
+
+/// OFPT_ROLE_REQUEST: claim a role. Master/slave claims carry a
+/// generation_id; the switch fences claims whose generation is older
+/// (circular comparison) than the largest it has seen.
+struct RoleRequestMsg {
+  Role role = Role::kNoChange;
+  std::uint64_t generation_id = 0;
+  friend bool operator==(const RoleRequestMsg&, const RoleRequestMsg&) = default;
+};
+
+/// OFPT_ROLE_REPLY: the session's role after the request — also sent
+/// unsolicited (xid 0) to notify a slave it was promoted to master.
+struct RoleReplyMsg {
+  Role role = Role::kEqual;
+  std::uint64_t generation_id = 0;
+  friend bool operator==(const RoleReplyMsg&, const RoleReplyMsg&) = default;
+};
+
+/// One journaled flow-table entry in a resync digest.
+struct ResyncEntry {
+  std::uint8_t table_id = 0;
+  FlowEntryId entry_id = 0;
+  std::uint64_t cookie = 0;
+  friend bool operator==(const ResyncEntry&, const ResyncEntry&) = default;
+};
+
+/// Controller -> switch: (a chunk of) the controller's intended table as
+/// (table, id, cookie) triples. `done` marks the final chunk; the switch
+/// accumulates chunks and runs the diff only when the digest is complete,
+/// so arbitrarily large tables fit under the 64 KiB frame cap.
+struct ResyncRequestMsg {
+  bool done = true;
+  std::vector<ResyncEntry> entries;
+  friend bool operator==(const ResyncRequestMsg&, const ResyncRequestMsg&) =
+      default;
+};
+
+/// Switch -> controller resync verdict: `missing` lists intended entries the
+/// switch does not hold (absent, or held with a stale cookie and GC'd) which
+/// the controller must re-send; `deleted` counts journal entries the switch
+/// garbage-collected because the digest no longer claims them. Chunked like
+/// the request, `done` on the last chunk.
+struct ResyncReplyMsg {
+  bool done = true;
+  std::uint32_t deleted = 0;
+  std::vector<ResyncEntry> missing;
+  friend bool operator==(const ResyncReplyMsg&, const ResyncReplyMsg&) = default;
+};
+
+using Message =
+    std::variant<Hello, ErrorMsg, EchoRequest, EchoReply, PacketIn, PacketOut,
+                 FlowRemovedMsg, FlowModMsg, RoleRequestMsg, RoleReplyMsg,
+                 ResyncRequestMsg, ResyncReplyMsg>;
 
 /// Envelope: version, type, length, transaction id.
 struct Envelope {
@@ -185,5 +258,6 @@ inline constexpr std::size_t kErrorDataCap = 64;
 
 [[nodiscard]] std::string to_string(MsgType type);
 [[nodiscard]] std::string to_string(DecodeStatus status);
+[[nodiscard]] std::string to_string(Role role);
 
 }  // namespace ofmtl::ofp

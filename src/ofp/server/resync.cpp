@@ -1,0 +1,65 @@
+#include "ofp/server/resync.hpp"
+
+#include <algorithm>
+
+namespace ofmtl::ofp::server {
+
+namespace {
+
+bool entry_less(const ResyncEntry& a, const ResyncEntry& b) {
+  if (a.table_id != b.table_id) return a.table_id < b.table_id;
+  return a.entry_id < b.entry_id;
+}
+
+}  // namespace
+
+std::vector<ResyncEntry> FlowJournal::snapshot() const {
+  std::vector<ResyncEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, cookie] : entries_) {
+    out.push_back({static_cast<std::uint8_t>(key >> 32),
+                   static_cast<FlowEntryId>(key & 0xFFFFFFFF), cookie});
+  }
+  return out;
+}
+
+ResyncOutcome compute_resync(const FlowJournal& journal,
+                             std::span<const ResyncEntry> digest) {
+  ResyncOutcome outcome;
+  std::unordered_map<std::uint64_t, std::uint64_t> intended;
+  intended.reserve(digest.size());
+  for (const auto& entry : digest) {
+    intended[FlowJournal::key(entry.table_id, entry.entry_id)] = entry.cookie;
+  }
+
+  // Journal side: anything not intended, or intended under a different
+  // cookie, is stale and must go.
+  for (const auto& [key, cookie] : journal.raw()) {
+    const auto it = intended.find(key);
+    if (it != intended.end() && it->second == cookie) continue;
+    FlowModMsg del;
+    del.command = FlowModCommand::kDelete;
+    del.table_id = static_cast<std::uint8_t>(key >> 32);
+    del.entry.id = static_cast<FlowEntryId>(key & 0xFFFFFFFF);
+    outcome.deletes.push_back(std::move(del));
+  }
+
+  // Digest side: anything not journaled under the same cookie must be
+  // re-sent (covers both never-arrived and deleted-as-stale).
+  const auto& held = journal.raw();
+  for (const auto& entry : digest) {
+    const auto it = held.find(FlowJournal::key(entry.table_id, entry.entry_id));
+    if (it != held.end() && it->second == entry.cookie) continue;
+    outcome.missing.push_back(entry);
+  }
+
+  std::sort(outcome.deletes.begin(), outcome.deletes.end(),
+            [](const FlowModMsg& a, const FlowModMsg& b) {
+              if (a.table_id != b.table_id) return a.table_id < b.table_id;
+              return a.entry.id < b.entry.id;
+            });
+  std::sort(outcome.missing.begin(), outcome.missing.end(), entry_less);
+  return outcome;
+}
+
+}  // namespace ofmtl::ofp::server

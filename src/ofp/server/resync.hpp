@@ -1,0 +1,82 @@
+// Flow-table resync: the switch-side journal of what the control plane has
+// successfully published, and the diff that reconciles it against a
+// surviving controller's intent after failover.
+//
+// The journal records (table, entry_id) -> cookie for every flow-mod the
+// sink accepted, maintained on the event-loop thread in sink order, so it is
+// exactly the logical content of the published table (plus the cookie stamp
+// the classifier itself does not store). On RESYNC_REQUEST the controller
+// sends its intended table as a cookie digest; compute_resync() partitions
+// the union into
+//   - stale: journaled but no longer intended, or intended with a different
+//     cookie (the controller re-issued the entry with new content) -> one
+//     batch of DELETE mods through the ordinary sink path (one O(delta)
+//     left-right publish), and
+//   - missing: intended but not journaled (lost in flight), or deleted as
+//     stale above -> reported back so the controller re-sends exactly those.
+// Convergence argument: after the deletes apply and the controller re-sends
+// `missing`, journal == digest, and since the journal mirrors the published
+// table, the table bitwise-matches the controller's intent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ofp/messages.hpp"
+
+namespace ofmtl::ofp::server {
+
+/// Journal of successfully applied flow-mods, keyed by (table, entry id).
+class FlowJournal {
+ public:
+  /// Fold one sink-accepted mod into the journal.
+  void record(const FlowModMsg& mod) {
+    if (mod.command == FlowModCommand::kDelete) {
+      entries_.erase(key(mod.table_id, mod.entry.id));
+    } else {
+      entries_[key(mod.table_id, mod.entry.id)] = mod.cookie;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool contains(std::uint8_t table,
+                              FlowEntryId entry_id) const {
+    return entries_.contains(key(table, entry_id));
+  }
+
+  /// Snapshot as digest entries (unordered).
+  [[nodiscard]] std::vector<ResyncEntry> snapshot() const;
+
+  [[nodiscard]] static std::uint64_t key(std::uint8_t table,
+                                         FlowEntryId entry_id) {
+    return std::uint64_t{table} << 32 | entry_id;
+  }
+
+  [[nodiscard]] const std::unordered_map<std::uint64_t, std::uint64_t>& raw()
+      const {
+    return entries_;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> entries_;  // key -> cookie
+};
+
+/// The reconciliation plan for one complete digest.
+struct ResyncOutcome {
+  /// DELETE mods for stale journal entries, sorted by (table, id) so the
+  /// plan is deterministic regardless of hash-map iteration order.
+  std::vector<FlowModMsg> deletes;
+  /// Digest entries the controller must re-send (absent or cookie-stale),
+  /// sorted like `deletes`.
+  std::vector<ResyncEntry> missing;
+};
+
+/// Diff the journal against the controller's intended table. Pure: mutates
+/// nothing; the caller applies `deletes` through its sink (updating the
+/// journal via record()) and reports `missing` back to the controller.
+[[nodiscard]] ResyncOutcome compute_resync(
+    const FlowJournal& journal, std::span<const ResyncEntry> digest);
+
+}  // namespace ofmtl::ofp::server

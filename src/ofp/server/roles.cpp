@@ -1,0 +1,63 @@
+#include "ofp/server/roles.hpp"
+
+namespace ofmtl::ofp::server {
+
+RoleDecision RoleManager::apply(std::uint64_t session_id,
+                                const RoleRequestMsg& request) {
+  RoleDecision decision;
+  decision.generation_id = max_generation_;
+  decision.role = role_of(session_id);
+
+  if (request.role == Role::kNoChange) {
+    decision.accepted = true;
+    return decision;
+  }
+  if (request.role == Role::kEqual) {
+    // EQUAL carries no generation (OF1.3: the field is only meaningful for
+    // master/slave claims), so it is never fenced.
+    if (master_ == session_id) master_.reset();
+    roles_[session_id] = Role::kEqual;
+    decision.accepted = true;
+    decision.role = Role::kEqual;
+    return decision;
+  }
+
+  if (is_stale(request.generation_id)) {
+    decision.error = ErrorCode::kStale;
+    return decision;
+  }
+  generation_seen_ = true;
+  max_generation_ = request.generation_id;
+  decision.generation_id = max_generation_;
+
+  if (request.role == Role::kMaster) {
+    if (master_ && *master_ != session_id) {
+      roles_[*master_] = Role::kSlave;  // silently demoted, per OF1.3
+    }
+    master_ = session_id;
+    roles_[session_id] = Role::kMaster;
+  } else {
+    if (master_ == session_id) master_.reset();
+    roles_[session_id] = Role::kSlave;
+  }
+  decision.accepted = true;
+  decision.role = roles_[session_id];
+  return decision;
+}
+
+std::optional<std::uint64_t> RoleManager::on_session_closed(
+    std::uint64_t session_id) {
+  roles_.erase(session_id);
+  if (master_ != session_id) return std::nullopt;
+  master_.reset();
+  for (const auto& [id, role] : roles_) {  // ordered: lowest id wins
+    if (role == Role::kSlave) {
+      roles_[id] = Role::kMaster;
+      master_ = id;
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ofmtl::ofp::server

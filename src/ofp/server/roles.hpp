@@ -1,0 +1,69 @@
+// Controller role arbitration (OpenFlow 1.3 §6.3.6 semantics): every session
+// starts EQUAL; a controller claims MASTER or SLAVE with a generation_id, and
+// the switch fences claims whose generation is older — in circular u64
+// comparison — than the largest it has accepted, so a partitioned ex-master
+// reconnecting with a stale view cannot reclaim the switch. Claiming MASTER
+// demotes the previous master to SLAVE (at most one master by construction).
+// When the master's session dies, the lowest-id slave is promoted
+// deterministically so failover needs no election traffic.
+//
+// Single-threaded by design: owned by the server event loop (or a sans-io
+// test) and never shared across threads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "ofp/messages.hpp"
+
+namespace ofmtl::ofp::server {
+
+/// Outcome of one role request.
+struct RoleDecision {
+  bool accepted = false;
+  ErrorCode error = ErrorCode::kNone;  ///< kStale when generation-fenced
+  Role role = Role::kEqual;            ///< the session's role after the request
+  std::uint64_t generation_id = 0;     ///< largest generation accepted so far
+};
+
+class RoleManager {
+ public:
+  /// Register a session; it starts EQUAL.
+  void on_session_open(std::uint64_t session_id) {
+    roles_.emplace(session_id, Role::kEqual);
+  }
+
+  /// Apply one ROLE_REQUEST. kNoChange never mutates (pure query).
+  /// kMaster/kSlave claims are generation-fenced; an accepted kMaster claim
+  /// demotes the previous master to kSlave.
+  RoleDecision apply(std::uint64_t session_id, const RoleRequestMsg& request);
+
+  /// Deregister a closed session. When the master died, the lowest-id slave
+  /// is promoted and its id returned so the caller can notify it with an
+  /// unsolicited ROLE_REPLY.
+  std::optional<std::uint64_t> on_session_closed(std::uint64_t session_id);
+
+  [[nodiscard]] Role role_of(std::uint64_t session_id) const {
+    const auto it = roles_.find(session_id);
+    return it == roles_.end() ? Role::kEqual : it->second;
+  }
+  [[nodiscard]] std::optional<std::uint64_t> master() const { return master_; }
+  [[nodiscard]] std::uint64_t generation_id() const { return max_generation_; }
+
+ private:
+  /// Circular comparison (RFC 1982 style): stale iff the signed distance
+  /// from the current maximum is negative.
+  [[nodiscard]] bool is_stale(std::uint64_t generation) const {
+    return generation_seen_ &&
+           static_cast<std::int64_t>(generation - max_generation_) < 0;
+  }
+
+  // Ordered so promotion-on-master-loss picks the lowest id deterministically.
+  std::map<std::uint64_t, Role> roles_;
+  std::optional<std::uint64_t> master_;
+  std::uint64_t max_generation_ = 0;
+  bool generation_seen_ = false;
+};
+
+}  // namespace ofmtl::ofp::server

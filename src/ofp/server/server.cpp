@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -23,15 +24,37 @@ constexpr std::uint32_t kReadMask = EPOLLIN | EPOLLRDHUP;
 }  // namespace
 
 OfpServer::OfpServer(FlowModSink sink, ServerConfig config)
-    : sink_(std::move(sink)), config_(std::move(config)) {}
+    : sink_(std::move(sink)),
+      config_(std::move(config)),
+      control_(config_.admission) {}
 
 OfpServer::~OfpServer() { stop(); }
 
-std::uint64_t OfpServer::now_ms() {
+std::uint64_t OfpServer::now_ms() const {
+  if (config_.hooks.now_ms) return config_.hooks.now_ms();
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+FlowModSink OfpServer::instrumented_sink() {
+  // Wrap the user sink with publish-latency measurement: the EWMA feeds
+  // admission control, so a publisher that slows down (lock contention,
+  // giant deltas) shows up as pressure even when queue depth looks fine.
+  // Loop-thread-only state; the real clock is used deliberately — latency
+  // is a measurement, not a deadline, so a virtual-clock test still works.
+  return [this](std::span<const PendingFlowMod> mods,
+                std::span<ErrorCode> results) {
+    const auto start = std::chrono::steady_clock::now();
+    sink_(mods, results);
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    constexpr double kAlpha = 0.2;
+    publish_ewma_us_ =
+        (1 - kAlpha) * publish_ewma_us_ + kAlpha * static_cast<double>(us);
+  };
 }
 
 bool OfpServer::start() {
@@ -112,6 +135,10 @@ int OfpServer::epoll_timeout_ms(std::uint64_t now) const {
       if (wait < timeout) timeout = wait;
     }
   }
+  if (accept_paused_) {
+    const auto wait = accept_resume_ms_ > now ? accept_resume_ms_ - now : 0;
+    if (wait < timeout) timeout = wait;
+  }
   return static_cast<int>(timeout);
 }
 
@@ -135,7 +162,7 @@ void OfpServer::loop() {
         continue;
       }
       if (fd == listen_fd_) {
-        accept_ready();
+        accept_ready(now_ms());
         continue;
       }
       const auto it = connections_.find(fd);
@@ -160,6 +187,8 @@ void OfpServer::loop() {
 
     // Liveness ticks + deferred closes, outside the event walk.
     const auto now = now_ms();
+    sample_pressure(now);
+    if (accept_paused_ && now >= accept_resume_ms_) resume_accept();
     doomed.clear();
     for (auto& [fd, conn] : connections_) {
       if (const auto deadline = conn->session.next_deadline_ms();
@@ -183,13 +212,20 @@ void OfpServer::loop() {
   active_sessions_.store(0, std::memory_order_relaxed);
 }
 
-void OfpServer::accept_ready() {
+void OfpServer::accept_ready(std::uint64_t now) {
+  if (accept_paused_) return;
   while (true) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd = config_.hooks.accept4
+                       ? config_.hooks.accept4(listen_fd_)
+                       : ::accept4(listen_fd_, nullptr, nullptr,
+                                   SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
-      // EAGAIN: drained. EMFILE/ENFILE/aborted handshakes: nothing to do
-      // this wake; level-triggered epoll will re-report pending accepts.
+      // fd exhaustion: the pending connection stays queued, and
+      // level-triggered epoll would re-report it every wake — a 100%-CPU
+      // accept spin. Pause accepting for a backoff instead; closes
+      // elsewhere free fds in the meantime.
+      if (errno == EMFILE || errno == ENFILE) pause_accept(now);
+      // EAGAIN: drained. Aborted handshakes: nothing to do this wake.
       return;
     }
     if (connections_.size() >= config_.max_sessions) {
@@ -199,8 +235,9 @@ void OfpServer::accept_ready() {
     }
     const int one = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    auto conn = std::make_unique<Connection>(
-        Session{next_session_id_++, config_.session, sink_, now_ms()});
+    auto conn = std::make_unique<Connection>(Session{
+        next_session_id_++, config_.session, instrumented_sink(), control_,
+        now_ms()});
     epoll_event ev{};
     ev.events = kReadMask;
     ev.data.fd = fd;
@@ -216,12 +253,29 @@ void OfpServer::accept_ready() {
   }
 }
 
+void OfpServer::pause_accept(std::uint64_t now) {
+  if (accept_paused_) return;
+  accept_paused_ = true;
+  accept_resume_ms_ = now + config_.accept_backoff_ms;
+  stats_.accept_pauses.fetch_add(1, std::memory_order_relaxed);
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+}
+
+void OfpServer::resume_accept() {
+  accept_paused_ = false;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+}
+
 void OfpServer::connection_readable(int fd, Connection& conn) {
   std::uint8_t buf[16 * 1024];
   const std::size_t chunk = std::min(config_.read_chunk, sizeof buf);
   bool peer_closed = false;
   for (std::size_t round = 0; round < config_.max_reads_per_event; ++round) {
-    const ssize_t n = ::read(fd, buf, chunk);
+    const ssize_t n = config_.hooks.read ? config_.hooks.read(fd, buf, chunk)
+                                         : ::read(fd, buf, chunk);
     if (n > 0) {
       stats_.bytes_rx.fetch_add(static_cast<std::uint64_t>(n),
                                 std::memory_order_relaxed);
@@ -253,7 +307,12 @@ void OfpServer::flush_output(int fd, Connection& conn) {
   while (true) {
     const auto pending = conn.session.pending_output();
     if (pending.empty()) break;
-    const ssize_t n = ::write(fd, pending.data(), pending.size());
+    // MSG_NOSIGNAL: a peer that RSTs between our poll and this send must
+    // surface as EPIPE (handled below), not a process-killing SIGPIPE.
+    const ssize_t n =
+        config_.hooks.send
+            ? config_.hooks.send(fd, pending.data(), pending.size())
+            : ::send(fd, pending.data(), pending.size(), MSG_NOSIGNAL);
     if (n > 0) {
       stats_.bytes_tx.fetch_add(static_cast<std::uint64_t>(n),
                                 std::memory_order_relaxed);
@@ -305,14 +364,47 @@ void OfpServer::close_connection(int fd, CloseReason fallback) {
     case CloseReason::kReadOverflow:
       stats_.protocol_closes.fetch_add(1, std::memory_order_relaxed);
       break;
+    case CloseReason::kOverload:
+      stats_.overload_closes.fetch_add(1, std::memory_order_relaxed);
+      break;
     default:
       break;
   }
   stats_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t dead_id = conn.session.id();
   (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   connections_.erase(it);
   active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+
+  // Failover: when the master died, the lowest-id surviving slave is
+  // promoted and learns it via an unsolicited ROLE_REPLY.
+  control_.admission.on_session_closed(dead_id);
+  if (const auto promoted = control_.roles.on_session_closed(dead_id)) {
+    for (auto& [pfd, pconn] : connections_) {
+      if (pconn->session.id() != *promoted) continue;
+      pconn->session.notify_role(Role::kMaster, control_.roles.generation_id(),
+                                 now_ms());
+      stats_.promotions.fetch_add(1, std::memory_order_relaxed);
+      flush_output(pfd, *pconn);
+      sync_counters(*pconn);
+      break;
+    }
+  }
+}
+
+void OfpServer::sample_pressure(std::uint64_t now) {
+  double pressure =
+      config_.publish_latency_budget_us > 0
+          ? publish_ewma_us_ /
+                static_cast<double>(config_.publish_latency_budget_us)
+          : 0.0;
+  if (config_.pressure_source) {
+    pressure = std::max(pressure, config_.pressure_source());
+  }
+  control_.admission.on_pressure_sample(pressure, now);
+  admission_state_.store(static_cast<std::uint8_t>(control_.admission.state()),
+                         std::memory_order_relaxed);
 }
 
 void OfpServer::sync_counters(Connection& conn) {
@@ -329,6 +421,9 @@ void OfpServer::sync_counters(Connection& conn) {
        conn.reported.flow_mods_failed);
   bump(stats_.malformed_frames, c.malformed_frames,
        conn.reported.malformed_frames);
+  bump(stats_.flow_mods_shed, c.flow_mods_shed, conn.reported.flow_mods_shed);
+  bump(stats_.role_changes, c.role_changes, conn.reported.role_changes);
+  bump(stats_.resyncs, c.resyncs, conn.reported.resyncs);
 }
 
 ServerStats OfpServer::stats() const {
@@ -346,8 +441,14 @@ ServerStats OfpServer::stats() const {
   out.backpressure_closes =
       stats_.backpressure_closes.load(std::memory_order_relaxed);
   out.protocol_closes = stats_.protocol_closes.load(std::memory_order_relaxed);
+  out.overload_closes = stats_.overload_closes.load(std::memory_order_relaxed);
   out.bytes_rx = stats_.bytes_rx.load(std::memory_order_relaxed);
   out.bytes_tx = stats_.bytes_tx.load(std::memory_order_relaxed);
+  out.flow_mods_shed = stats_.flow_mods_shed.load(std::memory_order_relaxed);
+  out.role_changes = stats_.role_changes.load(std::memory_order_relaxed);
+  out.resyncs = stats_.resyncs.load(std::memory_order_relaxed);
+  out.promotions = stats_.promotions.load(std::memory_order_relaxed);
+  out.accept_pauses = stats_.accept_pauses.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -12,15 +12,33 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "ofp/server/control_plane.hpp"
 #include "ofp/server/session.hpp"
 
 namespace ofmtl::ofp::server {
+
+/// Injectable I/O + clock surface. Null members mean the real syscall /
+/// steady clock; tests swap in a virtual clock (deterministic liveness
+/// deadlines without sleeps) and fault-injecting syscalls (EMFILE storms,
+/// partial reads/writes) without touching the loop's logic.
+struct IoHooks {
+  /// Monotonic milliseconds for every session deadline.
+  std::function<std::uint64_t()> now_ms;
+  /// accept4(listen_fd) -> connection fd, or -1 with errno set.
+  std::function<int(int)> accept4;
+  /// read(fd, buf, len) -> bytes, 0 on EOF, or -1 with errno set.
+  std::function<long(int, void*, std::size_t)> read;
+  /// send(fd, buf, len) -> bytes, or -1 with errno set. The default uses
+  /// MSG_NOSIGNAL: a racing peer RST must surface as EPIPE, never SIGPIPE.
+  std::function<long(int, const void*, std::size_t)> send;
+};
 
 struct ServerConfig {
   /// Bind address; controller tests and the soak tool use loopback.
@@ -37,6 +55,21 @@ struct ServerConfig {
   /// Reads per EPOLLIN wake before yielding to other sessions (fairness
   /// under a firehosing peer; level-triggered epoll re-arms the rest).
   std::size_t max_reads_per_event = 4;
+  /// Pause before re-arming accept after fd exhaustion (EMFILE/ENFILE):
+  /// level-triggered epoll would otherwise re-report the pending accept
+  /// every wake and spin the loop at 100% doing nothing.
+  std::uint64_t accept_backoff_ms = 100;
+  /// Overload admission tuning (thresholds, rate caps, backoff hints).
+  AdmissionConfig admission{};
+  /// External pressure source in [0,1] — typically the runtime's queue-depth
+  /// fraction — sampled once per loop pass and combined (max) with the
+  /// sink-latency signal. Null means sink latency alone drives admission.
+  std::function<double()> pressure_source;
+  /// Sink (publish) latency that maps to pressure 1.0; the EWMA of per-batch
+  /// latency is normalized against this budget.
+  std::uint64_t publish_latency_budget_us = 20000;
+  /// Injectable clock + syscalls; defaults are the real thing.
+  IoHooks hooks{};
 };
 
 /// Monotonic server-wide counters, sampled racily by stats().
@@ -53,8 +86,14 @@ struct ServerStats {
   std::uint64_t echo_timeouts = 0;
   std::uint64_t backpressure_closes = 0;
   std::uint64_t protocol_closes = 0;  ///< handshake/framing/overflow closes
+  std::uint64_t overload_closes = 0;  ///< admission rejection budget exhausted
   std::uint64_t bytes_rx = 0;
   std::uint64_t bytes_tx = 0;
+  std::uint64_t flow_mods_shed = 0;  ///< rejected by admission control
+  std::uint64_t role_changes = 0;    ///< accepted mutating role requests
+  std::uint64_t resyncs = 0;         ///< completed resync diffs
+  std::uint64_t promotions = 0;      ///< slaves promoted on master loss
+  std::uint64_t accept_pauses = 0;   ///< EMFILE/ENFILE accept backoffs
 };
 
 class OfpServer {
@@ -83,6 +122,12 @@ class OfpServer {
   [[nodiscard]] std::size_t active_sessions() const {
     return active_sessions_.load(std::memory_order_relaxed);
   }
+  /// Current admission state (loop-thread value, sampled racily for tests
+  /// and metrics; transitions are loop-thread-only).
+  [[nodiscard]] AdmissionState admission_state() const {
+    return static_cast<AdmissionState>(
+        admission_state_.load(std::memory_order_relaxed));
+  }
 
  private:
   struct Connection {
@@ -95,7 +140,10 @@ class OfpServer {
   };
 
   void loop();
-  void accept_ready();
+  void accept_ready(std::uint64_t now);
+  /// EMFILE/ENFILE: drop the listen fd from epoll and re-arm after backoff.
+  void pause_accept(std::uint64_t now);
+  void resume_accept();
   void connection_readable(int fd, Connection& conn);
   /// Flush session output to the socket; toggles EPOLLOUT interest.
   void flush_output(int fd, Connection& conn);
@@ -103,22 +151,31 @@ class OfpServer {
   void update_interest(int fd, Connection& conn);
   /// Fold a session's counter deltas into the server-wide atomics.
   void sync_counters(Connection& conn);
+  /// Sample pressure (external source + sink-latency EWMA) into admission.
+  void sample_pressure(std::uint64_t now);
   /// Close every fd this server owns (post-join / failed-start cleanup).
   void stop_fds();
   [[nodiscard]] int epoll_timeout_ms(std::uint64_t now_ms) const;
-  [[nodiscard]] static std::uint64_t now_ms();
+  [[nodiscard]] std::uint64_t now_ms() const;
+  /// The per-session sink: wraps sink_ with publish-latency measurement.
+  [[nodiscard]] FlowModSink instrumented_sink();
 
   FlowModSink sink_;
   ServerConfig config_;
+  ControlPlane control_;
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   std::uint16_t port_ = 0;
   std::uint64_t next_session_id_ = 1;
+  bool accept_paused_ = false;
+  std::uint64_t accept_resume_ms_ = 0;
+  double publish_ewma_us_ = 0;  // loop-thread-only
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::size_t> active_sessions_{0};
+  std::atomic<std::uint8_t> admission_state_{0};
 
   struct AtomicStats {
     std::atomic<std::uint64_t> sessions_accepted{0};
@@ -133,8 +190,14 @@ class OfpServer {
     std::atomic<std::uint64_t> echo_timeouts{0};
     std::atomic<std::uint64_t> backpressure_closes{0};
     std::atomic<std::uint64_t> protocol_closes{0};
+    std::atomic<std::uint64_t> overload_closes{0};
     std::atomic<std::uint64_t> bytes_rx{0};
     std::atomic<std::uint64_t> bytes_tx{0};
+    std::atomic<std::uint64_t> flow_mods_shed{0};
+    std::atomic<std::uint64_t> role_changes{0};
+    std::atomic<std::uint64_t> resyncs{0};
+    std::atomic<std::uint64_t> promotions{0};
+    std::atomic<std::uint64_t> accept_pauses{0};
   };
   mutable AtomicStats stats_;
 };

@@ -14,18 +14,44 @@ const char* to_string(CloseReason reason) {
     case CloseReason::kBackpressure: return "backpressure";
     case CloseReason::kEchoTimeout: return "echo-timeout";
     case CloseReason::kServerShutdown: return "server-shutdown";
+    case CloseReason::kOverload: return "overload";
   }
   return "unknown";
 }
+
+namespace {
+
+/// kOverload ERROR data payload: a big-endian u16 backoff hint in ms.
+std::vector<std::uint8_t> backoff_hint_bytes(std::uint16_t backoff_ms) {
+  return {static_cast<std::uint8_t>(backoff_ms >> 8),
+          static_cast<std::uint8_t>(backoff_ms)};
+}
+
+}  // namespace
 
 Session::Session(std::uint64_t id, SessionConfig config, FlowModSink sink,
                  std::uint64_t now_ms)
     : id_(id),
       config_(config),
       sink_(std::move(sink)),
+      owned_control_(std::make_unique<ControlPlane>()),
+      control_(owned_control_.get()),
       assembler_(config.read_buffer_cap),
       last_rx_ms_(now_ms) {
+  control_->roles.on_session_open(id_);
   // Both sides open with HELLO; ours goes out immediately.
+  queue_output(encode({next_xid_++, Hello{}}), now_ms);
+}
+
+Session::Session(std::uint64_t id, SessionConfig config, FlowModSink sink,
+                 ControlPlane& control, std::uint64_t now_ms)
+    : id_(id),
+      config_(config),
+      sink_(std::move(sink)),
+      control_(&control),
+      assembler_(config.read_buffer_cap),
+      last_rx_ms_(now_ms) {
+  control_->roles.on_session_open(id_);
   queue_output(encode({next_xid_++, Hello{}}), now_ms);
 }
 
@@ -104,6 +130,16 @@ void Session::handle_message(const Envelope& envelope,
   }
 
   if (const auto* mod = std::get_if<FlowModMsg>(&envelope.message)) {
+    if (role() == Role::kSlave) {
+      // Slaves are read-only (OF1.3): answer in frame order — flush the
+      // batch so this ERROR cannot overtake earlier mods' replies.
+      flush_mods(now_ms);
+      counters_.flow_mods_failed++;
+      queue_output(encode_error(envelope.xid, ErrorType::kFlowModFailed,
+                                ErrorCode::kIsSlave, frame),
+                   now_ms);
+      return;
+    }
     mods_.push_back({envelope.xid, *mod});
     if (mods_.size() >= config_.max_mods_per_batch) flush_mods(now_ms);
     return;
@@ -111,6 +147,15 @@ void Session::handle_message(const Envelope& envelope,
   // Every non-flow-mod message is a barrier: earlier mods must be applied
   // (and their errors queued) before this message's reply goes out.
   flush_mods(now_ms);
+
+  if (std::holds_alternative<RoleRequestMsg>(envelope.message)) {
+    handle_role_request(envelope, now_ms);
+    return;
+  }
+  if (std::holds_alternative<ResyncRequestMsg>(envelope.message)) {
+    handle_resync_request(envelope, now_ms);
+    return;
+  }
 
   if (const auto* echo = std::get_if<EchoRequest>(&envelope.message)) {
     queue_output(encode({envelope.xid, EchoReply{echo->payload}}), now_ms);
@@ -137,13 +182,112 @@ void Session::handle_message(const Envelope& envelope,
                now_ms);
 }
 
+void Session::handle_role_request(const Envelope& envelope,
+                                  std::uint64_t now_ms) {
+  const auto& request = std::get<RoleRequestMsg>(envelope.message);
+  const auto decision = control_->roles.apply(id_, request);
+  if (!decision.accepted) {
+    queue_output(encode_error(envelope.xid, ErrorType::kRoleRequestFailed,
+                              decision.error),
+                 now_ms);
+    return;
+  }
+  if (request.role != Role::kNoChange) counters_.role_changes++;
+  queue_output(
+      encode({envelope.xid, RoleReplyMsg{decision.role, decision.generation_id}}),
+      now_ms);
+}
+
+void Session::handle_resync_request(const Envelope& envelope,
+                                    std::uint64_t now_ms) {
+  if (role() == Role::kSlave) {
+    queue_output(encode_error(envelope.xid, ErrorType::kBadRequest,
+                              ErrorCode::kIsSlave),
+                 now_ms);
+    return;
+  }
+  const auto& request = std::get<ResyncRequestMsg>(envelope.message);
+  if (resync_digest_.size() + request.entries.size() >
+      config_.resync_digest_cap) {
+    // A digest that cannot fit is a protocol violation, not a memory leak.
+    resync_digest_.clear();
+    resync_open_ = false;
+    queue_output(encode_error(envelope.xid, ErrorType::kBadRequest,
+                              ErrorCode::kBufferOverflow),
+                 now_ms);
+    begin_drain(CloseReason::kProtocolError, now_ms);
+    return;
+  }
+  resync_digest_.insert(resync_digest_.end(), request.entries.begin(),
+                        request.entries.end());
+  resync_open_ = true;
+  if (request.done) finish_resync(envelope.xid, now_ms);
+}
+
+void Session::finish_resync(std::uint32_t xid, std::uint64_t now_ms) {
+  const auto outcome = compute_resync(control_->journal, resync_digest_);
+  resync_digest_.clear();
+  resync_open_ = false;
+  counters_.resyncs++;
+
+  // GC stale entries through the ordinary sink path: one batch, one
+  // left-right publish. kUnknownEntry from the sink means the table already
+  // lacked the entry; erasing the journal record converges either way.
+  if (!outcome.deletes.empty()) {
+    std::vector<PendingFlowMod> deletes;
+    deletes.reserve(outcome.deletes.size());
+    for (const auto& del : outcome.deletes) deletes.push_back({xid, del});
+    mod_results_.assign(deletes.size(), ErrorCode::kNone);
+    sink_(deletes, mod_results_);
+    for (const auto& del : outcome.deletes) control_->journal.record(del);
+  }
+
+  // Chunked reply under the 64 KiB frame cap; `deleted` rides the final
+  // chunk (the one marked done).
+  constexpr std::size_t kReplyChunk = 1024;
+  std::size_t offset = 0;
+  do {
+    const auto take = std::min(kReplyChunk, outcome.missing.size() - offset);
+    ResyncReplyMsg reply;
+    reply.missing.assign(
+        outcome.missing.begin() + static_cast<long>(offset),
+        outcome.missing.begin() + static_cast<long>(offset + take));
+    offset += take;
+    reply.done = offset == outcome.missing.size();
+    reply.deleted =
+        reply.done ? static_cast<std::uint32_t>(outcome.deletes.size()) : 0;
+    queue_output(encode({xid, std::move(reply)}), now_ms);
+  } while (offset < outcome.missing.size() && state_ == State::kSteady);
+}
+
 void Session::flush_mods(std::uint64_t now_ms) {
   if (mods_.empty()) return;
+  const bool is_master = role() == Role::kMaster;
+  const auto verdict =
+      control_->admission.admit(id_, is_master, mods_.size(), now_ms);
+  if (!verdict.admit) {
+    // Shed the whole batch: every xid still gets an answer — an ERROR with
+    // a backoff hint — so the controller can retry after the hint, and a
+    // controller that never backs off exhausts its rejection budget and is
+    // drained (bounded retry).
+    counters_.flow_mods_shed += mods_.size();
+    const auto hint = backoff_hint_bytes(verdict.backoff_hint_ms);
+    for (const auto& mod : mods_) {
+      queue_output(encode_error(mod.xid, ErrorType::kFlowModFailed,
+                                ErrorCode::kOverload, hint),
+                   now_ms);
+      if (state_ != State::kSteady) break;  // backpressure drain kicked in
+    }
+    mods_.clear();
+    if (verdict.drain) begin_drain(CloseReason::kOverload, now_ms);
+    return;
+  }
   mod_results_.assign(mods_.size(), ErrorCode::kNone);
   sink_(mods_, mod_results_);
   for (std::size_t i = 0; i < mods_.size(); ++i) {
     if (mod_results_[i] == ErrorCode::kNone) {
       counters_.flow_mods_ok++;
+      control_->journal.record(mods_[i].mod);
       continue;
     }
     counters_.flow_mods_failed++;
@@ -173,11 +317,13 @@ void Session::queue_output(std::vector<std::uint8_t> frame,
 }
 
 void Session::begin_drain(CloseReason reason, std::uint64_t now_ms) {
-  (void)now_ms;
   if (state_ == State::kDraining || state_ == State::kClosed) return;
   state_ = State::kDraining;
   close_reason_ = reason;
   probe_deadline_ms_.reset();
+  // Bound the drain: a peer that never reads its flushed output cannot park
+  // the session (and its buffers) forever.
+  drain_deadline_ms_ = now_ms + config_.drain_timeout_ms;
   mods_.clear();
 }
 
@@ -187,6 +333,12 @@ void Session::on_peer_closed(std::uint64_t now_ms) {
 }
 
 void Session::on_tick(std::uint64_t now_ms) {
+  if (state_ == State::kDraining) {
+    if (drain_deadline_ms_ && now_ms >= *drain_deadline_ms_) {
+      state_ = State::kClosed;  // undelivered output is forfeit
+    }
+    return;
+  }
   if (state_ != State::kSteady && state_ != State::kAwaitHello) return;
   if (config_.echo_interval_ms == 0) return;
   if (probe_deadline_ms_.has_value()) {
@@ -203,6 +355,7 @@ void Session::on_tick(std::uint64_t now_ms) {
 }
 
 std::optional<std::uint64_t> Session::next_deadline_ms() const {
+  if (state_ == State::kDraining) return drain_deadline_ms_;
   if (state_ != State::kSteady && state_ != State::kAwaitHello) {
     return std::nullopt;
   }
@@ -213,6 +366,13 @@ std::optional<std::uint64_t> Session::next_deadline_ms() const {
 
 void Session::send(std::span<const std::uint8_t> frame, std::uint64_t now_ms) {
   queue_output(std::vector<std::uint8_t>(frame.begin(), frame.end()), now_ms);
+}
+
+void Session::notify_role(Role new_role, std::uint64_t generation_id,
+                          std::uint64_t now_ms) {
+  if (state_ != State::kSteady) return;
+  counters_.role_changes++;
+  queue_output(encode({0, RoleReplyMsg{new_role, generation_id}}), now_ms);
 }
 
 std::span<const std::uint8_t> Session::pending_output() const {

@@ -15,11 +15,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "ofp/messages.hpp"
+#include "ofp/server/control_plane.hpp"
 #include "ofp/server/frame_assembler.hpp"
 
 namespace ofmtl::ofp::server {
@@ -44,6 +46,13 @@ struct SessionConfig {
   /// Flow-mods accumulated before the sink is forced mid-feed: bounds the
   /// latency between a mod arriving and it being published.
   std::size_t max_mods_per_batch = 256;
+  /// Grace (ms) for a draining session to flush its queued output before it
+  /// is closed regardless — a stalled peer cannot park a drain forever.
+  std::uint64_t drain_timeout_ms = 5000;
+  /// Caps the accumulated resync digest entries across chunks; a controller
+  /// streaming endless not-done chunks is a protocol error, not a memory
+  /// leak.
+  std::size_t resync_digest_cap = 1 << 20;
 };
 
 /// Why a session ended (for stats and tests).
@@ -56,6 +65,7 @@ enum class CloseReason : std::uint8_t {
   kBackpressure,   ///< write buffer cap exceeded (slow reader)
   kEchoTimeout,    ///< liveness probe unanswered
   kServerShutdown,
+  kOverload,       ///< rejection budget exhausted under admission control
 };
 
 [[nodiscard]] const char* to_string(CloseReason reason);
@@ -90,12 +100,23 @@ class Session {
     std::uint64_t frames_tx = 0;
     std::uint64_t flow_mods_ok = 0;
     std::uint64_t flow_mods_failed = 0;
+    std::uint64_t flow_mods_shed = 0;  ///< rejected by admission control
     std::uint64_t malformed_frames = 0;
     std::uint64_t echo_probes = 0;
+    std::uint64_t role_changes = 0;  ///< accepted mutating role requests
+    std::uint64_t resyncs = 0;       ///< completed resync diffs
   };
 
+  /// Standalone session owning a private ControlPlane — the sans-io unit
+  /// test shape, and correct for single-session embedders.
   Session(std::uint64_t id, SessionConfig config, FlowModSink sink,
           std::uint64_t now_ms);
+
+  /// Session sharing a server-owned ControlPlane with its sibling sessions
+  /// (role arbitration and the flow journal are per-switch, not
+  /// per-session). `control` must outlive the session.
+  Session(std::uint64_t id, SessionConfig config, FlowModSink sink,
+          ControlPlane& control, std::uint64_t now_ms);
 
   /// Raw bytes off the wire. Decodes every complete frame, queues replies,
   /// funnels flow-mod batches through the sink. Never throws on input.
@@ -114,6 +135,14 @@ class Session {
   /// Queue one server-initiated frame (ECHO probe, notification fan-out).
   /// Applies the same backpressure cap as replies.
   void send(std::span<const std::uint8_t> frame, std::uint64_t now_ms);
+
+  /// Queue an unsolicited ROLE_REPLY (xid 0) notifying the peer its role
+  /// changed without a request — failover promotion.
+  void notify_role(Role role, std::uint64_t generation_id,
+                   std::uint64_t now_ms);
+
+  /// This session's current controller role.
+  [[nodiscard]] Role role() const { return control_->roles.role_of(id_); }
 
   /// --- transport side ---
   [[nodiscard]] std::span<const std::uint8_t> pending_output() const;
@@ -140,6 +169,11 @@ class Session {
                       std::uint64_t now_ms);
   /// Push one batch through the sink and queue ERROR replies for failures.
   void flush_mods(std::uint64_t now_ms);
+  void handle_role_request(const Envelope& envelope, std::uint64_t now_ms);
+  void handle_resync_request(const Envelope& envelope, std::uint64_t now_ms);
+  /// Finish an accumulated digest: diff, GC stale entries through the sink,
+  /// queue the (chunked) RESYNC_REPLY.
+  void finish_resync(std::uint32_t xid, std::uint64_t now_ms);
   /// Queue an encoded frame; on cap overflow switches to backpressure drain.
   void queue_output(std::vector<std::uint8_t> frame, std::uint64_t now_ms);
   void begin_drain(CloseReason reason, std::uint64_t now_ms);
@@ -147,6 +181,9 @@ class Session {
   std::uint64_t id_;
   SessionConfig config_;
   FlowModSink sink_;
+  // Heap-owned (when standalone) so moving the Session keeps control_ valid.
+  std::unique_ptr<ControlPlane> owned_control_;
+  ControlPlane* control_;
   State state_ = State::kAwaitHello;
   CloseReason close_reason_ = CloseReason::kNone;
 
@@ -159,8 +196,12 @@ class Session {
   std::vector<PendingFlowMod> mods_;     // batch awaiting the sink
   std::vector<ErrorCode> mod_results_;   // sink scratch, reused
 
+  std::vector<ResyncEntry> resync_digest_;  // accumulated across chunks
+  bool resync_open_ = false;
+
   std::uint64_t last_rx_ms_ = 0;
   std::optional<std::uint64_t> probe_deadline_ms_;  // set while a probe is out
+  std::optional<std::uint64_t> drain_deadline_ms_;  // set while kDraining
   std::uint32_t next_xid_ = 1;
 
   Counters counters_;

@@ -265,10 +265,111 @@ class ScriptedController {
     return result;
   }
 
+  /// Claim a controller role. Returns the ROLE_REPLY on success, nullopt on
+  /// transport loss or an ERROR reply (generation fencing). Interleaved
+  /// frames are handled like barrier().
+  [[nodiscard]] std::optional<RoleReplyMsg> request_role(
+      Role role, std::uint64_t generation_id, std::size_t max_frames = 4096) {
+    const std::uint32_t xid = next_xid_++;
+    if (!sock_.send_all(encode({xid, RoleRequestMsg{role, generation_id}}))) {
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i < max_frames; ++i) {
+      const auto frame = sock_.read_frame();
+      if (!frame.has_value()) return std::nullopt;
+      Envelope envelope;
+      if (try_decode(*frame, envelope) != DecodeStatus::kOk) continue;
+      if (envelope.xid == xid) {
+        if (const auto* reply = std::get_if<RoleReplyMsg>(&envelope.message)) {
+          return *reply;
+        }
+        if (std::holds_alternative<ErrorMsg>(envelope.message)) {
+          return std::nullopt;
+        }
+      }
+      answer_probe(envelope);
+    }
+    return std::nullopt;
+  }
+
+  /// Block until an unsolicited ROLE_REPLY (xid 0) arrives — the server's
+  /// failover promotion notice. nullopt on timeout/loss.
+  [[nodiscard]] std::optional<RoleReplyMsg> await_promotion(
+      std::size_t max_frames = 4096) {
+    for (std::size_t i = 0; i < max_frames; ++i) {
+      const auto frame = sock_.read_frame();
+      if (!frame.has_value()) return std::nullopt;
+      Envelope envelope;
+      if (try_decode(*frame, envelope) != DecodeStatus::kOk) continue;
+      if (const auto* reply = std::get_if<RoleReplyMsg>(&envelope.message);
+          reply != nullptr && envelope.xid == 0) {
+        return *reply;
+      }
+      answer_probe(envelope);
+    }
+    return std::nullopt;
+  }
+
+  /// Full resync round-trip: send `intent` as chunked RESYNC_REQUESTs, read
+  /// the chunked replies, return the combined verdict (missing entries
+  /// accumulated across chunks, deleted count from the final chunk).
+  [[nodiscard]] std::optional<ResyncReplyMsg> resync(
+      std::span<const ResyncEntry> intent, std::size_t chunk = 1024,
+      std::size_t max_frames = 65536) {
+    const std::uint32_t xid = next_xid_++;
+    std::size_t offset = 0;
+    do {
+      const auto take = std::min(chunk, intent.size() - offset);
+      ResyncRequestMsg request;
+      request.entries.assign(
+          intent.begin() + static_cast<long>(offset),
+          intent.begin() + static_cast<long>(offset + take));
+      offset += take;
+      request.done = offset == intent.size();
+      if (!sock_.send_all(encode({xid, std::move(request)}))) {
+        return std::nullopt;
+      }
+    } while (offset < intent.size());
+
+    ResyncReplyMsg combined;
+    combined.done = false;
+    for (std::size_t i = 0; i < max_frames; ++i) {
+      const auto frame = sock_.read_frame();
+      if (!frame.has_value()) return std::nullopt;
+      Envelope envelope;
+      if (try_decode(*frame, envelope) != DecodeStatus::kOk) continue;
+      if (envelope.xid == xid) {
+        if (const auto* reply = std::get_if<ResyncReplyMsg>(&envelope.message)) {
+          combined.missing.insert(combined.missing.end(),
+                                  reply->missing.begin(), reply->missing.end());
+          if (reply->done) {
+            combined.done = true;
+            combined.deleted = reply->deleted;
+            return combined;
+          }
+          continue;
+        }
+        if (std::holds_alternative<ErrorMsg>(envelope.message)) {
+          return std::nullopt;
+        }
+      }
+      answer_probe(envelope);
+    }
+    return std::nullopt;
+  }
+
   [[nodiscard]] FaultySocket& socket() { return sock_; }
   [[nodiscard]] std::uint32_t next_xid() { return next_xid_++; }
 
  private:
+  /// Keep the session alive while we wait on something else: answer the
+  /// server's liveness probes, ignore anything that is not a probe.
+  void answer_probe(const Envelope& envelope) {
+    if (const auto* probe = std::get_if<EchoRequest>(&envelope.message)) {
+      (void)sock_.send_all(encode({envelope.xid, EchoReply{probe->payload}}));
+    }
+  }
+
   FaultySocket sock_;
   std::uint32_t next_xid_ = 1;
 };

@@ -28,6 +28,7 @@
 //     must stay immutable while the runtime is live
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -182,6 +183,24 @@ class ParallelRuntime {
   /// anything summed, since stealing moves batches between workers).
   [[nodiscard]] WorkerStats stats(std::size_t worker) const;
   [[nodiscard]] WorkerStats aggregate_stats() const;
+
+  /// In-flight batches on `queue` (racy scheduling/monitoring hint).
+  [[nodiscard]] std::size_t queue_depth(std::size_t queue) const {
+    return workers_[queue]->queue.size();
+  }
+  /// Occupancy of the fullest queue as a fraction of its capacity, in
+  /// [0, 1] — the backpressure signal the OFP server's admission control
+  /// samples (max, not mean: one saturated queue is already overload for
+  /// the flows hashed onto it).
+  [[nodiscard]] double queue_pressure() const {
+    double pressure = 0;
+    for (const auto& worker : workers_) {
+      const auto depth = static_cast<double>(worker->queue.size());
+      const auto cap = static_cast<double>(worker->queue.capacity());
+      if (cap > 0) pressure = std::max(pressure, depth / cap);
+    }
+    return pressure;
+  }
 
  private:
   struct WorkItem {

@@ -14,6 +14,7 @@
 // producer and consumers do not false-share.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -98,6 +99,17 @@ class StealQueue {
   [[nodiscard]] bool empty() const {
     return head_.load(std::memory_order_acquire) ==
            tail_.load(std::memory_order_acquire);
+  }
+  /// Approximate (racy) occupancy — the backpressure signal exported to
+  /// admission control. Clamped: concurrent pops can make the raw cursor
+  /// difference transiently negative or over-capacity.
+  [[nodiscard]] std::size_t size() const {
+    const auto head = head_.load(std::memory_order_acquire);
+    const auto tail = tail_.load(std::memory_order_acquire);
+    const auto diff = static_cast<std::intptr_t>(tail) -
+                      static_cast<std::intptr_t>(head);
+    if (diff <= 0) return 0;
+    return std::min(static_cast<std::size_t>(diff), capacity());
   }
   [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
 

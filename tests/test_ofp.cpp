@@ -46,6 +46,10 @@ TEST(OfpCodec, RoundTripsEveryMessageType) {
       {7, sample_flow_mod()},
       {8, ErrorMsg{ErrorType::kFlowModFailed, ErrorCode::kDuplicateEntry,
                    {0xAA, 0xBB}}},
+      {9, RoleRequestMsg{Role::kMaster, 0xDEADBEEFCAFEF00D}},
+      {10, RoleReplyMsg{Role::kSlave, 0xFFFFFFFFFFFFFFFF}},
+      {11, ResyncRequestMsg{false, {{0, 1, 0xA}, {3, 0xFFFFFFFF, 0xB}}}},
+      {12, ResyncReplyMsg{true, 7, {{1, 42, 0xC}}}},
   };
   for (const auto& envelope : envelopes) {
     const auto bytes = encode(envelope);
@@ -147,6 +151,7 @@ FlowModMsg random_flow_mod(workload::Rng& rng) {
   FlowModMsg mod;
   mod.command = kCommands[rng.below(3)];
   mod.table_id = static_cast<std::uint8_t>(rng.next());
+  mod.cookie = rng.next();
   mod.entry.id = static_cast<std::uint32_t>(rng.next());
   mod.entry.priority = static_cast<std::uint16_t>(rng.next());
   const auto constrained = rng.below(kFieldCount + 1);
@@ -169,10 +174,27 @@ FlowModMsg random_flow_mod(workload::Rng& rng) {
   return mod;
 }
 
+std::vector<ResyncEntry> random_resync_entries(workload::Rng& rng,
+                                               std::size_t max_entries) {
+  std::vector<ResyncEntry> entries(rng.below(max_entries + 1));
+  for (auto& entry : entries) {
+    entry.table_id = static_cast<std::uint8_t>(rng.next());
+    entry.entry_id = static_cast<std::uint32_t>(rng.next());
+    entry.cookie = rng.next();
+  }
+  return entries;
+}
+
+Role random_role(workload::Rng& rng) {
+  static constexpr Role kRoles[] = {Role::kNoChange, Role::kEqual,
+                                    Role::kMaster, Role::kSlave};
+  return kRoles[rng.below(4)];
+}
+
 Envelope random_envelope(workload::Rng& rng) {
   Envelope envelope;
   envelope.xid = static_cast<std::uint32_t>(rng.next());
-  switch (rng.below(8)) {
+  switch (rng.below(12)) {
     case 0: envelope.message = Hello{}; break;
     case 1: {
       static constexpr ErrorType kTypes[] = {
@@ -210,6 +232,21 @@ Envelope random_envelope(workload::Rng& rng) {
                                         rng.next()};
       break;
     }
+    case 7:
+      envelope.message = RoleRequestMsg{random_role(rng), rng.next()};
+      break;
+    case 8:
+      envelope.message = RoleReplyMsg{random_role(rng), rng.next()};
+      break;
+    case 9:
+      envelope.message =
+          ResyncRequestMsg{rng.chance(0.5), random_resync_entries(rng, 8)};
+      break;
+    case 10:
+      envelope.message =
+          ResyncReplyMsg{rng.chance(0.5), static_cast<std::uint32_t>(rng.next()),
+                         random_resync_entries(rng, 8)};
+      break;
     default: envelope.message = random_flow_mod(rng); break;
   }
   return envelope;
@@ -239,8 +276,12 @@ TEST(OfpCodec, TryDecodeTruncationAtEveryCutPoint) {
       {5, PacketOut{0xFFFFFFFF, 3, {OutputAction{4}, PopVlanAction{}}, {0xBE}}},
       {6, FlowRemovedMsg{99, 1, FlowRemovedReason::kIdleTimeout, 10, 640}},
       {7, sample_flow_mod()},
+      {8, RoleRequestMsg{Role::kMaster, 0xDEADBEEFCAFEF00D}},
+      {9, RoleReplyMsg{Role::kSlave, 1}},
+      {10, ResyncRequestMsg{true, {{0, 1, 0xA}, {3, 0xFFFFFFFF, 0xB}}}},
+      {11, ResyncReplyMsg{false, 7, {{1, 42, 0xC}}}},
   };
-  for (int i = 0; i < 8; ++i) envelopes.push_back(random_envelope(rng));
+  for (int i = 0; i < 16; ++i) envelopes.push_back(random_envelope(rng));
 
   for (const auto& envelope : envelopes) {
     const auto bytes = encode(envelope);
@@ -478,6 +519,46 @@ TEST(SwitchAgent, DuplicateAddAnswersErrorWithoutStateChange) {
   const auto error = expect_error(agent.handle_control(encode({41, mod}), 1));
   EXPECT_EQ(error.type, ErrorType::kFlowModFailed);
   EXPECT_EQ(agent.model().entry_count(), 1U);
+}
+
+TEST(SwitchAgent, RoleClaimsAreFencedAndSlaveIsReadOnly) {
+  SwitchAgent agent({{FieldId::kEthDst}});
+  EXPECT_EQ(agent.role(), Role::kEqual);
+
+  auto responses =
+      agent.handle_control(encode({1, RoleRequestMsg{Role::kMaster, 10}}));
+  ASSERT_EQ(responses.size(), 1U);
+  auto reply = decode(responses[0]);
+  EXPECT_EQ(std::get<RoleReplyMsg>(reply.message).role, Role::kMaster);
+  EXPECT_EQ(std::get<RoleReplyMsg>(reply.message).generation_id, 10U);
+
+  // A stale generation cannot demote the channel (fenced ex-master shape).
+  const auto error = expect_error(
+      agent.handle_control(encode({2, RoleRequestMsg{Role::kSlave, 9}})));
+  EXPECT_EQ(error.type, ErrorType::kRoleRequestFailed);
+  EXPECT_EQ(error.code, ErrorCode::kStale);
+  EXPECT_EQ(agent.role(), Role::kMaster);
+
+  // NOCHANGE is a pure query at any generation.
+  responses =
+      agent.handle_control(encode({3, RoleRequestMsg{Role::kNoChange, 0}}));
+  ASSERT_EQ(responses.size(), 1U);
+  EXPECT_EQ(std::get<RoleReplyMsg>(decode(responses[0]).message).role,
+            Role::kMaster);
+
+  // Demote to slave with a fresh generation: flow-mods are now rejected.
+  responses =
+      agent.handle_control(encode({4, RoleRequestMsg{Role::kSlave, 11}}));
+  ASSERT_EQ(responses.size(), 1U);
+  EXPECT_EQ(agent.role(), Role::kSlave);
+  FlowModMsg mod;
+  mod.command = FlowModCommand::kAdd;
+  mod.entry.id = 1;
+  mod.entry.match.set(FieldId::kEthDst, FieldMatch::exact(std::uint64_t{1}));
+  const auto rejected = expect_error(agent.handle_control(encode({5, mod})));
+  EXPECT_EQ(rejected.type, ErrorType::kFlowModFailed);
+  EXPECT_EQ(rejected.code, ErrorCode::kIsSlave);
+  EXPECT_EQ(agent.model().entry_count(), 0U);
 }
 
 TEST(SwitchAgent, UnexpectedInboundTypeAnswersError) {
