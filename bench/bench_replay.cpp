@@ -12,6 +12,12 @@
 //   - hitrate/*: the replayed stream's flow-cache hit rate in percent —
 //     a property of the stream and the cache geometry, not the machine,
 //     so CI floor-gates it everywhere (>= 90%).
+//   - tail (*_p50/p99/p999_ns): per-packet latency quantiles of the
+//     cache-on replay, derived from per-batch trace-ring records through
+//     obs::LogHistogram (batch duration / batch packet count). Absolute
+//     values are hardware-sensitive (baseline-gated on matching hardware);
+//     the p99/p50 ratio is additionally ceiling-gated in CI as a
+//     machine-independent tail-blowup detector.
 // Writes BENCH_replay.json next to the binary.
 #include <algorithm>
 #include <chrono>
@@ -22,6 +28,9 @@
 
 #include "bench_common.hpp"
 #include "core/builder.hpp"
+#include "obs/export.hpp"
+#include "obs/histogram.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/runtime.hpp"
 #include "trace/pcap.hpp"
 #include "trace/replay.hpp"
@@ -136,6 +145,29 @@ double measure_replay(const App& app, trace::TraceReplayer& replayer,
   return run_with(loops).ns_per_packet();
 }
 
+/// Per-packet latency distribution of a cache-on replay, from the trace
+/// rings: each kBatch* slice contributes duration / packet-count samples.
+/// 16 loops x (32768/256) batches = 2048 samples — enough for a one-bucket
+/// p99.9 estimate.
+obs::LogHistogram measure_tail(const App& app, trace::TraceReplayer& replayer,
+                               std::size_t cache_capacity) {
+  std::vector<ExecutionResult> results(replayer.headers().size());
+  trace::ReplayConfig config{.batch = kBatch, .in_flight = 4, .loops = 16};
+  obs::start_tracing();
+  {
+    runtime::ParallelRuntime rt(app.tables.clone(),
+                                {.workers = 1,
+                                 .queue_capacity = 2 * config.in_flight,
+                                 .flow_cache_capacity = cache_capacity});
+    (void)replayer.run(rt, results, config);
+  }
+  obs::stop_tracing();
+  const auto dump = obs::collect_tracing();
+  return obs::slice_latency_histogram(dump, obs::TraceEvent::kBatchBegin,
+                                      obs::TraceEvent::kBatchEnd,
+                                      /*per_payload_unit=*/true);
+}
+
 }  // namespace
 
 int main() {
@@ -177,6 +209,21 @@ int main() {
               << off_ns << " ns/pkt, on " << on_ns << " ns/pkt ("
               << (on_ns > 0 ? off_ns / on_ns : 0.0) << "x, hit rate " << hit_on
               << "%)\n";
+
+    if (obs::kInstrumentationCompiled) {
+      const auto tail = measure_tail(app, replayer, kCacheCapacity);
+      const std::string tail_base = base + "/zipf_s1.1_f4096/cache_on";
+      results.emplace_back(tail_base + "_p50_ns",
+                           static_cast<double>(tail.quantile(0.50)));
+      results.emplace_back(tail_base + "_p99_ns",
+                           static_cast<double>(tail.quantile(0.99)));
+      results.emplace_back(tail_base + "_p999_ns",
+                           static_cast<double>(tail.quantile(0.999)));
+      std::cout << "  tail (per packet, n=" << tail.total()
+                << " batches): p50 " << tail.quantile(0.50) << " ns, p99 "
+                << tail.quantile(0.99) << " ns, p99.9 "
+                << tail.quantile(0.999) << " ns\n";
+    }
   }
 
   auto metadata = ofmtl::bench::common_metadata();

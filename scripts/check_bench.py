@@ -8,9 +8,13 @@ Usage:
 
 Semantics follow the file's unit: ns_per_packet (and any *_ns / ns_* unit)
 regresses upward, packets_per_sec (and any *_per_sec unit) regresses
-downward. Metrics present only on one side are reported but never fail the
-gate (new benches may add metrics). Metadata drift (git SHA aside) is
-surfaced as a warning so apples-to-oranges comparisons are visible.
+downward. Individual metric NAMES override the file unit when they declare
+their own: a metric whose leaf ends in `_ns` (tail quantiles like
+parallel_tail/.../p99_ns riding in a packets_per_sec file) or mentions
+`overhead` regresses upward; `*per_sec*` / `*mpps*` / `hitrate/*` metrics
+regress downward. Metrics present only on one side are reported but never
+fail the gate (new benches may add metrics). Metadata drift (git SHA aside)
+is surfaced as a warning so apples-to-oranges comparisons are visible.
 
 Thread-sensitive metrics (scaling curves, work-stealing scenarios) can be
 exempted from the baseline gate when the machines differ:
@@ -40,6 +44,15 @@ which requires the CURRENT value of the named metric to be <= the ceiling —
 the natural shape for robustness counters (desyncs, dropped sessions,
 error totals) where any value above the bound means the run misbehaved.
 
+Within-run ratio ceilings relate two CURRENT metrics:
+    --max-ratio replay/.../cache_on_p99_ns,replay/.../cache_on_p50_ns:100
+requires current[NUM] / current[DEN] <= MAX (comma-separated because metric
+names contain '/'). The natural shape for tail-latency SLOs: p99/p50 is a
+machine-independent tail-blowup detector — absolute quantiles shift with
+hardware, but a p99 two orders of magnitude over the median means the tail
+collapsed no matter the machine. Ceilings are deliberately catastrophic-
+only: shared runners legitimately wobble small multiples.
+
 Exit codes: 0 ok, 1 regression/flatness violation, 2 usage/IO error.
 """
 
@@ -62,6 +75,19 @@ def lower_is_better(unit):
     if "per_sec" in unit or "throughput" in unit:
         return False
     return True  # ns/packet, ms, bytes, ... default: lower is better
+
+
+def metric_lower_is_better(name, file_default):
+    """Per-metric direction: a metric name that declares its own unit
+    (tail quantiles in `_ns`, overhead percentages, embedded rates) wins
+    over the containing file's unit."""
+    leaf = name.rsplit("/", 1)[-1].lower()
+    if leaf.endswith("_ns") or "overhead" in leaf:
+        return True
+    if "per_sec" in leaf or "mpps" in name.lower() or \
+            name.lower().startswith("hitrate/"):
+        return False
+    return file_default
 
 
 def main():
@@ -113,6 +139,17 @@ def main():
         metavar="NAME:MAX",
         help="require current[NAME] <= MAX (repeatable); checked within "
         "the current run, so it is hardware-independent",
+    )
+    parser.add_argument(
+        "--max-ratio",
+        action="append",
+        default=[],
+        dest="max_ratio",
+        metavar="NUM,DEN:MAX",
+        help="require current[NUM]/current[DEN] <= MAX (repeatable; names "
+        "comma-separated since they contain '/'); checked within the "
+        "current run, so it is hardware-independent — e.g. a p99/p50 "
+        "tail-blowup ceiling",
     )
     args = parser.parse_args()
 
@@ -173,7 +210,8 @@ def main():
         if old <= 0:
             print(f"  skip   {name}: non-positive baseline {old}")
             continue
-        delta = (new - old) / old if lower else (old - new) / old
+        metric_lower = metric_lower_is_better(name, lower)
+        delta = (new - old) / old if metric_lower else (old - new) / old
         marker = "REGRESS" if delta > args.threshold else "ok"
         print(f"  {marker:7s}{name}: {old:.2f} -> {new:.2f} "
               f"({'+' if new >= old else ''}{100 * (new - old) / old:.1f}%)")
@@ -244,8 +282,35 @@ def main():
         if value > ceiling:
             ceiling_failures.append(spec)
 
+    ratio_failures = []
+    for spec in args.max_ratio:
+        try:
+            names, ceiling_text = spec.rsplit(":", 1)
+            name_num, name_den = names.split(",", 1)
+            ceiling = float(ceiling_text)
+        except ValueError:
+            print(f"error: bad --max-ratio spec {spec!r} (want NUM,DEN:MAX)",
+                  file=sys.stderr)
+            sys.exit(2)
+        if name_num not in results_c or name_den not in results_c:
+            print(f"error: --max-ratio metric missing from current run: "
+                  f"{spec}", file=sys.stderr)
+            sys.exit(2)
+        num, den = float(results_c[name_num]), float(results_c[name_den])
+        if den <= 0:
+            print(f"error: --max-ratio non-positive denominator in {spec}",
+                  file=sys.stderr)
+            sys.exit(2)
+        ratio = num / den
+        marker = "RATIO-VIOLATION" if ratio > ceiling else "ratio-ok"
+        print(f"  {marker:15s}{name_num}/{name_den}={ratio:.2f} "
+              f"(ceiling {ceiling:.2f})")
+        if ratio > ceiling:
+            ratio_failures.append(spec)
+
     if (compared == 0 and hw_skipped == 0 and not args.flat_pair
-            and not args.min_metric and not args.max_metric):
+            and not args.min_metric and not args.max_metric
+            and not args.max_ratio):
         print("error: no overlapping metrics compared", file=sys.stderr)
         sys.exit(2)
     if regressions:
@@ -276,6 +341,13 @@ def main():
             file=sys.stderr,
         )
         sys.exit(1)
+    if ratio_failures:
+        print(
+            f"\nFAIL: {len(ratio_failures)} ratio ceiling(s) violated: "
+            f"{', '.join(ratio_failures)}",
+            file=sys.stderr,
+        )
+        sys.exit(1)
     print(f"\nOK: {compared} metric(s) within {100 * args.threshold:.0f}% "
           f"of baseline"
           + (f", {hw_skipped} hardware-sensitive metric(s) informational"
@@ -285,7 +357,9 @@ def main():
           + (f", {len(args.min_metric)} floor invariant(s) hold"
              if args.min_metric else "")
           + (f", {len(args.max_metric)} ceiling invariant(s) hold"
-             if args.max_metric else ""))
+             if args.max_metric else "")
+          + (f", {len(args.max_ratio)} ratio ceiling(s) hold"
+             if args.max_ratio else ""))
     sys.exit(0)
 
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/tracer.hpp"
+
 namespace ofmtl {
 
 std::string to_string(Verdict verdict) {
@@ -193,6 +195,7 @@ void execute_tables_batch(const TableLookupSource& source,
       }
     }
     if (ctx.lanes.empty()) continue;
+    OFMTL_OBS_EMIT(obs::TraceEvent::kStageBegin, t, ctx.lanes.size());
     if (ctx.entries.size() < ctx.lanes.size()) {
       ctx.entries.resize(ctx.lanes.size());
     }
@@ -202,6 +205,7 @@ void execute_tables_batch(const TableLookupSource& source,
     for (std::size_t lane = 0; lane < ctx.lanes.size(); ++lane) {
       ctx.runs[ctx.lanes[lane]].apply(ctx.entries[lane]);
     }
+    OFMTL_OBS_EMIT(obs::TraceEvent::kStageEnd, t, ctx.lanes.size());
   }
   for (std::size_t i = 0; i < n; ++i) ctx.runs[i].finish(source);
 }

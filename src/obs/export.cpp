@@ -1,0 +1,261 @@
+#include "obs/export.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ofmtl::obs {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'O', 'F', 'T', 'R',
+                                        'A', 'C', 'E', '1'};
+
+void put_u64(std::ostream& out, std::uint64_t value) {
+  std::array<unsigned char, 8> bytes;
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()), 8);
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  std::array<unsigned char, 8> bytes;
+  in.read(reinterpret_cast<char*>(bytes.data()), 8);
+  if (!in) throw std::runtime_error("trace dump: truncated");
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+/// Minimal JSON string escape (thread names and static event names only).
+void put_json_string(std::ostream& out, const std::string& text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << ' ';  // other control bytes: blank them
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// One open slice awaiting its end record.
+struct OpenSlice {
+  TraceEvent begin_event;
+  std::uint64_t ts_ns;
+  std::uint16_t arg;
+  std::uint64_t payload;
+};
+
+/// Microsecond timestamp with nanosecond precision, chrome-trace style.
+void put_ts_us(std::ostream& out, std::uint64_t ts_ns) {
+  out << ts_ns / 1000 << '.' << static_cast<char>('0' + (ts_ns % 1000) / 100)
+      << static_cast<char>('0' + (ts_ns % 100) / 10)
+      << static_cast<char>('0' + ts_ns % 10);
+}
+
+}  // namespace
+
+std::vector<DecodedEvent> decode_thread(const ThreadTrace& thread) {
+  std::vector<DecodedEvent> events;
+  events.reserve(thread.records.size());
+  bool anchored = false;
+  std::uint64_t ts = 0;
+  for (const auto& record : thread.records) {
+    if (static_cast<TraceEvent>(record.event) == TraceEvent::kTimeSync) {
+      ts = record.payload;
+      anchored = true;
+      continue;
+    }
+    if (!anchored) continue;  // overwritten anchor: bounded undecodable prefix
+    ts += record.ts_delta;
+    events.push_back(DecodedEvent{ts, static_cast<TraceEvent>(record.event),
+                                  record.arg, record.payload});
+  }
+  return events;
+}
+
+void write_perfetto_json(std::ostream& out, const TraceDump& dump) {
+  out << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [";
+  bool first = true;
+  const auto event_prefix = [&] {
+    if (!first) out << ',';
+    first = false;
+    out << "\n";
+  };
+
+  for (const auto& thread : dump.threads) {
+    // Thread-name metadata event so Perfetto labels the track.
+    event_prefix();
+    out << R"({"ph":"M","name":"thread_name","pid":1,"tid":)" << thread.tid
+        << R"(,"args":{"name":)";
+    put_json_string(out, thread.name);
+    out << "}}";
+
+    const auto events = decode_thread(thread);
+    // Per-slice-name stacks pair begins with ends; a stack per name (rather
+    // than one global stack) keeps interleaved slices of different kinds
+    // (e.g. stage_walk inside batch) independent.
+    std::array<std::vector<OpenSlice>, static_cast<std::size_t>(
+                                           TraceEvent::kEventCount)>
+        open;
+    for (const auto& event : events) {
+      const auto kind = trace_event_kind(event.event);
+      const char* name = trace_event_name(event.event);
+      switch (kind) {
+        case TraceEventKind::kBegin: {
+          // Stack keyed by the END event id sharing this slice name: the
+          // matching end is begin + 1 in the event enumeration.
+          const auto key = static_cast<std::size_t>(event.event) + 1;
+          open[key].push_back(
+              OpenSlice{event.event, event.ts_ns, event.arg, event.payload});
+          break;
+        }
+        case TraceEventKind::kEnd: {
+          const auto key = static_cast<std::size_t>(event.event);
+          if (open[key].empty()) {
+            // Unpaired end (its begin was overwritten): render as instant.
+            event_prefix();
+            out << R"({"ph":"i","s":"t","name":")" << name
+                << R"(","pid":1,"tid":)" << thread.tid << R"(,"ts":)";
+            put_ts_us(out, event.ts_ns);
+            out << "}";
+            break;
+          }
+          const OpenSlice slice = open[key].back();
+          open[key].pop_back();
+          event_prefix();
+          out << R"({"ph":"X","name":")" << name << R"(","pid":1,"tid":)"
+              << thread.tid << R"(,"ts":)";
+          put_ts_us(out, slice.ts_ns);
+          out << R"(,"dur":)";
+          put_ts_us(out, event.ts_ns - slice.ts_ns);
+          out << R"(,"args":{"arg":)" << slice.arg << R"(,"payload":)"
+              << slice.payload << "}}";
+          break;
+        }
+        case TraceEventKind::kCounter:
+          event_prefix();
+          out << R"({"ph":"C","name":")" << name << R"(","pid":1,"tid":)"
+              << thread.tid << R"(,"ts":)";
+          put_ts_us(out, event.ts_ns);
+          out << R"(,"args":{"value":)" << event.payload << "}}";
+          break;
+        case TraceEventKind::kInstant:
+          event_prefix();
+          out << R"({"ph":"i","s":"t","name":")" << name
+              << R"(","pid":1,"tid":)" << thread.tid << R"(,"ts":)";
+          put_ts_us(out, event.ts_ns);
+          out << R"(,"args":{"arg":)" << event.arg << R"(,"payload":)"
+              << event.payload << "}}";
+          break;
+      }
+    }
+  }
+  out << "\n]\n}\n";
+}
+
+void save_trace_dump(const std::string& path, const TraceDump& dump) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace dump: cannot open " + path);
+  out.write(kMagic.data(), kMagic.size());
+  put_u64(out, dump.threads.size());
+  for (const auto& thread : dump.threads) {
+    put_u64(out, thread.name.size());
+    out.write(thread.name.data(),
+              static_cast<std::streamsize>(thread.name.size()));
+    put_u64(out, thread.tid);
+    put_u64(out, thread.dropped);
+    put_u64(out, thread.records.size());
+    for (const auto& record : thread.records) {
+      put_u64(out, pack_lo(record));
+      put_u64(out, pack_hi(record));
+    }
+  }
+  if (out.flush(); !out) {
+    throw std::runtime_error("trace dump: write failed: " + path);
+  }
+}
+
+TraceDump load_trace_dump(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace dump: cannot open " + path);
+  std::array<char, 8> magic;
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("trace dump: bad magic in " + path);
+  }
+  // Sanity caps so a corrupt header cannot demand absurd allocations.
+  constexpr std::uint64_t kMaxThreads = 1 << 16;
+  constexpr std::uint64_t kMaxRecords = std::uint64_t{1} << 32;
+  constexpr std::uint64_t kMaxName = 1 << 12;
+  TraceDump dump;
+  const std::uint64_t threads = get_u64(in);
+  if (threads > kMaxThreads) {
+    throw std::runtime_error("trace dump: implausible thread count");
+  }
+  for (std::uint64_t t = 0; t < threads; ++t) {
+    ThreadTrace thread;
+    const std::uint64_t name_len = get_u64(in);
+    if (name_len > kMaxName) {
+      throw std::runtime_error("trace dump: implausible name length");
+    }
+    thread.name.resize(name_len);
+    in.read(thread.name.data(), static_cast<std::streamsize>(name_len));
+    if (!in) throw std::runtime_error("trace dump: truncated");
+    thread.tid = get_u64(in);
+    thread.dropped = get_u64(in);
+    const std::uint64_t records = get_u64(in);
+    if (records > kMaxRecords) {
+      throw std::runtime_error("trace dump: implausible record count");
+    }
+    thread.records.reserve(records);
+    for (std::uint64_t r = 0; r < records; ++r) {
+      const std::uint64_t lo = get_u64(in);
+      const std::uint64_t hi = get_u64(in);
+      thread.records.push_back(unpack_record(lo, hi));
+    }
+    dump.threads.push_back(std::move(thread));
+  }
+  return dump;
+}
+
+LogHistogram slice_latency_histogram(const TraceDump& dump, TraceEvent begin,
+                                     TraceEvent end, bool per_payload_unit) {
+  LogHistogram histogram;
+  for (const auto& thread : dump.threads) {
+    std::vector<OpenSlice> open;
+    for (const auto& event : decode_thread(thread)) {
+      if (event.event == begin) {
+        open.push_back(
+            OpenSlice{event.event, event.ts_ns, event.arg, event.payload});
+      } else if (event.event == end) {
+        if (open.empty()) continue;  // begin overwritten: skip
+        const OpenSlice slice = open.back();
+        open.pop_back();
+        std::uint64_t duration = event.ts_ns - slice.ts_ns;
+        if (per_payload_unit && slice.payload > 1) {
+          duration /= slice.payload;
+        }
+        histogram.record(duration);
+      }
+    }
+  }
+  return histogram;
+}
+
+}  // namespace ofmtl::obs

@@ -1,0 +1,65 @@
+// Export-time decoding of trace dumps — the deferred half of the Perfetto
+// model: the rings store raw 16-byte records; everything human-facing
+// happens here, offline, away from the hot paths.
+//
+//   - decode_thread(): delta → absolute-timestamp reconstruction. Records
+//     before the first surviving kTimeSync anchor are undecodable (their
+//     base was overwritten with the ring's oldest history) and are dropped;
+//     the anchor cadence bounds that prefix to min(1024, capacity/2)
+//     records. Decoded timestamps are monotone non-decreasing per thread by
+//     construction (unsigned deltas accumulated from a monotonic clock).
+//   - write_perfetto_json(): chrome://tracing "traceEvents" JSON. Begin/end
+//     records pair into complete "X" slices (per-thread, per-slice-name
+//     stack, so nested slices work); counters render as "C" tracks;
+//     everything else as instants. Loads directly in ui.perfetto.dev and
+//     chrome://tracing.
+//   - save/load_trace_dump(): a tiny self-describing binary container
+//     ("OFTRACE1") holding the raw records, so a run can dump cheaply and
+//     tools/trace_export can decode later or elsewhere.
+//   - slice_latency_histogram(): begin→end durations folded into a
+//     LogHistogram — the p99/p99.9 source the bench tail gates consume.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/tracer.hpp"
+
+namespace ofmtl::obs {
+
+/// One record with its absolute steady-clock timestamp reconstructed.
+struct DecodedEvent {
+  std::uint64_t ts_ns = 0;
+  TraceEvent event = TraceEvent::kTimeSync;
+  std::uint16_t arg = 0;
+  std::uint64_t payload = 0;
+};
+
+/// Reconstruct absolute timestamps for one thread's records (kTimeSync
+/// anchors consumed, not returned). Records before the first anchor are
+/// dropped — see the header comment for the bound.
+[[nodiscard]] std::vector<DecodedEvent> decode_thread(
+    const ThreadTrace& thread);
+
+/// Render the dump as chrome://tracing / Perfetto JSON onto `out`.
+void write_perfetto_json(std::ostream& out, const TraceDump& dump);
+
+/// Binary trace container ("OFTRACE1"). save throws std::runtime_error on
+/// I/O failure; load throws std::runtime_error on I/O failure or a
+/// malformed/truncated file.
+void save_trace_dump(const std::string& path, const TraceDump& dump);
+[[nodiscard]] TraceDump load_trace_dump(const std::string& path);
+
+/// Fold every begin→end pair of the given slice across all threads into a
+/// duration histogram (nanoseconds). With `per_payload_unit`, each duration
+/// is divided by the BEGIN record's payload (e.g. the batch's packet count)
+/// before recording — per-packet latency from per-batch records.
+[[nodiscard]] LogHistogram slice_latency_histogram(const TraceDump& dump,
+                                                   TraceEvent begin,
+                                                   TraceEvent end,
+                                                   bool per_payload_unit);
+
+}  // namespace ofmtl::obs

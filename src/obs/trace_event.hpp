@@ -1,0 +1,133 @@
+// Trace-event vocabulary of the observability layer: fixed-size 16-byte
+// records in the Perfetto syscall-tracing mold — the hot path records only
+// an event id, a compact timestamp delta, and one packed payload word;
+// every expensive step (absolute-timestamp reconstruction, event naming,
+// begin/end pairing into slices, JSON encoding) is deferred to export time
+// (obs/export.hpp), so emitting costs a clock read plus three stores.
+//
+// Timestamps are deltas, not absolutes: each record carries the nanoseconds
+// since the previous record of the SAME ring (32-bit, so up to ~4.29 s of
+// silence between records), and the producer interleaves kTimeSync records
+// — absolute steady-clock nanoseconds in the payload — at a fixed cadence
+// and whenever a delta would overflow. Decoding accumulates deltas from the
+// latest sync, which makes the format self-synchronizing: after the ring
+// overwrites its oldest records, the decoder simply drops the (bounded)
+// prefix before the first surviving sync record.
+#pragma once
+
+#include <cstdint>
+
+namespace ofmtl::obs {
+
+/// Every instrumented hot-path event. Values are part of the on-disk trace
+/// format (tools/trace_export reads raw records), so append only.
+enum class TraceEvent : std::uint16_t {
+  kTimeSync = 0,      ///< payload = absolute steady-clock ns (decoder anchor)
+  kBatchBegin = 1,    ///< worker dequeued a batch; payload = packet count
+  kBatchEnd = 2,      ///< batch classified; payload = packet count
+  kStageBegin = 3,    ///< table stage walk; arg = table, payload = lanes
+  kStageEnd = 4,      ///< table stage done; arg = table, payload = lanes
+  kPublishBegin = 5,  ///< left-right publish entered; payload = epoch
+  kPublishEnd = 6,    ///< left-right publish complete; payload = epoch
+  kStealAttempt = 7,  ///< worker went dry and scanned siblings; arg = self
+  kStealSuccess = 8,  ///< batch popped from a sibling; arg = victim queue
+  kCacheHits = 9,     ///< flow-cache hits in one batch; payload = count
+  kCacheMisses = 10,  ///< flow-cache misses in one batch; payload = count
+  kCacheEpochInvalidations = 11,  ///< stale-epoch hits voided; payload = count
+  kReplayPassBegin = 12,  ///< trace replay pass; payload = pass index
+  kReplayPassEnd = 13,    ///< trace replay pass done; payload = packets
+  kOfpRead = 14,    ///< OFP session ingested bytes; arg = session, payload = n
+  kOfpDecode = 15,  ///< OFP frame decode attempt; arg = session,
+                    ///< payload = (status << 32) | frame bytes
+  kOfpApplyBegin = 16,  ///< flow-mod batch handed to the sink; payload = mods
+  kOfpApplyEnd = 17,    ///< flow-mod batch published; payload = mods
+  kEventCount           ///< sentinel — not a real event
+};
+
+/// How an event renders in a chrome://tracing / Perfetto timeline.
+enum class TraceEventKind : std::uint8_t {
+  kInstant,  ///< a point marker (ph "i")
+  kBegin,    ///< opens a duration slice (paired with its kEnd into ph "X")
+  kEnd,      ///< closes the innermost open slice of the same pair
+  kCounter,  ///< a sampled counter value (ph "C")
+};
+
+/// One trace record exactly as it sits in the ring: 16 bytes, trivially
+/// copyable, decoded only at export time.
+struct TraceRecord {
+  std::uint16_t event = 0;     ///< TraceEvent
+  std::uint16_t arg = 0;       ///< small event-specific argument
+  std::uint32_t ts_delta = 0;  ///< ns since the previous record in this ring
+  std::uint64_t payload = 0;   ///< event-specific payload word
+};
+static_assert(sizeof(TraceRecord) == 16, "records are fixed 16-byte");
+
+/// The ring stores records as two 64-bit words (its slots are atomics, so a
+/// concurrent drain never reads torn bytes under TSan); pack/unpack is the
+/// bijection between the struct and that wire form. Field layout is fixed
+/// little-endian-in-the-word, so a dump written on one machine decodes
+/// identically on another.
+[[nodiscard]] constexpr std::uint64_t pack_lo(const TraceRecord& r) {
+  return static_cast<std::uint64_t>(r.event) |
+         (static_cast<std::uint64_t>(r.arg) << 16) |
+         (static_cast<std::uint64_t>(r.ts_delta) << 32);
+}
+[[nodiscard]] constexpr std::uint64_t pack_hi(const TraceRecord& r) {
+  return r.payload;
+}
+[[nodiscard]] constexpr TraceRecord unpack_record(std::uint64_t lo,
+                                                  std::uint64_t hi) {
+  TraceRecord r;
+  r.event = static_cast<std::uint16_t>(lo & 0xffff);
+  r.arg = static_cast<std::uint16_t>((lo >> 16) & 0xffff);
+  r.ts_delta = static_cast<std::uint32_t>(lo >> 32);
+  r.payload = hi;
+  return r;
+}
+
+/// Stable display name (also the slice name begin/end pairs share).
+[[nodiscard]] constexpr const char* trace_event_name(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kTimeSync: return "time_sync";
+    case TraceEvent::kBatchBegin:
+    case TraceEvent::kBatchEnd: return "batch";
+    case TraceEvent::kStageBegin:
+    case TraceEvent::kStageEnd: return "stage_walk";
+    case TraceEvent::kPublishBegin:
+    case TraceEvent::kPublishEnd: return "publish";
+    case TraceEvent::kStealAttempt: return "steal_attempt";
+    case TraceEvent::kStealSuccess: return "steal_success";
+    case TraceEvent::kCacheHits: return "cache_hits";
+    case TraceEvent::kCacheMisses: return "cache_misses";
+    case TraceEvent::kCacheEpochInvalidations: return "cache_epoch_inval";
+    case TraceEvent::kReplayPassBegin:
+    case TraceEvent::kReplayPassEnd: return "replay_pass";
+    case TraceEvent::kOfpRead: return "ofp_read";
+    case TraceEvent::kOfpDecode: return "ofp_decode";
+    case TraceEvent::kOfpApplyBegin:
+    case TraceEvent::kOfpApplyEnd: return "ofp_apply";
+    case TraceEvent::kEventCount: break;
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr TraceEventKind trace_event_kind(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kBatchBegin:
+    case TraceEvent::kStageBegin:
+    case TraceEvent::kPublishBegin:
+    case TraceEvent::kReplayPassBegin:
+    case TraceEvent::kOfpApplyBegin: return TraceEventKind::kBegin;
+    case TraceEvent::kBatchEnd:
+    case TraceEvent::kStageEnd:
+    case TraceEvent::kPublishEnd:
+    case TraceEvent::kReplayPassEnd:
+    case TraceEvent::kOfpApplyEnd: return TraceEventKind::kEnd;
+    case TraceEvent::kCacheHits:
+    case TraceEvent::kCacheMisses:
+    case TraceEvent::kCacheEpochInvalidations: return TraceEventKind::kCounter;
+    default: return TraceEventKind::kInstant;
+  }
+}
+
+}  // namespace ofmtl::obs

@@ -1,6 +1,7 @@
 #include "ofp/server/session.hpp"
 
 #include "net/packet.hpp"
+#include "obs/tracer.hpp"
 
 namespace ofmtl::ofp::server {
 
@@ -58,6 +59,7 @@ Session::Session(std::uint64_t id, SessionConfig config, FlowModSink sink,
 void Session::on_bytes(std::span<const std::uint8_t> bytes,
                        std::uint64_t now_ms) {
   if (state_ == State::kDraining || state_ == State::kClosed) return;
+  OFMTL_OBS_EMIT(obs::TraceEvent::kOfpRead, id_, bytes.size());
   // Any inbound byte proves the peer alive: clear an outstanding probe and
   // restart the idle clock.
   last_rx_ms_ = now_ms;
@@ -91,6 +93,8 @@ void Session::handle_frame(const std::vector<std::uint8_t>& frame,
   counters_.frames_rx++;
   Envelope envelope;
   const auto status = try_decode(frame, envelope);
+  OFMTL_OBS_EMIT(obs::TraceEvent::kOfpDecode, id_,
+                 (static_cast<std::uint64_t>(status) << 32) | frame.size());
   if (status != DecodeStatus::kOk) {
     counters_.malformed_frames++;
     if (state_ == State::kAwaitHello) {
@@ -283,7 +287,9 @@ void Session::flush_mods(std::uint64_t now_ms) {
     return;
   }
   mod_results_.assign(mods_.size(), ErrorCode::kNone);
+  OFMTL_OBS_EMIT(obs::TraceEvent::kOfpApplyBegin, id_, mods_.size());
   sink_(mods_, mod_results_);
+  OFMTL_OBS_EMIT(obs::TraceEvent::kOfpApplyEnd, id_, mods_.size());
   for (std::size_t i = 0; i < mods_.size(); ++i) {
     if (mod_results_[i] == ErrorCode::kNone) {
       counters_.flow_mods_ok++;

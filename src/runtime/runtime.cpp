@@ -1,8 +1,10 @@
 #include "runtime/runtime.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "core/flow_key.hpp"
+#include "obs/tracer.hpp"
 
 namespace ofmtl::runtime {
 
@@ -85,6 +87,7 @@ void ParallelRuntime::run_item(Worker& worker, const WorkItem& item) {
   // what blocks the writer from reusing this side; it departs when this
   // function returns. The flow cache keys on the guard's epoch, so cached
   // entries from before a publish are stale by construction for this batch.
+  OFMTL_OBS_EMIT(obs::TraceEvent::kBatchBegin, 0, item.count);
   const auto guard = classifier_.acquire();
   const FlowCacheStats cache_before =
       worker.cache != nullptr ? worker.cache->stats() : FlowCacheStats{};
@@ -107,19 +110,29 @@ void ParallelRuntime::run_item(Worker& worker, const WorkItem& item) {
   }
   if (worker.cache != nullptr) {
     // Publish the batch's cache-counter deltas (errored batches included —
-    // their lookups happened) through the atomics stats() samples.
+    // their lookups happened) through the atomics stats() samples. The same
+    // deltas feed the trace as batch-granular counter events — per-packet
+    // cache events would swamp the ring and the overhead budget.
     const FlowCacheStats& after = worker.cache->stats();
-    worker.cache_hits.fetch_add(after.hits - cache_before.hits,
-                                std::memory_order_relaxed);
-    worker.cache_misses.fetch_add(after.misses - cache_before.misses,
-                                  std::memory_order_relaxed);
+    const std::uint64_t hits = after.hits - cache_before.hits;
+    const std::uint64_t misses = after.misses - cache_before.misses;
+    const std::uint64_t invalidations =
+        after.epoch_invalidations - cache_before.epoch_invalidations;
+    worker.cache_hits.fetch_add(hits, std::memory_order_relaxed);
+    worker.cache_misses.fetch_add(misses, std::memory_order_relaxed);
     worker.cache_evictions.fetch_add(after.evictions - cache_before.evictions,
                                      std::memory_order_relaxed);
-    worker.cache_epoch_invalidations.fetch_add(
-        after.epoch_invalidations - cache_before.epoch_invalidations,
-        std::memory_order_relaxed);
+    worker.cache_epoch_invalidations.fetch_add(invalidations,
+                                               std::memory_order_relaxed);
+    if (hits != 0) OFMTL_OBS_EMIT(obs::TraceEvent::kCacheHits, 0, hits);
+    if (misses != 0) OFMTL_OBS_EMIT(obs::TraceEvent::kCacheMisses, 0, misses);
+    if (invalidations != 0) {
+      OFMTL_OBS_EMIT(obs::TraceEvent::kCacheEpochInvalidations, 0,
+                     invalidations);
+    }
   }
   worker.batches.fetch_add(1, std::memory_order_relaxed);
+  OFMTL_OBS_EMIT(obs::TraceEvent::kBatchEnd, 0, item.count);
   if (item.ticket != nullptr) item.ticket->complete(guard.epoch());
 }
 
@@ -163,10 +176,16 @@ void ParallelRuntime::run_item_cached(
 
 void ParallelRuntime::worker_loop(std::size_t self) {
   Worker& worker = *workers_[self];
+  obs::set_thread_name("worker" + std::to_string(self));
   const std::size_t siblings = workers_.size();
   WorkItem item;
+  // Steal-attempt events fire once per transition into the steal scan, not
+  // per idle spin — an idle worker yielding in a loop would otherwise flood
+  // its ring with millions of identical records.
+  bool was_working = true;
   while (true) {
     if (worker.queue.try_pop(item)) {
+      was_working = true;
       run_item(worker, item);
       continue;
     }
@@ -174,17 +193,25 @@ void ParallelRuntime::worker_loop(std::size_t self) {
     // starts at self+1 so victims rotate with the worker index instead of
     // every thief hammering queue 0).
     if (work_stealing_ && siblings > 1) {
+      if (was_working) {
+        OFMTL_OBS_EMIT(obs::TraceEvent::kStealAttempt, self, 0);
+      }
       bool stole = false;
+      std::size_t victim_index = 0;
       for (std::size_t i = 1; i < siblings && !stole; ++i) {
-        Worker& victim = *workers_[(self + i) % siblings];
+        victim_index = (self + i) % siblings;
+        Worker& victim = *workers_[victim_index];
         stole = victim.queue.try_pop(item);
       }
       if (stole) {
         worker.steals.fetch_add(1, std::memory_order_relaxed);
+        OFMTL_OBS_EMIT(obs::TraceEvent::kStealSuccess, victim_index, 1);
+        was_working = true;
         run_item(worker, item);
         continue;
       }
     }
+    was_working = false;
     if (!running_.load(std::memory_order_acquire)) {
       // Drain-then-exit: stop() flips running_ before joining, and no
       // submission races with stop(), so a final empty check after

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "obs/tracer.hpp"
+
 namespace ofmtl::runtime {
 
 SnapshotClassifier::SnapshotClassifier(MultiTableLookup initial)
@@ -38,11 +40,16 @@ template <typename Op>
 bool SnapshotClassifier::publish(Op&& op) {
   const std::size_t active = active_side_.load(std::memory_order_relaxed);
   const std::size_t inactive = 1 - active;
+  OFMTL_OBS_EMIT(obs::TraceEvent::kPublishBegin, 0, next_epoch_);
   // 1. Apply to the inactive side — no reader can hold it (the previous
   // publish drained them). A throwing op may leave the side half-mutated;
   // resync it from the untouched active side so the pair cannot diverge.
   try {
-    if (!op(sides_[inactive])) return false;  // no-op: nothing to publish
+    if (!op(sides_[inactive])) {
+      // No-op: close the slice so the trace shows the rejected publish too.
+      OFMTL_OBS_EMIT(obs::TraceEvent::kPublishEnd, 0, next_epoch_);
+      return false;
+    }
   } catch (...) {
     resync_side(inactive);
     throw;
@@ -65,15 +72,18 @@ bool SnapshotClassifier::publish(Op&& op) {
     if (!op(sides_[active])) {
       resync_side(active);
       ++next_epoch_;
+      OFMTL_OBS_EMIT(obs::TraceEvent::kPublishEnd, 0, next_epoch_);
       return true;
     }
   } catch (...) {
     resync_side(active);
     ++next_epoch_;
+    OFMTL_OBS_EMIT(obs::TraceEvent::kPublishEnd, 0, next_epoch_);
     return true;
   }
   side_epoch_[active] = next_epoch_;
   ++next_epoch_;
+  OFMTL_OBS_EMIT(obs::TraceEvent::kPublishEnd, 0, next_epoch_);
   return true;
 }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/tracer.hpp"
+
 namespace ofmtl::trace {
 
 namespace {
@@ -81,6 +83,7 @@ ReplayStats TraceReplayer::run(runtime::ParallelRuntime& rt,
 
   bool failed = false;
   for (std::size_t pass = 0; pass < config.loops; ++pass) {
+    OFMTL_OBS_EMIT(obs::TraceEvent::kReplayPassBegin, pass, headers_.size());
     std::size_t slot = 0;
     for (std::size_t base = 0; base < headers_.size();
          base += config.batch, slot = (slot + 1) % config.in_flight) {
@@ -115,6 +118,7 @@ ReplayStats TraceReplayer::run(runtime::ParallelRuntime& rt,
       ticket.wait();
       failed = failed || ticket.failed();
     }
+    OFMTL_OBS_EMIT(obs::TraceEvent::kReplayPassEnd, pass, headers_.size());
   }
   stats.elapsed_ns =
       std::chrono::duration<double, std::nano>(Clock::now() - start).count();

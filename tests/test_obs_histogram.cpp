@@ -1,0 +1,163 @@
+// LogHistogram unit tests: bucket-boundary geometry over the full 64-bit
+// range, the merge-equals-union algebra, and quantile accuracy against an
+// exact sorted reference on seeded random inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace {
+
+using ofmtl::obs::LogHistogram;
+
+TEST(LogHistogramTest, SmallValuesGetExactUnitBuckets) {
+  for (std::uint64_t v = 0; v < LogHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LogHistogram::bucket_index(v), v);
+    EXPECT_EQ(LogHistogram::bucket_lower(v), v);
+    EXPECT_EQ(LogHistogram::bucket_upper(v), v);
+  }
+}
+
+TEST(LogHistogramTest, BucketBoundarySweep) {
+  // Every bucket's own bounds must map back into it, values one past either
+  // bound into its neighbors, and the cover must be contiguous: each
+  // bucket starts exactly where the previous one ended.
+  for (std::size_t index = 0; index < LogHistogram::kBucketCount; ++index) {
+    const std::uint64_t lower = LogHistogram::bucket_lower(index);
+    const std::uint64_t upper = LogHistogram::bucket_upper(index);
+    ASSERT_LE(lower, upper);
+    EXPECT_EQ(LogHistogram::bucket_index(lower), index);
+    EXPECT_EQ(LogHistogram::bucket_index(upper), index);
+    if (index > 0) {
+      EXPECT_EQ(LogHistogram::bucket_upper(index - 1) + 1, lower)
+          << "gap below bucket " << index;
+    }
+    if (upper != ~std::uint64_t{0}) {
+      EXPECT_EQ(LogHistogram::bucket_index(upper + 1), index + 1)
+          << "bucket " << index;
+    }
+  }
+  // The top bucket covers the end of the 64-bit range.
+  EXPECT_EQ(LogHistogram::bucket_index(~std::uint64_t{0}),
+            LogHistogram::kBucketCount - 1);
+}
+
+TEST(LogHistogramTest, RelativeErrorBoundedBySubBucketWidth) {
+  // The defining property: bucket width / lower bound <= 1/16 above the
+  // unit-bucket region, so any quantile estimate is within 6.25%.
+  for (std::size_t index = LogHistogram::kSubBuckets;
+       index < LogHistogram::kBucketCount; ++index) {
+    const double lower =
+        static_cast<double>(LogHistogram::bucket_lower(index));
+    const double width =
+        static_cast<double>(LogHistogram::bucket_upper(index)) - lower + 1.0;
+    EXPECT_LE(width / lower, 1.0 / 16.0 + 1e-9) << "bucket " << index;
+  }
+}
+
+TEST(LogHistogramTest, EmptyHistogramIsZero) {
+  const LogHistogram histogram;
+  EXPECT_EQ(histogram.total(), 0u);
+  EXPECT_EQ(histogram.quantile(0.5), 0u);
+  EXPECT_EQ(histogram.mean(), 0.0);
+}
+
+TEST(LogHistogramTest, MergeIsCommutativeAndEqualsRecordingTheUnion) {
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<std::uint64_t> wide(0, ~std::uint64_t{0});
+  std::vector<std::uint64_t> sample_a, sample_b;
+  for (int i = 0; i < 1000; ++i) sample_a.push_back(wide(rng) >> (i % 60));
+  for (int i = 0; i < 700; ++i) sample_b.push_back(wide(rng) >> (i % 50));
+
+  LogHistogram a, b, ab, ba, unioned;
+  for (const auto v : sample_a) {
+    a.record(v);
+    unioned.record(v);
+  }
+  for (const auto v : sample_b) {
+    b.record(v);
+    unioned.record(v);
+  }
+  ab.merge(a);
+  ab.merge(b);
+  ba.merge(b);
+  ba.merge(a);
+
+  ASSERT_EQ(ab.total(), sample_a.size() + sample_b.size());
+  ASSERT_EQ(ba.total(), ab.total());
+  ASSERT_EQ(unioned.total(), ab.total());
+  for (std::size_t i = 0; i < LogHistogram::kBucketCount; ++i) {
+    EXPECT_EQ(ab.bucket_count_at(i), ba.bucket_count_at(i)) << "bucket " << i;
+    EXPECT_EQ(ab.bucket_count_at(i), unioned.bucket_count_at(i))
+        << "bucket " << i;
+  }
+  EXPECT_EQ(ab.quantile(0.99), unioned.quantile(0.99));
+  EXPECT_EQ(ab.mean(), unioned.mean());
+}
+
+TEST(LogHistogramTest, WeightedRecordMatchesRepeatedRecord) {
+  LogHistogram weighted, repeated;
+  weighted.record(1000, 25);
+  for (int i = 0; i < 25; ++i) repeated.record(1000);
+  EXPECT_EQ(weighted.total(), repeated.total());
+  EXPECT_EQ(weighted.quantile(0.5), repeated.quantile(0.5));
+}
+
+TEST(LogHistogramTest, QuantilesWithinOneBucketOfExactOnSeededInputs) {
+  // Latency-shaped samples: lognormal body plus a uniform far tail. The
+  // histogram's quantile must land in the same bucket as the exact order
+  // statistic — i.e. between bucket_lower and bucket_upper of its bucket.
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> body(8.0, 1.0);   // ~3k ns median
+  std::uniform_int_distribution<std::uint64_t> tail(100000, 10000000);
+  std::vector<std::uint64_t> values;
+  LogHistogram histogram;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t v = i % 100 == 0
+                                ? tail(rng)
+                                : static_cast<std::uint64_t>(body(rng));
+    values.push_back(v);
+    histogram.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    // Same rank convention as LogHistogram::quantile: the ceil(q*n)-th
+    // smallest sample, 1-based, clamped to [1, n].
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    rank = std::clamp<std::size_t>(rank, 1, values.size());
+    const std::uint64_t exact = values[rank - 1];
+    const std::uint64_t estimate = histogram.quantile(q);
+    // Within one bucket of exact: the estimate IS the inclusive upper bound
+    // of the bucket holding the exact order statistic.
+    const std::size_t exact_bucket = LogHistogram::bucket_index(exact);
+    EXPECT_EQ(estimate, LogHistogram::bucket_upper(exact_bucket))
+        << "q=" << q << " exact=" << exact;
+    // Which implies the documented relative error bound.
+    const double relative_error =
+        std::abs(static_cast<double>(estimate) - static_cast<double>(exact)) /
+        static_cast<double>(exact);
+    EXPECT_LE(relative_error, 1.0 / 16.0) << "q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, QuantileEdgeCases) {
+  LogHistogram histogram;
+  histogram.record(100);
+  histogram.record(200);
+  histogram.record(300);
+  // q clamps: 0 -> first sample's bucket, 1 -> last sample's bucket.
+  EXPECT_EQ(histogram.quantile(0.0),
+            LogHistogram::bucket_upper(LogHistogram::bucket_index(100)));
+  EXPECT_EQ(histogram.quantile(1.0),
+            LogHistogram::bucket_upper(LogHistogram::bucket_index(300)));
+  EXPECT_EQ(histogram.quantile(-1.0), histogram.quantile(0.0));
+  EXPECT_EQ(histogram.quantile(2.0), histogram.quantile(1.0));
+}
+
+}  // namespace

@@ -19,6 +19,8 @@
 
 #include "core/builder.hpp"
 #include "net/packet.hpp"
+#include "obs/export.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/runtime.hpp"
 #include "trace/pcap.hpp"
 #include "trace/replay.hpp"
@@ -284,6 +286,58 @@ TEST(TraceReplay, MatchesDirectSubmissionBitwise) {
       }
     }
   }
+}
+
+TEST(TraceReplay, TracedRunIsBitwiseIdenticalToUntraced) {
+  // Observability must be free of observer effects: the same replay with
+  // the trace rings live classifies every packet bitwise-identically, and
+  // (when the instrumentation is compiled in) yields a non-empty event
+  // stream whose decoded timestamps are monotone per thread.
+  const auto app = make_app(FilterApp::kMacLearning, "gozb");
+  const auto stream = make_stream(app, 256, 2048, 23);
+  const auto writer = workload::export_trace(stream);
+  trace::PcapReader reader{std::span<const std::uint8_t>(writer.buffer())};
+  trace::TraceReplayer replayer(reader, app.in_port);
+  const trace::ReplayConfig config{.batch = 128, .in_flight = 4, .loops = 2};
+
+  obs::stop_tracing();
+  std::vector<ExecutionResult> untraced(stream.size());
+  {
+    ParallelRuntime rt(app.tables.clone(),
+                       {.workers = 2, .flow_cache_capacity = 512});
+    (void)replayer.run(rt, untraced, config);
+  }
+
+  obs::start_tracing();
+  std::vector<ExecutionResult> traced(stream.size());
+  {
+    ParallelRuntime rt(app.tables.clone(),
+                       {.workers = 2, .flow_cache_capacity = 512});
+    (void)replayer.run(rt, traced, config);
+  }
+  obs::stop_tracing();
+  const auto dump = obs::collect_tracing();
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_EQ(traced[i], untraced[i]) << "packet " << i;
+  }
+
+  if (!obs::kInstrumentationCompiled) return;
+  std::uint64_t total_events = 0, batch_begins = 0;
+  for (const auto& thread : dump.threads) {
+    const auto events = obs::decode_thread(thread);
+    std::uint64_t last_ts = 0;
+    for (const auto& event : events) {
+      EXPECT_GE(event.ts_ns, last_ts) << "thread " << thread.name;
+      last_ts = event.ts_ns;
+      ++total_events;
+      if (event.event == obs::TraceEvent::kBatchBegin) ++batch_begins;
+    }
+  }
+  EXPECT_GT(total_events, 0u);
+  // Every batch the run submitted shows up (nothing wrapped: 2 loops x 16
+  // batches fits any default ring).
+  EXPECT_GE(batch_begins, 2 * ((stream.size() + 127) / 128));
 }
 
 TEST(TraceReplay, LoopsRewriteResultsInPlaceAndCountStats) {

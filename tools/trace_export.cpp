@@ -1,0 +1,125 @@
+// Offline trace decoder: OFTRACE1 binary dump -> Perfetto JSON + tail stats.
+//
+//   trace_export FILE.oftrace [-o FILE.json] [--summary]
+//     Decode a raw trace written by `trace_replay run --trace-raw` (or any
+//     obs::save_trace_dump caller) and render chrome://tracing JSON to -o
+//     (stdout when omitted). --summary instead prints per-slice latency
+//     distributions (count, p50/p99/p99.9, mean) derived through
+//     obs::LogHistogram — with -o, both are produced.
+//
+// Splitting record+decode keeps the recording side allocation-light: a run
+// dumps 16-byte records and exits; everything human-facing happens here.
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/histogram.hpp"
+#include "obs/tracer.hpp"
+
+namespace {
+
+using namespace ofmtl;
+
+[[noreturn]] void usage(const std::string& error = {}) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr << "usage:\n"
+               "  trace_export FILE.oftrace [-o FILE.json] [--summary]\n"
+               "decodes an OFTRACE1 dump into chrome://tracing / Perfetto\n"
+               "JSON (stdout unless -o); --summary prints per-slice latency\n"
+               "histograms (p50/p99/p99.9) instead of / in addition to it.\n";
+  std::exit(2);
+}
+
+struct SlicePair {
+  const char* name;
+  obs::TraceEvent begin;
+  obs::TraceEvent end;
+};
+
+constexpr SlicePair kSlices[] = {
+    {"batch", obs::TraceEvent::kBatchBegin, obs::TraceEvent::kBatchEnd},
+    {"stage_walk", obs::TraceEvent::kStageBegin, obs::TraceEvent::kStageEnd},
+    {"publish", obs::TraceEvent::kPublishBegin, obs::TraceEvent::kPublishEnd},
+    {"replay_pass", obs::TraceEvent::kReplayPassBegin,
+     obs::TraceEvent::kReplayPassEnd},
+    {"ofp_apply", obs::TraceEvent::kOfpApplyBegin,
+     obs::TraceEvent::kOfpApplyEnd},
+};
+
+void print_summary(std::ostream& out, const obs::TraceDump& dump) {
+  std::uint64_t records = 0, dropped = 0;
+  for (const auto& thread : dump.threads) {
+    records += thread.records.size();
+    dropped += thread.dropped;
+  }
+  out << dump.threads.size() << " thread(s), " << records << " records, "
+      << dropped << " overwritten\n";
+  for (const auto& thread : dump.threads) {
+    out << "  tid " << thread.tid << " (" << thread.name << "): "
+        << thread.records.size() << " records, " << thread.dropped
+        << " overwritten\n";
+  }
+  out << "slice latencies (ns):\n";
+  for (const auto& slice : kSlices) {
+    const auto histogram =
+        obs::slice_latency_histogram(dump, slice.begin, slice.end,
+                                     /*per_payload_unit=*/false);
+    if (histogram.total() == 0) continue;
+    out << "  " << std::setw(12) << slice.name << ": n=" << histogram.total()
+        << " p50=" << histogram.quantile(0.50)
+        << " p99=" << histogram.quantile(0.99)
+        << " p99.9=" << histogram.quantile(0.999)
+        << " mean=" << histogram.mean() << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string input, output;
+  bool summary = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    if (arg == "-o" || arg == "--out") {
+      if (++i >= args.size()) usage(arg + " needs a value");
+      output = args[i];
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (!arg.empty() && arg[0] != '-' && input.empty()) {
+      input = arg;
+    } else {
+      usage("unknown flag '" + arg + "'");
+    }
+  }
+  if (input.empty()) usage("missing FILE.oftrace input");
+
+  try {
+    const obs::TraceDump dump = obs::load_trace_dump(input);
+    if (!output.empty()) {
+      std::ofstream out(output);
+      if (!out) {
+        std::cerr << "error: cannot open " << output << "\n";
+        return 1;
+      }
+      obs::write_perfetto_json(out, dump);
+      if (out.flush(); !out) {
+        std::cerr << "error: write failed: " << output << "\n";
+        return 1;
+      }
+      std::cerr << "wrote " << output << "\n";
+    } else if (!summary) {
+      obs::write_perfetto_json(std::cout, dump);
+    }
+    if (summary) print_summary(std::cout, dump);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

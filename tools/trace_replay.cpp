@@ -9,11 +9,16 @@
 //   trace_replay run trace.pcap --app mac_gozb [--in-port auto|N]
 //       [--workers 1] [--cache 0] [--loops 1] [--batch 256]
 //       [--in-flight 4] [--pace PPS] [--verify]
+//       [--trace FILE.json] [--trace-raw FILE.oftrace]
 //     Build the app's tables, ingest the capture through the batched wire
 //     parser, replay it into the parallel runtime, and report ns/packet,
 //     throughput, verdict mix, and the flow-cache hit rate. --verify
 //     re-classifies every parsed header through the sequential pipeline
 //     oracle and demands bitwise-identical results (exit 1 on mismatch).
+//     --trace records the run through the per-worker trace rings and writes
+//     chrome://tracing / Perfetto JSON (open in ui.perfetto.dev);
+//     --trace-raw writes the compact OFTRACE1 binary for tools/trace_export
+//     to decode later.
 //
 // Apps are named <app>_<router> over the calibrated Stanford sets, e.g.
 // routing_yoza or mac_gozb. --in-port auto (the default) picks the first
@@ -21,6 +26,7 @@
 // two-table pipeline instead of missing at table 0.
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -29,6 +35,8 @@
 
 #include "core/builder.hpp"
 #include "net/packet.hpp"
+#include "obs/export.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/runtime.hpp"
 #include "trace/pcap.hpp"
 #include "trace/replay.hpp"
@@ -51,6 +59,7 @@ using namespace ofmtl;
       "  trace_replay run FILE.pcap --app <app>_<router> [--in-port auto|N]\n"
       "      [--workers N] [--cache SLOTS] [--loops N] [--batch N]\n"
       "      [--in-flight N] [--pace PPS] [--verify]\n"
+      "      [--trace FILE.json] [--trace-raw FILE.oftrace]\n"
       "apps: routing_<router> | mac_<router>  (router: bbra ... yozb)\n";
   std::exit(2);
 }
@@ -143,6 +152,7 @@ int cmd_synth(const std::vector<std::string>& args) {
 
 int cmd_run(const std::vector<std::string>& args) {
   std::string pcap_path, app_tag, in_port_text = "auto";
+  std::string trace_json_path, trace_raw_path;
   runtime::RuntimeConfig rt_config;
   trace::ReplayConfig replay_config;
   bool verify = false;
@@ -163,6 +173,8 @@ int cmd_run(const std::vector<std::string>& args) {
       replay_config.in_flight = parse_u64(value(), "--in-flight");
     else if (arg == "--pace") replay_config.pace_pps = parse_double(value(), "--pace");
     else if (arg == "--verify") verify = true;
+    else if (arg == "--trace") trace_json_path = value();
+    else if (arg == "--trace-raw") trace_raw_path = value();
     else if (!arg.empty() && arg[0] != '-' && pcap_path.empty()) pcap_path = arg;
     else usage("unknown run flag '" + arg + "'");
   }
@@ -194,11 +206,49 @@ int cmd_run(const std::vector<std::string>& args) {
   std::optional<MultiTableLookup> oracle;
   if (verify) oracle = app.tables.clone();
   rt_config.queue_capacity = 2 * replay_config.in_flight;
+  const bool tracing = !trace_json_path.empty() || !trace_raw_path.empty();
+  if (tracing) {
+    if (!obs::kInstrumentationCompiled) {
+      std::cerr << "warning: built with -DOFMTL_TRACE=OFF -- the trace "
+                   "will be empty\n";
+    }
+    obs::set_thread_name("replay_driver");
+    obs::start_tracing();
+  }
   runtime::ParallelRuntime rt(std::move(app.tables), rt_config);
   std::vector<ExecutionResult> results(replayer.headers().size());
   const auto stats = replayer.run(rt, results, replay_config);
   const auto worker_stats = rt.aggregate_stats();
   rt.stop();
+  if (tracing) {
+    obs::stop_tracing();
+    const auto dump = obs::collect_tracing();
+    std::uint64_t records = 0, dropped = 0;
+    for (const auto& thread : dump.threads) {
+      records += thread.records.size();
+      dropped += thread.dropped;
+    }
+    if (!trace_raw_path.empty()) {
+      obs::save_trace_dump(trace_raw_path, dump);
+      std::cout << "trace: wrote " << trace_raw_path << " (OFTRACE1)\n";
+    }
+    if (!trace_json_path.empty()) {
+      std::ofstream out(trace_json_path);
+      if (!out) {
+        std::cerr << "error: cannot open " << trace_json_path << "\n";
+        return 1;
+      }
+      obs::write_perfetto_json(out, dump);
+      if (out.flush(); !out) {
+        std::cerr << "error: write failed: " << trace_json_path << "\n";
+        return 1;
+      }
+      std::cout << "trace: wrote " << trace_json_path
+                << " (load in ui.perfetto.dev or chrome://tracing)\n";
+    }
+    std::cout << "trace: " << dump.threads.size() << " thread(s), " << records
+              << " records, " << dropped << " overwritten\n";
+  }
 
   std::uint64_t forwarded = 0, dropped = 0, to_controller = 0;
   for (const auto& result : results) {
