@@ -3,41 +3,54 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/simd.hpp"
+
 namespace ofmtl {
 
-const std::vector<std::uint32_t> RangeMatcher::kEmpty{};
+namespace {
+
+/// Fields at most this wide get the rank-select boundary bitmap (2^16 bits
+/// = 8 KiB worst case — smaller than the L1 the search would thrash).
+constexpr unsigned kRankSelectMaxWidth = 16;
+
+}  // namespace
 
 std::uint32_t RangeMatcher::add(const ValueRange& range) {
   if (range.lo > range.hi || range.hi > low_mask(width_)) {
     throw std::invalid_argument("bad range");
   }
-  for (std::uint32_t label = 0; label < ranges_.size(); ++label) {
-    if (ranges_[label] == range) {
-      if (refs_[label]++ == 0) sealed_ = false;  // revival
-      return label;
+  const auto it = range_index_.find({range.lo, range.hi});
+  if (it != range_index_.end()) {
+    const std::uint32_t label = it->second;
+    if (refs_[label]++ == 0) {  // revival
+      add_events(label);
+      sealed_ = false;
     }
+    return label;
   }
+  const auto label = static_cast<std::uint32_t>(ranges_.size());
   ranges_.push_back(range);
   refs_.push_back(1);
+  range_index_.emplace(std::make_pair(range.lo, range.hi), label);
+  add_events(label);
   sealed_ = false;
-  return static_cast<std::uint32_t>(ranges_.size() - 1);
+  return label;
 }
 
 bool RangeMatcher::remove(const ValueRange& range) {
-  for (std::uint32_t label = 0; label < ranges_.size(); ++label) {
-    if (ranges_[label] == range && refs_[label] > 0) {
-      if (--refs_[label] == 0) sealed_ = false;
-      return true;
-    }
+  const auto it = range_index_.find({range.lo, range.hi});
+  if (it == range_index_.end() || refs_[it->second] == 0) return false;
+  if (--refs_[it->second] == 0) {
+    remove_events(it->second);
+    sealed_ = false;
   }
-  return false;
+  return true;
 }
 
 std::optional<std::uint32_t> RangeMatcher::find(const ValueRange& range) const {
-  for (std::uint32_t label = 0; label < ranges_.size(); ++label) {
-    if (ranges_[label] == range && refs_[label] > 0) return label;
-  }
-  return std::nullopt;
+  const auto it = range_index_.find({range.lo, range.hi});
+  if (it == range_index_.end() || refs_[it->second] == 0) return std::nullopt;
+  return it->second;
 }
 
 std::size_t RangeMatcher::unique_ranges() const {
@@ -48,39 +61,95 @@ std::size_t RangeMatcher::unique_ranges() const {
   return live;
 }
 
+void RangeMatcher::add_events(std::uint32_t label) {
+  const ValueRange& range = ranges_[label];
+  events_[range.lo].opens.push_back(label);
+  if (range.hi < low_mask(width_)) {
+    events_[range.hi + 1].closes.push_back(label);
+  }
+}
+
+void RangeMatcher::remove_events(std::uint32_t label) {
+  const ValueRange& range = ranges_[label];
+  const auto drop = [this](std::uint64_t point, std::vector<std::uint32_t>
+                                                    BoundaryEvents::*member,
+                           std::uint32_t target) {
+    const auto it = events_.find(point);
+    auto& list = it->second.*member;
+    list.erase(std::find(list.begin(), list.end(), target));
+    if (it->second.opens.empty() && it->second.closes.empty()) {
+      events_.erase(it);  // the point stops being a boundary
+    }
+  };
+  drop(range.lo, &BoundaryEvents::opens, label);
+  if (range.hi < low_mask(width_)) {
+    drop(range.hi + 1, &BoundaryEvents::closes, label);
+  }
+}
+
 void RangeMatcher::seal() {
-  if (sealed_) return;  // alive set unchanged since the last build
+  if (sealed_) return;  // alive set unchanged since the last sweep
+  ++seal_sweeps_;
   boundaries_.clear();
   interval_labels_.clear();
-  // Elementary interval starts: each range contributes lo and hi+1.
-  boundaries_.push_back(0);
-  for (std::uint32_t label = 0; label < ranges_.size(); ++label) {
-    if (refs_[label] == 0) continue;
-    boundaries_.push_back(ranges_[label].lo);
-    if (ranges_[label].hi < low_mask(width_)) {
-      boundaries_.push_back(ranges_[label].hi + 1);
-    }
-  }
-  std::sort(boundaries_.begin(), boundaries_.end());
-  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
-                    boundaries_.end());
+  boundaries_.reserve(events_.size() + 1);
+  interval_labels_.reserve(events_.size() + 1);
 
-  interval_labels_.resize(boundaries_.size());
-  for (std::size_t i = 0; i < boundaries_.size(); ++i) {
-    const std::uint64_t point = boundaries_[i];
-    auto& labels = interval_labels_[i];
-    for (std::uint32_t label = 0; label < ranges_.size(); ++label) {
-      if (refs_[label] > 0 && ranges_[label].contains(point)) {
-        labels.push_back(label);
-      }
+  // One ordered sweep over the event map: the active set gains a range at
+  // its lo point and loses it at hi + 1, and every event point starts an
+  // elementary interval whose label list is a snapshot of the active set.
+  // `active` is kept sorted by (span, label) — the narrowest-first order the
+  // lookups return — so each snapshot is a plain copy.
+  std::vector<std::uint32_t> active;
+  const auto narrower = [this](std::uint32_t a, std::uint32_t b) {
+    if (ranges_[a].span() != ranges_[b].span()) {
+      return ranges_[a].span() < ranges_[b].span();
     }
-    std::sort(labels.begin(), labels.end(),
-              [this](std::uint32_t a, std::uint32_t b) {
-                if (ranges_[a].span() != ranges_[b].span()) {
-                  return ranges_[a].span() < ranges_[b].span();
-                }
-                return a < b;
-              });
+    return a < b;
+  };
+  const auto apply = [&](const BoundaryEvents& events) {
+    for (const std::uint32_t label : events.closes) {
+      active.erase(
+          std::lower_bound(active.begin(), active.end(), label, narrower));
+    }
+    for (const std::uint32_t label : events.opens) {
+      active.insert(
+          std::lower_bound(active.begin(), active.end(), label, narrower),
+          label);
+    }
+  };
+
+  auto it = events_.begin();
+  boundaries_.push_back(0);  // interval [0, first event) always exists
+  if (it != events_.end() && it->first == 0) {
+    apply(it->second);
+    ++it;
+  }
+  interval_labels_.push_back(active);
+  for (; it != events_.end(); ++it) {
+    boundaries_.push_back(it->first);
+    apply(it->second);
+    interval_labels_.push_back(active);
+  }
+
+  // Narrow fields: lay the boundaries out as a rank-select bitmap so point
+  // lookups become a popcount instead of a search.
+  if (width_ <= kRankSelectMaxWidth) {
+    const std::size_t words =
+        std::max<std::size_t>((std::size_t{1} << width_) / 64, 1);
+    rank_bits_.assign(words, 0);
+    rank_dir_.assign(words, 0);
+    for (const std::uint64_t boundary : boundaries_) {
+      rank_bits_[boundary >> 6] |= std::uint64_t{1} << (boundary & 63);
+    }
+    std::uint32_t cumulative = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      rank_dir_[w] = cumulative;
+      cumulative += static_cast<std::uint32_t>(std::popcount(rank_bits_[w]));
+    }
+  } else {
+    rank_bits_.clear();
+    rank_dir_.clear();
   }
   sealed_ = true;
 }
@@ -88,11 +157,12 @@ void RangeMatcher::seal() {
 const std::vector<std::uint32_t>& RangeMatcher::lookup(std::uint64_t key) const {
   if (!sealed_) throw std::logic_error("RangeMatcher::seal() not called");
   if (key > low_mask(width_)) throw std::invalid_argument("key out of field range");
+  if (!rank_bits_.empty()) return interval_labels_[rank_index(key)];
   // Last boundary <= key.
   const auto it =
       std::upper_bound(boundaries_.begin(), boundaries_.end(), key) - 1;
   const auto index = static_cast<std::size_t>(it - boundaries_.begin());
-  return interval_labels_.empty() ? kEmpty : interval_labels_[index];
+  return interval_labels_[index];
 }
 
 void RangeMatcher::lookup_batch(
@@ -105,43 +175,48 @@ void RangeMatcher::lookup_batch(
   constexpr std::size_t kLanes = 8;  // searches stepped in lock-step per window
   for (std::size_t base = 0; base < keys.size(); base += kLanes) {
     const std::size_t lanes = std::min(kLanes, keys.size() - base);
-    std::size_t lo[kLanes] = {};
-    std::size_t len[kLanes];
     for (std::size_t lane = 0; lane < lanes; ++lane) {
       if (keys[base + lane] > low_mask(width_)) {
         throw std::invalid_argument("key out of field range");
       }
-      len[lane] = boundaries_.size();
     }
-    // Level-synchronous halving: every active lane's probe element is
-    // prefetched before any lane reads, so one round costs one overlapped
-    // memory access instead of kLanes serialized ones. Each lane converges
-    // on the last boundary <= key — the same index upper_bound-1 finds
-    // (boundaries_[0] == 0, so the invariant boundaries_[lo] <= key holds
-    // from the start).
-    bool any_active = true;
-    while (any_active) {
-      any_active = false;
+    if (!rank_bits_.empty()) {
+      // Rank-select path: compare-free, one word load + popcount per lane.
       for (std::size_t lane = 0; lane < lanes; ++lane) {
-        if (len[lane] > 1) {
-          __builtin_prefetch(boundaries_.data() + lo[lane] + len[lane] / 2);
-        }
+        out[base + lane] = &interval_labels_[rank_index(keys[base + lane])];
+      }
+      continue;
+    }
+    std::uint32_t lo32[kLanes];
+    if (lanes == kLanes && simd::lower_bound_u64x8(boundaries_.data(),
+                                                   boundaries_.size(),
+                                                   keys.data() + base, lo32)) {
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        out[base + lane] = &interval_labels_[lo32[lane]];
+      }
+      continue;
+    }
+    // Scalar fallback: the same uniform-length halving the AVX2 kernel runs
+    // (every lane advances by `half` or stays, length shrinks identically),
+    // with each round's probes prefetched across the window before any lane
+    // compares — one overlapped memory access per round instead of kLanes
+    // serialized ones. boundaries_[0] == 0 establishes the invariant
+    // boundaries_[lo] <= key, so each lane converges on upper_bound - 1.
+    std::size_t lo[kLanes] = {};
+    std::size_t len = boundaries_.size();
+    while (len > 1) {
+      const std::size_t half = len / 2;
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        __builtin_prefetch(boundaries_.data() + lo[lane] + half);
       }
       for (std::size_t lane = 0; lane < lanes; ++lane) {
-        if (len[lane] <= 1) continue;
-        const std::size_t half = len[lane] / 2;
-        if (boundaries_[lo[lane] + half] <= keys[base + lane]) {
-          lo[lane] += half;
-          len[lane] -= half;
-        } else {
-          len[lane] = half;
-        }
-        any_active |= len[lane] > 1;
+        lo[lane] +=
+            boundaries_[lo[lane] + half] <= keys[base + lane] ? half : 0;
       }
+      len -= half;
     }
     for (std::size_t lane = 0; lane < lanes; ++lane) {
-      out[base + lane] =
-          interval_labels_.empty() ? &kEmpty : &interval_labels_[lo[lane]];
+      out[base + lane] = &interval_labels_[lo[lane]];
     }
   }
 }
@@ -162,3 +237,4 @@ std::uint64_t RangeMatcher::storage_bits(unsigned label_bits) const {
 }
 
 }  // namespace ofmtl
+

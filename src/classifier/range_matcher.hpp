@@ -4,11 +4,19 @@
 //
 // Implementation: project the unique ranges onto elementary intervals over
 // the sorted endpoint list; each elementary interval precomputes its matching
-// label list. Lookup is a binary search — the hardware analogue is a small
-// range-tree stage.
+// label list. The endpoints live in an incremental interval event map
+// (point -> ranges opening/closing there), so add/remove are O(log n) and
+// seal() is a single sweep over the events instead of the former
+// O(ranges x boundaries) rescan. For narrow fields (width <= 16) seal()
+// additionally lays the boundaries out as a rank-select bitmap: a point
+// lookup is then one word load + popcount, no search at all. Wider fields
+// keep the sorted array and a branchless uniform-length binary search
+// (vectorized with AVX2 gathers in batch mode).
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <span>
 #include <vector>
@@ -23,28 +31,33 @@ class RangeMatcher {
 
   /// Register a range, returning its label (existing label if seen before).
   /// Ranges are reference-counted: adding the same range twice requires two
-  /// removes to drop it.
+  /// removes to drop it. O(log unique_ranges).
   std::uint32_t add(const ValueRange& range);
 
   /// Drop one reference to a range; at zero references the range stops
   /// matching. Returns whether the range was present. Call seal() before
-  /// the next lookup.
+  /// the next lookup. O(log unique_ranges).
   bool remove(const ValueRange& range);
 
   /// Label of a live range, if registered.
   [[nodiscard]] std::optional<std::uint32_t> find(const ValueRange& range) const;
 
-  /// Finish construction: build the elementary-interval index.
+  /// Finish construction: sweep the event map into the elementary-interval
+  /// index (and the rank-select bitmap on narrow fields). A no-op when the
+  /// live set is untouched since the last sweep — seal_sweeps() counts the
+  /// sweeps that actually ran, so any amount of churn followed by a reseal
+  /// costs one sweep, and resealing an untouched matcher costs none.
   void seal();
 
   /// Labels of all ranges containing `key`, narrowest first. seal() first.
   [[nodiscard]] const std::vector<std::uint32_t>& lookup(std::uint64_t key) const;
 
   /// Batched lookup: out[i] = &lookup(keys[i]) (pointers into the sealed
-  /// interval index; valid until the next seal()). The per-key binary
-  /// searches run level-synchronously across a lane window with software
-  /// prefetch of each lane's next probe, overlapping the dependent loads a
-  /// scalar search chain serializes.
+  /// interval index; valid until the next seal()). Narrow fields resolve
+  /// every lane with the rank-select bitmap (compare-free); wide fields run
+  /// a uniform-length branchless binary search across the lane window —
+  /// 8 lanes per AVX2 gather step when the CPU has it, otherwise a
+  /// software-prefetched scalar window.
   void lookup_batch(std::span<const std::uint64_t> keys,
                     std::span<const std::vector<std::uint32_t>*> out) const;
 
@@ -58,18 +71,51 @@ class RangeMatcher {
   }
   [[nodiscard]] unsigned width() const { return width_; }
 
+  /// Sweeps seal() actually performed (observability for the amortized
+  /// incremental path: a reseal with no live-set change must not sweep).
+  [[nodiscard]] std::uint64_t seal_sweeps() const { return seal_sweeps_; }
+
   /// Memory cost: interval boundaries (width bits each) plus per-interval
   /// label lists (label_bits per stored label).
   [[nodiscard]] std::uint64_t storage_bits(unsigned label_bits) const;
 
  private:
+  /// Ranges opening (lo == point) and closing (hi + 1 == point) at one
+  /// elementary-interval boundary. Kept current by add/remove, so seal()
+  /// never rescans the range list.
+  struct BoundaryEvents {
+    std::vector<std::uint32_t> opens;
+    std::vector<std::uint32_t> closes;
+  };
+
+  void add_events(std::uint32_t label);
+  void remove_events(std::uint32_t label);
+  /// Interval index of the last boundary <= key (rank-select fast path).
+  [[nodiscard]] std::size_t rank_index(std::uint64_t key) const {
+    const std::size_t word = key >> 6;
+    const std::uint64_t below = ~std::uint64_t{0} >> (63 - (key & 63));
+    return rank_dir_[word] + static_cast<std::size_t>(std::popcount(
+                                 rank_bits_[word] & below)) -
+           1;
+  }
+
   unsigned width_;
   std::vector<ValueRange> ranges_;            // label -> range (labels persist)
   std::vector<std::uint32_t> refs_;           // label -> reference count
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t>
+      range_index_;                           // (lo, hi) -> label, persists
+  std::map<std::uint64_t, BoundaryEvents> events_;  // live boundaries only
   std::vector<std::uint64_t> boundaries_;     // sorted interval starts
   std::vector<std::vector<std::uint32_t>> interval_labels_;
+  // Rank-select layout (width_ <= kRankSelectMaxWidth): bit b of rank_bits_
+  // set iff b is an interval boundary; rank_dir_[w] = boundaries strictly
+  // below word w. The interval containing key is then
+  // rank(key) - 1 = rank_dir_[key/64] + popcount(bits below key in word) - 1
+  // — exactly the index upper_bound - 1 would find, without the search.
+  std::vector<std::uint64_t> rank_bits_;
+  std::vector<std::uint32_t> rank_dir_;
   bool sealed_ = false;
-  static const std::vector<std::uint32_t> kEmpty;
+  std::uint64_t seal_sweeps_ = 0;
 };
 
 }  // namespace ofmtl

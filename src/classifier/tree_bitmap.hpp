@@ -76,6 +76,13 @@ class TreeBitmapTrie {
   // node indices. (Hardware lays children out contiguously instead; the
   // table models the same popcount addressing without relocation logic.)
   std::vector<std::uint32_t> child_table_;
+  // Longest-internal-match masks, one per (level, chunk): the OR of the
+  // internal-bitmap positions every ancestor chunk of `chunk` occupies
+  // (lengths 0..max_len). `internal & mask` collapses the per-length probe
+  // loop into one AND; heap positions strictly increase with length, so the
+  // longest match is simply the highest set bit of the intersection.
+  std::vector<U128> match_masks_;
+  std::vector<std::size_t> mask_base_;  // per level, into match_masks_
 };
 
 }  // namespace ofmtl

@@ -9,15 +9,16 @@ namespace ofmtl {
 
 namespace {
 
-constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
-// Tombstoned slot: the upper half is kNoLabel, which no real pair key or
-// final label ever carries, and it differs from kEmptyKey — probes walk past
-// it, inserts may reuse it.
-constexpr std::uint64_t kTombstoneKey = std::uint64_t{0xFFFFFFFF} << 32;
-
-using detail::flat_capacity;
 using detail::flat_needs_rebuild;
+using detail::flat_tag_capacity;
+using detail::kTagDeleted;
+using detail::kTagEmpty;
 using detail::mix64;
+using detail::reserve_for_append;
+using detail::tag_find;
+using detail::tag_group_of;
+using detail::tag_insert_slot;
+using detail::tag_of;
 
 }  // namespace
 
@@ -104,22 +105,25 @@ void IndexCalculator::seal() {
 
 void IndexCalculator::rebuild_stage(std::size_t stage) {
   FlatStage& flat = flat_stages_[stage];
-  const std::size_t capacity = flat_capacity(stages_[stage].size());
-  flat.keys.assign(capacity, kEmptyKey);
+  const std::size_t capacity = flat_tag_capacity(stages_[stage].size());
+  flat.keys.assign(capacity, 0);
   flat.labels.assign(capacity, kNoLabel);
+  flat.tags.assign(capacity, kTagEmpty);
   flat.mask = capacity - 1;
   stage_used_[stage] = stages_[stage].size();
   for (const auto& [key, entry] : stages_[stage]) {
-    std::size_t index = mix64(key) & flat.mask;
-    while (flat.keys[index] != kEmptyKey) index = (index + 1) & flat.mask;
+    const std::uint64_t hash = mix64(key);
+    const std::size_t index = tag_insert_slot(flat.tags.data(), flat.mask, hash);
+    flat.tags[index] = tag_of(hash);
     flat.keys[index] = key;
     flat.labels[index] = entry.label;
   }
 }
 
 void IndexCalculator::rebuild_final() {
-  const std::size_t capacity = flat_capacity(rules_.size());
-  final_keys_.assign(capacity, kEmptyKey);
+  const std::size_t capacity = flat_tag_capacity(rules_.size());
+  final_keys_.assign(capacity, 0);
+  final_tags_.assign(capacity, kTagEmpty);
   final_offsets_.assign(capacity, 0);
   final_counts_.assign(capacity, 0);
   final_caps_.assign(capacity, 0);
@@ -128,8 +132,10 @@ void IndexCalculator::rebuild_final() {
   final_used_ = rules_.size();
   final_garbage_ = 0;
   for (const auto& [label, indices] : rules_) {
-    std::size_t index = mix64(label) & final_mask_;
-    while (final_keys_[index] != kEmptyKey) index = (index + 1) & final_mask_;
+    const std::uint64_t hash = mix64(label);
+    const std::size_t index =
+        tag_insert_slot(final_tags_.data(), final_mask_, hash);
+    final_tags_[index] = tag_of(hash);
     final_keys_[index] = label;
     final_offsets_[index] = static_cast<std::uint32_t>(final_rules_.size());
     final_counts_[index] = static_cast<std::uint32_t>(indices.size());
@@ -146,25 +152,22 @@ void IndexCalculator::flat_stage_insert(std::size_t stage, PairKey key,
     rebuild_stage(stage);
     return;
   }
-  std::size_t index = mix64(key) & flat.mask;
-  while (flat.keys[index] != kEmptyKey && flat.keys[index] != kTombstoneKey) {
-    index = (index + 1) & flat.mask;
-  }
-  if (flat.keys[index] == kEmptyKey) ++stage_used_[stage];
+  const std::uint64_t hash = mix64(key);
+  const std::size_t index = tag_insert_slot(flat.tags.data(), flat.mask, hash);
+  if (flat.tags[index] == kTagEmpty) ++stage_used_[stage];
+  flat.tags[index] = tag_of(hash);
   flat.keys[index] = key;
   flat.labels[index] = label;
 }
 
 void IndexCalculator::flat_stage_erase(std::size_t stage, PairKey key) {
   FlatStage& flat = flat_stages_[stage];
-  std::size_t index = mix64(key) & flat.mask;
-  while (true) {
-    if (flat.keys[index] == key) break;
-    if (flat.keys[index] == kEmptyKey) return;  // unreachable: key was mapped
-    index = (index + 1) & flat.mask;
-  }
+  const std::size_t index =
+      tag_find(flat.tags.data(), flat.mask, mix64(key),
+               [&](std::size_t slot) { return flat.keys[slot] == key; });
+  if (index == SIZE_MAX) return;  // unreachable: key was mapped
   // Tombstone, not empty: the slot may sit mid-chain for other keys.
-  flat.keys[index] = kTombstoneKey;
+  flat.tags[index] = kTagDeleted;
   flat.labels[index] = kNoLabel;
 }
 
@@ -183,27 +186,18 @@ void IndexCalculator::final_add(Label final_label, std::uint32_t rule_index) {
     rebuild_final();
     return;
   }
-  std::size_t slot = SIZE_MAX;
-  std::size_t reuse = SIZE_MAX;  // first tombstone on the probe path
-  std::size_t index = mix64(final_label) & final_mask_;
-  while (true) {
-    const std::uint64_t stored = final_keys_[index];
-    if (stored == final_label) {
-      slot = index;
-      break;
-    }
-    if (stored == kTombstoneKey) {
-      if (reuse == SIZE_MAX) reuse = index;
-    } else if (stored == kEmptyKey) {
-      break;
-    }
-    index = (index + 1) & final_mask_;
-  }
+  const std::uint64_t hash = mix64(final_label);
+  const std::size_t slot =
+      tag_find(final_tags_.data(), final_mask_, hash,
+               [&](std::size_t s) { return final_keys_[s] == final_label; });
   if (slot == SIZE_MAX) {
-    // New final label: reuse the earliest tombstone, else the empty slot.
-    const std::size_t target = reuse != SIZE_MAX ? reuse : index;
-    if (final_keys_[target] == kEmptyKey) ++final_used_;
+    // New final label: reuse the first empty-or-tombstoned slot on the
+    // probe path.
+    const std::size_t target =
+        tag_insert_slot(final_tags_.data(), final_mask_, hash);
+    if (final_tags_[target] == kTagEmpty) ++final_used_;
     constexpr std::uint32_t kInitialCap = 2;
+    final_tags_[target] = tag_of(hash);
     final_keys_[target] = final_label;
     final_offsets_[target] = append_final_region(kInitialCap);
     final_caps_[target] = kInitialCap;
@@ -229,12 +223,10 @@ void IndexCalculator::final_add(Label final_label, std::uint32_t rule_index) {
 }
 
 void IndexCalculator::final_remove(Label final_label, std::uint32_t rule_index) {
-  std::size_t index = mix64(final_label) & final_mask_;
-  while (true) {
-    if (final_keys_[index] == final_label) break;
-    if (final_keys_[index] == kEmptyKey) return;  // unreachable: was mapped
-    index = (index + 1) & final_mask_;
-  }
+  const std::size_t index =
+      tag_find(final_tags_.data(), final_mask_, mix64(final_label),
+               [&](std::size_t s) { return final_keys_[s] == final_label; });
+  if (index == SIZE_MAX) return;  // unreachable: was mapped
   const std::uint32_t offset = final_offsets_[index];
   const std::uint32_t count = final_counts_[index];
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -243,7 +235,7 @@ void IndexCalculator::final_remove(Label final_label, std::uint32_t rule_index) 
     final_counts_[index] = count - 1;
     if (count == 1) {
       // Last rule of this label: tombstone the key slot, abandon the region.
-      final_keys_[index] = kTombstoneKey;
+      final_tags_[index] = kTagDeleted;
       final_garbage_ += final_caps_[index];
       final_caps_[index] = 0;
     }
@@ -252,13 +244,10 @@ void IndexCalculator::final_remove(Label final_label, std::uint32_t rule_index) 
 }
 
 Label IndexCalculator::probe_stage(const FlatStage& stage, PairKey key) const {
-  std::size_t index = mix64(key) & stage.mask;
-  while (true) {
-    const PairKey stored = stage.keys[index];
-    if (stored == key) return stage.labels[index];
-    if (stored == kEmptyKey) return kNoLabel;
-    index = (index + 1) & stage.mask;
-  }
+  const std::size_t index =
+      tag_find(stage.tags.data(), stage.mask, mix64(key),
+               [&](std::size_t slot) { return stage.keys[slot] == key; });
+  return index == SIZE_MAX ? kNoLabel : stage.labels[index];
 }
 
 void IndexCalculator::combine(std::span<const LabelList> candidates,
@@ -286,19 +275,15 @@ void IndexCalculator::combine(std::span<const LabelList> candidates,
       if (current.empty()) return;
     }
     for (const Label final_label : current) {
-      std::size_t index = mix64(final_label) & final_mask_;
-      while (true) {
-        const std::uint64_t stored = final_keys_[index];
-        if (stored == final_label) {
-          const std::uint32_t offset = final_offsets_[index];
-          const std::uint32_t count = final_counts_[index];
-          out.insert(out.end(), final_rules_.begin() + offset,
-                     final_rules_.begin() + offset + count);
-          break;
-        }
-        if (stored == kEmptyKey) break;
-        index = (index + 1) & final_mask_;
-      }
+      const std::size_t index = tag_find(
+          final_tags_.data(), final_mask_, mix64(final_label),
+          [&](std::size_t s) { return final_keys_[s] == final_label; });
+      if (index == SIZE_MAX) continue;
+      const std::uint32_t offset = final_offsets_[index];
+      const std::uint32_t count = final_counts_[index];
+      reserve_for_append(out, count);
+      out.insert(out.end(), final_rules_.begin() + offset,
+                 final_rules_.begin() + offset + count);
     }
     return;
   }
@@ -343,80 +328,151 @@ void IndexCalculator::query_batch(SearchContext& ctx) const {
   }
   if (!sealed_) {
     for (std::size_t lane = 0; lane < lanes; ++lane) {
-      combine(ctx.packet_candidates(lane), ctx.lane_current(lane),
-              ctx.lane_next(lane), ctx.lane_matches(lane));
+      combine(ctx.packet_candidates(lane), ctx.combine_current(),
+              ctx.combine_next(), ctx.lane_matches(lane));
     }
     return;
   }
+  // All lanes' working label sets live in one flat arena (lane i's window is
+  // [off[i], off[i+1])); two generations swap per stage. Compared to one
+  // vector per lane this keeps the stage loop's loads sequential and makes
+  // the per-stage clear O(1).
+  auto& cur = ctx.pool_current();
+  auto& cur_off = ctx.pool_offsets_current();
+  auto& nxt = ctx.pool_next();
+  auto& nxt_off = ctx.pool_offsets_next();
+  cur.clear();
+  cur_off.clear();
+  cur_off.push_back(0);
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     const LabelList& first = ctx.packet_candidates(lane)[0];
-    ctx.lane_current(lane).assign(first.begin(), first.end());
+    reserve_for_append(cur, first.size());
+    cur.insert(cur.end(), first.begin(), first.end());
+    cur_off.push_back(static_cast<std::uint32_t>(cur.size()));
   }
   // Stage-synchronous progressive combination over lane windows (the same
   // 8-lane windowing idiom as the trie descents — wider windows would
   // outrun the hardware's outstanding-fill budget): within a window, pass 1
-  // hashes every lane's (accumulated, candidate) pairs and prefetches their
-  // probe slots; pass 2 resolves them in the same order. The per-lane pair
-  // traversal order matches the scalar combine exactly, so each lane's
-  // match list is bitwise-identical to a scalar query.
+  // hashes every lane's (accumulated, candidate) pairs once and prefetches
+  // their probe groups; pass 2 resolves them in the same order with the
+  // stored hashes. The per-lane pair traversal order matches the scalar
+  // combine exactly, so each lane's match list is bitwise-identical to a
+  // scalar query.
   constexpr std::size_t kLanes = 8;
+  // Stage tables at or below this capacity are cache-resident: probing them
+  // directly beats staging keys/hashes and issuing prefetches that can't
+  // miss. (13 bytes/slot, so 4096 slots ~= 52 KB.)
+  constexpr std::size_t kResidentSlots = 4096;
   auto& keys = ctx.batch_keys();
+  auto& hashes = ctx.batch_hashes();
   for (std::size_t stage = 0; stage < stage_count_; ++stage) {
     const FlatStage& flat = flat_stages_[stage];
+    nxt.clear();
+    nxt_off.clear();
+    nxt_off.push_back(0);
+    if (flat.tags.size() <= kResidentSlots) {
+      // Fused single pass, same per-lane pair order as the windowed path.
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        const LabelList& candidates = ctx.packet_candidates(lane)[stage + 1];
+        for (std::uint32_t i = cur_off[lane]; i < cur_off[lane + 1]; ++i) {
+          const Label accumulated = cur[i];
+          for (const Label candidate : candidates) {
+            const Label combined =
+                probe_stage(flat, pair_key(accumulated, candidate));
+            if (combined != kNoLabel) nxt.push_back(combined);
+          }
+        }
+        nxt_off.push_back(static_cast<std::uint32_t>(nxt.size()));
+      }
+      cur.swap(nxt);
+      cur_off.swap(nxt_off);
+      continue;
+    }
     for (std::size_t base = 0; base < lanes; base += kLanes) {
       const std::size_t window = std::min(kLanes, lanes - base);
       keys.clear();
+      hashes.clear();
       for (std::size_t lane = base; lane < base + window; ++lane) {
         const LabelList& candidates = ctx.packet_candidates(lane)[stage + 1];
-        for (const Label accumulated : ctx.lane_current(lane)) {
+        for (std::uint32_t i = cur_off[lane]; i < cur_off[lane + 1]; ++i) {
+          const Label accumulated = cur[i];
           for (const Label candidate : candidates) {
             const PairKey key = pair_key(accumulated, candidate);
+            const std::uint64_t hash = mix64(key);
             keys.push_back(key);
-            __builtin_prefetch(flat.keys.data() + (mix64(key) & flat.mask));
+            hashes.push_back(hash);
+            const std::size_t group = tag_group_of(hash, flat.mask);
+            __builtin_prefetch(flat.tags.data() + group);
+            __builtin_prefetch(flat.keys.data() + group);
+            __builtin_prefetch(flat.labels.data() + group);
           }
         }
       }
       std::size_t k = 0;
       for (std::size_t lane = base; lane < base + window; ++lane) {
-        auto& current = ctx.lane_current(lane);
-        auto& next = ctx.lane_next(lane);
-        next.clear();
         const std::size_t pairs =
-            current.size() * ctx.packet_candidates(lane)[stage + 1].size();
-        for (std::size_t p = 0; p < pairs; ++p) {
-          const Label combined = probe_stage(flat, keys[k++]);
-          if (combined != kNoLabel) next.push_back(combined);
+            (cur_off[lane + 1] - cur_off[lane]) *
+            ctx.packet_candidates(lane)[stage + 1].size();
+        for (std::size_t p = 0; p < pairs; ++p, ++k) {
+          const PairKey key = keys[k];
+          const std::size_t index =
+              tag_find(flat.tags.data(), flat.mask, hashes[k],
+                       [&](std::size_t slot) { return flat.keys[slot] == key; });
+          if (index != SIZE_MAX) nxt.push_back(flat.labels[index]);
         }
-        current.swap(next);
+        nxt_off.push_back(static_cast<std::uint32_t>(nxt.size()));
       }
     }
+    cur.swap(nxt);
+    cur_off.swap(nxt_off);
   }
-  // Final stage, same windowing: prefetch the window's final-label slots,
-  // then gather the CSR rule lists.
+  // Final stage, same windowing: hash + prefetch the window's final-label
+  // slots, then gather the CSR rule lists. Cache-resident final tables skip
+  // the staging here too.
+  if (final_tags_.size() <= kResidentSlots) {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      auto& out = ctx.lane_matches(lane);
+      for (std::uint32_t i = cur_off[lane]; i < cur_off[lane + 1]; ++i) {
+        const Label final_label = cur[i];
+        const std::size_t index = tag_find(
+            final_tags_.data(), final_mask_, mix64(final_label),
+            [&](std::size_t s) { return final_keys_[s] == final_label; });
+        if (index == SIZE_MAX) continue;
+        const std::uint32_t offset = final_offsets_[index];
+        const std::uint32_t count = final_counts_[index];
+        reserve_for_append(out, count);
+        out.insert(out.end(), final_rules_.begin() + offset,
+                   final_rules_.begin() + offset + count);
+      }
+    }
+    return;
+  }
   for (std::size_t base = 0; base < lanes; base += kLanes) {
     const std::size_t window = std::min(kLanes, lanes - base);
-    for (std::size_t lane = base; lane < base + window; ++lane) {
-      for (const Label final_label : ctx.lane_current(lane)) {
-        __builtin_prefetch(final_keys_.data() +
-                           (mix64(final_label) & final_mask_));
-      }
+    hashes.clear();
+    for (std::uint32_t i = cur_off[base]; i < cur_off[base + window]; ++i) {
+      const std::uint64_t hash = mix64(cur[i]);
+      hashes.push_back(hash);
+      const std::size_t group = tag_group_of(hash, final_mask_);
+      __builtin_prefetch(final_tags_.data() + group);
+      __builtin_prefetch(final_keys_.data() + group);
+      __builtin_prefetch(final_offsets_.data() + group);
+      __builtin_prefetch(final_counts_.data() + group);
     }
+    std::size_t k = 0;
     for (std::size_t lane = base; lane < base + window; ++lane) {
       auto& out = ctx.lane_matches(lane);
-      for (const Label final_label : ctx.lane_current(lane)) {
-        std::size_t index = mix64(final_label) & final_mask_;
-        while (true) {
-          const std::uint64_t stored = final_keys_[index];
-          if (stored == final_label) {
-            const std::uint32_t offset = final_offsets_[index];
-            const std::uint32_t count = final_counts_[index];
-            out.insert(out.end(), final_rules_.begin() + offset,
-                       final_rules_.begin() + offset + count);
-            break;
-          }
-          if (stored == kEmptyKey) break;
-          index = (index + 1) & final_mask_;
-        }
+      for (std::uint32_t i = cur_off[lane]; i < cur_off[lane + 1]; ++i, ++k) {
+        const Label final_label = cur[i];
+        const std::size_t index = tag_find(
+            final_tags_.data(), final_mask_, hashes[k],
+            [&](std::size_t s) { return final_keys_[s] == final_label; });
+        if (index == SIZE_MAX) continue;
+        const std::uint32_t offset = final_offsets_[index];
+        const std::uint32_t count = final_counts_[index];
+        reserve_for_append(out, count);
+        out.insert(out.end(), final_rules_.begin() + offset,
+                   final_rules_.begin() + offset + count);
       }
     }
   }

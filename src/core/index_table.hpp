@@ -83,11 +83,13 @@ class IndexCalculator {
   };
 
   /// Sealed form of one stage: open-addressed pair-key table, power-of-two
-  /// capacity, linear probing. Key sentinel kEmptyKey = (kNoLabel, kNoLabel)
-  /// can never collide with a real pair (labels are never kNoLabel).
+  /// capacity, group-linear tag probing (core/flat_hash.hpp). Slot state
+  /// lives in the one-byte tags — keys/labels are meaningful only where the
+  /// tag is a live 7-bit hash tag.
   struct FlatStage {
     std::vector<PairKey> keys;
     std::vector<Label> labels;
+    std::vector<std::uint8_t> tags;
     std::uint64_t mask = 0;
   };
 
@@ -118,7 +120,7 @@ class IndexCalculator {
   // Sealed query tables: one flat stage per pair map, plus the final
   // label -> rule-index map flattened into CSR form behind its own flat
   // key table. Incremental mutations keep them current without a full
-  // rebuild: stage/final keys tombstone on delete (probes skip tombstones,
+  // rebuild: stage/final slots tombstone on delete (probes skip tombstones,
   // inserts reuse them), and each final label owns a slack-capacity region
   // of final_rules_ that grows by relocation to the tail; abandoned regions
   // are garbage until a threshold-triggered compaction. Rebuilds therefore
@@ -126,7 +128,8 @@ class IndexCalculator {
   bool sealed_ = false;
   std::vector<FlatStage> flat_stages_;
   std::vector<std::size_t> stage_used_;        // live + tombstoned slots
-  std::vector<std::uint64_t> final_keys_;      // final label; ~0 = empty
+  std::vector<std::uint64_t> final_keys_;      // slot -> final label
+  std::vector<std::uint8_t> final_tags_;       // slot state (tag-group probed)
   std::vector<std::uint32_t> final_offsets_;   // slot -> region offset
   std::vector<std::uint32_t> final_counts_;    // slot -> live indices
   std::vector<std::uint32_t> final_caps_;      // slot -> region capacity

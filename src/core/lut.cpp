@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/flat_hash.hpp"
+
 namespace ofmtl {
 
 namespace {
-constexpr std::size_t kInitialSlots = 16;
+constexpr std::size_t kInitialSlots = detail::kTagGroup;
 constexpr double kMaxLoad = 0.7;
 }  // namespace
 
@@ -14,42 +16,31 @@ ExactMatchLut::ExactMatchLut(unsigned key_bits) : key_bits_(key_bits) {
   if (key_bits == 0 || key_bits > 128) throw std::invalid_argument("bad key width");
   slots_.resize(kInitialSlots);
   slot_labels_.resize(kInitialSlots, kNoLabel);
-  states_.resize(kInitialSlots, SlotState::kEmpty);
+  tags_.resize(kInitialSlots, detail::kTagEmpty);
 }
 
-std::size_t ExactMatchLut::probe(const U128& value) const {
-  // Linear probing with tombstones: a lookup must skip tombstones, an insert
-  // may reuse the first tombstone on its probe path.
-  const std::size_t mask = slots_.size() - 1;
-  std::size_t index = detail::U128Hash{}(value)&mask;
-  std::size_t first_tombstone = slots_.size();
-  while (states_[index] != SlotState::kEmpty) {
-    if (states_[index] == SlotState::kLive && *slots_[index] == value) {
-      return index;
-    }
-    if (states_[index] == SlotState::kTombstone &&
-        first_tombstone == slots_.size()) {
-      first_tombstone = index;
-    }
-    index = (index + 1) & mask;
-  }
-  return first_tombstone != slots_.size() ? first_tombstone : index;
+std::size_t ExactMatchLut::find_slot(const U128& value) const {
+  return detail::tag_find(
+      tags_.data(), tags_.size() - 1, detail::U128Hash{}(value),
+      [&](std::size_t slot) { return slots_[slot] == value; });
 }
 
 void ExactMatchLut::rehash(std::size_t new_slot_count) {
-  std::vector<std::optional<U128>> old_slots = std::move(slots_);
+  std::vector<U128> old_slots = std::move(slots_);
   std::vector<Label> old_labels = std::move(slot_labels_);
-  std::vector<SlotState> old_states = std::move(states_);
-  slots_.assign(new_slot_count, std::nullopt);
+  std::vector<std::uint8_t> old_tags = std::move(tags_);
+  slots_.assign(new_slot_count, U128{});
   slot_labels_.assign(new_slot_count, kNoLabel);
-  states_.assign(new_slot_count, SlotState::kEmpty);
+  tags_.assign(new_slot_count, detail::kTagEmpty);
   tombstone_count_ = 0;  // rehash purges tombstones
-  for (std::size_t i = 0; i < old_slots.size(); ++i) {
-    if (old_states[i] != SlotState::kLive) continue;
-    const std::size_t index = probe(*old_slots[i]);
-    slots_[index] = old_slots[i];
-    slot_labels_[index] = old_labels[i];
-    states_[index] = SlotState::kLive;
+  for (std::size_t i = 0; i < old_tags.size(); ++i) {
+    if (old_tags[i] >= 0x80) continue;  // empty or tombstoned
+    const std::uint64_t hash = detail::U128Hash{}(old_slots[i]);
+    const std::size_t slot =
+        detail::tag_insert_slot(tags_.data(), tags_.size() - 1, hash);
+    tags_[slot] = detail::tag_of(hash);
+    slots_[slot] = old_slots[i];
+    slot_labels_[slot] = old_labels[i];
   }
 }
 
@@ -64,32 +55,33 @@ Label ExactMatchLut::insert(const U128& value) {
     // empty terminator (otherwise a full-of-tombstones table loops forever).
     rehash(slots_.size());
   }
-  const std::size_t index = probe(value);
-  if (states_[index] == SlotState::kTombstone) --tombstone_count_;
-  if (states_[index] != SlotState::kLive) ++live_count_;
-  slots_[index] = value;
-  slot_labels_[index] = label;
-  states_[index] = SlotState::kLive;
+  std::size_t slot = find_slot(value);
+  if (slot == SIZE_MAX) {
+    const std::uint64_t hash = detail::U128Hash{}(value);
+    slot = detail::tag_insert_slot(tags_.data(), tags_.size() - 1, hash);
+    if (tags_[slot] == detail::kTagDeleted) --tombstone_count_;
+    ++live_count_;
+    tags_[slot] = detail::tag_of(hash);
+    slots_[slot] = value;
+  }
+  slot_labels_[slot] = label;
   return label;
 }
 
 bool ExactMatchLut::remove(const U128& value) {
-  const std::size_t index = probe(value);
-  if (states_[index] != SlotState::kLive || *slots_[index] != value) {
-    return false;
-  }
-  states_[index] = SlotState::kTombstone;
-  slots_[index].reset();
-  slot_labels_[index] = kNoLabel;
+  const std::size_t slot = find_slot(value);
+  if (slot == SIZE_MAX) return false;
+  tags_[slot] = detail::kTagDeleted;
+  slot_labels_[slot] = kNoLabel;
   --live_count_;
   ++tombstone_count_;
   return true;
 }
 
 std::optional<Label> ExactMatchLut::lookup(const U128& value) const {
-  const std::size_t index = probe(value);
-  if (states_[index] != SlotState::kLive) return std::nullopt;
-  return slot_labels_[index];
+  const std::size_t slot = find_slot(value);
+  if (slot == SIZE_MAX) return std::nullopt;
+  return slot_labels_[slot];
 }
 
 void ExactMatchLut::lookup_batch(std::span<const U128> values,
@@ -98,29 +90,26 @@ void ExactMatchLut::lookup_batch(std::span<const U128> values,
     throw std::invalid_argument("lookup_batch: out span too small");
   }
   constexpr std::size_t kLanes = 8;  // probes issued in lock-step per window
-  const std::size_t mask = slots_.size() - 1;
+  const std::size_t mask = tags_.size() - 1;
   for (std::size_t base = 0; base < values.size(); base += kLanes) {
     const std::size_t lanes = std::min(kLanes, values.size() - base);
-    std::size_t index[kLanes];
-    // Hash every lane and prefetch its first slot before any lane probes,
-    // overlapping the cache misses a scalar probe chain would serialize.
+    std::uint64_t hash[kLanes];
+    // Hash every lane and prefetch its home tag group (and the first line
+    // of the group's slots) before any lane probes, overlapping the cache
+    // misses a scalar probe chain would serialize.
     for (std::size_t lane = 0; lane < lanes; ++lane) {
-      index[lane] = detail::U128Hash{}(values[base + lane]) & mask;
-      __builtin_prefetch(states_.data() + index[lane]);
-      __builtin_prefetch(slots_.data() + index[lane]);
+      hash[lane] = detail::U128Hash{}(values[base + lane]);
+      const std::size_t group = detail::tag_group_of(hash[lane], mask);
+      __builtin_prefetch(tags_.data() + group);
+      __builtin_prefetch(slots_.data() + group);
+      __builtin_prefetch(slot_labels_.data() + group);
     }
     for (std::size_t lane = 0; lane < lanes; ++lane) {
       const U128& value = values[base + lane];
-      std::size_t i = index[lane];
-      Label label = kNoLabel;
-      while (states_[i] != SlotState::kEmpty) {
-        if (states_[i] == SlotState::kLive && *slots_[i] == value) {
-          label = slot_labels_[i];
-          break;
-        }
-        i = (i + 1) & mask;
-      }
-      out[base + lane] = label;
+      const std::size_t slot = detail::tag_find(
+          tags_.data(), mask, hash[lane],
+          [&](std::size_t s) { return slots_[s] == value; });
+      out[base + lane] = slot == SIZE_MAX ? kNoLabel : slot_labels_[slot];
     }
   }
 }

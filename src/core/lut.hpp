@@ -1,7 +1,9 @@
 // Hash-based exact-match lookup table (LUT) — the paper's structure for EM
-// fields (VLAN ID, ingress port, EtherType, ...). Open-addressing with linear
-// probing over a power-of-two slot array, mirroring a hardware hash LUT in a
-// dedicated memory block; the slot array size drives the memory cost.
+// fields (VLAN ID, ingress port, EtherType, ...). Open-addressing over a
+// power-of-two slot array with group-linear tag probing (one vector byte
+// compare covers 16 slots, see core/flat_hash.hpp), mirroring a hardware
+// hash LUT in a dedicated memory block; the slot array size drives the
+// memory cost.
 #pragma once
 
 #include <cstdint>
@@ -56,15 +58,17 @@ class ExactMatchLut {
   [[nodiscard]] std::uint64_t update_words() const { return live_count_; }
 
  private:
-  enum class SlotState : std::uint8_t { kEmpty, kLive, kTombstone };
   void rehash(std::size_t new_slot_count);
-  [[nodiscard]] std::size_t probe(const U128& value) const;
+  /// Slot of a live `value`, or SIZE_MAX on miss (tag-group probe).
+  [[nodiscard]] std::size_t find_slot(const U128& value) const;
 
   unsigned key_bits_;
   ValueLabelEncoder encoder_;
-  std::vector<std::optional<U128>> slots_;  // slot -> value
+  std::vector<U128> slots_;  // slot -> value (meaningful iff tag is live)
   std::vector<Label> slot_labels_;
-  std::vector<SlotState> states_;
+  // One byte per slot: 7-bit hash tag when live, kTagEmpty/kTagDeleted
+  // sentinels otherwise. Probes vector-compare 16 tags at a time.
+  std::vector<std::uint8_t> tags_;
   std::size_t live_count_ = 0;
   std::size_t tombstone_count_ = 0;
 };

@@ -11,10 +11,8 @@ namespace ofmtl {
 
 namespace {
 
-constexpr std::uint8_t kFlatEmpty = 0xFF;
-// Tombstoned slot of the sealed table: never equals a real length (<= 64),
-// never equals kFlatEmpty, so lookups probe past it and inserts may reuse it.
-constexpr std::uint8_t kFlatTombstone = 0xFE;
+/// Non-last levels this stride-wide can use the 32-bit compact child bitmap.
+constexpr unsigned kCompactMaxStride = 5;
 
 /// Mix of a (length, value) prefix key for the sealed table.
 [[nodiscard]] std::uint64_t mix_prefix_key(unsigned len, std::uint64_t value) {
@@ -50,6 +48,10 @@ MultibitTrie::MultibitTrie(unsigned width, std::vector<unsigned> strides)
     levels_[i].cum_before = cum;
     cum += strides_[i];
   }
+  compact_supported_ = true;
+  for (std::size_t i = 0; i + 1 < strides_.size(); ++i) {
+    if (strides_[i] > kCompactMaxStride) compact_supported_ = false;
+  }
   allocate_block(0);  // root block always exists
 }
 
@@ -58,7 +60,17 @@ std::int32_t MultibitTrie::allocate_block(std::size_t level_index) {
   const auto block = static_cast<std::int32_t>(level.blocks);
   level.entries.resize(level.entries.size() + (std::size_t{1} << level.stride));
   ++level.blocks;
+  // The only structural mutation: child arrays grew, so the contiguous
+  // compact layout is stale. (Label rewrites — including every remove() —
+  // leave the structure intact and never invalidate.)
+  compact_valid_ = false;
   return block;
+}
+
+std::size_t MultibitTrie::total_blocks() const {
+  std::size_t blocks = 0;
+  for (const Level& level : levels_) blocks += level.blocks;
+  return blocks;
 }
 
 void MultibitTrie::check_prefix(const Prefix& prefix) const {
@@ -69,6 +81,7 @@ void MultibitTrie::check_prefix(const Prefix& prefix) const {
 
 void MultibitTrie::insert(const Prefix& prefix, Label label) {
   check_prefix(prefix);
+  matches_valid_ = false;  // precomputed terminal lists now stale
   const auto [it, inserted] =
       prefixes_.try_emplace({prefix.length(), prefix.value64()}, label);
   if (!inserted) it->second = label;
@@ -163,6 +176,7 @@ bool MultibitTrie::remove(const Prefix& prefix) {
   check_prefix(prefix);
   const auto it = prefixes_.find({prefix.length(), prefix.value64()});
   if (it == prefixes_.end()) return false;
+  matches_valid_ = false;  // precomputed terminal lists now stale
   prefixes_.erase(it);
   if (sealed_) flat_erase(prefix.length(), prefix.value64());
 
@@ -232,6 +246,7 @@ std::optional<Label> MultibitTrie::lookup(std::uint64_t key) const {
 }
 
 unsigned MultibitTrie::descend_depth(std::uint64_t key) const {
+  if (compact_valid_) return descend_depth_compact(key);
   unsigned deepest_cum_after = 0;
   std::size_t block = 0;
   for (const Level& level : levels_) {
@@ -245,15 +260,41 @@ unsigned MultibitTrie::descend_depth(std::uint64_t key) const {
   return deepest_cum_after;
 }
 
+unsigned MultibitTrie::descend_depth_compact(std::uint64_t key) const {
+  std::size_t node = 0;
+  unsigned deepest_cum_after = 0;
+  for (std::size_t li = 0; li < levels_.size(); ++li) {
+    const Level& level = levels_[li];
+    deepest_cum_after = level.cum_before + level.stride;
+    if (li + 1 == levels_.size()) break;  // last level never descends
+    const SealedNode& sn = compact_levels_[li][node];
+    const auto chunk = static_cast<std::uint32_t>(
+        (key >> (width_ - deepest_cum_after)) & low_mask(level.stride));
+    if (!(sn.child_bits >> chunk & 1U)) break;
+    node = sn.child_base +
+           std::popcount(sn.child_bits & ((std::uint32_t{1} << chunk) - 1));
+  }
+  return deepest_cum_after;
+}
+
 Label MultibitTrie::probe_flat(unsigned len, std::uint64_t value) const {
-  std::size_t index = mix_prefix_key(len, value) & flat_mask_;
-  while (true) {
-    const std::uint8_t slot_len = flat_lens_[index];
-    if (slot_len == kFlatEmpty) return kNoLabel;
-    if (slot_len == len && flat_values_[index] == value) {
-      return flat_labels_[index];
-    }
-    index = (index + 1) & flat_mask_;
+  const std::size_t index = detail::tag_find(
+      flat_tags_.data(), flat_mask_, mix_prefix_key(len, value),
+      [&](std::size_t slot) {
+        return flat_lens_[slot] == len && flat_values_[slot] == value;
+      });
+  return index == SIZE_MAX ? kNoLabel : flat_labels_[index];
+}
+
+void MultibitTrie::collect_sealed(std::uint64_t key,
+                                  unsigned deepest_cum_after,
+                                  std::vector<Label>& out) const {
+  for (unsigned len = deepest_cum_after + 1; len-- > 0;) {
+    if (!length_present(len)) continue;
+    const std::uint64_t truncated =
+        len == 0 ? 0 : (key >> (width_ - len)) << (width_ - len);
+    const Label label = probe_flat(len, truncated);
+    if (label != kNoLabel) out.push_back(label);
   }
 }
 
@@ -266,13 +307,7 @@ void MultibitTrie::collect_matches(std::uint64_t key,
   // keeps only the longest. Hardware stores a per-node ancestor bitmap; the
   // prefix table plays that role here.)
   if (sealed_) {
-    for (unsigned len = deepest_cum_after + 1; len-- > 0;) {
-      if (!length_present(len)) continue;
-      const std::uint64_t truncated =
-          len == 0 ? 0 : (key >> (width_ - len)) << (width_ - len);
-      const Label label = probe_flat(len, truncated);
-      if (label != kNoLabel) out.push_back(label);
-    }
+    collect_sealed(key, deepest_cum_after, out);
     return;
   }
   for (unsigned len = deepest_cum_after + 1; len-- > 0;) {
@@ -283,36 +318,180 @@ void MultibitTrie::collect_matches(std::uint64_t key,
   }
 }
 
+void MultibitTrie::compact_cell(std::uint64_t key, std::size_t* level_out,
+                                std::uint32_t* cell_out) const {
+  std::size_t node = 0;
+  for (std::size_t li = 0;; ++li) {
+    const Level& level = levels_[li];
+    const auto chunk = static_cast<std::uint32_t>(
+        (key >> (width_ - level.cum_before - level.stride)) &
+        low_mask(level.stride));
+    const auto cell =
+        static_cast<std::uint32_t>((node << level.stride) | chunk);
+    if (li + 1 == levels_.size()) {
+      *level_out = li;
+      *cell_out = cell;
+      return;
+    }
+    const SealedNode& sn = compact_levels_[li][node];
+    if (!(sn.child_bits >> chunk & 1U)) {
+      *level_out = li;
+      *cell_out = cell;
+      return;
+    }
+    node = sn.child_base +
+           std::popcount(sn.child_bits & ((std::uint32_t{1} << chunk) - 1));
+  }
+}
+
 void MultibitTrie::lookup_all(std::uint64_t key, std::vector<Label>& out) const {
   out.clear();
+  if (compact_valid_ && matches_valid_) {
+    std::size_t li;
+    std::uint32_t cell;
+    compact_cell(key, &li, &cell);
+    const auto& off = match_off_[li];
+    detail::reserve_for_append(out, off[cell + 1] - off[cell]);
+    out.insert(out.end(), match_pool_.begin() + off[cell],
+               match_pool_.begin() + off[cell + 1]);
+    return;
+  }
   collect_matches(key, descend_depth(key), out);
 }
 
 void MultibitTrie::seal() {
-  if (sealed_) return;
-  rebuild_flat();
-  sealed_ = true;
+  if (!sealed_) {
+    rebuild_flat();
+    rebuild_compact();
+    sealed_ = true;
+    return;
+  }
+  // Re-seal after incremental updates: the flat table is already current;
+  // only the compact descent may be stale, and only after enough structural
+  // growth to amortize the rebuild.
+  maybe_rebuild_compact();
 }
 
 void MultibitTrie::rebuild_flat() {
   present_lengths_ = 0;
   length64_present_ = false;
   length_counts_.fill(0);
-  const std::size_t capacity = detail::flat_capacity(prefixes_.size());
+  const std::size_t capacity = detail::flat_tag_capacity(prefixes_.size());
   flat_values_.assign(capacity, 0);
-  flat_lens_.assign(capacity, kFlatEmpty);
+  flat_lens_.assign(capacity, 0);
   flat_labels_.assign(capacity, kNoLabel);
+  flat_tags_.assign(capacity, detail::kTagEmpty);
   flat_mask_ = capacity - 1;
   flat_live_ = prefixes_.size();
   flat_tombstones_ = 0;
   for (const auto& [key, label] : prefixes_) {
     const auto [len, value] = key;
     note_length_added(len);
-    std::size_t index = mix_prefix_key(len, value) & flat_mask_;
-    while (flat_lens_[index] != kFlatEmpty) index = (index + 1) & flat_mask_;
+    const std::uint64_t hash = mix_prefix_key(len, value);
+    const std::size_t index =
+        detail::tag_insert_slot(flat_tags_.data(), flat_mask_, hash);
+    flat_tags_[index] = detail::tag_of(hash);
     flat_values_[index] = value;
     flat_lens_[index] = static_cast<std::uint8_t>(len);
     flat_labels_[index] = label;
+  }
+}
+
+void MultibitTrie::rebuild_compact() {
+  if (!compact_supported_) return;
+  // Seal the mutable Entry blocks into contiguous popcount nodes: a BFS per
+  // level keeps children in chunk order, so a node's k-th set child bit maps
+  // to compact index child_base + k at the next level. Only live (reachable)
+  // blocks get nodes — the compact arrays are usually smaller than the
+  // allocated block count.
+  compact_levels_.assign(levels_.empty() ? 0 : levels_.size() - 1, {});
+  std::vector<std::size_t> current{0};  // legacy block ids, root first
+  std::vector<std::size_t> next;
+  for (std::size_t li = 0; li + 1 < levels_.size(); ++li) {
+    const Level& level = levels_[li];
+    auto& nodes = compact_levels_[li];
+    nodes.reserve(current.size());
+    next.clear();
+    for (const std::size_t block : current) {
+      SealedNode node;
+      node.child_base = static_cast<std::uint32_t>(next.size());
+      const std::size_t fan = std::size_t{1} << level.stride;
+      for (std::size_t chunk = 0; chunk < fan; ++chunk) {
+        const Entry& entry = level.entries[entry_index(level, block, chunk)];
+        if (entry.child < 0) continue;
+        node.child_bits |= std::uint32_t{1} << chunk;
+        next.push_back(static_cast<std::size_t>(entry.child));
+      }
+      nodes.push_back(node);
+    }
+    current.swap(next);
+  }
+  compact_blocks_ = total_blocks();
+  compact_valid_ = true;
+  rebuild_matches();
+}
+
+void MultibitTrie::rebuild_matches() {
+  // The path to a terminal cell IS the key prefix every per-length probe
+  // would truncate to, so each reachable cell's full match list can be
+  // materialized up front. BFS in the same (node, chunk) order as
+  // rebuild_compact, so cell indices line up with the compact descent.
+  match_off_.assign(levels_.size(), {});
+  match_pool_.clear();
+  std::vector<std::size_t> current{0};       // legacy block ids
+  std::vector<std::uint64_t> cur_prefix{0};  // path bits (cum_before of level)
+  std::vector<std::size_t> next;
+  std::vector<std::uint64_t> next_prefix;
+  for (std::size_t li = 0; li < levels_.size(); ++li) {
+    const Level& level = levels_[li];
+    const unsigned cum_after = level.cum_before + level.stride;
+    const std::size_t fan = std::size_t{1} << level.stride;
+    const bool last = li + 1 == levels_.size();
+    auto& off = match_off_[li];
+    off.clear();
+    off.reserve(current.size() * fan + 1);
+    off.push_back(static_cast<std::uint32_t>(match_pool_.size()));
+    next.clear();
+    next_prefix.clear();
+    for (std::size_t n = 0; n < current.size(); ++n) {
+      const std::size_t block = current[n];
+      for (std::size_t chunk = 0; chunk < fan; ++chunk) {
+        const std::uint64_t cell_prefix = (cur_prefix[n] << level.stride) | chunk;
+        const Entry& entry = level.entries[entry_index(level, block, chunk)];
+        if (last || entry.child < 0) {
+          // Descents can end here; precompute the list they'd collect.
+          collect_sealed(cell_prefix << (width_ - cum_after), cum_after,
+                         match_pool_);
+        } else {
+          next.push_back(static_cast<std::size_t>(entry.child));
+          next_prefix.push_back(cell_prefix);
+        }
+        off.push_back(static_cast<std::uint32_t>(match_pool_.size()));
+      }
+    }
+    current.swap(next);
+    cur_prefix.swap(next_prefix);
+  }
+  std::size_t bytes = match_pool_.size() * sizeof(Label);
+  for (const auto& off : match_off_) bytes += off.size() * sizeof(std::uint32_t);
+  for (const auto& nodes : compact_levels_) {
+    bytes += nodes.size() * sizeof(SealedNode);
+  }
+  compact_resident_ = bytes <= 32768;
+  matches_valid_ = true;
+}
+
+void MultibitTrie::maybe_rebuild_compact() {
+  if (compact_valid_ || !compact_supported_) return;
+  // Rebuild only after the structure grew by ~12% (min 16 blocks) since the
+  // last seal: the rebuild is O(blocks), so amortized cost per allocated
+  // block stays O(1) and per-publish seal() latency stays flat. Until then
+  // descend_depth falls back to the legacy Entry walk — correct, just the
+  // pre-compact speed.
+  const std::size_t blocks = total_blocks();
+  if (blocks >= compact_blocks_ +
+                    std::max<std::size_t>(16, compact_blocks_ / 8)) {
+    rebuild_compact();
   }
 }
 
@@ -336,13 +515,11 @@ void MultibitTrie::note_length_removed(unsigned len) {
 
 std::size_t MultibitTrie::find_flat_slot(unsigned len,
                                          std::uint64_t value) const {
-  std::size_t index = mix_prefix_key(len, value) & flat_mask_;
-  while (true) {
-    const std::uint8_t slot_len = flat_lens_[index];
-    if (slot_len == kFlatEmpty) return SIZE_MAX;
-    if (slot_len == len && flat_values_[index] == value) return index;
-    index = (index + 1) & flat_mask_;
-  }
+  return detail::tag_find(flat_tags_.data(), flat_mask_,
+                          mix_prefix_key(len, value), [&](std::size_t slot) {
+                            return flat_lens_[slot] == len &&
+                                   flat_values_[slot] == value;
+                          });
 }
 
 void MultibitTrie::flat_insert(unsigned len, std::uint64_t value, Label label) {
@@ -352,11 +529,11 @@ void MultibitTrie::flat_insert(unsigned len, std::uint64_t value, Label label) {
     rebuild_flat();
     return;
   }
-  std::size_t index = mix_prefix_key(len, value) & flat_mask_;
-  while (flat_lens_[index] != kFlatEmpty && flat_lens_[index] != kFlatTombstone) {
-    index = (index + 1) & flat_mask_;
-  }
-  if (flat_lens_[index] == kFlatTombstone) --flat_tombstones_;
+  const std::uint64_t hash = mix_prefix_key(len, value);
+  const std::size_t index =
+      detail::tag_insert_slot(flat_tags_.data(), flat_mask_, hash);
+  if (flat_tags_[index] == detail::kTagDeleted) --flat_tombstones_;
+  flat_tags_[index] = detail::tag_of(hash);
   flat_values_[index] = value;
   flat_lens_[index] = static_cast<std::uint8_t>(len);
   flat_labels_[index] = label;
@@ -367,7 +544,7 @@ void MultibitTrie::flat_insert(unsigned len, std::uint64_t value, Label label) {
 void MultibitTrie::flat_erase(unsigned len, std::uint64_t value) {
   const std::size_t index = find_flat_slot(len, value);
   if (index == SIZE_MAX) return;  // unreachable: caller found it in the map
-  flat_lens_[index] = kFlatTombstone;
+  flat_tags_[index] = detail::kTagDeleted;
   flat_labels_[index] = kNoLabel;
   --flat_live_;
   ++flat_tombstones_;
@@ -380,33 +557,118 @@ void MultibitTrie::lookup_all_batch(std::span<const std::uint64_t> keys,
     throw std::invalid_argument("lookup_all_batch: outs span too small");
   }
   constexpr std::size_t kLanes = 8;  // keys descended in lock-step per window
+  const bool use_lists = compact_valid_ && matches_valid_;
+  if (use_lists && compact_resident_) {
+    // The whole sealed structure is cache-resident: straight-line per-key
+    // descent + one contiguous copy beats the lockstep/prefetch machinery.
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      std::size_t li;
+      std::uint32_t cell;
+      compact_cell(keys[i], &li, &cell);
+      const auto& off = match_off_[li];
+      auto& out = *outs[i];
+      out.clear();
+      detail::reserve_for_append(out, off[cell + 1] - off[cell]);
+      out.insert(out.end(), match_pool_.begin() + off[cell],
+                 match_pool_.begin() + off[cell + 1]);
+    }
+    return;
+  }
   for (std::size_t base = 0; base < keys.size(); base += kLanes) {
     const std::size_t lanes = std::min(kLanes, keys.size() - base);
-    std::size_t block[kLanes] = {};
-    std::size_t index[kLanes] = {};
     unsigned deepest[kLanes] = {};
-    bool active[kLanes];
-    for (std::size_t lane = 0; lane < lanes; ++lane) active[lane] = true;
-    // Level-synchronous descent: compute and prefetch every lane's entry for
-    // this level before any lane reads it, hiding the dependent-load latency
-    // one packet at a time cannot.
-    for (const Level& level : levels_) {
-      const unsigned cum_after = level.cum_before + level.stride;
-      for (std::size_t lane = 0; lane < lanes; ++lane) {
-        if (!active[lane]) continue;
-        const std::uint64_t chunk =
-            (keys[base + lane] >> (width_ - cum_after)) & low_mask(level.stride);
-        index[lane] = entry_index(level, block[lane], chunk);
-        __builtin_prefetch(level.entries.data() + index[lane]);
+    std::size_t term_level[kLanes] = {};
+    std::uint32_t term_cell[kLanes] = {};
+    if (compact_valid_) {
+      // Popcount descent over the sealed 8-byte nodes: a whole level's lane
+      // window is a handful of cache lines, and the child index is one
+      // AND + popcount instead of a strided Entry-array gather.
+      std::size_t node[kLanes] = {};
+      bool active[kLanes];
+      for (std::size_t lane = 0; lane < lanes; ++lane) active[lane] = true;
+      for (std::size_t li = 0; li < levels_.size(); ++li) {
+        const Level& level = levels_[li];
+        const unsigned cum_after = level.cum_before + level.stride;
+        const bool last = li + 1 == levels_.size();
+        const SealedNode* nodes = last ? nullptr : compact_levels_[li].data();
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          if (!active[lane]) continue;
+          deepest[lane] = cum_after;
+          const auto chunk = static_cast<std::uint32_t>(
+              (keys[base + lane] >> (width_ - cum_after)) &
+              low_mask(level.stride));
+          if (last) {
+            term_level[lane] = li;
+            term_cell[lane] = static_cast<std::uint32_t>(
+                (node[lane] << level.stride) | chunk);
+            continue;
+          }
+          const SealedNode& sn = nodes[node[lane]];
+          if (!(sn.child_bits >> chunk & 1U)) {
+            term_level[lane] = li;
+            term_cell[lane] = static_cast<std::uint32_t>(
+                (node[lane] << level.stride) | chunk);
+            active[lane] = false;
+            continue;
+          }
+          node[lane] =
+              sn.child_base +
+              std::popcount(sn.child_bits & ((std::uint32_t{1} << chunk) - 1));
+          if (li + 2 < levels_.size()) {
+            __builtin_prefetch(compact_levels_[li + 1].data() + node[lane]);
+          }
+        }
+        if (last) break;
       }
-      for (std::size_t lane = 0; lane < lanes; ++lane) {
-        if (!active[lane]) continue;
-        const Entry& entry = level.entries[index[lane]];
-        deepest[lane] = cum_after;
-        if (entry.child < 0) {
-          active[lane] = false;
-        } else {
-          block[lane] = static_cast<std::size_t>(entry.child);
+      if (use_lists) {
+        // One precomputed contiguous copy per lane instead of per-length
+        // flat-table probes: prefetch every lane's CSR row, then emit.
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          __builtin_prefetch(match_off_[term_level[lane]].data() +
+                             term_cell[lane]);
+        }
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          const auto& off = match_off_[term_level[lane]];
+          __builtin_prefetch(match_pool_.data() + off[term_cell[lane]]);
+        }
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          const auto& off = match_off_[term_level[lane]];
+          auto& out = *outs[base + lane];
+          out.clear();
+          detail::reserve_for_append(
+              out, off[term_cell[lane] + 1] - off[term_cell[lane]]);
+          out.insert(out.end(), match_pool_.begin() + off[term_cell[lane]],
+                     match_pool_.begin() + off[term_cell[lane] + 1]);
+        }
+        continue;
+      }
+    } else {
+      std::size_t block[kLanes] = {};
+      std::size_t index[kLanes] = {};
+      bool active[kLanes];
+      for (std::size_t lane = 0; lane < lanes; ++lane) active[lane] = true;
+      // Level-synchronous descent: compute and prefetch every lane's entry
+      // for this level before any lane reads it, hiding the dependent-load
+      // latency one packet at a time cannot.
+      for (const Level& level : levels_) {
+        const unsigned cum_after = level.cum_before + level.stride;
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          if (!active[lane]) continue;
+          const std::uint64_t chunk =
+              (keys[base + lane] >> (width_ - cum_after)) &
+              low_mask(level.stride);
+          index[lane] = entry_index(level, block[lane], chunk);
+          __builtin_prefetch(level.entries.data() + index[lane]);
+        }
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          if (!active[lane]) continue;
+          const Entry& entry = level.entries[index[lane]];
+          deepest[lane] = cum_after;
+          if (entry.child < 0) {
+            active[lane] = false;
+          } else {
+            block[lane] = static_cast<std::size_t>(entry.child);
+          }
         }
       }
     }

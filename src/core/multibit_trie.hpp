@@ -82,13 +82,16 @@ class MultibitTrie {
   /// set the index-calculation stage consumes). At most one per level.
   void lookup_all(std::uint64_t key, std::vector<Label>& out) const;
 
-  /// Seal for querying: build the flat open-addressing prefix table and the
+  /// Seal for querying: build the flat open-addressing prefix table, the
   /// present-length mask the sealed lookup_all path probes (replacing the
-  /// per-length ordered-map walk). Once sealed, insert/remove keep the flat
-  /// table current in place (tombstone deletes, amortized-O(1) inserts with
-  /// occasional load-triggered rebuilds), so the trie never unseals.
-  /// Unsealed lookups fall back to the ordered map, so sealing is purely a
-  /// fast path.
+  /// per-length ordered-map walk), and the compact popcount descent nodes.
+  /// Once sealed, insert/remove keep the flat table current in place
+  /// (tombstone deletes, amortized-O(1) inserts with occasional load-
+  /// triggered rebuilds), so the trie never unseals; block-allocating
+  /// inserts invalidate only the compact descent, which re-seals here once
+  /// enough structure accreted (amortized) and falls back to the Entry walk
+  /// meanwhile. Unsealed lookups fall back to the ordered map, so sealing
+  /// is purely a fast path.
   void seal();
   [[nodiscard]] bool sealed() const { return sealed_; }
 
@@ -164,6 +167,24 @@ class MultibitTrie {
                                            std::uint64_t value) const;
   /// Rebuild the whole flat table + length bookkeeping from prefixes_.
   void rebuild_flat();
+  /// Rebuild the compact popcount descent (see compact_levels_).
+  void rebuild_compact();
+  /// Threshold-gated rebuild after structural growth (amortized O(1) per
+  /// allocated block, so per-publish seal cost stays flat).
+  void maybe_rebuild_compact();
+  [[nodiscard]] unsigned descend_depth_compact(std::uint64_t key) const;
+  /// Compact descent to the terminal cell: the (level, node * fan + chunk)
+  /// where the walk ends. Requires compact_valid_.
+  void compact_cell(std::uint64_t key, std::size_t* level_out,
+                    std::uint32_t* cell_out) const;
+  /// Rebuild the per-terminal-cell precomputed match lists (match_off_ /
+  /// match_pool_). Requires the flat table and compact levels to be current.
+  void rebuild_matches();
+  /// Append (no clear) every stored prefix of `key` with length <=
+  /// `deepest_cum_after`, longest first, via sealed flat-table probes.
+  void collect_sealed(std::uint64_t key, unsigned deepest_cum_after,
+                      std::vector<Label>& out) const;
+  [[nodiscard]] std::size_t total_blocks() const;
   /// Incremental flat-table maintenance (sealed tries only). The prefix map
   /// must already reflect the mutation — a load-triggered rebuild reads it.
   void flat_insert(unsigned len, std::uint64_t value, Label label);
@@ -180,21 +201,62 @@ class MultibitTrie {
   std::uint64_t writes_ = 0;
 
   // Sealed query path: open-addressed (len, value) -> label table with
-  // power-of-two capacity and linear probing, plus a bitmask of the prefix
-  // lengths actually stored so lookups only probe live lengths. Incremental
-  // mutations keep it current: deletes tombstone their slot (kFlatTombstone
-  // length sentinel, skipped by probes), inserts reuse tombstones, and a
-  // rebuild runs only when live + tombstoned slots exceed half the capacity.
+  // power-of-two capacity and group-linear tag probing (core/flat_hash.hpp),
+  // plus a bitmask of the prefix lengths actually stored so lookups only
+  // probe live lengths. Incremental mutations keep it current: deletes
+  // tombstone their slot's tag (skipped by probes), inserts reuse
+  // tombstones, and a rebuild runs only when live + tombstoned slots exceed
+  // half the capacity.
   bool sealed_ = false;
   std::vector<std::uint64_t> flat_values_;
-  std::vector<std::uint8_t> flat_lens_;  // kFlatEmpty = empty slot
+  std::vector<std::uint8_t> flat_lens_;  // payload (tag byte carries state)
   std::vector<Label> flat_labels_;
+  std::vector<std::uint8_t> flat_tags_;  // slot state, tag-group probed
   std::size_t flat_mask_ = 0;
   std::size_t flat_live_ = 0;        // live slots
   std::size_t flat_tombstones_ = 0;  // tombstoned slots
   std::uint64_t present_lengths_ = 0;  // lengths 0..63
   bool length64_present_ = false;
   std::array<std::uint32_t, 65> length_counts_{};  // live prefixes per length
+
+  /// Compact descent node: child bitmap + popcount-indexed base into the
+  /// next level's contiguous node array. 8 bytes against the 2^stride * 12
+  /// bytes of the mutable Entry block it summarizes, so a whole descent
+  /// touches a handful of cache lines.
+  struct SealedNode {
+    std::uint32_t child_bits = 0;  ///< bit c: chunk c has a child block
+    std::uint32_t child_base = 0;  ///< its index: base + popcount(below c)
+  };
+  // Popcount-compressed descent, sealed from the mutable Entry blocks like
+  // the flat table is sealed from prefixes_: one node per live block of
+  // every non-last level, children stored contiguously in chunk order.
+  // Valid only while the trie's *structure* is unchanged — remove() never
+  // frees blocks and only rewrites labels, so the only invalidation is an
+  // insert that allocates a block; seal() then rebuilds once enough blocks
+  // accreted (maybe_rebuild_compact), and the descent falls back to the
+  // Entry walk in between. Requires every non-last stride <= 5 (32-bit
+  // child bitmap); wider strides just keep the legacy walk.
+  std::vector<std::vector<SealedNode>> compact_levels_;
+  bool compact_supported_ = false;
+  bool compact_valid_ = false;
+  std::size_t compact_blocks_ = 0;  // total blocks at the last rebuild
+
+  // Precomputed terminal match lists: a descent's label list is fully
+  // determined by the cell (level, node, chunk) where it ends — the path
+  // bits ARE the key bits every per-length probe would truncate to. Sealing
+  // therefore materializes, for every reachable terminal cell, the exact
+  // list collect_matches would produce (CSR: match_off_[level] holds
+  // cells + 1 absolute offsets into match_pool_), turning the sealed
+  // lookup's per-length hash probes into one contiguous copy. Any label
+  // mutation invalidates the lists (matches_valid_); the probe path serves
+  // as fallback until the next compact rebuild refreshes them.
+  std::vector<std::vector<std::uint32_t>> match_off_;
+  std::vector<Label> match_pool_;
+  bool matches_valid_ = false;
+  // Whole sealed query structure fits in cache: batch descents then probe
+  // key-at-a-time (the lane-lockstep machinery only pays for itself when
+  // the prefetches it issues can actually miss).
+  bool compact_resident_ = false;
 };
 
 /// Worst-case-shared node layouts across several tries (the paper sizes

@@ -38,8 +38,6 @@ class SearchContext {
     algorithms_ = algorithms;
     const std::size_t needed = lanes * algorithms;
     if (slots_.size() < needed) slots_.resize(needed);
-    if (lane_current_.size() < lanes) lane_current_.resize(lanes);
-    if (lane_next_.size() < lanes) lane_next_.resize(lanes);
     if (lane_matches_.size() < lanes) lane_matches_.resize(lanes);
   }
 
@@ -75,13 +73,22 @@ class SearchContext {
     return batch_lists_;
   }
 
-  /// --- batched index-calculation scratch (one working set per lane,
-  /// sized by begin(); inner vectors keep their high-water capacity) ---
-  [[nodiscard]] std::vector<Label>& lane_current(std::size_t lane) {
-    return lane_current_[lane];
+  /// --- batched index-calculation scratch. Every lane's working label set
+  /// lives in one flat arena (labels in pool, lane i's window is
+  /// [offsets[i], offsets[i+1])); two generations swap per combination
+  /// stage. One contiguous buffer instead of a vector-of-vectors keeps the
+  /// stage loop's loads sequential and clears O(1). ---
+  [[nodiscard]] std::vector<Label>& pool_current() { return pool_current_; }
+  [[nodiscard]] std::vector<Label>& pool_next() { return pool_next_; }
+  [[nodiscard]] std::vector<std::uint32_t>& pool_offsets_current() {
+    return pool_offsets_current_;
   }
-  [[nodiscard]] std::vector<Label>& lane_next(std::size_t lane) {
-    return lane_next_[lane];
+  [[nodiscard]] std::vector<std::uint32_t>& pool_offsets_next() {
+    return pool_offsets_next_;
+  }
+  /// Per-window precomputed probe hashes (paired with batch_keys entries).
+  [[nodiscard]] std::vector<std::uint64_t>& batch_hashes() {
+    return batch_hashes_;
   }
   [[nodiscard]] std::vector<std::uint32_t>& lane_matches(std::size_t lane) {
     return lane_matches_[lane];
@@ -99,8 +106,11 @@ class SearchContext {
   std::vector<U128> batch_values_;
   std::vector<Label> batch_labels_;
   std::vector<const LabelList*> batch_lists_;
-  std::vector<LabelList> lane_current_;
-  std::vector<LabelList> lane_next_;
+  std::vector<Label> pool_current_;
+  std::vector<Label> pool_next_;
+  std::vector<std::uint32_t> pool_offsets_current_;
+  std::vector<std::uint32_t> pool_offsets_next_;
+  std::vector<std::uint64_t> batch_hashes_;
   std::vector<std::vector<std::uint32_t>> lane_matches_;
 };
 

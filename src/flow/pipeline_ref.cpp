@@ -202,6 +202,14 @@ void execute_tables_batch(const TableLookupSource& source,
     source.source_lookup_batch(
         t, {ctx.headers.data(), ctx.headers.size()},
         {ctx.entries.data(), ctx.lanes.size()});
+    // The matched entries' instruction vectors live in separate heap blocks
+    // the lookup never touched; pull them in ahead of the apply sweep.
+    for (std::size_t lane = 0; lane < ctx.lanes.size(); ++lane) {
+      if (const FlowEntry* entry = ctx.entries[lane]) {
+        __builtin_prefetch(entry->instructions.apply_actions.data());
+        __builtin_prefetch(entry->instructions.write_actions.data());
+      }
+    }
     for (std::size_t lane = 0; lane < ctx.lanes.size(); ++lane) {
       ctx.runs[ctx.lanes[lane]].apply(ctx.entries[lane]);
     }

@@ -41,6 +41,8 @@ enum class TraceEvent : std::uint16_t {
                     ///< payload = (status << 32) | frame bytes
   kOfpApplyBegin = 16,  ///< flow-mod batch handed to the sink; payload = mods
   kOfpApplyEnd = 17,    ///< flow-mod batch published; payload = mods
+  kSimdFallback = 18,   ///< CPU lacks the compiled vector ISA; payload =
+                        ///< the simd::Level actually selected (one-shot)
   kEventCount           ///< sentinel — not a real event
 };
 
@@ -106,6 +108,7 @@ static_assert(sizeof(TraceRecord) == 16, "records are fixed 16-byte");
     case TraceEvent::kOfpDecode: return "ofp_decode";
     case TraceEvent::kOfpApplyBegin:
     case TraceEvent::kOfpApplyEnd: return "ofp_apply";
+    case TraceEvent::kSimdFallback: return "simd_fallback";
     case TraceEvent::kEventCount: break;
   }
   return "unknown";

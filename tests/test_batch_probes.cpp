@@ -4,17 +4,27 @@
 // query mixes, and allocation-free in steady state (counted by replacing
 // global new/delete; this binary is its own test executable so the
 // replacement cannot leak into others).
+//
+// Every batch-vs-scalar property additionally runs twice — once on the
+// compiled vector backend, once with the SWAR kernels forced — and the
+// SimdSwarIdentity suite compares the two backends' raw kernel outputs
+// directly on random and adversarial (duplicate-tag, full-group,
+// tombstone-heavy) inputs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cstdlib>
 #include <new>
 #include <vector>
 
 #include "classifier/cuckoo_lut.hpp"
 #include "classifier/range_matcher.hpp"
+#include "core/flat_hash.hpp"
 #include "core/index_table.hpp"
 #include "core/lookup_table.hpp"
 #include "core/lut.hpp"
+#include "core/simd.hpp"
 #include "workload/rng.hpp"
 
 namespace {
@@ -36,6 +46,21 @@ namespace ofmtl {
 namespace {
 
 using workload::Rng;
+
+/// Run a property once per kernel backend: the compiled vector path, then
+/// the portable SWAR path forced. Identical assertions on both runs make
+/// every batch-vs-scalar property a backend-identity property too.
+template <typename F>
+void run_both_backends(F&& property) {
+  {
+    SCOPED_TRACE(std::string("backend=") +
+                 simd::to_string(simd::active_level()));
+    property();
+  }
+  simd::ScopedForceSwar forced(true);
+  SCOPED_TRACE("backend=forced-swar");
+  property();
+}
 
 /// Random present/absent query mix: half the keys are stored values, half
 /// are fresh draws (almost surely absent).
@@ -84,13 +109,17 @@ void expect_lut_batch_matches_scalar(Lut& lut, std::uint64_t seed) {
 }
 
 TEST(BatchProbes, ExactMatchLutMatchesScalar) {
-  ExactMatchLut lut(128);
-  expect_lut_batch_matches_scalar(lut, 4242);
+  run_both_backends([] {
+    ExactMatchLut lut(128);
+    expect_lut_batch_matches_scalar(lut, 4242);
+  });
 }
 
 TEST(BatchProbes, CuckooLutMatchesScalar) {
-  CuckooLut lut(128);
-  expect_lut_batch_matches_scalar(lut, 5151);
+  run_both_backends([] {
+    CuckooLut lut(128);
+    expect_lut_batch_matches_scalar(lut, 5151);
+  });
 }
 
 TEST(BatchProbes, ExactMatchLutSteadyStateAllocationFree) {
@@ -109,13 +138,14 @@ TEST(BatchProbes, ExactMatchLutSteadyStateAllocationFree) {
   EXPECT_EQ(g_allocations, before);
 }
 
-TEST(BatchProbes, RangeMatcherMatchesScalar) {
-  RangeMatcher ranges(16);
-  Rng rng(99);
+void expect_range_batch_matches_scalar(unsigned width, std::uint64_t seed) {
+  const std::uint64_t max = low_mask(width);
+  RangeMatcher ranges(width);
+  Rng rng(seed);
   std::vector<ValueRange> added;
   for (int i = 0; i < 120; ++i) {
-    const std::uint64_t lo = rng.below(0x10000);
-    const std::uint64_t hi = std::min<std::uint64_t>(0xFFFF, lo + rng.below(2000));
+    const std::uint64_t lo = rng.next() & max;
+    const std::uint64_t hi = std::min<std::uint64_t>(max, lo + rng.below(2000));
     ranges.add({lo, hi});
     added.push_back({lo, hi});
   }
@@ -123,9 +153,15 @@ TEST(BatchProbes, RangeMatcherMatchesScalar) {
   ranges.seal();
 
   std::vector<std::uint64_t> keys;
-  for (int i = 0; i < 511; ++i) keys.push_back(rng.below(0x10000));
+  for (int i = 0; i < 511; ++i) keys.push_back(rng.next() & max);
   keys.push_back(0);
-  keys.push_back(0xFFFF);
+  keys.push_back(max);
+  // Exercise interval edges exactly (rank-select and search must agree on
+  // boundary points, not just random interior keys).
+  for (std::size_t i = 0; i < added.size(); i += 7) {
+    keys.push_back(added[i].lo);
+    if (added[i].hi < max) keys.push_back(added[i].hi + 1);
+  }
   std::vector<const std::vector<std::uint32_t>*> out(keys.size());
   for (const std::size_t window :
        {std::size_t{1}, std::size_t{3}, std::size_t{8}, keys.size()}) {
@@ -142,6 +178,16 @@ TEST(BatchProbes, RangeMatcherMatchesScalar) {
   const std::size_t before = g_allocations;
   for (int pass = 0; pass < 8; ++pass) ranges.lookup_batch(keys, out);
   EXPECT_EQ(g_allocations, before);
+}
+
+TEST(BatchProbes, RangeMatcherMatchesScalar) {
+  run_both_backends([] { expect_range_batch_matches_scalar(16, 99); });
+}
+
+TEST(BatchProbes, RangeMatcherWideFieldMatchesScalar) {
+  // width 32 exceeds the rank-select limit: covers the branchless search /
+  // AVX2-gather wide path end to end.
+  run_both_backends([] { expect_range_batch_matches_scalar(32, 1234); });
 }
 
 /// Randomized signatures over a configurable arity; candidates drawn so a
@@ -191,10 +237,12 @@ void expect_index_batch_matches_scalar(std::size_t algorithms,
 }
 
 TEST(BatchProbes, IndexCalculatorMatchesScalarSealed) {
-  expect_index_batch_matches_scalar(1, 11, true);
-  expect_index_batch_matches_scalar(2, 22, true);
-  expect_index_batch_matches_scalar(4, 33, true);
-  expect_index_batch_matches_scalar(7, 44, true);
+  run_both_backends([] {
+    expect_index_batch_matches_scalar(1, 11, true);
+    expect_index_batch_matches_scalar(2, 22, true);
+    expect_index_batch_matches_scalar(4, 33, true);
+    expect_index_batch_matches_scalar(7, 44, true);
+  });
 }
 
 TEST(BatchProbes, IndexCalculatorMatchesScalarUnsealedFallback) {
@@ -267,6 +315,107 @@ TEST(BatchProbes, RangeFieldLookupTableBatchMatchesScalar) {
   for (std::size_t i = 0; i < headers.size(); ++i) {
     ASSERT_EQ(batch[i], table.lookup(headers[i], scalar_ctx)) << "packet=" << i;
   }
+}
+
+// --- backend identity: vector kernels vs SWAR, bit for bit ------------------
+
+TEST(SimdSwarIdentity, TagGroupKernelsRandomAndAdversarial) {
+  Rng rng(31337);
+  std::vector<std::array<std::uint8_t, detail::kTagGroup>> groups;
+  // Random groups.
+  for (int i = 0; i < 2000; ++i) {
+    std::array<std::uint8_t, detail::kTagGroup> group;
+    for (auto& byte : group) byte = static_cast<std::uint8_t>(rng.next());
+    groups.push_back(group);
+  }
+  // Adversarial: all-empty, all-deleted, full of one duplicate tag, a full
+  // group with the probe tag at every boundary position, and 0x7F/0x80
+  // straddles (the live/special cut sits on the byte's top bit).
+  groups.push_back({});  // all zero tags
+  std::array<std::uint8_t, detail::kTagGroup> g;
+  g.fill(detail::kTagEmpty);
+  groups.push_back(g);
+  g.fill(detail::kTagDeleted);
+  groups.push_back(g);
+  g.fill(0x42);
+  groups.push_back(g);
+  g.fill(0x7F);
+  g[0] = 0x80;
+  g[15] = 0x80;
+  groups.push_back(g);
+  for (const auto& group : groups) {
+    for (const std::uint8_t tag :
+         {std::uint8_t{0x00}, std::uint8_t{0x42}, std::uint8_t{0x7F},
+          static_cast<std::uint8_t>(rng.next() & 0x7F)}) {
+      ASSERT_EQ(simd::match_bytes16(group.data(), tag),
+                simd::match_bytes16_swar(group.data(), tag));
+    }
+    ASSERT_EQ(simd::match_special16(group.data()),
+              simd::match_special16_swar(group.data()));
+  }
+}
+
+TEST(SimdSwarIdentity, LowerBoundKernelMatchesScalar) {
+  if (simd::active_level() != simd::Level::kAvx2) {
+    GTEST_SKIP() << "AVX2 unavailable: vector lower-bound not in play";
+  }
+  Rng rng(909);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = 1 + rng.below(300);
+    std::vector<std::uint64_t> data;
+    data.push_back(0);  // the interval index guarantees data[0] == 0
+    for (std::size_t i = 1; i < n; ++i) data.push_back(rng.next());
+    std::sort(data.begin(), data.end());
+    data.erase(std::unique(data.begin(), data.end()), data.end());
+    std::uint64_t keys[8];
+    for (auto& key : keys) {
+      // Mix interior draws with exact boundaries and extremes.
+      switch (rng.below(4)) {
+        case 0: key = data[rng.below(data.size())]; break;
+        case 1: key = ~std::uint64_t{0}; break;
+        default: key = rng.next(); break;
+      }
+    }
+    std::uint32_t out[8];
+    ASSERT_TRUE(simd::lower_bound_u64x8(data.data(), data.size(), keys, out));
+    for (unsigned i = 0; i < 8; ++i) {
+      const auto it =
+          std::upper_bound(data.begin(), data.end(), keys[i]) - 1;
+      ASSERT_EQ(out[i], static_cast<std::uint32_t>(it - data.begin()))
+          << "round=" << round << " lane=" << i << " key=" << keys[i];
+    }
+  }
+}
+
+/// Adversarial flat-hash load: every stored value shares one 7-bit tag (so
+/// every group compare reports candidate hits that only the key verify can
+/// reject), then heavy churn leaves the table tombstone-ridden.
+TEST(SimdSwarIdentity, DuplicateTagTombstoneHeavyLut) {
+  run_both_backends([] {
+    Rng rng(2025);
+    ExactMatchLut lut(64);
+    std::vector<U128> stored;
+    while (stored.size() < 150) {
+      const U128 value{rng.next() & 0xFFFF, rng.next()};
+      if (detail::tag_of(detail::U128Hash{}(value)) != 0x21) continue;
+      lut.insert(value);
+      stored.push_back(value);
+    }
+    // Tombstone-heavy: drop 80%, re-add a sprinkle.
+    for (std::size_t i = 0; i < stored.size(); ++i) {
+      if (i % 5 != 0) lut.remove(stored[i]);
+    }
+    for (std::size_t i = 0; i < stored.size(); i += 13) lut.insert(stored[i]);
+
+    std::vector<U128> queries = stored;  // removed keys probe past tombstones
+    for (int i = 0; i < 100; ++i) queries.push_back(U128{rng.next(), rng.next()});
+    std::vector<Label> batch(queries.size());
+    lut.lookup_batch(queries, batch);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(batch[i], lut.lookup(queries[i]).value_or(kNoLabel))
+          << "query=" << i;
+    }
+  });
 }
 
 }  // namespace

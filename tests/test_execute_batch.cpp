@@ -10,6 +10,7 @@
 
 #include "core/builder.hpp"
 #include "core/pipeline.hpp"
+#include "core/simd.hpp"
 #include "workload/stanford_synth.hpp"
 #include "workload/trace_gen.hpp"
 
@@ -56,25 +57,31 @@ App make_app(FilterApp app, const char* name, double hit_ratio,
 
 /// execute_batch over every window size must reproduce per-packet execute
 /// bit for bit (operator== covers the full ExecutionResult, diagnostics
-/// included).
+/// included). The whole property runs once per probe-kernel backend —
+/// compiled vector path, then forced SWAR — so batch-vs-scalar identity
+/// doubles as vector-vs-SWAR identity.
 void expect_batch_matches_scalar(const App& app) {
   std::vector<ExecutionResult> expected;
   expected.reserve(app.trace.size());
   for (const auto& header : app.trace) {
     expected.push_back(app.accelerated.execute(header));
   }
-  ExecBatchContext ctx;
-  for (const std::size_t batch : {std::size_t{1}, std::size_t{3},
-                                  std::size_t{8}, std::size_t{64},
-                                  std::size_t{512}}) {
-    std::vector<ExecutionResult> results(batch);
-    for (std::size_t base = 0; base < app.trace.size(); base += batch) {
-      const std::size_t n = std::min(batch, app.trace.size() - base);
-      app.accelerated.execute_batch({app.trace.data() + base, n},
-                                    {results.data(), n}, ctx);
-      for (std::size_t i = 0; i < n; ++i) {
-        ASSERT_EQ(results[i], expected[base + i])
-            << "batch=" << batch << " packet=" << base + i;
+  for (const bool force_swar : {false, true}) {
+    simd::ScopedForceSwar forced(force_swar);
+    SCOPED_TRACE(force_swar ? "backend=forced-swar" : "backend=vector");
+    ExecBatchContext ctx;
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{8}, std::size_t{64},
+                                    std::size_t{512}}) {
+      std::vector<ExecutionResult> results(batch);
+      for (std::size_t base = 0; base < app.trace.size(); base += batch) {
+        const std::size_t n = std::min(batch, app.trace.size() - base);
+        app.accelerated.execute_batch({app.trace.data() + base, n},
+                                      {results.data(), n}, ctx);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(results[i], expected[base + i])
+              << "batch=" << batch << " packet=" << base + i;
+        }
       }
     }
   }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/builder.hpp"
+#include "core/simd.hpp"
 #include "mdclassifier/dcfl.hpp"
 #include "mdclassifier/linear.hpp"
 #include "workload/calibration.hpp"
@@ -31,12 +32,18 @@ TEST_P(FullSweep, AcceleratedPipelineMatchesReferenceExactly) {
   const auto accelerated = compile_app(spec);
 
   // Keep the trace modest: the sweep covers breadth, the dedicated tests
-  // cover depth.
+  // cover depth. Run the comparison on both probe-kernel backends (vector,
+  // then forced SWAR) so the sweep also asserts backend identity on every
+  // calibrated router.
   const auto trace = workload::generate_trace(
       set, {.packets = 200, .hit_ratio = 0.85, .seed = 97 + index});
-  for (const auto& header : trace) {
-    ASSERT_EQ(accelerated.execute(header), spec.reference.execute(header))
-        << set.name << " " << header.to_string();
+  for (const bool force_swar : {false, true}) {
+    simd::ScopedForceSwar forced(force_swar);
+    SCOPED_TRACE(force_swar ? "backend=forced-swar" : "backend=vector");
+    for (const auto& header : trace) {
+      ASSERT_EQ(accelerated.execute(header), spec.reference.execute(header))
+          << set.name << " " << header.to_string();
+    }
   }
 }
 

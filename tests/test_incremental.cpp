@@ -6,6 +6,7 @@
 
 #include <functional>
 
+#include "classifier/range_matcher.hpp"
 #include "core/builder.hpp"
 #include "core/lookup_table.hpp"
 #include "core/pipeline.hpp"
@@ -279,6 +280,93 @@ TEST(IncrementalLookupTable, RangeFieldChurn) {
   table.insert_entry(simple_entry(3, 1, narrow, 3));
   EXPECT_EQ(table.lookup(h)->id, 3U);
   EXPECT_EQ(table.field_searches()[0].unique_values()[0], 1U);
+}
+
+/// Property: a RangeMatcher maintained through arbitrary add/remove churn
+/// answers every lookup exactly like a matcher freshly built from the live
+/// multiset. Labels may differ between the two instances (assignment order),
+/// so lookups are compared as the *ranges* they name, narrowest first.
+void expect_churned_matches_rebuilt(unsigned width, std::uint64_t seed) {
+  using workload::Rng;
+  const std::uint64_t max = low_mask(width);
+  Rng rng(seed);
+  RangeMatcher churned(width);
+  std::vector<ValueRange> live;  // multiset of currently-held references
+  const auto random_range = [&] {
+    const std::uint64_t lo = rng.next() & max;
+    const std::uint64_t hi = std::min<std::uint64_t>(max, lo + rng.below(5000));
+    return ValueRange{lo, hi};
+  };
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 60; ++i) {
+      if (!live.empty() && rng.below(3) == 0) {
+        const std::size_t victim = rng.below(live.size());
+        ASSERT_TRUE(churned.remove(live[victim]));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      } else {
+        const ValueRange range =
+            (!live.empty() && rng.below(4) == 0)  // duplicate ref
+                ? live[rng.below(live.size())]
+                : random_range();
+        churned.add(range);
+        live.push_back(range);
+      }
+    }
+    churned.seal();
+    RangeMatcher rebuilt(width);
+    for (const ValueRange& range : live) rebuilt.add(range);
+    rebuilt.seal();
+    ASSERT_EQ(churned.unique_ranges(), rebuilt.unique_ranges());
+    const auto as_ranges = [](const RangeMatcher& matcher,
+                              const std::vector<std::uint32_t>& labels) {
+      std::vector<ValueRange> ranges;
+      ranges.reserve(labels.size());
+      for (const std::uint32_t label : labels) {
+        ranges.push_back(matcher.range_of(label));
+      }
+      return ranges;
+    };
+    for (int probe = 0; probe < 400; ++probe) {
+      std::uint64_t key = rng.next() & max;
+      if (probe % 3 == 0 && !live.empty()) {  // hit boundaries exactly
+        const ValueRange& range = live[rng.below(live.size())];
+        key = probe % 2 == 0 ? range.lo : range.hi;
+      }
+      ASSERT_EQ(as_ranges(churned, churned.lookup(key)),
+                as_ranges(rebuilt, rebuilt.lookup(key)))
+          << "round=" << round << " key=" << key;
+    }
+  }
+}
+
+TEST(IncrementalRangeMatcher, ChurnMatchesRebuiltNarrowField) {
+  expect_churned_matches_rebuilt(16, 4711);  // rank-select path
+}
+
+TEST(IncrementalRangeMatcher, ChurnMatchesRebuiltWideField) {
+  expect_churned_matches_rebuilt(32, 4712);  // branchless-search path
+}
+
+TEST(IncrementalRangeMatcher, ResealOfUntouchedMatcherDoesNotSweep) {
+  RangeMatcher ranges(16);
+  ranges.add({10, 99});
+  ranges.add({50, 60});
+  ranges.seal();
+  EXPECT_EQ(ranges.seal_sweeps(), 1U);
+  ranges.seal();  // untouched: no sweep
+  EXPECT_EQ(ranges.seal_sweeps(), 1U);
+  // Reference-count churn that never changes the live set stays sealed.
+  ranges.add({10, 99});
+  ranges.remove({10, 99});
+  ranges.seal();
+  EXPECT_EQ(ranges.seal_sweeps(), 1U);
+  // Any amount of live-set churn costs exactly one sweep at the next seal.
+  ranges.add({1, 5});
+  ranges.add({2, 8});
+  ranges.remove({50, 60});
+  ranges.seal();
+  EXPECT_EQ(ranges.seal_sweeps(), 2U);
+  EXPECT_EQ(ranges.lookup(3).size(), 2U);
 }
 
 }  // namespace
