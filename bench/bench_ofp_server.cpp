@@ -10,6 +10,10 @@
 //     (liveness probe cost, and the floor for barrier latency);
 //   - ofp/role_change_us: ROLE_REQUEST round trip alternating master/slave
 //     claims — the fixed cost a controller pays at every failover handoff.
+//   - ofp/{decode,apply,ingest}_{p50,p99}_ns: control-plane latency slices
+//     from the always-on trace rings (read→decode→apply inside the event
+//     loop), the tail-distribution companions to the mean throughput
+//     number. The p99/p50 ratios are machine-independent and gated in CI.
 // Loopback numbers are hardware-sensitive; CI gates them against the
 // committed dev-container baseline only on matching hardware.
 #include <chrono>
@@ -19,6 +23,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/export.hpp"
+#include "obs/tracer.hpp"
 #include "ofp/server/flow_mod_sink.hpp"
 #include "ofp/server/server.hpp"
 #include "ofp/testing/fault_injection.hpp"
@@ -138,12 +144,31 @@ int main() {
     return 1;
   }
 
+  // Trace the flow-mod phase: its decode/apply slices are the tail metrics.
+  // A 1M-record ring comfortably holds the whole measured window, so the
+  // quantiles see every slice, not a survivor sample.
+  obs::TraceOptions trace_options;
+  trace_options.ring_capacity = std::size_t{1} << 20;
+  obs::start_tracing(trace_options);
   const double mods_per_sec = measure_flow_mods_per_sec(server);
+  obs::stop_tracing();
+  const obs::TraceDump trace = obs::collect_tracing();
+
   const double setup_us = measure_session_setup_us(server);
   const double echo_us = measure_echo_rtt_us(server);
   const double role_us = measure_role_change_us(server);
   const auto stats = server.stats();
   server.stop();
+
+  const auto decode_hist = obs::slice_latency_histogram(
+      trace, obs::TraceEvent::kOfpDecodeBegin, obs::TraceEvent::kOfpDecodeEnd,
+      /*per_payload_unit=*/false);
+  const auto apply_hist = obs::slice_latency_histogram(
+      trace, obs::TraceEvent::kOfpApplyBegin, obs::TraceEvent::kOfpApplyEnd,
+      /*per_payload_unit=*/false);
+  const auto ingest_hist = obs::slice_latency_histogram(
+      trace, obs::TraceEvent::kOfpReadBegin, obs::TraceEvent::kOfpReadEnd,
+      /*per_payload_unit=*/false);
 
   std::cout << "flow-mod ingest   " << mods_per_sec << " mods/s (batched, "
             << "barrier-fenced)\n"
@@ -153,22 +178,43 @@ int main() {
             << "server counters   frames_rx=" << stats.frames_rx
             << " frames_tx=" << stats.frames_tx
             << " flow_mods_ok=" << stats.flow_mods_ok
-            << " failed=" << stats.flow_mods_failed << "\n";
+            << " failed=" << stats.flow_mods_failed << "\n"
+            << "decode slice      n=" << decode_hist.total()
+            << " p50=" << decode_hist.quantile(0.50)
+            << " p99=" << decode_hist.quantile(0.99) << " ns\n"
+            << "apply slice       n=" << apply_hist.total()
+            << " p50=" << apply_hist.quantile(0.50)
+            << " p99=" << apply_hist.quantile(0.99) << " ns\n"
+            << "ingest slice      n=" << ingest_hist.total()
+            << " p50=" << ingest_hist.quantile(0.50)
+            << " p99=" << ingest_hist.quantile(0.99) << " ns\n";
 
   if (mods_per_sec == 0.0 || setup_us == 0.0 || echo_us == 0.0 ||
       role_us == 0.0) {
     std::cerr << "bench_ofp_server: a measurement failed\n";
     return 1;
   }
+  if (obs::kInstrumentationCompiled &&
+      (decode_hist.total() == 0 || apply_hist.total() == 0)) {
+    std::cerr << "bench_ofp_server: trace slices missing\n";
+    return 1;
+  }
 
   auto metadata = bench::common_metadata();
   metadata.emplace_back("mods_per_round", std::to_string(kModsPerRound));
   metadata.emplace_back("setup_iterations", std::to_string(kSetupIterations));
-  bench::write_bench_json("ofp", "mixed",
-                          {{"ofp/flow_mods_per_sec", mods_per_sec},
-                           {"ofp/session_setup_us", setup_us},
-                           {"ofp/echo_rtt_us", echo_us},
-                           {"ofp/role_change_us", role_us}},
-                          metadata);
+  bench::write_bench_json(
+      "ofp", "mixed",
+      {{"ofp/flow_mods_per_sec", mods_per_sec},
+       {"ofp/session_setup_us", setup_us},
+       {"ofp/echo_rtt_us", echo_us},
+       {"ofp/role_change_us", role_us},
+       {"ofp/decode_p50_ns", decode_hist.quantile(0.50)},
+       {"ofp/decode_p99_ns", decode_hist.quantile(0.99)},
+       {"ofp/apply_p50_ns", apply_hist.quantile(0.50)},
+       {"ofp/apply_p99_ns", apply_hist.quantile(0.99)},
+       {"ofp/ingest_p50_ns", ingest_hist.quantile(0.50)},
+       {"ofp/ingest_p99_ns", ingest_hist.quantile(0.99)}},
+      metadata);
   return 0;
 }

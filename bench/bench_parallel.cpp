@@ -24,11 +24,20 @@
 //     latency quantiles from the traced runs' rings, merged across runs
 //     through obs::LogHistogram (hardware-sensitive, baseline-gated; the
 //     p99/p50 ratio is ceiling-gated machine-independently).
+//
+// `bench_parallel --flight-recorder` runs the flight-recorder demo instead
+// of the benchmark: it arms an obs::FlightRecorder with an impossible SLO
+// (batch p99 ≤ 1 ns), drives one traced 1-worker run, and verifies that the
+// forced breach produced a loadable OFTRACE1 dump plus a JSON breach
+// report. CI runs this as a smoke test of the whole breach→dump→reload
+// path on a real workload.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +45,7 @@
 #include "bench_common.hpp"
 #include "core/builder.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/histogram.hpp"
 #include "obs/tracer.hpp"
 #include "runtime/runtime.hpp"
@@ -272,9 +282,84 @@ double run_publish_latency(std::size_t n) {
   return per_publish_ns[kRounds / 2];
 }
 
+/// --flight-recorder: force an SLO breach on a real traced run and prove
+/// the emitted artifacts round-trip. Exit 0 only when the breach fired, the
+/// OFTRACE1 dump reloads through the hardened loader with records in it,
+/// and the JSON report exists.
+int run_flight_recorder_demo() {
+  if (!obs::kInstrumentationCompiled) {
+    std::cout << "flight-recorder demo skipped: built without OFMTL_TRACE\n";
+    return 0;
+  }
+  bench::print_heading("flight recorder forced-breach demo");
+  const App app = make_app(workload::FilterApp::kMacLearning, "bbra");
+
+  obs::FlightRecorderConfig config;
+  config.slos.push_back({.name = "batch",
+                         .begin = obs::TraceEvent::kBatchBegin,
+                         .end = obs::TraceEvent::kBatchEnd,
+                         .per_payload_unit = false,
+                         .max_p99_over_p50 = 0,
+                         .max_p99_ns = 1,  // impossible: any real batch breaches
+                         .min_samples = 16});
+  config.retain_ms = 1000;
+  config.dump_prefix = "bench_flight";
+  obs::FlightRecorder recorder(config);
+
+  obs::start_tracing();
+  recorder.arm();
+  const double pps = run_scaling(app, /*workers=*/1, /*churn=*/false);
+  std::vector<obs::BreachInfo> breaches = recorder.poll();
+  recorder.disarm();
+  obs::stop_tracing();
+  (void)obs::collect_tracing();  // leave the registry drained for reuse
+  std::cout << "traced run: " << std::fixed << pps / 1e6 << " Mpps\n";
+
+  if (breaches.empty()) {
+    std::cerr << "error: impossible SLO (p99 <= 1 ns) did not breach\n";
+    return 1;
+  }
+  const auto& breach = breaches.front();
+  std::cout << "breach: slo=" << breach.slo << " reason=" << breach.reason
+            << " p50=" << breach.p50_ns << " ns p99=" << breach.p99_ns
+            << " ns over " << breach.samples << " samples\n"
+            << "dump:   " << breach.dump_path << "\n"
+            << "report: " << breach.report_path << "\n";
+
+  obs::TraceDump reloaded;
+  const auto status = obs::load_trace_dump(breach.dump_path, reloaded);
+  if (status != obs::TraceLoadStatus::kOk) {
+    std::cerr << "error: breach dump failed to reload: "
+              << obs::trace_load_status_name(status) << "\n";
+    return 1;
+  }
+  std::size_t records = 0;
+  for (const auto& thread : reloaded.threads) records += thread.records.size();
+  if (reloaded.threads.empty() || records == 0) {
+    std::cerr << "error: breach dump reloaded empty\n";
+    return 1;
+  }
+  std::ifstream report(breach.report_path);
+  std::stringstream report_text;
+  report_text << report.rdbuf();
+  if (!report || report_text.str().find("\"slo\"") == std::string::npos) {
+    std::cerr << "error: breach report missing or malformed\n";
+    return 1;
+  }
+  std::cout << "reloaded dump: " << reloaded.threads.size() << " thread(s), "
+            << records << " records — breach artifacts verified\n";
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--flight-recorder") return run_flight_recorder_demo();
+    std::cerr << "usage: bench_parallel [--flight-recorder]\n";
+    return 2;
+  }
   std::vector<std::pair<std::string, double>> results;
   std::vector<App> apps;  // App is move-only (FieldSearch engines)
   apps.push_back(make_app(workload::FilterApp::kMacLearning, "bbra"));
@@ -330,6 +415,12 @@ int main() {
     const App& app = apps.front();  // mac_bbra
     obs::LogHistogram tail;
     double overhead = 100.0;
+    // The recorder stays armed (crash handlers installed, rings registered
+    // for post-mortem dumps) through the overhead pairs, so the published
+    // trace/overhead_percent is the cost WITH the flight recorder on — the
+    // 5% CI ceiling covers the full observability plane, not bare tracing.
+    obs::FlightRecorder recorder({.install_crash_handler = true});
+    recorder.arm();
     for (int pair = 0; pair < 4; ++pair) {
       const double measured =
           measure_trace_overhead(app, tail, /*on_first=*/pair % 2 == 1);
@@ -337,6 +428,7 @@ int main() {
                 << "%)\n";
       overhead = std::min(overhead, measured);
     }
+    recorder.disarm();
     results.emplace_back("trace/overhead_percent", overhead);
     results.emplace_back("parallel_tail/" + app.tag + "/workers1/p50_ns",
                          static_cast<double>(tail.quantile(0.50)));

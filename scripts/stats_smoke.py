@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Smoke-test the live stats endpoint end to end.
+
+Spawns `ofp_soak` with an ephemeral stats port, parses the STATS_PORT=<n>
+announcement from its stdout, scrapes /metrics (Prometheus text) and
+/metrics.json (JSON) over real HTTP while the soak is running or lingering,
+and asserts the families the observability plane promises are present and
+well-formed. Exits non-zero on any missing family, unparseable exposition,
+or soak failure — this is the CI gate that the endpoint actually serves.
+
+Usage: stats_smoke.py path/to/ofp_soak [extra soak args...]
+"""
+import json
+import subprocess
+import sys
+import time
+import urllib.request
+
+REQUIRED_FAMILIES = [
+    "ofmtl_ofp_sessions_accepted_total",
+    "ofmtl_ofp_handshakes_total",
+    "ofmtl_ofp_frames_rx_total",
+    "ofmtl_ofp_frames_tx_total",
+    "ofmtl_ofp_flow_mods_ok_total",
+    "ofmtl_ofp_bytes_rx_total",
+    "ofmtl_ofp_active_sessions",
+    "ofmtl_ofp_admission_state",
+]
+
+
+def fail(message):
+    print(f"stats_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_prometheus(text):
+    """Minimal exposition-format validator: returns {family: [values]} and
+    fails on structurally broken lines."""
+    families = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            if line.startswith("# TYPE"):
+                parts = line.split()
+                if len(parts) != 4 or parts[3] not in ("counter", "gauge"):
+                    fail(f"malformed TYPE line: {line!r}")
+            continue
+        name, _, value = line.partition(" ")
+        if not value:
+            fail(f"sample without value: {line!r}")
+        family = name.partition("{")[0]
+        try:
+            families.setdefault(family, []).append(float(value))
+        except ValueError:
+            fail(f"non-numeric sample value: {line!r}")
+    return families
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: stats_smoke.py path/to/ofp_soak [soak args...]")
+    soak = sys.argv[1]
+    extra = sys.argv[2:] or [
+        "--sessions", "2", "--mods", "100", "--fault", "light", "--seed", "7"
+    ]
+    command = [soak, *extra, "--stats-port", "0", "--linger-ms", "8000"]
+    print("stats_smoke: running", " ".join(command))
+    proc = subprocess.Popen(command, stdout=subprocess.PIPE, text=True)
+
+    port = None
+    deadline = time.monotonic() + 30
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        sys.stdout.write(line)
+        if line.startswith("STATS_PORT="):
+            port = int(line.strip().split("=", 1)[1])
+            break
+    if port is None:
+        proc.kill()
+        fail("soak never announced STATS_PORT")
+
+    # Prometheus text plane.
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=10) as response:
+        content_type = response.headers.get("Content-Type", "")
+        text = response.read().decode()
+    if "text/plain" not in content_type or "version=0.0.4" not in content_type:
+        fail(f"unexpected /metrics content type: {content_type!r}")
+    families = parse_prometheus(text)
+    for family in REQUIRED_FAMILIES:
+        if family not in families:
+            fail(f"missing family {family} in /metrics")
+    if families["ofmtl_ofp_sessions_accepted_total"][0] < 1:
+        fail("sessions_accepted_total never incremented")
+
+    # JSON plane, cross-checked against the text plane.
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics.json", timeout=10) as response:
+        doc = json.load(response)
+    names = {metric["name"] for metric in doc["metrics"]}
+    for family in REQUIRED_FAMILIES:
+        if family not in names:
+            fail(f"missing family {family} in /metrics.json")
+    for metric in doc["metrics"]:
+        for key in ("name", "type", "labels", "value"):
+            if key not in metric:
+                fail(f"metric missing key {key}: {metric}")
+
+    # 404 handling must not kill the loop.
+    try:
+        urllib.request.urlopen(f"http://127.0.0.1:{port}/nope", timeout=10)
+        fail("unknown path did not 404")
+    except urllib.error.HTTPError as error:
+        if error.code != 404:
+            fail(f"unknown path answered {error.code}, wanted 404")
+
+    # Drain the soak to completion; its own convergence checks must pass.
+    for line in proc.stdout:
+        sys.stdout.write(line)
+    returncode = proc.wait(timeout=120)
+    if returncode != 0:
+        fail(f"ofp_soak exited {returncode}")
+    print(f"stats_smoke: OK ({len(families)} families, "
+          f"{len(doc['metrics'])} JSON samples)")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,18 @@ namespace {
 constexpr std::array<char, 8> kMagic = {'O', 'F', 'T', 'R',
                                         'A', 'C', 'E', '1'};
 
+// Sanity caps so a corrupt header cannot demand absurd work even when the
+// file happens to be large enough to back it.
+constexpr std::uint64_t kMaxThreads = 1 << 16;
+constexpr std::uint64_t kMaxName = 1 << 12;
+
+// Distinguishes the extended header (process identity) from the legacy one:
+// the u64 after the magic is either a legacy thread count (≤ kMaxThreads)
+// or this sentinel announcing "version, pid, process name follow". Chosen
+// all-ones so no legal thread count ever collides with it.
+constexpr std::uint64_t kProcessHeaderSentinel = ~std::uint64_t{0};
+constexpr std::uint64_t kContainerVersion = 2;
+
 void put_u64(std::ostream& out, std::uint64_t value) {
   std::array<unsigned char, 8> bytes;
   for (std::size_t i = 0; i < 8; ++i) {
@@ -21,16 +33,34 @@ void put_u64(std::ostream& out, std::uint64_t value) {
   out.write(reinterpret_cast<const char*>(bytes.data()), 8);
 }
 
-std::uint64_t get_u64(std::istream& in) {
-  std::array<unsigned char, 8> bytes;
-  in.read(reinterpret_cast<char*>(bytes.data()), 8);
-  if (!in) throw std::runtime_error("trace dump: truncated");
-  std::uint64_t value = 0;
-  for (std::size_t i = 0; i < 8; ++i) {
-    value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+/// Bounds-checked cursor over the fully-read file image. Every read is
+/// validated against the REAL byte count, so no section-length field can
+/// cause a read past the end or an allocation the file cannot back.
+struct ByteReader {
+  const unsigned char* data = nullptr;
+  std::size_t size = 0;
+  std::size_t pos = 0;
+
+  [[nodiscard]] std::size_t remaining() const { return size - pos; }
+
+  [[nodiscard]] bool read_u64(std::uint64_t& value) {
+    if (remaining() < 8) return false;
+    value = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+    }
+    pos += 8;
+    return true;
   }
-  return value;
-}
+
+  [[nodiscard]] bool read_string(std::string& out, std::uint64_t len) {
+    if (remaining() < len) return false;
+    out.assign(reinterpret_cast<const char*>(data + pos),
+               static_cast<std::size_t>(len));
+    pos += static_cast<std::size_t>(len);
+    return true;
+  }
+};
 
 /// Minimal JSON string escape (thread names and static event names only).
 void put_json_string(std::ostream& out, const std::string& text) {
@@ -68,50 +98,66 @@ void put_ts_us(std::ostream& out, std::uint64_t ts_ns) {
       << static_cast<char>('0' + ts_ns % 10);
 }
 
-}  // namespace
-
-std::vector<DecodedEvent> decode_thread(const ThreadTrace& thread) {
-  std::vector<DecodedEvent> events;
-  events.reserve(thread.records.size());
-  bool anchored = false;
-  std::uint64_t ts = 0;
-  for (const auto& record : thread.records) {
-    if (static_cast<TraceEvent>(record.event) == TraceEvent::kTimeSync) {
-      ts = record.payload;
-      anchored = true;
-      continue;
-    }
-    if (!anchored) continue;  // overwritten anchor: bounded undecodable prefix
-    ts += record.ts_delta;
-    events.push_back(DecodedEvent{ts, static_cast<TraceEvent>(record.event),
-                                  record.arg, record.payload});
-  }
-  return events;
-}
-
-void write_perfetto_json(std::ostream& out, const TraceDump& dump) {
-  out << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [";
+/// Comma bookkeeping shared by the single- and multi-dump writers.
+struct EventSink {
+  std::ostream& out;
   bool first = true;
-  const auto event_prefix = [&] {
+  void prefix() {
     if (!first) out << ',';
     first = false;
-    out << "\n";
+    out << '\n';
+  }
+};
+
+/// Render one dump's threads under the given pid, shifting every timestamp
+/// by `shift_ns` (the merge's wall-clock alignment; 0 for a lone dump).
+void write_dump_events(EventSink& sink, const TraceDump& dump,
+                       std::uint64_t pid, std::int64_t shift_ns) {
+  std::ostream& out = sink.out;
+  const auto shifted = [shift_ns](std::uint64_t ts) {
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(ts) +
+                                      shift_ns);
   };
 
+  // Process-name metadata so merged multi-process traces label tracks.
+  sink.prefix();
+  out << R"({"ph":"M","name":"process_name","pid":)" << pid
+      << R"(,"tid":0,"args":{"name":)";
+  put_json_string(out, dump.process_name.empty() ? std::string("process")
+                                                 : dump.process_name);
+  out << "}}";
+
   for (const auto& thread : dump.threads) {
-    // Thread-name metadata event so Perfetto labels the track.
-    event_prefix();
-    out << R"({"ph":"M","name":"thread_name","pid":1,"tid":)" << thread.tid
-        << R"(,"args":{"name":)";
+    sink.prefix();
+    out << R"({"ph":"M","name":"thread_name","pid":)" << pid << R"(,"tid":)"
+        << thread.tid << R"(,"args":{"name":)";
     put_json_string(out, thread.name);
     out << "}}";
 
-    const auto events = decode_thread(thread);
+    DecodeStats stats;
+    const auto events = decode_thread(thread, &stats);
+
+    // Overwrite-loss counter tracks: one sample per thread makes ring
+    // overwrites and the undecodable prefix visible right on the timeline
+    // next to the slices they truncated.
+    const std::uint64_t counter_ts =
+        events.empty() ? 0 : shifted(events.front().ts_ns);
+    sink.prefix();
+    out << R"({"ph":"C","name":"ring_dropped","pid":)" << pid << R"(,"tid":)"
+        << thread.tid << R"(,"ts":)";
+    put_ts_us(out, counter_ts);
+    out << R"(,"args":{"value":)" << thread.dropped << "}}";
+    sink.prefix();
+    out << R"({"ph":"C","name":"decode_skipped","pid":)" << pid
+        << R"(,"tid":)" << thread.tid << R"(,"ts":)";
+    put_ts_us(out, counter_ts);
+    out << R"(,"args":{"value":)" << stats.skipped_prefix << "}}";
+
     // Per-slice-name stacks pair begins with ends; a stack per name (rather
     // than one global stack) keeps interleaved slices of different kinds
     // (e.g. stage_walk inside batch) independent.
-    std::array<std::vector<OpenSlice>, static_cast<std::size_t>(
-                                           TraceEvent::kEventCount)>
+    std::array<std::vector<OpenSlice>,
+               static_cast<std::size_t>(TraceEvent::kEventCount)>
         open;
     for (const auto& event : events) {
       const auto kind = trace_event_kind(event.event);
@@ -129,19 +175,20 @@ void write_perfetto_json(std::ostream& out, const TraceDump& dump) {
           const auto key = static_cast<std::size_t>(event.event);
           if (open[key].empty()) {
             // Unpaired end (its begin was overwritten): render as instant.
-            event_prefix();
+            sink.prefix();
             out << R"({"ph":"i","s":"t","name":")" << name
-                << R"(","pid":1,"tid":)" << thread.tid << R"(,"ts":)";
-            put_ts_us(out, event.ts_ns);
+                << R"(","pid":)" << pid << R"(,"tid":)" << thread.tid
+                << R"(,"ts":)";
+            put_ts_us(out, shifted(event.ts_ns));
             out << "}";
             break;
           }
           const OpenSlice slice = open[key].back();
           open[key].pop_back();
-          event_prefix();
-          out << R"({"ph":"X","name":")" << name << R"(","pid":1,"tid":)"
-              << thread.tid << R"(,"ts":)";
-          put_ts_us(out, slice.ts_ns);
+          sink.prefix();
+          out << R"({"ph":"X","name":")" << name << R"(","pid":)" << pid
+              << R"(,"tid":)" << thread.tid << R"(,"ts":)";
+          put_ts_us(out, shifted(slice.ts_ns));
           out << R"(,"dur":)";
           put_ts_us(out, event.ts_ns - slice.ts_ns);
           out << R"(,"args":{"arg":)" << slice.arg << R"(,"payload":)"
@@ -149,30 +196,139 @@ void write_perfetto_json(std::ostream& out, const TraceDump& dump) {
           break;
         }
         case TraceEventKind::kCounter:
-          event_prefix();
-          out << R"({"ph":"C","name":")" << name << R"(","pid":1,"tid":)"
-              << thread.tid << R"(,"ts":)";
-          put_ts_us(out, event.ts_ns);
+          sink.prefix();
+          out << R"({"ph":"C","name":")" << name << R"(","pid":)" << pid
+              << R"(,"tid":)" << thread.tid << R"(,"ts":)";
+          put_ts_us(out, shifted(event.ts_ns));
           out << R"(,"args":{"value":)" << event.payload << "}}";
           break;
         case TraceEventKind::kInstant:
-          event_prefix();
-          out << R"({"ph":"i","s":"t","name":")" << name
-              << R"(","pid":1,"tid":)" << thread.tid << R"(,"ts":)";
-          put_ts_us(out, event.ts_ns);
+          sink.prefix();
+          out << R"({"ph":"i","s":"t","name":")" << name << R"(","pid":)"
+              << pid << R"(,"tid":)" << thread.tid << R"(,"ts":)";
+          put_ts_us(out, shifted(event.ts_ns));
           out << R"(,"args":{"arg":)" << event.arg << R"(,"payload":)"
               << event.payload << "}}";
           break;
       }
     }
   }
+}
+
+/// A dump's wall−mono offset: the last anchor pair of any thread (all
+/// threads share one steady clock, so any thread's pair will do).
+bool dump_wall_offset(const TraceDump& dump, std::int64_t& offset) {
+  for (const auto& thread : dump.threads) {
+    DecodeStats stats;
+    (void)decode_thread(thread, &stats);
+    if (stats.has_wall_offset) {
+      offset = stats.wall_minus_mono_ns;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<DecodedEvent> decode_thread(const ThreadTrace& thread,
+                                        DecodeStats* stats) {
+  std::vector<DecodedEvent> events;
+  events.reserve(thread.records.size());
+  bool anchored = false;
+  std::uint64_t ts = 0;
+  std::uint64_t skipped = 0;
+  for (const auto& record : thread.records) {
+    const auto event = static_cast<TraceEvent>(record.event);
+    if (event == TraceEvent::kTimeSync) {
+      ts = record.payload;
+      anchored = true;
+      continue;
+    }
+    if (!anchored) {
+      ++skipped;  // overwritten anchor: bounded undecodable prefix
+      continue;
+    }
+    ts += record.ts_delta;
+    if (event == TraceEvent::kWallClockSync) {
+      // The realtime half of the anchor pair: consumed into the offset, not
+      // surfaced as a timeline event. Later pairs win (closest to the
+      // records that survive the ring).
+      if (stats != nullptr) {
+        stats->has_wall_offset = true;
+        stats->wall_minus_mono_ns = static_cast<std::int64_t>(record.payload) -
+                                    static_cast<std::int64_t>(ts);
+      }
+      continue;
+    }
+    events.push_back(DecodedEvent{ts, event, record.arg, record.payload});
+  }
+  if (stats != nullptr) stats->skipped_prefix = skipped;
+  return events;
+}
+
+void write_perfetto_json(std::ostream& out, const TraceDump& dump) {
+  out << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [";
+  EventSink sink{out};
+  write_dump_events(sink, dump, dump.pid != 0 ? dump.pid : 1, 0);
   out << "\n]\n}\n";
+}
+
+void write_perfetto_json(std::ostream& out,
+                         const std::vector<TraceDump>& dumps) {
+  // Wall-clock alignment: every process's records are monotonic-clock
+  // timestamps with a process-private origin. Each dump's anchor pairs give
+  // wall − mono for that process; shifting process i by (offset_i −
+  // min_offset) renders all of them on one coherent timeline while keeping
+  // the earliest process unshifted (timestamps stay small and positive).
+  std::vector<std::int64_t> offsets(dumps.size(), 0);
+  bool all_have_offsets = !dumps.empty();
+  for (std::size_t i = 0; i < dumps.size(); ++i) {
+    if (!dump_wall_offset(dumps[i], offsets[i])) all_have_offsets = false;
+  }
+  std::int64_t min_offset = 0;
+  if (all_have_offsets) {
+    min_offset = offsets[0];
+    for (const std::int64_t o : offsets) {
+      if (o < min_offset) min_offset = o;
+    }
+  }
+
+  out << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [";
+  EventSink sink{out};
+  for (std::size_t i = 0; i < dumps.size(); ++i) {
+    const std::uint64_t pid =
+        dumps[i].pid != 0 ? dumps[i].pid : static_cast<std::uint64_t>(i + 1);
+    const std::int64_t shift =
+        all_have_offsets ? offsets[i] - min_offset : 0;
+    write_dump_events(sink, dumps[i], pid, shift);
+  }
+  out << "\n]\n}\n";
+}
+
+const char* trace_load_status_name(TraceLoadStatus status) {
+  switch (status) {
+    case TraceLoadStatus::kOk: return "ok";
+    case TraceLoadStatus::kIoError: return "io_error";
+    case TraceLoadStatus::kBadMagic: return "bad_magic";
+    case TraceLoadStatus::kTruncated: return "truncated";
+    case TraceLoadStatus::kCorruptHeader: return "corrupt_header";
+  }
+  return "unknown";
 }
 
 void save_trace_dump(const std::string& path, const TraceDump& dump) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("trace dump: cannot open " + path);
   out.write(kMagic.data(), kMagic.size());
+  // Extended header: sentinel, version, process identity. Readers of the
+  // legacy layout saw a thread count here; the sentinel can never be one.
+  put_u64(out, kProcessHeaderSentinel);
+  put_u64(out, kContainerVersion);
+  put_u64(out, dump.pid);
+  put_u64(out, dump.process_name.size());
+  out.write(dump.process_name.data(),
+            static_cast<std::streamsize>(dump.process_name.size()));
   put_u64(out, dump.threads.size());
   for (const auto& thread : dump.threads) {
     put_u64(out, thread.name.size());
@@ -191,45 +347,93 @@ void save_trace_dump(const std::string& path, const TraceDump& dump) {
   }
 }
 
-TraceDump load_trace_dump(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("trace dump: cannot open " + path);
-  std::array<char, 8> magic;
-  in.read(magic.data(), magic.size());
-  if (!in || magic != kMagic) {
-    throw std::runtime_error("trace dump: bad magic in " + path);
+TraceLoadStatus load_trace_dump(const std::string& path, TraceDump& out) {
+  out = TraceDump{};
+  // Read the whole file up front: the parse below validates every claimed
+  // length against the REAL byte count, so hostile headers can neither walk
+  // past the end nor force allocations the file cannot back.
+  std::vector<unsigned char> bytes;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) return TraceLoadStatus::kIoError;
+    const std::streamoff size = in.tellg();
+    if (size < 0) return TraceLoadStatus::kIoError;
+    in.seekg(0);
+    try {
+      bytes.resize(static_cast<std::size_t>(size));
+    } catch (...) {
+      return TraceLoadStatus::kIoError;  // file larger than memory
+    }
+    if (!bytes.empty()) {
+      in.read(reinterpret_cast<char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+      if (!in) return TraceLoadStatus::kIoError;
+    }
   }
-  // Sanity caps so a corrupt header cannot demand absurd allocations.
-  constexpr std::uint64_t kMaxThreads = 1 << 16;
-  constexpr std::uint64_t kMaxRecords = std::uint64_t{1} << 32;
-  constexpr std::uint64_t kMaxName = 1 << 12;
-  TraceDump dump;
-  const std::uint64_t threads = get_u64(in);
-  if (threads > kMaxThreads) {
-    throw std::runtime_error("trace dump: implausible thread count");
+
+  ByteReader reader{bytes.data(), bytes.size(), 0};
+  if (reader.remaining() < kMagic.size() ||
+      std::memcmp(reader.data, kMagic.data(), kMagic.size()) != 0) {
+    return TraceLoadStatus::kBadMagic;
   }
+  reader.pos = kMagic.size();
+
+  std::uint64_t first = 0;
+  if (!reader.read_u64(first)) return TraceLoadStatus::kTruncated;
+  std::uint64_t threads = 0;
+  if (first == kProcessHeaderSentinel) {
+    std::uint64_t version = 0;
+    if (!reader.read_u64(version)) return TraceLoadStatus::kTruncated;
+    if (version != kContainerVersion) return TraceLoadStatus::kCorruptHeader;
+    if (!reader.read_u64(out.pid)) return TraceLoadStatus::kTruncated;
+    std::uint64_t name_len = 0;
+    if (!reader.read_u64(name_len)) return TraceLoadStatus::kTruncated;
+    if (name_len > kMaxName) return TraceLoadStatus::kCorruptHeader;
+    if (!reader.read_string(out.process_name, name_len)) {
+      return TraceLoadStatus::kTruncated;
+    }
+    if (!reader.read_u64(threads)) return TraceLoadStatus::kTruncated;
+  } else {
+    threads = first;  // legacy layout: thread count directly after magic
+  }
+  if (threads > kMaxThreads) return TraceLoadStatus::kCorruptHeader;
+
   for (std::uint64_t t = 0; t < threads; ++t) {
     ThreadTrace thread;
-    const std::uint64_t name_len = get_u64(in);
-    if (name_len > kMaxName) {
-      throw std::runtime_error("trace dump: implausible name length");
+    std::uint64_t name_len = 0;
+    if (!reader.read_u64(name_len)) return TraceLoadStatus::kTruncated;
+    if (name_len > kMaxName) return TraceLoadStatus::kCorruptHeader;
+    if (!reader.read_string(thread.name, name_len)) {
+      return TraceLoadStatus::kTruncated;
     }
-    thread.name.resize(name_len);
-    in.read(thread.name.data(), static_cast<std::streamsize>(name_len));
-    if (!in) throw std::runtime_error("trace dump: truncated");
-    thread.tid = get_u64(in);
-    thread.dropped = get_u64(in);
-    const std::uint64_t records = get_u64(in);
-    if (records > kMaxRecords) {
-      throw std::runtime_error("trace dump: implausible record count");
-    }
-    thread.records.reserve(records);
+    if (!reader.read_u64(thread.tid)) return TraceLoadStatus::kTruncated;
+    if (!reader.read_u64(thread.dropped)) return TraceLoadStatus::kTruncated;
+    std::uint64_t records = 0;
+    if (!reader.read_u64(records)) return TraceLoadStatus::kTruncated;
+    // The record section is 16 bytes per record; a count the remaining
+    // bytes cannot back is rejected BEFORE the reserve, so an oversized
+    // claim costs nothing.
+    if (records > reader.remaining() / 16) return TraceLoadStatus::kTruncated;
+    thread.records.reserve(static_cast<std::size_t>(records));
     for (std::uint64_t r = 0; r < records; ++r) {
-      const std::uint64_t lo = get_u64(in);
-      const std::uint64_t hi = get_u64(in);
+      std::uint64_t lo = 0;
+      std::uint64_t hi = 0;
+      if (!reader.read_u64(lo) || !reader.read_u64(hi)) {
+        return TraceLoadStatus::kTruncated;
+      }
       thread.records.push_back(unpack_record(lo, hi));
     }
-    dump.threads.push_back(std::move(thread));
+    out.threads.push_back(std::move(thread));
+  }
+  return TraceLoadStatus::kOk;
+}
+
+TraceDump load_trace_dump(const std::string& path) {
+  TraceDump dump;
+  const TraceLoadStatus status = load_trace_dump(path, dump);
+  if (status != TraceLoadStatus::kOk) {
+    throw std::runtime_error(std::string("trace dump: ") +
+                             trace_load_status_name(status) + ": " + path);
   }
   return dump;
 }

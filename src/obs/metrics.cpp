@@ -1,0 +1,178 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ofmtl::obs {
+
+namespace {
+
+/// Prometheus-style number: integral values render without a fraction so
+/// counters read naturally; everything else gets shortest-round-trip %g.
+std::string format_value(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.007199254740992e15) {  // 2^53: exact integers
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        out += static_cast<unsigned char>(c) < 0x20 ? ' ' : c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void MetricsBuilder::counter(std::string_view family, std::string_view help,
+                             double value, std::string_view labels) {
+  samples_.push_back(Sample{std::string(family), std::string(help), true,
+                            value, std::string(labels)});
+}
+
+void MetricsBuilder::gauge(std::string_view family, std::string_view help,
+                           double value, std::string_view labels) {
+  samples_.push_back(Sample{std::string(family), std::string(help), false,
+                            value, std::string(labels)});
+}
+
+MetricsRegistry::ProviderHandle::ProviderHandle(
+    ProviderHandle&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+MetricsRegistry::ProviderHandle& MetricsRegistry::ProviderHandle::operator=(
+    ProviderHandle&& other) noexcept {
+  if (this != &other) {
+    reset();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+MetricsRegistry::ProviderHandle::~ProviderHandle() { reset(); }
+
+void MetricsRegistry::ProviderHandle::reset() {
+  if (registry_ != nullptr && id_ != 0) registry_->unregister(id_);
+  registry_ = nullptr;
+  id_ = 0;
+}
+
+MetricsRegistry::ProviderHandle MetricsRegistry::register_provider(
+    Provider provider) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ProviderHandle handle;
+  handle.registry_ = this;
+  handle.id_ = next_id_++;
+  entries_.push_back(Entry{handle.id_, std::move(provider)});
+  return handle;
+}
+
+void MetricsRegistry::unregister(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+std::size_t MetricsRegistry::provider_count() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<MetricsBuilder::Sample> MetricsRegistry::scrape() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsBuilder builder;
+  for (const auto& entry : entries_) entry.provider(builder);
+  // Stable-sort by family so multi-provider families (e.g. per-worker
+  // labels from the runtime plus totals from elsewhere) render under one
+  // # TYPE header, with each provider's sample order preserved.
+  std::stable_sort(builder.samples_.begin(), builder.samples_.end(),
+                   [](const MetricsBuilder::Sample& a,
+                      const MetricsBuilder::Sample& b) {
+                     return a.family < b.family;
+                   });
+  return std::move(builder.samples_);
+}
+
+std::string MetricsRegistry::render_prometheus() {
+  const auto samples = scrape();
+  std::string out;
+  out.reserve(samples.size() * 64 + 64);
+  const std::string* last_family = nullptr;
+  for (const auto& s : samples) {
+    if (last_family == nullptr || *last_family != s.family) {
+      if (!s.help.empty()) {
+        out += "# HELP ";
+        out += s.family;
+        out += ' ';
+        out += s.help;
+        out += '\n';
+      }
+      out += "# TYPE ";
+      out += s.family;
+      out += s.is_counter ? " counter\n" : " gauge\n";
+      last_family = &s.family;
+    }
+    out += s.family;
+    if (!s.labels.empty()) {
+      out += '{';
+      out += s.labels;
+      out += '}';
+    }
+    out += ' ';
+    out += format_value(s.value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_json() {
+  const auto samples = scrape();
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& s : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, s.family);
+    out += ",\"type\":";
+    out += s.is_counter ? "\"counter\"" : "\"gauge\"";
+    out += ",\"labels\":";
+    append_json_string(out, s.labels);
+    out += ",\"value\":";
+    out += format_value(s.value);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace ofmtl::obs

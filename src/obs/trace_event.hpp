@@ -43,6 +43,18 @@ enum class TraceEvent : std::uint16_t {
   kOfpApplyEnd = 17,    ///< flow-mod batch published; payload = mods
   kSimdFallback = 18,   ///< CPU lacks the compiled vector ISA; payload =
                         ///< the simd::Level actually selected (one-shot)
+  kWallClockSync = 19,  ///< payload = realtime (wall) ns; always emitted
+                        ///< immediately after a kTimeSync anchor, so the
+                        ///< (mono, wall) pair aligns rings from different
+                        ///< PROCESSES on one timeline (trace_export --merge)
+  kOfpReadBegin = 20,   ///< session ingest slice opened; payload = bytes
+  kOfpReadEnd = 21,     ///< session ingest slice closed; payload = bytes
+  kOfpDecodeBegin = 22,  ///< frame decode slice; arg = session
+  kOfpDecodeEnd = 23,    ///< decode done; payload = (status << 32) | bytes
+  kOfpBarrierBegin = 24,  ///< echo/barrier handling; arg = session
+  kOfpBarrierEnd = 25,    ///< barrier reply queued; arg = session
+  kRecorderBreach = 26,   ///< flight-recorder SLO breach; arg = SLO index,
+                          ///< payload = observed p99 ns
   kEventCount           ///< sentinel — not a real event
 };
 
@@ -109,6 +121,14 @@ static_assert(sizeof(TraceRecord) == 16, "records are fixed 16-byte");
     case TraceEvent::kOfpApplyBegin:
     case TraceEvent::kOfpApplyEnd: return "ofp_apply";
     case TraceEvent::kSimdFallback: return "simd_fallback";
+    case TraceEvent::kWallClockSync: return "wall_clock_sync";
+    case TraceEvent::kOfpReadBegin:
+    case TraceEvent::kOfpReadEnd: return "ofp_ingest";
+    case TraceEvent::kOfpDecodeBegin:
+    case TraceEvent::kOfpDecodeEnd: return "ofp_decode";
+    case TraceEvent::kOfpBarrierBegin:
+    case TraceEvent::kOfpBarrierEnd: return "ofp_barrier";
+    case TraceEvent::kRecorderBreach: return "recorder_breach";
     case TraceEvent::kEventCount: break;
   }
   return "unknown";
@@ -120,12 +140,18 @@ static_assert(sizeof(TraceRecord) == 16, "records are fixed 16-byte");
     case TraceEvent::kStageBegin:
     case TraceEvent::kPublishBegin:
     case TraceEvent::kReplayPassBegin:
-    case TraceEvent::kOfpApplyBegin: return TraceEventKind::kBegin;
+    case TraceEvent::kOfpApplyBegin:
+    case TraceEvent::kOfpReadBegin:
+    case TraceEvent::kOfpDecodeBegin:
+    case TraceEvent::kOfpBarrierBegin: return TraceEventKind::kBegin;
     case TraceEvent::kBatchEnd:
     case TraceEvent::kStageEnd:
     case TraceEvent::kPublishEnd:
     case TraceEvent::kReplayPassEnd:
-    case TraceEvent::kOfpApplyEnd: return TraceEventKind::kEnd;
+    case TraceEvent::kOfpApplyEnd:
+    case TraceEvent::kOfpReadEnd:
+    case TraceEvent::kOfpDecodeEnd:
+    case TraceEvent::kOfpBarrierEnd: return TraceEventKind::kEnd;
     case TraceEvent::kCacheHits:
     case TraceEvent::kCacheMisses:
     case TraceEvent::kCacheEpochInvalidations: return TraceEventKind::kCounter;

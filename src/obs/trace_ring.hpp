@@ -73,9 +73,13 @@ class TraceRing {
     head_.store(h + 1, std::memory_order_release);
   }
 
-  /// Producer: timestamp `event` now and append it, interleaving kTimeSync
-  /// anchors at the cadence and on 32-bit delta overflow. Allocation-free,
-  /// lock-free, noexcept — the hot-path entry point.
+  /// Producer: timestamp `event` now and append it, interleaving anchor
+  /// pairs — kTimeSync (monotonic ns) immediately followed by
+  /// kWallClockSync (realtime ns) — at the cadence and on 32-bit delta
+  /// overflow. The wall half is what lets trace_export --merge align dumps
+  /// from different PROCESSES (each with its own steady-clock origin) on
+  /// one timeline. Allocation-free, lock-free, noexcept — the hot-path
+  /// entry point.
   void emit(TraceEvent event, std::uint16_t arg,
             std::uint64_t payload) noexcept {
     const std::uint64_t now = now_ns();
@@ -84,6 +88,8 @@ class TraceRing {
         head_.load(std::memory_order_relaxed) == 0) {
       push(TraceRecord{static_cast<std::uint16_t>(TraceEvent::kTimeSync), 0, 0,
                        now});
+      push(TraceRecord{static_cast<std::uint16_t>(TraceEvent::kWallClockSync),
+                       0, 0, wall_now_ns()});
       records_since_sync_ = 0;
       last_ts_ = now;
       delta = 0;
@@ -133,6 +139,32 @@ class TraceRing {
     return appended;
   }
 
+  /// Crash-path consumer: copy the newest published records (up to `max`,
+  /// oldest-first) into `out` WITHOUT advancing the drain cursor or touching
+  /// any non-atomic state. Async-signal-safe: only atomic loads into a
+  /// caller-provided buffer — no allocation, no locks, no librt. Torn slots
+  /// (producer mid-write when the signal landed) fail seqlock validation and
+  /// are skipped, so the copy is always a consistent suffix sample. Safe to
+  /// call from a signal handler running on ANY thread while producers keep
+  /// emitting; may race an in-progress drain (it reads, never writes).
+  std::size_t peek(TraceRecord* out, std::size_t max) const noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    std::uint64_t window = h < capacity_ ? h : capacity_;
+    if (window > max) window = max;
+    std::size_t copied = 0;
+    for (std::uint64_t t = h - window; t != h; ++t) {
+      const Slot& slot = slots_[t & mask_];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq != 2 * t + 2) continue;  // overwritten or mid-write: skip
+      const std::uint64_t lo = slot.lo.load(std::memory_order_relaxed);
+      const std::uint64_t hi = slot.hi.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq) continue;
+      out[copied++] = unpack_record(lo, hi);
+    }
+    return copied;
+  }
+
   /// Total records emitted (producer-side, racy read from elsewhere).
   [[nodiscard]] std::uint64_t emitted() const {
     return head_.load(std::memory_order_relaxed);
@@ -149,6 +181,16 @@ class TraceRing {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Realtime (wall) nanoseconds — the second half of each anchor pair.
+  /// Wall time can step (NTP), which is exactly why it is only ever used to
+  /// compute a per-process wall−mono offset at export, never for deltas.
+  [[nodiscard]] static std::uint64_t wall_now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
             .count());
   }
 

@@ -1,6 +1,9 @@
 #include "obs/tracer.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <fstream>
 #include <memory>
 #include <mutex>
 
@@ -23,7 +26,16 @@ struct Registry {
   std::vector<std::shared_ptr<RingEntry>> entries;
   TraceOptions options;
   std::uint64_t next_tid = 0;
+  std::string process_name;  // empty = derive lazily at first collect
 };
+
+/// Kernel-reported executable name — the default process label on dumps.
+std::string default_process_name() {
+  std::ifstream comm("/proc/self/comm");
+  std::string name;
+  if (comm && std::getline(comm, name) && !name.empty()) return name;
+  return "process";
+}
 
 Registry& registry() {
   static Registry instance;
@@ -92,17 +104,28 @@ void set_thread_name(std::string_view name) {
   }
 }
 
+void set_process_name(std::string_view name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.process_name.assign(name);
+}
+
 TraceDump collect_tracing() {
   // Snapshot the entry list under the lock, drain outside it: drain is
   // lock-free against producers, and holding the registry mutex across it
   // would stall late thread registrations for no reason.
   std::vector<std::shared_ptr<RingEntry>> entries;
+  std::string process_name;
   {
     Registry& reg = registry();
     const std::lock_guard<std::mutex> lock(reg.mutex);
     entries = reg.entries;
+    if (reg.process_name.empty()) reg.process_name = default_process_name();
+    process_name = reg.process_name;
   }
   TraceDump dump;
+  dump.pid = static_cast<std::uint64_t>(::getpid());
+  dump.process_name = std::move(process_name);
   dump.threads.reserve(entries.size());
   for (const auto& entry : entries) {
     ThreadTrace thread;
@@ -116,6 +139,22 @@ TraceDump collect_tracing() {
     dump.threads.push_back(std::move(thread));
   }
   return dump;
+}
+
+std::vector<RingRef> snapshot_rings() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<RingRef> refs;
+  refs.reserve(reg.entries.size());
+  for (const auto& entry : reg.entries) {
+    RingRef ref;
+    ref.owner = entry;  // shared_ptr<RingEntry> → shared_ptr<void>
+    ref.ring = &entry->ring;
+    ref.name = entry->name;
+    ref.tid = entry->tid;
+    refs.push_back(std::move(ref));
+  }
+  return refs;
 }
 
 void emit(TraceEvent event, std::uint16_t arg, std::uint64_t payload) noexcept {

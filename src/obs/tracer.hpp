@@ -58,6 +58,11 @@ struct ThreadTrace {
 };
 
 struct TraceDump {
+  /// Process identity, stamped by collect_tracing() and carried through the
+  /// OFTRACE1 container so merged multi-process timelines label tracks
+  /// correctly. pid 0 means "unknown" (e.g. a legacy dump).
+  std::uint64_t pid = 0;
+  std::string process_name;
   std::vector<ThreadTrace> threads;
 };
 
@@ -75,10 +80,32 @@ void stop_tracing();
 /// sessions). Allocates; call at thread setup, not in steady state.
 void set_thread_name(std::string_view name);
 
+/// Display name collect_tracing() stamps on dumps (defaults to the
+/// executable's /proc/self/comm, or "process" when unreadable). Set it in
+/// tools that produce dumps destined for a cross-process merge.
+void set_process_name(std::string_view name);
+
 /// Snapshot every ring of the current (or just-stopped) session: drains
 /// each ring from its cursor, so records appear exactly once across
 /// repeated collects. Safe while producers are still emitting.
 [[nodiscard]] TraceDump collect_tracing();
+
+/// A shared-ownership view of one live ring, for consumers that must read
+/// ring state WITHOUT the registry mutex — the flight recorder pre-registers
+/// these at arm time so its crash-signal handler can TraceRing::peek() each
+/// ring with nothing but atomic loads. `owner` keeps the ring alive even if
+/// the producer thread exits or the session restarts.
+struct RingRef {
+  std::shared_ptr<void> owner;
+  const TraceRing* ring = nullptr;
+  std::string name;       ///< display name at snapshot time
+  std::uint64_t tid = 0;  ///< registration order (stable within a run)
+};
+
+/// Shared references to every ring of the current session. Rings registered
+/// AFTER the snapshot are not included — callers that need completeness
+/// (the flight recorder) re-snapshot periodically from their poll loop.
+[[nodiscard]] std::vector<RingRef> snapshot_rings();
 
 /// The emit entry point behind OFMTL_OBS_EMIT. Noexcept and allocation-free
 /// once the calling thread's ring exists; a thread's very first traced emit

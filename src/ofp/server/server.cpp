@@ -57,6 +57,11 @@ FlowModSink OfpServer::instrumented_sink() {
   };
 }
 
+obs::MetricsRegistry& OfpServer::metrics_registry() {
+  return config_.metrics != nullptr ? *config_.metrics
+                                    : obs::default_registry();
+}
+
 bool OfpServer::start() {
   if (running_.load(std::memory_order_acquire)) return false;
 
@@ -102,6 +107,83 @@ bool OfpServer::start() {
     return false;
   }
 
+  // Optional stats endpoint: a second listener in the SAME epoll loop, so
+  // scrapes serialize with session work and need no extra synchronization.
+  if (config_.stats_port >= 0) {
+    stats_listen_fd_ =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (stats_listen_fd_ < 0) {
+      stop_fds();
+      return false;
+    }
+    (void)::setsockopt(stats_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof one);
+    sockaddr_in stats_addr{};
+    stats_addr.sin_family = AF_INET;
+    stats_addr.sin_port = htons(static_cast<std::uint16_t>(config_.stats_port));
+    if (::inet_pton(AF_INET, config_.bind_address.c_str(),
+                    &stats_addr.sin_addr) != 1 ||
+        ::bind(stats_listen_fd_,
+               reinterpret_cast<const sockaddr*>(&stats_addr),
+               sizeof stats_addr) != 0 ||
+        ::listen(stats_listen_fd_, 16) != 0) {
+      stop_fds();
+      return false;
+    }
+    sockaddr_in stats_bound{};
+    socklen_t stats_bound_len = sizeof stats_bound;
+    if (::getsockname(stats_listen_fd_,
+                      reinterpret_cast<sockaddr*>(&stats_bound),
+                      &stats_bound_len) == 0) {
+      stats_port_ = ntohs(stats_bound.sin_port);
+    }
+    ev.events = EPOLLIN;
+    ev.data.fd = stats_listen_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, stats_listen_fd_, &ev) != 0) {
+      stop_fds();
+      return false;
+    }
+  }
+
+  // The server's own health as a metrics provider; the RAII handle
+  // unregisters at stop(), so a scrape can never observe a dead server.
+  metrics_handle_ = metrics_registry().register_provider(
+      [this](obs::MetricsBuilder& b) {
+        const ServerStats s = stats();
+        b.counter("ofmtl_ofp_sessions_accepted_total",
+                  "controller sessions accepted",
+                  static_cast<double>(s.sessions_accepted));
+        b.counter("ofmtl_ofp_sessions_closed_total",
+                  "controller sessions closed",
+                  static_cast<double>(s.sessions_closed));
+        b.counter("ofmtl_ofp_handshakes_total",
+                  "sessions that completed the HELLO handshake",
+                  static_cast<double>(s.handshakes));
+        b.counter("ofmtl_ofp_frames_rx_total", "OFP frames received",
+                  static_cast<double>(s.frames_rx));
+        b.counter("ofmtl_ofp_frames_tx_total", "OFP frames sent",
+                  static_cast<double>(s.frames_tx));
+        b.counter("ofmtl_ofp_flow_mods_ok_total", "flow-mods applied",
+                  static_cast<double>(s.flow_mods_ok));
+        b.counter("ofmtl_ofp_flow_mods_failed_total", "flow-mods rejected",
+                  static_cast<double>(s.flow_mods_failed));
+        b.counter("ofmtl_ofp_flow_mods_shed_total",
+                  "flow-mods shed by admission control",
+                  static_cast<double>(s.flow_mods_shed));
+        b.counter("ofmtl_ofp_malformed_frames_total",
+                  "frames rejected by the decoder",
+                  static_cast<double>(s.malformed_frames));
+        b.counter("ofmtl_ofp_bytes_rx_total", "bytes received",
+                  static_cast<double>(s.bytes_rx));
+        b.counter("ofmtl_ofp_bytes_tx_total", "bytes sent",
+                  static_cast<double>(s.bytes_tx));
+        b.gauge("ofmtl_ofp_active_sessions", "currently open sessions",
+                static_cast<double>(active_sessions()));
+        b.gauge("ofmtl_ofp_admission_state",
+                "admission state (0 normal, 1 shedding, 2 rejecting)",
+                static_cast<double>(static_cast<int>(admission_state())));
+      });
+
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { loop(); });
   return true;
@@ -113,17 +195,21 @@ void OfpServer::stop() {
     (void)!::write(wake_fd_, &one, sizeof one);
   }
   if (thread_.joinable()) thread_.join();
+  metrics_handle_.reset();
   stop_fds();
 }
 
 void OfpServer::stop_fds() {
   for (const auto& [fd, conn] : connections_) ::close(fd);
   connections_.clear();
+  for (const auto& [fd, conn] : stats_conns_) ::close(fd);
+  stats_conns_.clear();
   active_sessions_.store(0, std::memory_order_relaxed);
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
-  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  if (stats_listen_fd_ >= 0) ::close(stats_listen_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = stats_listen_fd_ = -1;
 }
 
 int OfpServer::epoll_timeout_ms(std::uint64_t now) const {
@@ -163,6 +249,14 @@ void OfpServer::loop() {
       }
       if (fd == listen_fd_) {
         accept_ready(now_ms());
+        continue;
+      }
+      if (fd == stats_listen_fd_) {
+        stats_accept_ready();
+        continue;
+      }
+      if (stats_conns_.contains(fd)) {
+        stats_event(fd, events[i].events);
         continue;
       }
       const auto it = connections_.find(fd);
@@ -251,6 +345,120 @@ void OfpServer::accept_ready(std::uint64_t now) {
     active_sessions_.fetch_add(1, std::memory_order_relaxed);
     flush_output(fd, ref);  // our HELLO
   }
+}
+
+void OfpServer::stats_accept_ready() {
+  while (true) {
+    const int fd = ::accept4(stats_listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN: drained; errors: nothing to serve
+    if (stats_conns_.size() >= 16) {  // bounded scrape state
+      ::close(fd);
+      continue;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    stats_conns_.emplace(fd, StatsConn{});
+  }
+}
+
+std::string OfpServer::stats_response(const std::string& request) {
+  // Only the request line matters: "GET <path> HTTP/1.x". Anything else is
+  // answered, never crashes the loop — the endpoint is read-only.
+  std::string path;
+  if (request.compare(0, 4, "GET ") == 0) {
+    const std::size_t end = request.find(' ', 4);
+    if (end != std::string::npos) path = request.substr(4, end - 4);
+  }
+  std::string body;
+  const char* content_type = "text/plain; version=0.0.4; charset=utf-8";
+  const char* status = "200 OK";
+  if (path == "/metrics" || path == "/") {
+    body = metrics_registry().render_prometheus();
+  } else if (path == "/metrics.json") {
+    body = metrics_registry().render_json();
+    content_type = "application/json";
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+  }
+  std::string response = "HTTP/1.0 ";
+  response += status;
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: ";
+  response += std::to_string(body.size());
+  response += "\r\nConnection: close\r\n\r\n";
+  response += body;
+  return response;
+}
+
+void OfpServer::stats_event(int fd, std::uint32_t events) {
+  auto it = stats_conns_.find(fd);
+  if (it == stats_conns_.end()) return;
+  StatsConn& conn = it->second;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    stats_close(fd);
+    return;
+  }
+  if (events & (EPOLLIN | EPOLLRDHUP)) {
+    char buf[1024];
+    while (true) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n > 0) {
+        conn.request.append(buf, static_cast<std::size_t>(n));
+        if (conn.request.size() > 4096) {  // hostile header flood: drop
+          stats_close(fd);
+          return;
+        }
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n == 0 && conn.request.find("\r\n\r\n") == std::string::npos &&
+          conn.request.find('\n') == std::string::npos) {
+        stats_close(fd);  // peer gone before a full request line
+        return;
+      }
+      break;
+    }
+    if (conn.response.empty() &&
+        (conn.request.find("\r\n\r\n") != std::string::npos ||
+         conn.request.find('\n') != std::string::npos)) {
+      conn.response = stats_response(conn.request);
+      epoll_event ev{};
+      ev.events = EPOLLOUT | EPOLLRDHUP;
+      ev.data.fd = fd;
+      (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+    }
+  }
+  if (!conn.response.empty()) {
+    while (conn.sent < conn.response.size()) {
+      const ssize_t n =
+          ::send(fd, conn.response.data() + conn.sent,
+                 conn.response.size() - conn.sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      stats_close(fd);  // EPIPE and friends
+      return;
+    }
+    stats_close(fd);  // fully served; HTTP/1.0 close semantics
+  }
+}
+
+void OfpServer::stats_close(int fd) {
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  stats_conns_.erase(fd);
 }
 
 void OfpServer::pause_accept(std::uint64_t now) {

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "ofp/server/control_plane.hpp"
 #include "ofp/server/session.hpp"
 
@@ -70,6 +71,15 @@ struct ServerConfig {
   std::uint64_t publish_latency_budget_us = 20000;
   /// Injectable clock + syscalls; defaults are the real thing.
   IoHooks hooks{};
+  /// Read-only stats endpoint, served from the SAME epoll loop: -1 keeps
+  /// it off, 0 binds an ephemeral port (read back via stats_port()), any
+  /// other value binds that port. Serves GET /metrics (Prometheus text)
+  /// and GET /metrics.json.
+  int stats_port = -1;
+  /// Registry the endpoint renders; null = obs::default_registry(). The
+  /// server also registers its own ofmtl_ofp_* provider here for its
+  /// lifetime.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Monotonic server-wide counters, sampled racily by stats().
@@ -114,6 +124,8 @@ class OfpServer {
 
   /// The bound TCP port (resolved after start() for ephemeral binds).
   [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// The bound stats-endpoint port (0 when the endpoint is disabled).
+  [[nodiscard]] std::uint16_t stats_port() const { return stats_port_; }
   [[nodiscard]] bool running() const {
     return running_.load(std::memory_order_acquire);
   }
@@ -139,8 +151,21 @@ class OfpServer {
     Session::Counters reported{};
   };
 
+  /// One in-flight stats scrape: tiny request buffer in, rendered response
+  /// out. HTTP/1.0, connection-close semantics — no keep-alive state.
+  struct StatsConn {
+    std::string request;
+    std::string response;
+    std::size_t sent = 0;
+  };
+
   void loop();
   void accept_ready(std::uint64_t now);
+  void stats_accept_ready();
+  void stats_event(int fd, std::uint32_t events);
+  void stats_close(int fd);
+  [[nodiscard]] std::string stats_response(const std::string& request);
+  [[nodiscard]] obs::MetricsRegistry& metrics_registry();
   /// EMFILE/ENFILE: drop the listen fd from epoll and re-arm after backoff.
   void pause_accept(std::uint64_t now);
   void resume_accept();
@@ -166,7 +191,11 @@ class OfpServer {
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
+  int stats_listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  std::uint16_t stats_port_ = 0;
+  std::unordered_map<int, StatsConn> stats_conns_;
+  obs::MetricsRegistry::ProviderHandle metrics_handle_;
   std::uint64_t next_session_id_ = 1;
   bool accept_paused_ = false;
   std::uint64_t accept_resume_ms_ = 0;

@@ -59,7 +59,9 @@ Session::Session(std::uint64_t id, SessionConfig config, FlowModSink sink,
 void Session::on_bytes(std::span<const std::uint8_t> bytes,
                        std::uint64_t now_ms) {
   if (state_ == State::kDraining || state_ == State::kClosed) return;
-  OFMTL_OBS_EMIT(obs::TraceEvent::kOfpRead, id_, bytes.size());
+  // Ingest slice: everything this read round triggered (framing, decode,
+  // apply, replies) nests inside it on the timeline.
+  OFMTL_OBS_EMIT(obs::TraceEvent::kOfpReadBegin, id_, bytes.size());
   // Any inbound byte proves the peer alive: clear an outstanding probe and
   // restart the idle clock.
   last_rx_ms_ = now_ms;
@@ -73,6 +75,7 @@ void Session::on_bytes(std::span<const std::uint8_t> bytes,
   }
   if (state_ == State::kDraining || state_ == State::kClosed) {
     mods_.clear();
+    OFMTL_OBS_EMIT(obs::TraceEvent::kOfpReadEnd, id_, bytes.size());
     return;
   }
   flush_mods(now_ms);
@@ -86,14 +89,16 @@ void Session::on_bytes(std::span<const std::uint8_t> bytes,
                  now_ms);
     begin_drain(CloseReason::kProtocolError, now_ms);
   }
+  OFMTL_OBS_EMIT(obs::TraceEvent::kOfpReadEnd, id_, bytes.size());
 }
 
 void Session::handle_frame(const std::vector<std::uint8_t>& frame,
                            std::uint64_t now_ms) {
   counters_.frames_rx++;
   Envelope envelope;
+  OFMTL_OBS_EMIT(obs::TraceEvent::kOfpDecodeBegin, id_, frame.size());
   const auto status = try_decode(frame, envelope);
-  OFMTL_OBS_EMIT(obs::TraceEvent::kOfpDecode, id_,
+  OFMTL_OBS_EMIT(obs::TraceEvent::kOfpDecodeEnd, id_,
                  (static_cast<std::uint64_t>(status) << 32) | frame.size());
   if (status != DecodeStatus::kOk) {
     counters_.malformed_frames++;
@@ -162,7 +167,14 @@ void Session::handle_message(const Envelope& envelope,
   }
 
   if (const auto* echo = std::get_if<EchoRequest>(&envelope.message)) {
+    // Barrier slice: the echo reply queues only after flush_mods above
+    // published every earlier flow-mod, so this duration is the
+    // controller-visible barrier turnaround inside the server.
+    OFMTL_OBS_EMIT(obs::TraceEvent::kOfpBarrierBegin, id_,
+                   echo->payload.size());
     queue_output(encode({envelope.xid, EchoReply{echo->payload}}), now_ms);
+    OFMTL_OBS_EMIT(obs::TraceEvent::kOfpBarrierEnd, id_,
+                   echo->payload.size());
     return;
   }
   if (std::holds_alternative<EchoReply>(envelope.message)) {

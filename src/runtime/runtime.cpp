@@ -254,4 +254,40 @@ WorkerStats ParallelRuntime::aggregate_stats() const {
   return total;
 }
 
+obs::MetricsRegistry::ProviderHandle ParallelRuntime::register_metrics(
+    obs::MetricsRegistry& registry) {
+  return registry.register_provider([this](obs::MetricsBuilder& b) {
+    const WorkerStats total = aggregate_stats();
+    b.counter("ofmtl_runtime_batches_total", "batches drained by workers",
+              static_cast<double>(total.batches));
+    b.counter("ofmtl_runtime_packets_total", "packets classified",
+              static_cast<double>(total.packets));
+    b.counter("ofmtl_runtime_errors_total", "batches whose lookup threw",
+              static_cast<double>(total.errors));
+    b.counter("ofmtl_runtime_steals_total", "batches stolen from siblings",
+              static_cast<double>(total.steals));
+    b.counter("ofmtl_cache_hits_total", "flow-cache hits",
+              static_cast<double>(total.cache_hits));
+    b.counter("ofmtl_cache_misses_total", "flow-cache misses",
+              static_cast<double>(total.cache_misses));
+    b.counter("ofmtl_cache_evictions_total", "flow-cache evictions",
+              static_cast<double>(total.cache_evictions));
+    b.counter("ofmtl_cache_epoch_invalidations_total",
+              "cache hits voided by a newer snapshot epoch",
+              static_cast<double>(total.cache_epoch_invalidations));
+    b.gauge("ofmtl_runtime_workers", "worker threads",
+            static_cast<double>(workers_.size()));
+    b.gauge("ofmtl_runtime_publish_epoch", "current left-right epoch",
+            static_cast<double>(epoch()));
+    b.gauge("ofmtl_runtime_queue_pressure",
+            "fullest queue occupancy fraction", queue_pressure());
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      b.counter("ofmtl_runtime_worker_packets_total",
+                "packets classified per worker",
+                static_cast<double>(stats(w).packets),
+                "worker=\"" + std::to_string(w) + "\"");
+    }
+  });
+}
+
 }  // namespace ofmtl::runtime

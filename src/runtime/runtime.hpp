@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/flow_cache.hpp"
 #include "runtime/snapshot.hpp"
 #include "runtime/steal_queue.hpp"
@@ -183,6 +184,14 @@ class ParallelRuntime {
   /// anything summed, since stealing moves batches between workers).
   [[nodiscard]] WorkerStats stats(std::size_t worker) const;
   [[nodiscard]] WorkerStats aggregate_stats() const;
+
+  /// Export this runtime's live state (aggregated WorkerStats, flow-cache
+  /// hit/miss counters, publish epoch, queue pressure) into `registry` as
+  /// ofmtl_runtime_* / ofmtl_cache_* families. The provider reads only the
+  /// per-worker atomics, so a scrape never touches a hot path; keep the
+  /// returned handle alive no longer than the runtime.
+  [[nodiscard]] obs::MetricsRegistry::ProviderHandle register_metrics(
+      obs::MetricsRegistry& registry);
 
   /// In-flight batches on `queue` (racy scheduling/monitoring hint).
   [[nodiscard]] std::size_t queue_depth(std::size_t queue) const {

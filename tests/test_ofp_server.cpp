@@ -8,12 +8,19 @@
 // peer input ever crashes the server; it answers ERROR or closes gracefully.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "ofp/server/flow_mod_sink.hpp"
 #include "ofp/server/frame_assembler.hpp"
 #include "ofp/server/server.hpp"
@@ -694,6 +701,137 @@ TEST(OfpServer, ConcurrentFaultySessionsConvergeToOracle) {
     ASSERT_EQ(got.output_ports, want.output_ports) << "id " << id;
   }
   EXPECT_GE(server.stats().flow_mods_ok, kSessions * kModsPerSession);
+  server.stop();
+}
+
+// --- stats endpoint: read-only HTTP plane inside the same epoll loop ---
+
+/// Minimal HTTP/1.0 client: send one GET, read to EOF (the endpoint always
+/// answers Connection: close).
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(OfpServerStats, EndpointServesPrometheusAndJson) {
+  RecordingSink sink;
+  obs::MetricsRegistry registry;
+  ServerConfig config = quick_config();
+  config.stats_port = 0;  // ephemeral
+  config.metrics = &registry;
+  OfpServer server(sink.make(), config);
+  ASSERT_TRUE(server.start());
+  ASSERT_NE(server.stats_port(), 0);
+
+  // Drive one session so the counters have something to say.
+  ScriptedController controller;
+  ASSERT_TRUE(controller.connect(server.port()));
+  ASSERT_TRUE(controller.send(flow_mod_frame(controller.next_xid(), 7)));
+  ASSERT_TRUE(controller.barrier().ok);
+
+  const std::string text = http_get(server.stats_port(), "/metrics");
+  EXPECT_NE(text.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(text.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ofmtl_ofp_sessions_accepted_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ofmtl_ofp_sessions_accepted_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ofmtl_ofp_flow_mods_ok_total 1"), std::string::npos);
+  EXPECT_NE(text.find("ofmtl_ofp_active_sessions 1"), std::string::npos);
+  EXPECT_NE(text.find("ofmtl_ofp_handshakes_total 1"), std::string::npos);
+
+  const std::string json = http_get(server.stats_port(), "/metrics.json");
+  EXPECT_NE(json.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(json.find(R"({"metrics":[)"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"ofmtl_ofp_frames_rx_total")"),
+            std::string::npos);
+
+  const std::string missing = http_get(server.stats_port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos);
+
+  server.stop();
+  // The server's provider unregistered on stop: no dangling callback.
+  EXPECT_EQ(registry.provider_count(), 0u);
+}
+
+TEST(OfpServerStats, EndpointSurvivesHostileAndPartialRequests) {
+  RecordingSink sink;
+  obs::MetricsRegistry registry;
+  ServerConfig config = quick_config();
+  config.stats_port = 0;
+  config.metrics = &registry;
+  OfpServer server(sink.make(), config);
+  ASSERT_TRUE(server.start());
+
+  // Garbage request line: answered 404, not crashed.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.stats_port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    const char junk[] = "\x00\xff garbage\r\n\r\n";
+    (void)::send(fd, junk, sizeof junk - 1, 0);
+    std::string response;
+    char buf[1024];
+    while (true) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    EXPECT_NE(response.find("404"), std::string::npos);
+  }
+
+  // Peer that connects and immediately disconnects: cleaned up, and the
+  // data plane is untouched throughout.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.stats_port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    ::close(fd);
+  }
+  ScriptedController controller;
+  ASSERT_TRUE(controller.connect(server.port()));
+  EXPECT_TRUE(controller.barrier().ok);
+  EXPECT_NE(http_get(server.stats_port(), "/metrics").find("200 OK"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(OfpServerStats, DisabledByDefault) {
+  RecordingSink sink;
+  OfpServer server(sink.make(), quick_config());
+  ASSERT_TRUE(server.start());
+  EXPECT_EQ(server.stats_port(), 0);  // no listener bound
   server.stop();
 }
 

@@ -72,13 +72,20 @@ struct Options {
   bool json = false;
   bool failover = false;
   std::uint32_t kill_every = 5;  ///< kill the master every N chunks
+  int stats_port = -1;  ///< -1 off, 0 ephemeral (bound port printed)
+  std::uint32_t linger_ms = 0;  ///< keep the server up after the soak, so
+                                ///< an external scraper can hit the stats
+                                ///< endpoint (CI smoke)
 };
 
 [[noreturn]] void usage_and_exit() {
   std::cerr << "usage: ofp_soak [--sessions N] [--mods M] "
                "[--fault light|heavy|none] [--seed S] [--json]\n"
                "       ofp_soak --failover [--mods M] [--kill-every N] "
-               "[--fault light|heavy|none] [--seed S] [--json]\n";
+               "[--fault light|heavy|none] [--seed S] [--json]\n"
+               "common: [--stats-port P] [--linger-ms T]  (P=0 binds an\n"
+               "ephemeral stats port, printed as STATS_PORT=<n>; T keeps\n"
+               "the server up after the soak for external scrapes)\n";
   std::exit(2);
 }
 
@@ -108,6 +115,10 @@ Options parse_options(int argc, char** argv) {
       opt.failover = true;
     } else if (arg == "--kill-every") {
       opt.kill_every = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--stats-port") {
+      opt.stats_port = static_cast<int>(std::stol(value()));
+    } else if (arg == "--linger-ms") {
+      opt.linger_ms = static_cast<std::uint32_t>(std::stoul(value()));
     } else {
       usage_and_exit();
     }
@@ -248,16 +259,32 @@ ControllerOutcome run_controller(std::uint16_t port, std::uint32_t base,
 // a real-TCP race, so per-run GC'd/restored counts may wobble — the
 // convergence result may not: every seed must end bitwise-equal, zero drops.
 
+/// Print the bound stats port (machine-readable, for the CI smoke) as soon
+/// as the server is up, and hold the server open afterwards long enough for
+/// an external scraper to hit the endpoint.
+void announce_stats_port(const OfpServer& server, const Options& opt) {
+  if (opt.stats_port < 0) return;
+  std::cout << "STATS_PORT=" << server.stats_port() << std::endl;
+}
+
+void linger_after_soak(const Options& opt) {
+  if (opt.linger_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt.linger_ms));
+  }
+}
+
 int run_failover(const Options& opt) {
   runtime::SnapshotClassifier classifier(make_tables());
   ServerConfig config;
   config.max_sessions = 16;
   config.session.echo_interval_ms = 30'000;  // the scenario drives echoes
+  config.stats_port = opt.stats_port;
   OfpServer server(server::make_classifier_sink(classifier), config);
   if (!server.start()) {
     std::cerr << "ofp_soak: server failed to start\n";
     return 1;
   }
+  announce_stats_port(server, opt);
 
   testing::ChaosProfile profile;
   profile.kill_every = opt.kill_every;
@@ -464,6 +491,9 @@ int run_failover(const Options& opt) {
   }
 
   const auto stats = server.stats();
+  // Linger while the server (and its stats endpoint) is still up, so a
+  // scraper that just read STATS_PORT= has a window to pull /metrics.
+  linger_after_soak(opt);
   server.stop();
 
   const double mods_per_sec =
@@ -533,11 +563,13 @@ int main(int argc, char** argv) {
   // number of controller threads.
   config.max_sessions = opt.sessions * 2 + 8;
   config.session.echo_interval_ms = 30'000;  // soak drives its own echoes
+  config.stats_port = opt.stats_port;
   OfpServer server(server::make_classifier_sink(classifier), config);
   if (!server.start()) {
     std::cerr << "ofp_soak: server failed to start\n";
     return 1;
   }
+  announce_stats_port(server, opt);
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -607,6 +639,9 @@ int main(int argc, char** argv) {
   }
 
   const auto stats = server.stats();
+  // Linger while the server (and its stats endpoint) is still up, so a
+  // scraper that just read STATS_PORT= has a window to pull /metrics.
+  linger_after_soak(opt);
   server.stop();
 
   const double mods_per_sec =

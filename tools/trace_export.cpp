@@ -5,7 +5,15 @@
 //     obs::save_trace_dump caller) and render chrome://tracing JSON to -o
 //     (stdout when omitted). --summary instead prints per-slice latency
 //     distributions (count, p50/p99/p99.9, mean) derived through
-//     obs::LogHistogram — with -o, both are produced.
+//     obs::LogHistogram — with -o, both are produced. The summary also
+//     surfaces per-ring overwrite loss (`dropped`) and the decode-skipped
+//     prefix, so silent history truncation is never invisible.
+//
+//   trace_export --merge A.oftrace B.oftrace [...] [-o FILE.json]
+//     Render several dumps — typically a controller process and a switch
+//     process — on ONE timeline. Each process's monotonic clock is aligned
+//     through the wall-clock half of its kTimeSync anchor pairs, and each
+//     gets its own pid + process_name track in the output.
 //
 // Splitting record+decode keeps the recording side allocation-light: a run
 // dumps 16-byte records and exits; everything human-facing happens here.
@@ -29,9 +37,12 @@ using namespace ofmtl;
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage:\n"
                "  trace_export FILE.oftrace [-o FILE.json] [--summary]\n"
-               "decodes an OFTRACE1 dump into chrome://tracing / Perfetto\n"
+               "  trace_export --merge A.oftrace B.oftrace [...] [-o FILE]\n"
+               "decodes OFTRACE1 dumps into chrome://tracing / Perfetto\n"
                "JSON (stdout unless -o); --summary prints per-slice latency\n"
-               "histograms (p50/p99/p99.9) instead of / in addition to it.\n";
+               "histograms (p50/p99/p99.9) plus per-ring dropped/skipped\n"
+               "counts; --merge aligns multiple processes on one timeline\n"
+               "via their wall-clock anchors.\n";
   std::exit(2);
 }
 
@@ -47,22 +58,38 @@ constexpr SlicePair kSlices[] = {
     {"publish", obs::TraceEvent::kPublishBegin, obs::TraceEvent::kPublishEnd},
     {"replay_pass", obs::TraceEvent::kReplayPassBegin,
      obs::TraceEvent::kReplayPassEnd},
+    {"ofp_ingest", obs::TraceEvent::kOfpReadBegin,
+     obs::TraceEvent::kOfpReadEnd},
+    {"ofp_decode", obs::TraceEvent::kOfpDecodeBegin,
+     obs::TraceEvent::kOfpDecodeEnd},
     {"ofp_apply", obs::TraceEvent::kOfpApplyBegin,
      obs::TraceEvent::kOfpApplyEnd},
+    {"ofp_barrier", obs::TraceEvent::kOfpBarrierBegin,
+     obs::TraceEvent::kOfpBarrierEnd},
 };
 
 void print_summary(std::ostream& out, const obs::TraceDump& dump) {
-  std::uint64_t records = 0, dropped = 0;
-  for (const auto& thread : dump.threads) {
-    records += thread.records.size();
-    dropped += thread.dropped;
+  std::uint64_t records = 0, dropped = 0, skipped = 0;
+  std::vector<obs::DecodeStats> stats(dump.threads.size());
+  for (std::size_t t = 0; t < dump.threads.size(); ++t) {
+    (void)obs::decode_thread(dump.threads[t], &stats[t]);
+    records += dump.threads[t].records.size();
+    dropped += dump.threads[t].dropped;
+    skipped += stats[t].skipped_prefix;
   }
-  out << dump.threads.size() << " thread(s), " << records << " records, "
-      << dropped << " overwritten\n";
-  for (const auto& thread : dump.threads) {
+  out << "process " << (dump.process_name.empty() ? "?" : dump.process_name)
+      << " (pid " << dump.pid << "): " << dump.threads.size()
+      << " thread(s), " << records << " records, " << dropped
+      << " overwritten, " << skipped << " decode-skipped\n";
+  for (std::size_t t = 0; t < dump.threads.size(); ++t) {
+    const auto& thread = dump.threads[t];
     out << "  tid " << thread.tid << " (" << thread.name << "): "
         << thread.records.size() << " records, " << thread.dropped
-        << " overwritten\n";
+        << " overwritten, " << stats[t].skipped_prefix << " decode-skipped";
+    if (stats[t].has_wall_offset) {
+      out << ", wall-mono offset " << stats[t].wall_minus_mono_ns << " ns";
+    }
+    out << "\n";
   }
   out << "slice latencies (ns):\n";
   for (const auto& slice : kSlices) {
@@ -82,8 +109,10 @@ void print_summary(std::ostream& out, const obs::TraceDump& dump) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  std::string input, output;
+  std::vector<std::string> inputs;
+  std::string output;
   bool summary = false;
+  bool merge = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const auto& arg = args[i];
     if (arg == "-o" || arg == "--out") {
@@ -91,35 +120,54 @@ int main(int argc, char** argv) {
       output = args[i];
     } else if (arg == "--summary") {
       summary = true;
-    } else if (!arg.empty() && arg[0] != '-' && input.empty()) {
-      input = arg;
+    } else if (arg == "--merge") {
+      merge = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      inputs.push_back(arg);
     } else {
       usage("unknown flag '" + arg + "'");
     }
   }
-  if (input.empty()) usage("missing FILE.oftrace input");
+  if (inputs.empty()) usage("missing FILE.oftrace input");
+  if (!merge && inputs.size() > 1) usage("multiple inputs need --merge");
+  if (merge && inputs.size() < 2) usage("--merge needs at least two inputs");
 
-  try {
-    const obs::TraceDump dump = obs::load_trace_dump(input);
-    if (!output.empty()) {
-      std::ofstream out(output);
-      if (!out) {
-        std::cerr << "error: cannot open " << output << "\n";
-        return 1;
-      }
-      obs::write_perfetto_json(out, dump);
-      if (out.flush(); !out) {
-        std::cerr << "error: write failed: " << output << "\n";
-        return 1;
-      }
-      std::cerr << "wrote " << output << "\n";
-    } else if (!summary) {
-      obs::write_perfetto_json(std::cout, dump);
+  std::vector<obs::TraceDump> dumps;
+  for (const auto& input : inputs) {
+    obs::TraceDump dump;
+    const auto status = obs::load_trace_dump(input, dump);
+    if (status != obs::TraceLoadStatus::kOk) {
+      std::cerr << "error: " << input << ": "
+                << obs::trace_load_status_name(status) << "\n";
+      return 1;
     }
-    if (summary) print_summary(std::cout, dump);
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    dumps.push_back(std::move(dump));
+  }
+
+  const auto render = [&](std::ostream& out) {
+    if (merge) {
+      obs::write_perfetto_json(out, dumps);
+    } else {
+      obs::write_perfetto_json(out, dumps.front());
+    }
+  };
+  if (!output.empty()) {
+    std::ofstream out(output);
+    if (!out) {
+      std::cerr << "error: cannot open " << output << "\n";
+      return 1;
+    }
+    render(out);
+    if (out.flush(); !out) {
+      std::cerr << "error: write failed: " << output << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << output << "\n";
+  } else if (!summary) {
+    render(std::cout);
+  }
+  if (summary) {
+    for (const auto& dump : dumps) print_summary(std::cout, dump);
   }
   return 0;
 }
